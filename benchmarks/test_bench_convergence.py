@@ -1,0 +1,72 @@
+"""E8 — Construction-phase convergence (Griffin-Wilfong premise).
+
+FPSS assumes the static abstract-BGP model, under which both
+construction phases converge.  Measures events/messages to quiescence
+for growing random biconnected graphs and verifies the converged
+tables against the centralized oracle on each instance.  Expected
+shape: always converges; work grows polynomially with n.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.routing import run_plain_fpss, verify_against_oracle
+from repro.workloads import random_biconnected_graph
+
+SIZES = (4, 6, 8, 10)
+
+
+def measure_convergence(sizes=SIZES, seed=5):
+    rows = []
+    for size in sizes:
+        rng = random.Random(seed * 100 + size)
+        graph = random_biconnected_graph(size, rng)
+        _, nodes, stats = run_plain_fpss(graph)
+        verify_against_oracle(graph, nodes)
+        rows.append(
+            {
+                "size": size,
+                "phase1_events": stats.phase1_events,
+                "phase2_events": stats.phase2_events,
+                "messages": stats.total_messages,
+                "computations": stats.total_computations,
+            }
+        )
+    return rows
+
+
+def test_bench_convergence(benchmark):
+    rows = benchmark.pedantic(measure_convergence, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["n", "phase-1 events", "phase-2 events", "messages", "computations"],
+            [
+                [r["size"], r["phase1_events"], r["phase2_events"],
+                 r["messages"], r["computations"]]
+                for r in rows
+            ],
+            title="E8: events to quiescence (oracle-verified each run)",
+        )
+    )
+
+    # Convergence always happened (verify_against_oracle would raise)
+    # and work grows with n but stays polynomial: crude super-linearity
+    # guard comparing growth against n^4.
+    for smaller, larger in zip(rows, rows[1:]):
+        assert larger["phase2_events"] > smaller["phase2_events"]
+        ratio = larger["phase2_events"] / smaller["phase2_events"]
+        size_ratio = larger["size"] / smaller["size"]
+        assert ratio < size_ratio ** 4
+
+
+def test_bench_figure1_convergence(benchmark, fig1):
+    """Single-instance convergence timing on the paper's network."""
+
+    def run():
+        _, nodes, stats = run_plain_fpss(fig1)
+        return nodes, stats
+
+    nodes, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    verify_against_oracle(fig1, nodes)
+    assert stats.phase1_events > 0

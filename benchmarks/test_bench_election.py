@@ -1,0 +1,99 @@
+"""E6 — The Section 3 leader election: naive vs faithful mechanism.
+
+Expected shape: under the naive specification rational cost
+overstatement is profitable and the elected leader's true social cost
+exceeds the optimum; under the VCG procurement repair truth-telling is
+strategyproof and the efficient leader is elected.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.election import (
+    naive_election_mechanism,
+    optimal_leader,
+    social_cost,
+    vcg_election_mechanism,
+)
+from repro.mechanism import (
+    TypeProfile,
+    TypeSpace,
+    audit_strategyproofness,
+)
+
+
+def build_spaces(n, levels=(1.0, 3.0, 5.0, 7.0)):
+    return {f"v{i}": TypeSpace(values=levels) for i in range(n)}
+
+
+def audit_both(n):
+    spaces = build_spaces(n)
+    naive = audit_strategyproofness(naive_election_mechanism(spaces))
+    vcg = audit_strategyproofness(vcg_election_mechanism(spaces))
+    return naive, vcg
+
+
+def test_bench_election_strategyproofness(benchmark):
+    naive, vcg = benchmark.pedantic(
+        audit_both, args=(3,), rounds=1, iterations=1
+    )
+    rows = [
+        ["naive (serve-most-willing)", naive.is_strategyproof,
+         len(naive.violations), naive.max_gain],
+        ["faithful (VCG procurement)", vcg.is_strategyproof,
+         len(vcg.violations), vcg.max_gain],
+    ]
+    print()
+    print(
+        render_table(
+            ["mechanism", "strategyproof", "violations", "max lie gain"],
+            rows,
+            title="E6: leader-election strategyproofness audit (3 nodes)",
+        )
+    )
+    assert not naive.is_strategyproof
+    assert vcg.is_strategyproof
+
+
+def test_bench_election_social_cost(benchmark):
+    """Social cost of rational play: naive equilibrium vs VCG truth."""
+
+    def measure(trials=200):
+        rng = random.Random(99)
+        naive_excess = 0.0
+        vcg_excess = 0.0
+        spaces_levels = (1.0, 3.0, 5.0, 7.0)
+        for _ in range(trials):
+            truth = TypeProfile(
+                {f"v{i}": rng.choice(spaces_levels) for i in range(5)}
+            )
+            optimum = social_cost(truth, optimal_leader(truth))
+            # Naive rational play: everyone overstates to the max.
+            naive_mech = naive_election_mechanism(build_spaces(5, spaces_levels))
+            rational = TypeProfile(
+                {a: spaces_levels[-1] for a in truth.agents}
+            )
+            naive_winner = naive_mech.outcome(rational).decision
+            naive_excess += social_cost(truth, naive_winner) - optimum
+            # VCG truthful play.
+            vcg_mech = vcg_election_mechanism(build_spaces(5, spaces_levels))
+            vcg_winner = vcg_mech.outcome(truth).decision
+            vcg_excess += social_cost(truth, vcg_winner) - optimum
+        return naive_excess / trials, vcg_excess / trials
+
+    naive_excess, vcg_excess = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["mechanism", "mean excess social cost"],
+            [
+                ["naive, rational play", naive_excess],
+                ["faithful VCG, truthful play", vcg_excess],
+            ],
+            title="E6b: social cost of the elected leader vs optimum",
+        )
+    )
+    assert vcg_excess == 0.0
+    assert naive_excess > 0.0

@@ -1,0 +1,77 @@
+"""E2 — Example 1: node C's cost lie under naive vs VCG pricing.
+
+The paper: "if C declared a cost of 5, X-A-Z would become the X to Z
+LCP.  C can benefit from this manipulation, even if it loses the X to Z
+traffic, if it can make up the financial loss with higher payments
+received by transiting D to Z traffic.  This has damaged overall
+efficiency."
+
+Expected shape: under naive declared-cost reimbursement C's utility
+strictly rises and total true routing cost strictly rises (efficiency
+damage); under FPSS's VCG pricing the same lie never helps.
+"""
+
+from repro.analysis import render_table
+from repro.routing import (
+    lowest_cost_path,
+    total_routing_cost,
+    utility_of_misreport,
+)
+
+
+def run_example1(graph, traffic):
+    """All Example 1 quantities in one pass."""
+    lied_graph = graph.with_costs({"C": 5.0})
+    naive_truth, naive_lied = utility_of_misreport(
+        graph, "C", 5.0, traffic, payment_rule="declared-cost"
+    )
+    vcg_truth, vcg_lied = utility_of_misreport(
+        graph, "C", 5.0, traffic, payment_rule="vcg"
+    )
+    return {
+        "lcp_honest": lowest_cost_path(graph, "X", "Z").path,
+        "lcp_lied": lowest_cost_path(lied_graph, "X", "Z").path,
+        "naive": (naive_truth, naive_lied),
+        "vcg": (vcg_truth, vcg_lied),
+        "efficiency_honest": total_routing_cost(graph),
+        "efficiency_lied": total_routing_cost(
+            lied_graph, truthful_graph=graph
+        ),
+    }
+
+
+def test_bench_example1(benchmark, fig1, fig1_traffic):
+    results = benchmark(run_example1, fig1, fig1_traffic)
+
+    rows = [
+        ["naive (declared-cost)", *results["naive"],
+         results["naive"][1] - results["naive"][0]],
+        ["FPSS (VCG)", *results["vcg"],
+         results["vcg"][1] - results["vcg"][0]],
+    ]
+    print()
+    print(
+        render_table(
+            ["pricing scheme", "U(C) truthful", "U(C) declares 5", "gain"],
+            rows,
+            title="Example 1: C lies about its transit cost (1 -> 5)",
+        )
+    )
+    print(
+        f"X->Z LCP: honest {results['lcp_honest']} -> "
+        f"lied {results['lcp_lied']}; total true routing cost "
+        f"{results['efficiency_honest']:.1f} -> "
+        f"{results['efficiency_lied']:.1f}"
+    )
+
+    # Paper shape: the lie diverts X->Z onto X-A-Z...
+    assert results["lcp_honest"] == ("X", "D", "C", "Z")
+    assert results["lcp_lied"] == ("X", "A", "Z")
+    # ...profits under naive pricing...
+    naive_truth, naive_lied = results["naive"]
+    assert naive_lied > naive_truth
+    # ...never under VCG...
+    vcg_truth, vcg_lied = results["vcg"]
+    assert vcg_lied <= vcg_truth + 1e-9
+    # ...and damages overall network efficiency.
+    assert results["efficiency_lied"] > results["efficiency_honest"]

@@ -1,0 +1,43 @@
+"""E1 — Figure 1: lowest-cost paths on the paper's example network.
+
+Regenerates the figure's bold LCP tree from Z and the three path costs
+stated in Section 4.1: cost(X->Z) = 2 via X-D-C-Z, cost(Z->D) = 1, and
+cost(B->D) = 0 (direct link, no transit nodes).
+"""
+
+from repro.analysis import render_table
+from repro.routing import all_pairs_lcp, lcp_tree, lowest_cost_path
+
+
+def test_bench_figure1_lcp_tree(benchmark, fig1):
+    """Measure the LCP tree computation; verify the figure's claims."""
+    tree = benchmark(lcp_tree, fig1, "Z")
+
+    rows = [
+        [dest, "-".join(entry.path), entry.cost]
+        for dest, entry in sorted(tree.items())
+    ]
+    print()
+    print(
+        render_table(
+            ["destination", "LCP from Z", "transit cost"],
+            rows,
+            title="Figure 1: lowest-cost paths from Z",
+        )
+    )
+
+    # Paper-stated values.
+    x_to_z = lowest_cost_path(fig1, "X", "Z")
+    assert x_to_z.cost == 2.0 and x_to_z.path == ("X", "D", "C", "Z")
+    assert lowest_cost_path(fig1, "Z", "D").cost == 1.0
+    b_to_d = lowest_cost_path(fig1, "B", "D")
+    assert b_to_d.cost == 0.0 and b_to_d.transit_nodes == ()
+
+
+def test_bench_figure1_all_pairs(benchmark, fig1):
+    """Measure all-pairs LCP over the figure's network."""
+    pairs = benchmark(all_pairs_lcp, fig1)
+    assert len(pairs) == 30
+    # Symmetric transit costs on the undirected graph.
+    for (s, d), entry in pairs.items():
+        assert abs(pairs[(d, s)].cost - entry.cost) < 1e-9

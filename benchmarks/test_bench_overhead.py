@@ -1,0 +1,86 @@
+"""E7 — Overhead of the faithful extension (Section 3.9's caveat).
+
+"One must be sensitive to the added computational and communication
+complexity in using checkpoints."  Measures messages, payload units,
+and (checker) computations for plain FPSS vs the faithful extension
+over growing random biconnected graphs.  Expected shape: plain FPSS is
+strictly cheaper; the factor grows with the checker fan-out (average
+degree), because every received update is copied to every neighbour
+and every neighbour replays every computation.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.faithful import FaithfulFPSSProtocol, PlainFPSSProtocol
+from repro.workloads import random_biconnected_graph, uniform_all_pairs
+
+SIZES = (5, 7, 9)
+
+
+def measure_overhead(sizes=SIZES, seed=21):
+    rows = []
+    for size in sizes:
+        rng = random.Random(seed + size)
+        graph = random_biconnected_graph(size, rng)
+        traffic = uniform_all_pairs(graph)
+        plain = PlainFPSSProtocol(graph, traffic).run()
+        faithful = FaithfulFPSSProtocol(graph, traffic).run()
+        assert faithful.progressed and not faithful.detection.detected_any
+        rows.append(
+            {
+                "size": size,
+                "avg_degree": 2
+                * len(graph.edges)
+                / len(graph),
+                "plain_msgs": plain.metrics["total_messages"],
+                "faithful_msgs": faithful.metrics["total_messages"],
+                "plain_comps": plain.metrics["total_computations"],
+                "faithful_comps": faithful.metrics["total_computations"]
+                + faithful.metrics["total_checker_computations"],
+                "checker_comps": faithful.metrics[
+                    "total_checker_computations"
+                ],
+            }
+        )
+    return rows
+
+
+def test_bench_overhead(benchmark):
+    rows = benchmark.pedantic(measure_overhead, rounds=1, iterations=1)
+
+    printable = [
+        [
+            r["size"],
+            r["avg_degree"],
+            r["plain_msgs"],
+            r["faithful_msgs"],
+            r["faithful_msgs"] / r["plain_msgs"],
+            r["checker_comps"],
+            r["faithful_comps"] / max(1, r["plain_comps"]),
+        ]
+        for r in rows
+    ]
+    print()
+    print(
+        render_table(
+            [
+                "n",
+                "avg deg",
+                "plain msgs",
+                "faithful msgs",
+                "msg factor",
+                "checker comps",
+                "comp factor",
+            ],
+            printable,
+            float_digits=2,
+            title="E7: construction+execution overhead, plain vs faithful",
+        )
+    )
+
+    for r in rows:
+        # Paper shape: checkpoints and redundancy cost real overhead.
+        assert r["faithful_msgs"] > r["plain_msgs"]
+        assert r["checker_comps"] > 0
+        assert r["faithful_comps"] > r["plain_comps"]

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Interdomain routing: Example 1 and the manipulation economy.
+
+Reproduces the paper's Example 1 — node C misdeclares its transit cost
+(1 -> 5) — under three regimes:
+
+1. naive declared-cost pricing (the lie profits, efficiency suffers);
+2. FPSS VCG pricing (the lie never profits: strategyproofness);
+3. the faithful extension against *protocol-level* manipulations that
+   VCG alone cannot stop (false table announcements, payment fraud),
+   showing plain-FPSS gains versus faithful-extension detection.
+
+Run:  python examples/interdomain_routing.py
+"""
+
+from repro.analysis import render_table
+from repro.faithful import (
+    DEVIATION_CATALOGUE,
+    FaithfulFPSSProtocol,
+    PlainFPSSProtocol,
+    faithful_deviant_factory,
+    plain_deviant_factory,
+)
+from repro.routing import (
+    figure1_graph,
+    lowest_cost_path,
+    total_routing_cost,
+    utility_of_misreport,
+)
+from repro.workloads import uniform_all_pairs
+
+TARGET = "C"
+
+
+def example1(graph, traffic) -> None:
+    print("=== Example 1: C lies about its transit cost (1 -> 5) ===")
+    lied = graph.with_costs({TARGET: 5.0})
+    print(
+        f"X->Z LCP honest: {lowest_cost_path(graph, 'X', 'Z').path}, "
+        f"after the lie: {lowest_cost_path(lied, 'X', 'Z').path}"
+    )
+    print(
+        f"total true routing cost: {total_routing_cost(graph):.0f} -> "
+        f"{total_routing_cost(lied, truthful_graph=graph):.0f} "
+        "(efficiency damaged)"
+    )
+    rows = []
+    for rule in ("declared-cost", "vcg"):
+        truthful, lying = utility_of_misreport(
+            graph, TARGET, 5.0, traffic, payment_rule=rule
+        )
+        rows.append([rule, truthful, lying, lying - truthful])
+    print(
+        render_table(
+            ["pricing", "U(C) truthful", "U(C) lying", "gain"],
+            rows,
+            float_digits=2,
+        )
+    )
+    print()
+
+
+def protocol_manipulations(graph, traffic) -> None:
+    print("=== Protocol manipulations: plain FPSS vs faithful extension ===")
+    plain_base = PlainFPSSProtocol(graph, traffic).run()
+    faithful_base = FaithfulFPSSProtocol(graph, traffic).run()
+
+    rows = []
+    for name in (
+        "false-route-announce",
+        "charge-understate",
+        "payment-underreport",
+        "packet-drop",
+    ):
+        spec = DEVIATION_CATALOGUE[name]
+        plain = PlainFPSSProtocol(
+            graph, traffic, node_factory=plain_deviant_factory(spec, TARGET)
+        ).run()
+        faithful = FaithfulFPSSProtocol(
+            graph,
+            traffic,
+            node_factory=faithful_deviant_factory(spec, TARGET),
+        ).run()
+        rows.append(
+            [
+                name,
+                plain.utilities[TARGET] - plain_base.utilities[TARGET],
+                faithful.utilities[TARGET] - faithful_base.utilities[TARGET],
+                "yes" if faithful.detection.detected_any else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["manipulation by C", "plain gain", "faithful gain", "detected"],
+            rows,
+            float_digits=2,
+        )
+    )
+    print()
+    print(
+        "Every manipulation that pays in trusting FPSS is caught by the "
+        "checker/bank machinery and turns strictly unprofitable — the "
+        "executable content of Theorem 1."
+    )
+
+
+def main() -> None:
+    graph = figure1_graph()
+    traffic = uniform_all_pairs(graph)
+    example1(graph, traffic)
+    protocol_manipulations(graph, traffic)
+
+
+if __name__ == "__main__":
+    main()

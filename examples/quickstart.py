@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: run the faithful FPSS mechanism on the paper's network.
+
+Builds the Figure 1 AS graph, runs the complete extended specification
+(two construction phases with bank checkpoints, then the execution
+phase with settlement), and prints the converged routing economics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import render_table
+from repro.faithful import FaithfulFPSSProtocol
+from repro.routing import figure1_graph, lowest_cost_path
+from repro.workloads import uniform_all_pairs
+
+
+def main() -> None:
+    graph = figure1_graph()
+    print("Figure 1 network:", ", ".join(graph.nodes))
+    print("Transit costs:   ", graph.costs)
+    print()
+
+    # The paper's headline paths.
+    for source, destination in (("X", "Z"), ("Z", "D"), ("B", "D")):
+        route = lowest_cost_path(graph, source, destination)
+        print(
+            f"LCP {source}->{destination}: {'-'.join(route.path)} "
+            f"(transit cost {route.cost:g})"
+        )
+    print()
+
+    # One full faithful mechanism run with all-pairs unit traffic.
+    traffic = uniform_all_pairs(graph)
+    result = FaithfulFPSSProtocol(graph, traffic).run()
+
+    print(f"construction certified: {result.progressed}")
+    print(f"checkpoint restarts:    {result.detection.restarts}")
+    print(f"flags raised:           {len(result.detection.all_flags)}")
+    print()
+
+    rows = [
+        [
+            node,
+            result.received[node],
+            result.charged[node],
+            result.incurred[node],
+            result.utilities[node],
+        ]
+        for node in graph.nodes
+    ]
+    print(
+        render_table(
+            ["node", "received", "charged", "true transit cost", "utility"],
+            rows,
+            float_digits=2,
+            title="Execution-phase economics (uniform all-pairs traffic)",
+        )
+    )
+    print()
+    print(
+        "Every node was checked by its neighbours; the bank compared "
+        "table digests at both checkpoints and found nothing — this is "
+        "the faithful equilibrium path."
+    )
+
+
+if __name__ == "__main__":
+    main()

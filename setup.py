@@ -1,0 +1,7 @@
+"""Setup shim enabling legacy editable installs in offline environments
+where the `wheel` package (required for PEP 660 editable installs) is
+unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro: Specification Faithfulness in Networks with Rational Nodes.
+
+A from-scratch reproduction of Shneidman & Parkes (PODC 2004): the
+rational-manipulation failure model, distributed mechanism
+specifications with IC/CC/AC faithfulness verification, and the
+faithful extension of the FPSS VCG interdomain-routing mechanism with
+checker nodes and a checkpointing bank.
+
+Subpackages
+-----------
+``repro.specs``
+    State-machine specification language, external-action
+    classification, strategies, phase decomposition (Sections 3.1-3.4,
+    3.9).
+``repro.mechanism``
+    Centralized MD, VCG, distributed mechanism specifications, ex post
+    Nash and faithfulness verifiers (Sections 3.2-3.8).
+``repro.sim``
+    Deterministic discrete-event network simulator with the failure
+    taxonomy including rational manipulation.
+``repro.routing``
+    FPSS substrate: AS graphs, LCP/VCG oracle, DATA1-DATA4 tables,
+    distributed protocol (Section 4.1).
+``repro.faithful``
+    The faithful extension: checkers, bank, execution, manipulation
+    catalogue (Sections 4.2-4.3, Theorem 1).
+``repro.election``
+    The Section 3 leader-election motivating example.
+``repro.games``
+    Normal-form games and the deviation explorer.
+``repro.workloads`` / ``repro.analysis``
+    Topology and traffic generators; experiment runners and reports.
+
+Quickstart
+----------
+>>> from repro.routing import figure1_graph
+>>> from repro.faithful import FaithfulFPSSProtocol
+>>> from repro.workloads import uniform_all_pairs
+>>> graph = figure1_graph()
+>>> result = FaithfulFPSSProtocol(graph, uniform_all_pairs(graph)).run()
+>>> result.progressed
+True
+"""
+
+from . import (
+    analysis,
+    election,
+    faithful,
+    games,
+    mechanism,
+    routing,
+    sim,
+    specs,
+    workloads,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "analysis",
+    "election",
+    "faithful",
+    "games",
+    "mechanism",
+    "routing",
+    "sim",
+    "specs",
+    "workloads",
+]

@@ -1,0 +1,233 @@
+"""Experiment runners tying the protocols to the analysis machinery.
+
+These helpers are what the benchmarks and examples call: they build
+runners for the deviation explorer, package the routing mechanism as a
+:class:`~repro.mechanism.distributed.DistributedMechanism` so the
+generic IC/CC/AC verifiers apply, and provide seeded sweep utilities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import MechanismError
+from ..faithful.manipulations import (
+    DEVIATION_CATALOGUE,
+    DeviationSpec,
+    faithful_deviant_factory,
+    plain_deviant_factory,
+)
+from ..faithful.protocol import FaithfulFPSSProtocol, PlainFPSSProtocol
+from ..games.deviation import DeviationTable, explore_deviations
+from ..mechanism.distributed import (
+    DistributedMechanism,
+    DistributedStrategy,
+    MechanismRun,
+)
+from ..mechanism.types import TypeProfile
+from ..routing.graph import ASGraph, NodeId
+
+
+def make_faithful_runner(
+    graph: ASGraph,
+    traffic: Mapping[Tuple[NodeId, NodeId], float],
+    catalogue: Optional[Mapping[str, DeviationSpec]] = None,
+    **protocol_kwargs,
+):
+    """A :data:`~repro.games.deviation.MechanismRunner` over the
+    faithful protocol: one run per (deviant node, deviation name)."""
+    specs = dict(catalogue) if catalogue is not None else dict(DEVIATION_CATALOGUE)
+
+    def runner(node: Optional[NodeId], deviation: Optional[str]):
+        if node is None:
+            protocol = FaithfulFPSSProtocol(graph, traffic, **protocol_kwargs)
+        else:
+            spec = specs[deviation]
+            protocol = FaithfulFPSSProtocol(
+                graph,
+                traffic,
+                node_factory=faithful_deviant_factory(spec, node),
+                **protocol_kwargs,
+            )
+        result = protocol.run()
+        return result.utilities, result.detection.detected_any
+
+    return runner
+
+
+def make_plain_runner(
+    graph: ASGraph,
+    traffic: Mapping[Tuple[NodeId, NodeId], float],
+    catalogue: Optional[Mapping[str, DeviationSpec]] = None,
+    **protocol_kwargs,
+):
+    """The same runner over the plain, trusting protocol.
+
+    Plain FPSS has no detector, so the second element of the runner's
+    result is always False.
+    """
+    specs = dict(catalogue) if catalogue is not None else {
+        name: spec
+        for name, spec in DEVIATION_CATALOGUE.items()
+        if spec.plain_capable
+    }
+
+    def runner(node: Optional[NodeId], deviation: Optional[str]):
+        if node is None:
+            protocol = PlainFPSSProtocol(graph, traffic, **protocol_kwargs)
+        else:
+            spec = specs[deviation]
+            protocol = PlainFPSSProtocol(
+                graph,
+                traffic,
+                node_factory=plain_deviant_factory(spec, node),
+                **protocol_kwargs,
+            )
+        result = protocol.run()
+        return result.utilities, False
+
+    return runner
+
+
+def faithful_deviation_table(
+    graph: ASGraph,
+    traffic: Mapping[Tuple[NodeId, NodeId], float],
+    nodes: Optional[Sequence[NodeId]] = None,
+    deviations: Optional[Sequence[str]] = None,
+    **protocol_kwargs,
+) -> DeviationTable:
+    """Explore the catalogue against the faithful specification."""
+    runner = make_faithful_runner(graph, traffic, **protocol_kwargs)
+    return explore_deviations(
+        runner,
+        nodes=tuple(nodes) if nodes is not None else graph.nodes,
+        deviations=tuple(deviations)
+        if deviations is not None
+        else tuple(DEVIATION_CATALOGUE),
+    )
+
+
+def plain_deviation_table(
+    graph: ASGraph,
+    traffic: Mapping[Tuple[NodeId, NodeId], float],
+    nodes: Optional[Sequence[NodeId]] = None,
+    deviations: Optional[Sequence[str]] = None,
+    **protocol_kwargs,
+) -> DeviationTable:
+    """Explore the plain-capable catalogue against plain FPSS."""
+    runner = make_plain_runner(graph, traffic, **protocol_kwargs)
+    plain_names = tuple(
+        name
+        for name, spec in DEVIATION_CATALOGUE.items()
+        if spec.plain_capable
+    )
+    return explore_deviations(
+        runner,
+        nodes=tuple(nodes) if nodes is not None else graph.nodes,
+        deviations=tuple(deviations) if deviations is not None else plain_names,
+    )
+
+
+# ----------------------------------------------------------------------
+# DistributedMechanism packaging (for the generic verifiers)
+# ----------------------------------------------------------------------
+
+
+def routing_distributed_mechanism(
+    graph: ASGraph,
+    traffic: Mapping[Tuple[NodeId, NodeId], float],
+    deviations: Optional[Sequence[str]] = None,
+    faithful: bool = True,
+    **protocol_kwargs,
+) -> DistributedMechanism:
+    """Package a routing protocol as ``dM = (g, Sigma, s^m)``.
+
+    The strategy space of every node is {suggested} plus the selected
+    catalogue entries; the engine runs the corresponding protocol.
+    Types are the nodes' true transit costs: the engine applies the
+    profile's costs to the graph, so the verifiers' "for all theta"
+    quantifier ranges over transit-cost assignments.
+    """
+    names = tuple(deviations) if deviations is not None else tuple(
+        name
+        for name, spec in DEVIATION_CATALOGUE.items()
+        if faithful or spec.plain_capable
+    )
+    suggested = DistributedStrategy(name="suggested")
+    strategies: Dict[NodeId, List[DistributedStrategy]] = {}
+    for node in graph.nodes:
+        options = [suggested]
+        for name in names:
+            spec = DEVIATION_CATALOGUE[name]
+            options.append(
+                DistributedStrategy(
+                    name=name,
+                    deviation_classes=spec.classes,
+                    payload=spec,
+                )
+            )
+        strategies[node] = options
+
+    def engine(
+        assignment: Mapping[NodeId, DistributedStrategy], types: TypeProfile
+    ) -> MechanismRun:
+        costed = graph.with_costs(
+            {node: float(types.type_of(node)) for node in types.agents}
+        )
+        deviants = {
+            node: strategy
+            for node, strategy in assignment.items()
+            if not strategy.is_suggested
+        }
+        if len(deviants) > 1:
+            raise MechanismError(
+                "the routing engine evaluates unilateral deviations only"
+            )
+        if faithful:
+            if deviants:
+                (node, strategy), = deviants.items()
+                factory = faithful_deviant_factory(strategy.payload, node)
+            else:
+                factory = None
+            protocol = FaithfulFPSSProtocol(
+                costed, traffic, node_factory=factory, **protocol_kwargs
+            )
+        else:
+            if deviants:
+                (node, strategy), = deviants.items()
+                factory = plain_deviant_factory(strategy.payload, node)
+            else:
+                factory = None
+            protocol = PlainFPSSProtocol(
+                costed, traffic, node_factory=factory, **protocol_kwargs
+            )
+        result = protocol.run()
+        return MechanismRun(utilities=result.utilities, outcome_data=result)
+
+    return DistributedMechanism(
+        engine,
+        strategies,
+        {node: suggested for node in graph.nodes},
+        name="faithful-fpss" if faithful else "plain-fpss",
+    )
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepPoint:
+    """One (seed, size) measurement in a sweep."""
+
+    seed: int
+    size: int
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+def seeded(seed: int) -> random.Random:
+    """A fresh deterministic generator."""
+    return random.Random(seed)

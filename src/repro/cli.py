@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``lcp``
+    Print the lowest-cost-path tree of a topology from one source.
+``run``
+    Run the faithful (or plain) FPSS mechanism and print the settled
+    economics and detection report.
+``deviate``
+    Install one catalogued manipulation on one node, run both the plain
+    and faithful protocols, and print the gain/detection comparison.
+``catalogue``
+    List the manipulation catalogue with classifications.
+
+Topologies are selected with ``--graph``: ``figure1`` (the paper's
+example) or ``random:<n>:<seed>`` (a random biconnected graph).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import render_table
+from .errors import ReproError
+from .faithful import (
+    DEVIATION_CATALOGUE,
+    FaithfulFPSSProtocol,
+    PlainFPSSProtocol,
+    faithful_deviant_factory,
+    plain_deviant_factory,
+)
+from .routing import ASGraph, figure1_graph, lcp_tree
+from .workloads import random_biconnected_graph, uniform_all_pairs
+
+
+def resolve_graph(spec: str) -> ASGraph:
+    """Parse a ``--graph`` argument into an AS graph."""
+    if spec == "figure1":
+        return figure1_graph()
+    if spec.startswith("random:"):
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"bad graph spec {spec!r}; expected random:<n>:<seed>"
+            )
+        size, seed = int(parts[1]), int(parts[2])
+        return random_biconnected_graph(size, random.Random(seed))
+    raise ReproError(
+        f"unknown graph {spec!r}; use 'figure1' or 'random:<n>:<seed>'"
+    )
+
+
+def cmd_lcp(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    source = args.source or graph.nodes[0]
+    if source not in graph:
+        raise ReproError(f"unknown source {source!r}")
+    tree = lcp_tree(graph, source)
+    rows = [
+        [destination, "-".join(str(n) for n in entry.path), entry.cost]
+        for destination, entry in sorted(tree.items(), key=repr)
+    ]
+    print(
+        render_table(
+            ["destination", "LCP", "transit cost"],
+            rows,
+            title=f"Lowest-cost paths from {source}",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    traffic = uniform_all_pairs(graph, volume=args.volume)
+    if args.plain:
+        result = PlainFPSSProtocol(graph, traffic).run()
+    else:
+        result = FaithfulFPSSProtocol(graph, traffic).run()
+    print(f"protocol:   {'plain' if args.plain else 'faithful'} FPSS")
+    print(f"certified:  {result.progressed}")
+    print(f"restarts:   {result.detection.restarts}")
+    print(f"flags:      {len(result.detection.all_flags)}")
+    rows = [
+        [
+            node,
+            result.received.get(node, 0.0),
+            result.charged.get(node, 0.0),
+            result.incurred.get(node, 0.0),
+            result.utilities[node],
+        ]
+        for node in sorted(result.utilities, key=repr)
+    ]
+    print(
+        render_table(
+            ["node", "received", "charged", "incurred", "utility"],
+            rows,
+            float_digits=2,
+            title="Settled economics",
+        )
+    )
+    return 0
+
+
+def cmd_deviate(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    if args.node not in graph:
+        raise ReproError(f"unknown node {args.node!r}")
+    if args.deviation not in DEVIATION_CATALOGUE:
+        raise ReproError(
+            f"unknown deviation {args.deviation!r}; see 'catalogue'"
+        )
+    spec = DEVIATION_CATALOGUE[args.deviation]
+    traffic = uniform_all_pairs(graph, volume=args.volume)
+
+    faithful_base = FaithfulFPSSProtocol(graph, traffic).run()
+    faithful = FaithfulFPSSProtocol(
+        graph,
+        traffic,
+        node_factory=faithful_deviant_factory(spec, args.node),
+    ).run()
+    rows = [
+        [
+            "faithful",
+            faithful.utilities[args.node]
+            - faithful_base.utilities[args.node],
+            "yes" if faithful.detection.detected_any else "no",
+            faithful.detection.restarts,
+        ]
+    ]
+    if spec.plain_capable:
+        plain_base = PlainFPSSProtocol(graph, traffic).run()
+        plain = PlainFPSSProtocol(
+            graph,
+            traffic,
+            node_factory=plain_deviant_factory(spec, args.node),
+        ).run()
+        rows.insert(
+            0,
+            [
+                "plain",
+                plain.utilities[args.node] - plain_base.utilities[args.node],
+                "n/a (no detector)",
+                0,
+            ],
+        )
+    print(
+        render_table(
+            ["protocol", "deviator gain", "detected", "restarts"],
+            rows,
+            float_digits=3,
+            title=f"{args.deviation} by {args.node}",
+        )
+    )
+    return 0
+
+
+def cmd_catalogue(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            "/".join(sorted(c.value for c in spec.classes)),
+            spec.stage,
+            "yes" if spec.plain_capable else "no",
+        ]
+        for spec in DEVIATION_CATALOGUE.values()
+    ]
+    print(
+        render_table(
+            ["deviation", "action classes", "stage", "plain-capable"],
+            sorted(rows),
+            title="Manipulation catalogue (Section 4.3)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Faithful distributed mechanisms (Shneidman & Parkes, PODC 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lcp = sub.add_parser("lcp", help="print an LCP tree")
+    lcp.add_argument("--graph", default="figure1")
+    lcp.add_argument("--source", default=None)
+    lcp.set_defaults(func=cmd_lcp)
+
+    run = sub.add_parser("run", help="run a full mechanism")
+    run.add_argument("--graph", default="figure1")
+    run.add_argument("--volume", type=float, default=1.0)
+    run.add_argument("--plain", action="store_true")
+    run.set_defaults(func=cmd_run)
+
+    deviate = sub.add_parser("deviate", help="evaluate one manipulation")
+    deviate.add_argument("deviation")
+    deviate.add_argument("node")
+    deviate.add_argument("--graph", default="figure1")
+    deviate.add_argument("--volume", type=float, default=1.0)
+    deviate.set_defaults(func=cmd_deviate)
+
+    catalogue = sub.add_parser("catalogue", help="list manipulations")
+    catalogue.set_defaults(func=cmd_catalogue)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

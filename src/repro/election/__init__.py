@@ -1,0 +1,23 @@
+"""Leader election: the Section 3 motivating example, naive and faithful."""
+
+from .election import (
+    KIND_ELECTION_REPORT,
+    SERVICE_VALUE,
+    ElectionNode,
+    election_utility,
+    naive_election_mechanism,
+    optimal_leader,
+    social_cost,
+    vcg_election_mechanism,
+)
+
+__all__ = [
+    "ElectionNode",
+    "KIND_ELECTION_REPORT",
+    "SERVICE_VALUE",
+    "election_utility",
+    "naive_election_mechanism",
+    "optimal_leader",
+    "social_cost",
+    "vcg_election_mechanism",
+]

@@ -1,0 +1,187 @@
+"""The leader-election motivating example (paper Section 3).
+
+"Imagine that a designer specifies a leader-election algorithm to
+select a computation server ... The designer wants the most powerful
+node to be selected and specifies an algorithm where each node is to
+submit its true computation power and then come to a distributed
+consensus as to which node should be leader. ... in practice, the
+protocol fails to elect the most powerful node."
+
+The node's type here is its *cost of serving* as leader (the local
+resources the CPU-intensive chore would consume).  Two mechanisms are
+provided:
+
+* :func:`naive_election_mechanism` — the designer's broken protocol:
+  report your power (equivalently, your willingness), highest report
+  wins, the winner serves uncompensated.  Rational nodes under-report
+  and the election selects badly.
+* :func:`vcg_election_mechanism` — the repaired, strategyproof
+  procurement auction: the lowest-cost node is elected and paid the
+  second-lowest reported cost (a VCG/Vickrey payment), so truthful
+  reporting is a dominant strategy and the efficient leader wins.
+
+Both are expressed as
+:class:`~repro.mechanism.centralized.DirectRevelationMechanism` so the
+strategyproofness auditor can exhibit the difference, and a distributed
+flooding wrapper (:class:`ElectionNode`) runs the same decision rule as
+a consensus over the simulator for the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from ..errors import MechanismError
+from ..mechanism.centralized import DirectRevelationMechanism
+from ..mechanism.types import AgentId, Outcome, TypeProfile, TypeSpace
+from ..mechanism.utility import UtilityFunction
+from ..sim.messages import Message, NodeId
+from ..sim.node import ProtocolNode
+
+#: The benefit every node derives from the network having *some*
+#: leader (the shared computation service existing at all).
+SERVICE_VALUE = 10.0
+
+
+def _lowest_report(reports: TypeProfile) -> Tuple[AgentId, float, float]:
+    """Winner (lowest reported cost), its report, and the runner-up
+    report, with deterministic repr tie-breaking."""
+    ordered = sorted(
+        ((reports.type_of(agent), repr(agent), agent) for agent in reports.agents)
+    )
+    if len(ordered) < 2:
+        raise MechanismError("an election needs at least two candidates")
+    winner = ordered[0][2]
+    winner_report = ordered[0][0]
+    second_report = ordered[1][0]
+    return winner, winner_report, second_report
+
+
+def election_utility() -> UtilityFunction[float]:
+    """Quasi-linear utility: service value minus own serving cost.
+
+    ``decision`` is the elected leader; the leader bears its *true*
+    cost of serving; everyone enjoys :data:`SERVICE_VALUE`.
+    """
+
+    def valuation(agent: AgentId, decision: object, true_cost: float) -> float:
+        value = SERVICE_VALUE
+        if decision == agent:
+            value -= true_cost
+        return value
+
+    return UtilityFunction(valuation)
+
+
+def naive_election_mechanism(
+    type_spaces: Mapping[AgentId, TypeSpace[float]],
+) -> DirectRevelationMechanism[float]:
+    """The broken protocol: serve-the-most-willing, no compensation.
+
+    Nodes report a cost; the mechanism (mis)interprets the lowest
+    report as "most powerful / most willing" and elects it without
+    payment.  Since serving costs the winner its true cost, every node
+    wants to *overstate* its cost to dodge the chore — the race to the
+    bottom the paper describes.
+    """
+
+    def outcome_rule(reports: TypeProfile) -> Outcome:
+        winner, _, _ = _lowest_report(reports)
+        return Outcome(decision=winner, transfers={})
+
+    return DirectRevelationMechanism(
+        outcome_rule, type_spaces, election_utility(), name="naive-election"
+    )
+
+
+def vcg_election_mechanism(
+    type_spaces: Mapping[AgentId, TypeSpace[float]],
+) -> DirectRevelationMechanism[float]:
+    """The faithful repair: second-price procurement of the leader.
+
+    The lowest-cost reporter serves and is paid the second-lowest
+    report.  This is VCG for the single-item procurement setting, so
+    truth-telling is a dominant strategy (Definition 5) and the
+    elected leader is the efficient one.
+    """
+
+    def outcome_rule(reports: TypeProfile) -> Outcome:
+        winner, _, second_report = _lowest_report(reports)
+        return Outcome(decision=winner, transfers={winner: second_report})
+
+    return DirectRevelationMechanism(
+        outcome_rule, type_spaces, election_utility(), name="vcg-election"
+    )
+
+
+def social_cost(profile: TypeProfile, leader: AgentId) -> float:
+    """The true cost society pays for the elected leader."""
+    return profile.type_of(leader)
+
+
+def optimal_leader(profile: TypeProfile) -> AgentId:
+    """The efficient choice: the node with the lowest true cost."""
+    return min(profile.agents, key=lambda a: (profile.type_of(a), repr(a)))
+
+
+# ----------------------------------------------------------------------
+# distributed flavour: report flooding + local argmin consensus
+# ----------------------------------------------------------------------
+
+KIND_ELECTION_REPORT = "election-report"
+
+
+class ElectionNode(ProtocolNode):
+    """A node in the distributed election: flood reports, agree on the
+    winner by running the same deterministic decision rule locally.
+
+    ``report_bias`` is the deviation seam: a rational node under the
+    naive mechanism overstates its cost by this factor to dodge the
+    chore.
+    """
+
+    def __init__(
+        self, node_id: NodeId, true_cost: float, report_bias: float = 1.0
+    ) -> None:
+        super().__init__(node_id)
+        self.true_cost = float(true_cost)
+        self.report_bias = float(report_bias)
+        self.known_reports: Dict[NodeId, float] = {}
+
+    def reported_cost(self) -> float:
+        """The cost this node announces (information revelation)."""
+        return self.true_cost * self.report_bias
+
+    def start(self) -> None:
+        """Flood the own report."""
+        report = self.reported_cost()
+        self.known_reports[self.node_id] = report
+        self.broadcast(KIND_ELECTION_REPORT, node=self.node_id, cost=report)
+
+    def on_election_report(self, message: Message) -> None:
+        """Record novel reports and relay them (flooding)."""
+        node = message.payload["node"]
+        cost = message.payload["cost"]
+        if node in self.known_reports:
+            return
+        self.known_reports[node] = cost
+        for neighbor in self.neighbors:
+            if neighbor != message.src:
+                self.forward(message, neighbor)
+
+    def winner(self) -> NodeId:
+        """The locally computed election outcome (argmin of reports)."""
+        if not self.known_reports:
+            raise MechanismError(f"{self.node_id!r} has no reports")
+        return min(
+            self.known_reports, key=lambda n: (self.known_reports[n], repr(n))
+        )
+
+    def second_lowest_report(self) -> float:
+        """The runner-up report, i.e. the VCG payment to the winner."""
+        ordered = sorted(
+            (cost, repr(node)) for node, cost in self.known_reports.items()
+        )
+        if len(ordered) < 2:
+            raise MechanismError("need at least two reports")
+        return ordered[1][0]

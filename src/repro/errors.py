@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecificationError(ReproError):
+    """A specification or state machine is malformed.
+
+    Raised when a specification references unknown states or actions,
+    when a transition is inconsistent with the machine's alphabet, or
+    when a phase decomposition violates its ordering constraints.
+    """
+
+
+class MechanismError(ReproError):
+    """A mechanism definition or invocation is invalid.
+
+    Raised for malformed type spaces, outcome rules that fail on valid
+    reports, or payment rules evaluated outside their domain.
+    """
+
+
+class GraphError(ReproError):
+    """An AS graph violates a structural requirement.
+
+    FPSS requires a biconnected graph with non-negative transit costs;
+    violations of these preconditions raise this error.
+    """
+
+
+class NotBiconnectedError(GraphError):
+    """The graph is not biconnected, so VCG payments are undefined.
+
+    FPSS assumes biconnectivity so that for every transit node ``k`` on
+    a lowest-cost path there exists an alternative path avoiding ``k``.
+    """
+
+
+class RoutingError(ReproError):
+    """A routing computation failed (unreachable destination, bad path)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an invalid internal state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol node received a message it cannot interpret."""
+
+
+class SignatureError(ReproError):
+    """A signed message failed verification or used an unknown key."""
+
+
+class PhaseError(ReproError):
+    """A phase transition was attempted out of order or past limits."""
+
+
+class ConvergenceError(ReproError):
+    """A distributed computation failed to reach quiescence in budget."""

@@ -1,0 +1,100 @@
+"""The faithful FPSS extension: checkers, bank, execution, manipulations.
+
+Implements Section 4 of the paper: principal/checker node roles
+([PRINC1-2], [CHECK1-2]), the checkpointing bank ([BANK1-2]), the
+execution phase with settlement and epsilon-above penalties, and the
+catalogue of rational manipulations the extension defends against.
+"""
+
+from .audit import (
+    CheckpointDecision,
+    DetectionReport,
+    Flag,
+    FlagKind,
+    SettlementRecord,
+)
+from .bank import BankNode
+from .collusion import ComplicitCheckerMixin, coalition_factory
+from .manipulations import (
+    DEVIATION_CATALOGUE,
+    ChargeUnderstateMixin,
+    CopyAlterMixin,
+    CopyDropMixin,
+    CopySpoofMixin,
+    CostLieMixin,
+    DeviationMixin,
+    DeviationSpec,
+    FalsePriceAnnouncerMixin,
+    FalseRouteAnnouncerMixin,
+    LazyCheckerMixin,
+    MisrouteMixin,
+    PacketDropMixin,
+    PaymentUnderreportMixin,
+    PricingDigestLieMixin,
+    RouteSuppressMixin,
+    RoutingDigestLieMixin,
+    construction_deviations,
+    execution_deviations,
+    faithful_deviant_factory,
+    plain_deviant_factory,
+)
+from .mirror import PrincipalMirror
+from .node import (
+    BANK_ID,
+    KIND_BANK_REPORT,
+    KIND_BANK_REQUEST,
+    KIND_CHECKER_COPY,
+    FaithfulRoutingNode,
+    decode_flag,
+    encode_flag,
+)
+from .protocol import (
+    FaithfulFPSSProtocol,
+    PlainFPSSProtocol,
+    RunResult,
+    TrafficMatrix,
+)
+
+__all__ = [
+    "BANK_ID",
+    "BankNode",
+    "ChargeUnderstateMixin",
+    "CheckpointDecision",
+    "ComplicitCheckerMixin",
+    "coalition_factory",
+    "CopyAlterMixin",
+    "CopyDropMixin",
+    "CopySpoofMixin",
+    "CostLieMixin",
+    "DEVIATION_CATALOGUE",
+    "DetectionReport",
+    "DeviationMixin",
+    "DeviationSpec",
+    "FaithfulFPSSProtocol",
+    "FaithfulRoutingNode",
+    "FalsePriceAnnouncerMixin",
+    "FalseRouteAnnouncerMixin",
+    "Flag",
+    "FlagKind",
+    "KIND_BANK_REPORT",
+    "KIND_BANK_REQUEST",
+    "KIND_CHECKER_COPY",
+    "LazyCheckerMixin",
+    "MisrouteMixin",
+    "PacketDropMixin",
+    "PaymentUnderreportMixin",
+    "PlainFPSSProtocol",
+    "PricingDigestLieMixin",
+    "PrincipalMirror",
+    "RouteSuppressMixin",
+    "RoutingDigestLieMixin",
+    "RunResult",
+    "SettlementRecord",
+    "TrafficMatrix",
+    "construction_deviations",
+    "decode_flag",
+    "encode_flag",
+    "execution_deviations",
+    "faithful_deviant_factory",
+    "plain_deviant_factory",
+]

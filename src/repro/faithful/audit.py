@@ -1,0 +1,143 @@
+"""Detection vocabulary: flags, checkpoint decisions, run reports.
+
+Checkers do the heavy lifting of re-running a principal's computation,
+but they "do not actually catch manipulation problems; this task is
+left to the checkpointing bank" (Section 4.3).  A :class:`Flag` is a
+checker's structured observation; the bank turns flags plus digest
+comparisons into :class:`CheckpointDecision` and, at the end of a run,
+into a :class:`DetectionReport`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.messages import NodeId
+
+
+class FlagKind(enum.Enum):
+    """What a checker observed a principal doing wrong."""
+
+    #: A broadcast differed from the mirror's replayed computation.
+    BROADCAST_MISMATCH = "broadcast-mismatch"
+    #: A table change was never broadcast (update suppression).
+    SUPPRESSED_UPDATE = "suppressed-update"
+    #: A broadcast arrived that the mirror never predicted.
+    UNEXPECTED_BROADCAST = "unexpected-broadcast"
+    #: A forwarded copy of the checker's own message was altered.
+    COPY_FORGERY = "copy-forgery"
+    #: A message the checker sent was never copy-returned.
+    COPY_MISSING = "copy-missing"
+    #: A copy claimed an author that is not a checker of the principal.
+    SPOOFED_COPY = "spoofed-copy"
+    #: A packet arrived off the certified lowest-cost path.
+    MISROUTE = "misroute"
+
+    #: Raised by the bank itself during settlement.
+    PAYMENT_UNDERREPORT = "payment-underreport"
+    PACKET_DROP = "packet-drop"
+    DIGEST_MISMATCH = "digest-mismatch"
+
+
+@dataclass(frozen=True)
+class Flag:
+    """One structured deviation observation."""
+
+    kind: FlagKind
+    checker: Optional[NodeId]
+    principal: NodeId
+    phase: str
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        kind: FlagKind,
+        checker: Optional[NodeId],
+        principal: NodeId,
+        phase: str,
+        **detail: Any,
+    ) -> "Flag":
+        """Convenience constructor with keyword detail."""
+        return cls(
+            kind=kind,
+            checker=checker,
+            principal=principal,
+            phase=phase,
+            detail=tuple(sorted(detail.items())),
+        )
+
+    def detail_dict(self) -> Dict[str, Any]:
+        """Detail pairs as a dict."""
+        return dict(self.detail)
+
+
+@dataclass
+class CheckpointDecision:
+    """The bank's verdict at one BANK1/BANK2-style checkpoint."""
+
+    checkpoint: str
+    green_light: bool
+    suspects: List[NodeId] = field(default_factory=list)
+    flags: List[Flag] = field(default_factory=list)
+    digest_groups: Dict[NodeId, Dict[NodeId, str]] = field(default_factory=dict)
+
+    @property
+    def deviation_detected(self) -> bool:
+        """True when the checkpoint ordered a restart."""
+        return not self.green_light
+
+
+@dataclass
+class SettlementRecord:
+    """Per-node monetary results of execution-phase settlement."""
+
+    received: float = 0.0
+    charged: float = 0.0
+    penalties: float = 0.0
+    reported_total: float = 0.0
+    expected_total: float = 0.0
+
+
+@dataclass
+class DetectionReport:
+    """Everything the bank found over a complete mechanism run."""
+
+    checkpoint_decisions: List[CheckpointDecision] = field(default_factory=list)
+    settlement_flags: List[Flag] = field(default_factory=list)
+    restarts: int = 0
+    progressed: bool = True
+
+    def record(self, decision: CheckpointDecision) -> None:
+        """Append one checkpoint decision, counting restarts."""
+        self.checkpoint_decisions.append(decision)
+        if decision.deviation_detected:
+            self.restarts += 1
+
+    @property
+    def all_flags(self) -> List[Flag]:
+        """Every flag from every checkpoint plus settlement."""
+        flags: List[Flag] = []
+        for decision in self.checkpoint_decisions:
+            flags.extend(decision.flags)
+        flags.extend(self.settlement_flags)
+        return flags
+
+    @property
+    def detected_any(self) -> bool:
+        """True if any deviation was detected anywhere in the run."""
+        return self.restarts > 0 or bool(self.settlement_flags)
+
+    def suspects(self) -> List[NodeId]:
+        """Union of nodes implicated by checkpoints and settlement."""
+        implicated: List[NodeId] = []
+        for decision in self.checkpoint_decisions:
+            for suspect in decision.suspects:
+                if suspect not in implicated:
+                    implicated.append(suspect)
+        for flag in self.settlement_flags:
+            if flag.principal not in implicated:
+                implicated.append(flag.principal)
+        return implicated

@@ -1,0 +1,388 @@
+"""The bank: trusted checkpointing and settlement entity.
+
+"Our bank goes beyond whatever accounting and charging mechanisms are
+used to enforce the pricing scheme.  In our specification, the bank is
+a trusted and obedient entity that can also perform simple comparisons,
+and enforce penalties when it detects a problem" (Section 4.2).  The
+bank does **not** perform the mechanism computation; it only compares
+hashes and logs produced by principals and checkers:
+
+* **phase-1 checkpoint** — collect a DATA1 digest from every node; the
+  phase's goal is "common transit cost tables across all nodes", so
+  any disagreement orders a restart;
+* **BANK1** — collect each principal's DATA2 digest and every
+  checker's mirrored DATA2 digest; any difference inside a principal's
+  group (or any checker flag) orders a phase restart;
+* **BANK2** — the same for DATA3* (prices *and* identity tags), then
+  green-light the execution phase;
+* **settlement** — reconcile reported DATA4 payment lists against the
+  flows checkers observed, pay transit nodes, and charge penalties
+  "epsilon-above the attempted deviation".
+
+All bank <-> node messages are signed (Section 4.2); inside the
+simulator the bank is a *well-known* node reachable without a topology
+link, modelling the paper's out-of-band signed channel.
+
+Settlement trusts *receipt* logs (what a node says it received) but
+never *forwarding claims*: the paper's signed acknowledgments make
+receipts non-repudiable, so a node that actually forwarded can always
+prove it, and a claim of forwarding without the matching receipt is
+disbelieved.  The simulator's reliable links make receiver logs ground
+truth, so this models exactly the ack-backed scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError
+from ..sim.crypto import SigningAuthority
+from ..sim.messages import Message, NodeId
+from ..sim.node import ProtocolNode
+from .audit import CheckpointDecision, Flag, FlagKind, SettlementRecord
+from .node import BANK_ID, KIND_BANK_REQUEST, decode_flag
+
+
+class BankNode(ProtocolNode):
+    """The obedient checkpointing node (well-known to everyone)."""
+
+    def __init__(
+        self, signing: Optional[SigningAuthority] = None, node_id: NodeId = BANK_ID
+    ) -> None:
+        super().__init__(node_id)
+        self.signing = signing
+        #: stage -> node -> report payload.
+        self.reports: Dict[str, Dict[NodeId, Mapping[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # request/collect
+    # ------------------------------------------------------------------
+
+    def request_reports(self, stage: str, node_ids: Sequence[NodeId]) -> None:
+        """Send a signed report request to the given nodes."""
+        self.reports[stage] = {}
+        for node_id in sorted(node_ids, key=repr):
+            message = Message(
+                src=self.node_id,
+                dst=node_id,
+                kind=KIND_BANK_REQUEST,
+                payload={"stage": stage},
+            )
+            if self.signing is not None:
+                message = self.signing.sign(self.node_id, message)
+            self.send_message(message)
+
+    def on_bank_report(self, message: Message) -> None:
+        """Collect one signed node report."""
+        if self.signing is not None:
+            self.signing.require_valid(message.src, message)
+        stage = message.payload["stage"]
+        self.reports.setdefault(stage, {})[message.src] = dict(message.payload)
+
+    def _stage_reports(self, stage: str) -> Dict[NodeId, Mapping[str, Any]]:
+        if stage not in self.reports:
+            raise ProtocolError(f"no reports collected for stage {stage!r}")
+        return self.reports[stage]
+
+    # ------------------------------------------------------------------
+    # checkpoint decisions
+    # ------------------------------------------------------------------
+
+    def decide_phase1(self, node_ids: Sequence[NodeId]) -> CheckpointDecision:
+        """All DATA1 digests must agree across the whole network."""
+        reports = self._stage_reports("phase1")
+        digests = {n: reports[n]["cost_digest"] for n in node_ids if n in reports}
+        missing = [n for n in node_ids if n not in reports]
+        distinct = set(digests.values())
+        green = not missing and len(distinct) <= 1
+        suspects: List[NodeId] = []
+        if len(distinct) > 1:
+            # The minority digest holders are the suspects.
+            by_digest: Dict[str, List[NodeId]] = {}
+            for node, digest in digests.items():
+                by_digest.setdefault(digest, []).append(node)
+            majority = max(by_digest.values(), key=len)
+            suspects = sorted(
+                (n for group in by_digest.values() if group is not majority for n in group),
+                key=repr,
+            )
+        return CheckpointDecision(
+            checkpoint="phase1",
+            green_light=green,
+            suspects=suspects + sorted(missing, key=repr),
+            digest_groups={"__all__": digests} if digests else {},
+        )
+
+    def _decide_group_stage(
+        self,
+        stage: str,
+        own_key: str,
+        mirror_key: str,
+        checker_map: Mapping[NodeId, Sequence[NodeId]],
+        honor_flags: bool = True,
+    ) -> CheckpointDecision:
+        """Shared BANK1/BANK2 logic: per-principal digest groups.
+
+        For each principal the group contains the principal's own
+        digest plus every checker's mirrored digest; all members must
+        be equal.  Checker flags also veto the green light unless
+        ``honor_flags`` is disabled (an ablation: digest comparison
+        alone misses update *suppression*, where the principal's own
+        tables and every mirror agree but neighbours were starved).
+        """
+        reports = self._stage_reports(stage)
+        suspects: List[NodeId] = []
+        flags: List[Flag] = []
+        digest_groups: Dict[NodeId, Dict[NodeId, str]] = {}
+
+        if honor_flags:
+            for node_id, report in reports.items():
+                for encoded in report.get("flags", ()):
+                    flags.append(decode_flag(encoded))
+
+        for principal, checkers in sorted(checker_map.items(), key=repr):
+            group: Dict[NodeId, str] = {}
+            principal_report = reports.get(principal)
+            if principal_report is None:
+                suspects.append(principal)
+                continue
+            group[principal] = principal_report[own_key]
+            for checker in checkers:
+                checker_report = reports.get(checker)
+                if checker_report is None:
+                    suspects.append(checker)
+                    continue
+                mirror_digests = dict(checker_report.get(mirror_key, ()))
+                if principal in mirror_digests:
+                    group[checker] = mirror_digests[principal]
+            digest_groups[principal] = group
+            if len(set(group.values())) > 1:
+                suspects.append(principal)
+                flags.append(
+                    Flag.make(
+                        FlagKind.DIGEST_MISMATCH,
+                        checker=None,
+                        principal=principal,
+                        phase=stage,
+                    )
+                )
+
+        for flag in flags:
+            if flag.principal not in suspects:
+                suspects.append(flag.principal)
+
+        green = not suspects and not flags
+        return CheckpointDecision(
+            checkpoint=stage,
+            green_light=green,
+            suspects=sorted(set(suspects), key=repr),
+            flags=flags,
+            digest_groups=digest_groups,
+        )
+
+    def decide_bank1(
+        self,
+        checker_map: Mapping[NodeId, Sequence[NodeId]],
+        honor_flags: bool = True,
+    ) -> CheckpointDecision:
+        """[BANK1]: routing tables (DATA2) comparison."""
+        return self._decide_group_stage(
+            "bank1",
+            "routing_digest",
+            "mirror_routing",
+            checker_map,
+            honor_flags=honor_flags,
+        )
+
+    def decide_bank2(
+        self,
+        checker_map: Mapping[NodeId, Sequence[NodeId]],
+        honor_flags: bool = True,
+    ) -> CheckpointDecision:
+        """[BANK2]: pricing tables (DATA3*, tags included) comparison."""
+        return self._decide_group_stage(
+            "bank2",
+            "pricing_digest",
+            "mirror_pricing",
+            checker_map,
+            honor_flags=honor_flags,
+        )
+
+    # ------------------------------------------------------------------
+    # execution settlement
+    # ------------------------------------------------------------------
+
+    def settle(
+        self,
+        node_ids: Sequence[NodeId],
+        declared_costs: Mapping[NodeId, float],
+        epsilon: float = 0.01,
+        tolerance: float = 1e-9,
+    ) -> Tuple[Dict[NodeId, SettlementRecord], List[Flag]]:
+        """Reconcile execution reports into enforced transfers.
+
+        Returns per-node settlement records (received / charged /
+        penalties) and the flags raised during reconciliation.
+        """
+        reports = self._stage_reports("execution")
+        records: Dict[NodeId, SettlementRecord] = {
+            n: SettlementRecord() for n in node_ids
+        }
+        flags: List[Flag] = []
+
+        receipts: Dict[NodeId, Dict[Tuple[NodeId, NodeId], Dict[NodeId, float]]] = {}
+        for node_id in node_ids:
+            table: Dict[Tuple[NodeId, NodeId], Dict[NodeId, float]] = {}
+            for origin, destination, sender, volume in reports.get(node_id, {}).get(
+                "receipts", ()
+            ):
+                table.setdefault((origin, destination), {})[sender] = volume
+            receipts[node_id] = table
+
+        # Checker-reported misroute flags feed straight into penalties.
+        for node_id in node_ids:
+            for encoded in reports.get(node_id, {}).get("flags", ()):
+                flag = decode_flag(encoded)
+                flags.append(flag)
+                records[flag.principal].penalties += epsilon
+
+        # Reconcile each observed origination (first-hop checker data).
+        expected_charges: Dict[NodeId, Dict[NodeId, float]] = {
+            n: {} for n in node_ids
+        }
+        for checker_id in sorted(node_ids, key=repr):
+            for origin, destination, volume, path, charges in reports.get(
+                checker_id, {}
+            ).get("observations", ()):
+                path = tuple(path)
+                charge_map = dict(charges)
+                flow = (origin, destination)
+                culprit = self._walk_flow(
+                    flow, volume, path, receipts, records, flags, epsilon
+                )
+                # The origin owes the charges for segments that were
+                # actually carried; a misrouting origin is charged the
+                # full expected amount anyway (clawback) plus epsilon.
+                carried_charges = 0.0
+                for index, transit in enumerate(path[1:-1], start=1):
+                    successor = path[index + 1]
+                    carried = receipts.get(successor, {}).get(flow, {}).get(transit, 0.0)
+                    if carried > 0:
+                        amount = charge_map.get(transit, 0.0)
+                        records[transit].received += amount
+                        expected_charges[origin][transit] = (
+                            expected_charges[origin].get(transit, 0.0) + amount
+                        )
+                        carried_charges += amount
+                if culprit == origin:
+                    full = sum(charge_map.values())
+                    shortfall = max(0.0, full - carried_charges)
+                    records[origin].charged += carried_charges + shortfall
+                    records[origin].penalties += epsilon
+                    self._reimburse_off_path(
+                        flow, path, receipts, records, declared_costs,
+                        node_ids, funded_by=culprit,
+                    )
+                else:
+                    records[origin].charged += carried_charges
+                    if culprit is not None:
+                        self._reimburse_off_path(
+                            flow, path, receipts, records, declared_costs,
+                            node_ids, funded_by=culprit,
+                        )
+
+        # Compare reported DATA4 totals against enforced charges.
+        for node_id in sorted(node_ids, key=repr):
+            reported = dict(reports.get(node_id, {}).get("reported_payments", ()))
+            reported_total = sum(reported.values())
+            expected_total = sum(expected_charges[node_id].values())
+            record = records[node_id]
+            record.reported_total = reported_total
+            record.expected_total = expected_total
+            if reported_total < expected_total - tolerance:
+                shortfall = expected_total - reported_total
+                record.penalties += shortfall + epsilon
+                flags.append(
+                    Flag.make(
+                        FlagKind.PAYMENT_UNDERREPORT,
+                        checker=None,
+                        principal=node_id,
+                        phase="execution",
+                        shortfall=shortfall,
+                    )
+                )
+        return records, flags
+
+    def _walk_flow(
+        self,
+        flow: Tuple[NodeId, NodeId],
+        volume: float,
+        path: Tuple[NodeId, ...],
+        receipts: Mapping[NodeId, Mapping],
+        records: Dict[NodeId, SettlementRecord],
+        flags: List[Flag],
+        epsilon: float,
+    ) -> Optional[NodeId]:
+        """Trace a flow along its certified path; penalise the first
+        node that failed to hand it to the expected successor.
+
+        Returns the culprit (None when the flow completed cleanly).
+        """
+        previous = path[0]
+        for node in path[1:]:
+            received = receipts.get(node, {}).get(flow, {}).get(previous, 0.0)
+            if received <= 0:
+                misrouted = any(
+                    receipts.get(other, {}).get(flow, {}).get(previous, 0.0) > 0
+                    for other in records
+                    if other != node
+                )
+                kind = FlagKind.MISROUTE if misrouted else FlagKind.PACKET_DROP
+                # The culprit's payment is already denied (it is not in
+                # the carried set); the epsilon puts it strictly below
+                # the faithful outcome.
+                records[previous].penalties += epsilon
+                flags.append(
+                    Flag.make(
+                        kind,
+                        checker=None,
+                        principal=previous,
+                        phase="execution",
+                        origin=flow[0],
+                        destination=flow[1],
+                        volume=volume,
+                    )
+                )
+                return previous
+            previous = node
+        return None
+
+    def _reimburse_off_path(
+        self,
+        flow: Tuple[NodeId, NodeId],
+        certified_path: Tuple[NodeId, ...],
+        receipts: Mapping[NodeId, Mapping],
+        records: Dict[NodeId, SettlementRecord],
+        declared_costs: Mapping[NodeId, float],
+        node_ids: Sequence[NodeId],
+        funded_by: NodeId,
+    ) -> None:
+        """Pay innocent off-LCP carriers their declared cost.
+
+        When a flow was diverted off the certified path, nodes that
+        carried it in good faith (they forwarded per their own correct
+        tables) are reimbursed at declared cost so the deviation never
+        externalises losses onto the obedient — and the *culprit* funds
+        the reimbursement (its penalty covers the harm it caused, on
+        top of the epsilon), keeping the settlement money-conserving.
+        """
+        on_path = set(certified_path)
+        origin, destination = flow
+        for node_id in node_ids:
+            if node_id in on_path or node_id == destination:
+                continue
+            volume_in = sum(receipts.get(node_id, {}).get(flow, {}).values())
+            if volume_in > 0:
+                reimbursement = declared_costs.get(node_id, 0.0) * volume_in
+                records[node_id].received += reimbursement
+                records[funded_by].penalties += reimbursement

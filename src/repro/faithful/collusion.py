@@ -1,0 +1,130 @@
+"""Collusion: the boundary of the paper's solution concept.
+
+The paper designs for "ex post Nash (without collusion)" (Section 1).
+This module makes the *boundary* of that guarantee executable: a
+coalition consisting of a deviant principal together with **all** of
+its checkers can evade the catch-and-punish machinery, because every
+piece of evidence against a principal originates at its checkers.
+
+Concretely, a :class:`ComplicitCheckerMixin` node performs its checker
+role except that it never raises (or reports) flags about the protected
+principal and never "sees" the principal's broadcast mismatches.  A
+principal whose own tables stay internally consistent (e.g. the
+false-route announcer, which computes honestly but *announces* shaded
+costs) then passes BANK1/BANK2: its digests match its mirrors, and the
+only witnesses — the checkers — stay silent.
+
+This is not a bug in the reproduction; it is the paper's explicit
+knowledge assumption surfaced as an experiment (benchmarks
+``test_bench_collusion.py``).  Theorem 1's unilateral-deviation
+guarantee remains intact: every coalition here has at least two
+members.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..routing.graph import Cost
+from ..sim.crypto import SigningAuthority
+from ..sim.messages import Message, NodeId
+from .manipulations import DeviationSpec, _deviant_class
+from .node import FaithfulRoutingNode
+
+
+class ComplicitCheckerMixin:
+    """A checker that shields one principal from scrutiny.
+
+    The class attribute ``protected`` names the coalition's principal.
+    The node behaves faithfully in every other respect (its own tables,
+    its own announcements, its checker duties toward other
+    neighbours), so nothing else in the network can incriminate it.
+    """
+
+    protected: NodeId = None
+
+    def on_rt_update(self, message: Message) -> None:
+        if message.src == self.protected and self.phase == "phase2":
+            # Swallow the broadcast-vs-mirror comparison, then let the
+            # principal-role processing proceed normally.
+            mirror = self.mirrors.get(message.src)
+            if mirror is not None and mirror.comp is not None:
+                expected = mirror._expected_route
+                if expected:
+                    expected.popleft()
+            # Skip FaithfulRoutingNode's observation by calling the
+            # plain FPSS handler path with mirror checks removed.
+            from ..routing.fpss import FPSSNode
+
+            FPSSNode.on_rt_update(self, message)
+            return
+        super().on_rt_update(message)
+
+    def on_price_update(self, message: Message) -> None:
+        if message.src == self.protected and self.phase == "phase2":
+            mirror = self.mirrors.get(message.src)
+            if mirror is not None and mirror.comp is not None:
+                expected = mirror._expected_price
+                if expected:
+                    expected.popleft()
+            from ..routing.fpss import FPSSNode
+
+            FPSSNode.on_price_update(self, message)
+            return
+        super().on_price_update(message)
+
+    def on_bank_request(self, message: Message) -> None:
+        """Answer honestly, then scrub evidence about the protégé."""
+        protected = self.protected
+        mirror = self.mirrors.get(protected)
+        if mirror is not None:
+            # Clear any flags accumulated against the principal and
+            # mute the pending-broadcast bookkeeping so checkpoint
+            # flags cannot appear either.
+            mirror.flags = [
+                f for f in mirror.flags if f.principal != protected
+            ]
+            mirror._expected_route.clear()
+            mirror._expected_price.clear()
+            mirror._awaiting_copy.clear()
+        super().on_bank_request(message)
+
+    def report_mirror_digest_override(self) -> None:  # pragma: no cover
+        """Placeholder for subclasses coordinating digest fabrication.
+
+        The shipped coalition does not need it: a principal that only
+        lies in *broadcasts* keeps its own tables equal to the honest
+        replay, so truthful mirror digests already match.
+        """
+
+
+def coalition_factory(
+    deviant_spec: DeviationSpec,
+    principal: NodeId,
+    accomplices: Iterable[NodeId],
+):
+    """A FaithfulNodeFactory wiring a full checker coalition.
+
+    ``principal`` runs ``deviant_spec``; every node in ``accomplices``
+    (which must cover *all* of the principal's neighbours for the
+    evasion to work — one honest checker suffices to catch it) runs the
+    complicit-checker behaviour.
+    """
+    accomplice_set: FrozenSet[NodeId] = frozenset(accomplices)
+    deviant_cls = _deviant_class(FaithfulRoutingNode, deviant_spec)
+    complicit_cls = type(
+        "ComplicitChecker",
+        (ComplicitCheckerMixin, FaithfulRoutingNode),
+        {"protected": principal},
+    )
+
+    def factory(
+        node_id: NodeId, cost: Cost, signing: SigningAuthority
+    ) -> FaithfulRoutingNode:
+        if node_id == principal:
+            return deviant_cls(node_id, cost, signing)
+        if node_id in accomplice_set:
+            return complicit_cls(node_id, cost, signing)
+        return FaithfulRoutingNode(node_id, cost, signing)
+
+    return factory

@@ -1,0 +1,255 @@
+"""Checker-side mirrors of a principal's computation (Figure 2).
+
+"The checker nodes execute a redundant computation that mirrors what
+the principal is computing, and must receive a complete set of the
+messages received by the principal."  A :class:`PrincipalMirror` is one
+checker's clone of one neighbouring principal: it replays the exact
+:class:`~repro.routing.fpss.FPSSComputation` on the copies the
+principal forwards, predicts every broadcast the principal should make,
+and accumulates :class:`~repro.faithful.audit.Flag` observations when
+reality and replay disagree.
+
+Why replay is exact
+-------------------
+The principal's suggested specification processes inputs in arrival
+order and, per [PRINC1]/[PRINC2], *first* forwards a copy of each input
+to all checkers and *then* recomputes and broadcasts.  On a FIFO link,
+each checker therefore sees the copy of input ``m`` before any
+broadcast that ``m`` triggered, so applying copies in arrival order
+reconstructs the principal's state at every broadcast instant.  The
+checker's own messages to the principal are also copy-returned (the
+checker verifies them against a ground-truth ledger), keeping the
+replay ordered identically to the principal's receive order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..routing.fpss import (
+    FPSSComputation,
+    KIND_PRICE_UPDATE,
+    KIND_RT_UPDATE,
+    decode_avoid_vector,
+    decode_route_vector,
+    encode_avoid_vector,
+    encode_route_vector,
+)
+from ..routing.graph import Cost
+from ..sim.messages import NodeId
+from .audit import Flag, FlagKind
+
+
+class PrincipalMirror:
+    """One checker's replayed clone of one principal.
+
+    Parameters
+    ----------
+    checker_id:
+        The node doing the checking (a neighbour of the principal).
+    principal_id:
+        The node being checked.
+    """
+
+    def __init__(self, checker_id: NodeId, principal_id: NodeId) -> None:
+        self.checker_id = checker_id
+        self.principal_id = principal_id
+        self.comp: Optional[FPSSComputation] = None
+        self.flags: List[Flag] = []
+        #: Broadcast vectors the replay says the principal must emit
+        #: next, in order (separate queues per message kind).
+        self._expected_route: Deque[Tuple] = deque()
+        self._expected_price: Deque[Tuple] = deque()
+        #: Ground-truth ledger of updates this checker sent to the
+        #: principal, awaiting copy-return.
+        self._awaiting_copy: Deque[Tuple[str, Tuple]] = deque()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start_phase2(
+        self,
+        principal_neighbors: Sequence[NodeId],
+        declared_cost: Cost,
+        known_costs: Dict[NodeId, Cost],
+    ) -> None:
+        """Initialise the replay for the second construction phase.
+
+        ``known_costs`` is the converged DATA1 from phase 1 (common to
+        all nodes once the phase-1 checkpoint green-lights), which the
+        principal's computation reads during relaxation.
+        """
+        self.comp = FPSSComputation(
+            self.principal_id, principal_neighbors, declared_cost
+        )
+        for node, cost in known_costs.items():
+            self.comp.note_cost_declaration(node, cost)
+        self.flags = []
+        self._expected_route.clear()
+        self._expected_price.clear()
+        self._awaiting_copy.clear()
+        # Replicate the principal's start_phase2: reset tables, run the
+        # relaxations once, and announce both vectors unconditionally.
+        self.comp.reset_phase2()
+        self.comp.recompute_routes()
+        self.comp.recompute_avoidance()
+        self.comp.derive_pricing()
+        self._expected_route.append(self._current_route_vector())
+        self._expected_price.append(self._current_price_vector())
+
+    def _flag(self, kind: FlagKind, **detail) -> None:
+        self.flags.append(
+            Flag.make(
+                kind,
+                checker=self.checker_id,
+                principal=self.principal_id,
+                phase="construction-2",
+                **detail,
+            )
+        )
+
+    def _current_route_vector(self) -> Tuple:
+        assert self.comp is not None
+        vector = {
+            dest: entry
+            for dest in self.comp.routing.destinations
+            if (entry := self.comp.routing.entry(dest)) is not None
+        }
+        return encode_route_vector(vector)
+
+    def _current_price_vector(self) -> Tuple:
+        assert self.comp is not None
+        return encode_avoid_vector(self.comp.avoid)
+
+    # ------------------------------------------------------------------
+    # ledger of the checker's own messages to the principal
+    # ------------------------------------------------------------------
+
+    def record_sent(self, kind: str, encoded_vector: Tuple) -> None:
+        """The checker sent this update to the principal; expect a copy."""
+        self._awaiting_copy.append((kind, tuple(encoded_vector)))
+
+    def _match_returned_copy(self, kind: str, encoded_vector: Tuple) -> None:
+        """Verify a copy-return of the checker's own message."""
+        if not self._awaiting_copy:
+            self._flag(FlagKind.COPY_FORGERY, reason="copy of unsent message")
+            return
+        expected_kind, expected_vector = self._awaiting_copy.popleft()
+        if expected_kind != kind or expected_vector != tuple(encoded_vector):
+            self._flag(
+                FlagKind.COPY_FORGERY,
+                reason="copy does not match the message actually sent",
+            )
+
+    # ------------------------------------------------------------------
+    # inputs: forwarded copies
+    # ------------------------------------------------------------------
+
+    def apply_copy(
+        self, orig_kind: str, orig_src: NodeId, encoded_vector: Tuple
+    ) -> None:
+        """Replay one input the principal claims to have received.
+
+        Implements [CHECK1]/[CHECK2]: copies from non-checkers of the
+        principal are ignored (and flagged as spoofs); the checker's
+        own copy-returns are validated against the ledger; everything
+        else is applied to the replayed computation exactly as the
+        principal's handler would.
+        """
+        if self.comp is None:
+            return
+        if orig_src not in self.comp.neighbors:
+            self._flag(FlagKind.SPOOFED_COPY, claimed_author=orig_src)
+            return
+        if orig_src == self.checker_id:
+            self._match_returned_copy(orig_kind, encoded_vector)
+
+        if orig_kind == KIND_RT_UPDATE:
+            self.comp.apply_route_update(
+                orig_src, decode_route_vector(encoded_vector)
+            )
+            if self.comp.recompute_routes():
+                self._expected_route.append(self._current_route_vector())
+            if self.comp.recompute_avoidance():
+                self._expected_price.append(self._current_price_vector())
+            self.comp.derive_pricing()
+        elif orig_kind == KIND_PRICE_UPDATE:
+            self.comp.apply_avoid_update(
+                orig_src, decode_avoid_vector(encoded_vector)
+            )
+            if self.comp.recompute_avoidance():
+                self._expected_price.append(self._current_price_vector())
+            self.comp.derive_pricing()
+        else:
+            self._flag(FlagKind.SPOOFED_COPY, claimed_message_kind=orig_kind)
+
+    # ------------------------------------------------------------------
+    # observations: the principal's actual broadcasts
+    # ------------------------------------------------------------------
+
+    def observe_route_broadcast(self, encoded_vector: Tuple) -> None:
+        """Compare an actual routing broadcast against the replay."""
+        if not self._expected_route:
+            self._flag(FlagKind.UNEXPECTED_BROADCAST, message_kind=KIND_RT_UPDATE)
+            return
+        expected = self._expected_route.popleft()
+        if expected != tuple(encoded_vector):
+            self._flag(FlagKind.BROADCAST_MISMATCH, message_kind=KIND_RT_UPDATE)
+
+    def observe_price_broadcast(self, encoded_vector: Tuple) -> None:
+        """Compare an actual pricing broadcast against the replay."""
+        if not self._expected_price:
+            self._flag(FlagKind.UNEXPECTED_BROADCAST, message_kind=KIND_PRICE_UPDATE)
+            return
+        expected = self._expected_price.popleft()
+        if expected != tuple(encoded_vector):
+            self._flag(FlagKind.BROADCAST_MISMATCH, message_kind=KIND_PRICE_UPDATE)
+
+    # ------------------------------------------------------------------
+    # checkpoint
+    # ------------------------------------------------------------------
+
+    def checkpoint_flags(self) -> List[Flag]:
+        """Quiescence-time consistency checks (suppression, drops).
+
+        At a network quiescence point every in-flight message has been
+        delivered, so any still-pending expected broadcast means the
+        principal suppressed an update, and any unreturned ledger entry
+        means it dropped a checker copy.
+        """
+        if self._expected_route:
+            self._flag(
+                FlagKind.SUPPRESSED_UPDATE,
+                message_kind=KIND_RT_UPDATE,
+                pending=len(self._expected_route),
+            )
+            self._expected_route.clear()
+        if self._expected_price:
+            self._flag(
+                FlagKind.SUPPRESSED_UPDATE,
+                message_kind=KIND_PRICE_UPDATE,
+                pending=len(self._expected_price),
+            )
+            self._expected_price.clear()
+        if self._awaiting_copy:
+            self._flag(
+                FlagKind.COPY_MISSING, pending=len(self._awaiting_copy)
+            )
+            self._awaiting_copy.clear()
+        return list(self.flags)
+
+    # ------------------------------------------------------------------
+    # bank material
+    # ------------------------------------------------------------------
+
+    def routing_digest(self) -> str:
+        """Hash of the mirrored DATA2 (BANK1 material)."""
+        assert self.comp is not None
+        return self.comp.routing_digest()
+
+    def pricing_digest(self) -> str:
+        """Hash of the mirrored DATA3* (BANK2 material)."""
+        assert self.comp is not None
+        return self.comp.pricing_digest()

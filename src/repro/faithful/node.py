@@ -1,0 +1,366 @@
+"""The faithful FPSS participant: principal + checker in one node.
+
+"Every node in the biconnected network plays the role of both a
+principal node and a checker node for all of its neighbors" (Section
+4.2).  A :class:`FaithfulRoutingNode` therefore extends the plain
+:class:`~repro.routing.fpss.FPSSNode` with
+
+* [PRINC1]/[PRINC2] message-passing duties: every received routing or
+  pricing update is forwarded as a *checker copy* to all checkers
+  (i.e. all neighbours) before the node recomputes and re-announces;
+* [CHECK1]/[CHECK2] checker duties: a
+  :class:`~repro.faithful.mirror.PrincipalMirror` per neighbour replays
+  that neighbour's computation and accumulates flags;
+* signed bank reporting for the BANK1/BANK2 checkpoints and the
+  execution-phase settlement;
+* execution-phase observation: each packet received from a neighbour
+  is checked against the mirrored routing table (off-LCP forwarding is
+  flagged), and originations are logged so the bank can verify DATA4.
+
+Deviation seams inherited from :class:`FPSSNode` (declared cost,
+broadcast contents, charges, hops, payment reports) plus the new
+``forward_copy_to_checkers`` and digest-report seams are what the
+manipulation catalogue overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError
+from ..routing.fpss import (
+    KIND_PRICE_UPDATE,
+    KIND_RT_UPDATE,
+    FPSSNode,
+    encode_avoid_vector,
+    encode_route_vector,
+)
+from ..routing.graph import Cost
+from ..sim.crypto import SigningAuthority
+from ..sim.messages import Message, NodeId
+from .audit import Flag, FlagKind
+from .mirror import PrincipalMirror
+
+#: Message kinds added by the faithful extension.
+KIND_CHECKER_COPY = "checker-copy"
+KIND_BANK_REQUEST = "bank-request"
+KIND_BANK_REPORT = "bank-report"
+
+#: The bank's well-known node id.
+BANK_ID = "__bank__"
+
+
+def encode_flag(flag: Flag) -> Tuple:
+    """Wire encoding of a flag for bank reports."""
+    return (flag.kind.value, flag.checker, flag.principal, flag.phase, flag.detail)
+
+
+def decode_flag(encoded: Sequence) -> Flag:
+    """Inverse of :func:`encode_flag`."""
+    kind, checker, principal, phase, detail = encoded
+    return Flag(
+        kind=FlagKind(kind),
+        checker=checker,
+        principal=principal,
+        phase=phase,
+        detail=tuple((k, v) for k, v in detail),
+    )
+
+
+class FaithfulRoutingNode(FPSSNode):
+    """An FPSS node following the extended (faithful) specification."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        true_cost: Cost,
+        signing: Optional[SigningAuthority] = None,
+    ) -> None:
+        super().__init__(node_id, true_cost)
+        self.signing = signing
+        #: One mirror per neighbour-principal.
+        self.mirrors: Dict[NodeId, PrincipalMirror] = {}
+        #: neighbour -> that neighbour's own neighbour set, provided by
+        #: the checker-setup handshake before phase 2.
+        self._neighbor_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        #: Execution-phase observations of flows originated by
+        #: neighbours (this node as their first hop).
+        self.observed_originations: Dict[Tuple[NodeId, NodeId], float] = {}
+        self.execution_flags: List[Flag] = []
+
+    # ------------------------------------------------------------------
+    # checker setup
+    # ------------------------------------------------------------------
+
+    def prepare_checking(
+        self, neighbor_neighbors: Mapping[NodeId, Sequence[NodeId]]
+    ) -> None:
+        """Install the connectivity each mirror needs to replay.
+
+        Connectivity is semi-private type information: each link is
+        common knowledge to its two endpoints, and the checker-setup
+        handshake shares a principal's neighbour list with its
+        checkers (who jointly observe all of its links anyway).
+        """
+        self._neighbor_neighbors = {
+            neighbor: tuple(ns) for neighbor, ns in neighbor_neighbors.items()
+        }
+
+    # ------------------------------------------------------------------
+    # phase 2 with mirrors
+    # ------------------------------------------------------------------
+
+    def start_phase2(self) -> None:
+        """Reset mirrors, then start the principal-role computation."""
+        if self.comp is None:
+            raise ProtocolError(f"{self.node_id!r} cannot enter phase 2 before 1")
+        known_costs = self.comp.costs.as_dict()
+        for principal in self.neighbors:
+            mirror = self.mirrors.get(principal)
+            if mirror is None:
+                mirror = PrincipalMirror(self.node_id, principal)
+                self.mirrors[principal] = mirror
+            principal_neighbors = self._neighbor_neighbors.get(principal)
+            if principal_neighbors is None:
+                raise ProtocolError(
+                    f"{self.node_id!r} has no connectivity info for "
+                    f"principal {principal!r}; call prepare_checking first"
+                )
+            mirror.start_phase2(
+                principal_neighbors,
+                declared_cost=self.comp.costs.cost(principal),
+                known_costs=known_costs,
+            )
+        super().start_phase2()
+
+    # --- announcements are ledgered per principal ---------------------
+
+    def announce_routes(self) -> None:
+        """Broadcast the routing vector, ledgering a copy-return per
+        neighbour so dropped/altered checker copies are detectable."""
+        vector = encode_route_vector(self.make_route_broadcast())
+        for neighbor in self.neighbors:
+            mirror = self.mirrors.get(neighbor)
+            if mirror is not None and mirror.comp is not None:
+                mirror.record_sent(KIND_RT_UPDATE, vector)
+            self.send(neighbor, KIND_RT_UPDATE, vector=vector)
+
+    def announce_prices(self) -> None:
+        """Broadcast the pricing vector with the same ledgering."""
+        vector = encode_avoid_vector(self.make_price_broadcast())
+        for neighbor in self.neighbors:
+            mirror = self.mirrors.get(neighbor)
+            if mirror is not None and mirror.comp is not None:
+                mirror.record_sent(KIND_PRICE_UPDATE, vector)
+            self.send(neighbor, KIND_PRICE_UPDATE, vector=vector)
+
+    # --- checker observation of the sender's broadcasts ---------------
+
+    def on_rt_update(self, message: Message) -> None:
+        """Check the broadcast against the sender's mirror, then act."""
+        if self.phase == "phase2":
+            mirror = self.mirrors.get(message.src)
+            if mirror is not None and mirror.comp is not None:
+                mirror.observe_route_broadcast(message.payload["vector"])
+        super().on_rt_update(message)
+
+    def on_price_update(self, message: Message) -> None:
+        """Check the broadcast against the sender's mirror, then act."""
+        if self.phase == "phase2":
+            mirror = self.mirrors.get(message.src)
+            if mirror is not None and mirror.comp is not None:
+                mirror.observe_price_broadcast(message.payload["vector"])
+        super().on_price_update(message)
+
+    # --- principal duty: forward copies before recomputing ------------
+
+    def after_route_input(self, message: Message) -> None:
+        """[PRINC1] message passing: copy the input to all checkers."""
+        self.forward_copy_to_checkers(
+            KIND_RT_UPDATE, message.src, message.payload["vector"]
+        )
+
+    def after_price_input(self, message: Message) -> None:
+        """[PRINC2] message passing: copy the input to all checkers."""
+        self.forward_copy_to_checkers(
+            KIND_PRICE_UPDATE, message.src, message.payload["vector"]
+        )
+
+    def forward_copy_to_checkers(
+        self, orig_kind: str, orig_src: NodeId, vector: Tuple
+    ) -> None:
+        """Send a checker copy of a received update to every neighbour.
+
+        Deviation seam: drop/alter/spoof variants override this (the
+        message-passing manipulations 1 and 3 of Section 4.3).
+        """
+        for neighbor in self.neighbors:
+            self.send(
+                neighbor,
+                KIND_CHECKER_COPY,
+                orig_kind=orig_kind,
+                orig_src=orig_src,
+                vector=vector,
+            )
+
+    # --- checker duty: replay copies -----------------------------------
+
+    def on_checker_copy(self, message: Message) -> None:
+        """[CHECK1]/[CHECK2]: replay the principal's claimed input."""
+        if self.phase != "phase2":
+            return
+        mirror = self.mirrors.get(message.src)
+        if mirror is None or mirror.comp is None:
+            return
+        self.sim.metrics.record_computation(self.node_id, as_checker=True)
+        mirror.apply_copy(
+            message.payload["orig_kind"],
+            message.payload["orig_src"],
+            message.payload["vector"],
+        )
+
+    # ------------------------------------------------------------------
+    # execution phase observation
+    # ------------------------------------------------------------------
+
+    def observe_packet(self, message: Message) -> None:
+        """Checker-side packet validation against the sender's mirror."""
+        sender = message.src
+        mirror = self.mirrors.get(sender)
+        if mirror is None or mirror.comp is None:
+            return
+        origin = message.payload["origin"]
+        destination = message.payload["destination"]
+        volume = message.payload["volume"]
+        if sender == origin:
+            flow = (origin, destination)
+            self.observed_originations[flow] = (
+                self.observed_originations.get(flow, 0.0) + volume
+            )
+        entry = mirror.comp.routing.entry(destination)
+        expected_next = entry.path[1] if entry is not None and len(entry.path) >= 2 else None
+        if expected_next != self.node_id:
+            self.execution_flags.append(
+                Flag.make(
+                    FlagKind.MISROUTE,
+                    checker=self.node_id,
+                    principal=sender,
+                    phase="execution",
+                    origin=origin,
+                    destination=destination,
+                    expected_next=expected_next,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # bank channel
+    # ------------------------------------------------------------------
+
+    def _send_bank_report(self, stage: str, **payload: Any) -> None:
+        message = Message(
+            src=self.node_id,
+            dst=BANK_ID,
+            kind=KIND_BANK_REPORT,
+            payload={"stage": stage, **payload},
+        )
+        if self.signing is not None:
+            message = self.signing.sign(self.node_id, message)
+        self.send_message(message)
+
+    def on_bank_request(self, message: Message) -> None:
+        """Answer a signed bank query for the current checkpoint."""
+        if self.signing is not None:
+            self.signing.require_valid(BANK_ID, message)
+        stage = message.payload["stage"]
+        if stage == "phase1":
+            self._send_bank_report(stage, cost_digest=self.report_cost_digest())
+        elif stage == "bank1":
+            flags = []
+            for mirror in self.mirrors.values():
+                flags.extend(mirror.checkpoint_flags())
+            self._send_bank_report(
+                stage,
+                routing_digest=self.report_routing_digest(),
+                mirror_routing=[
+                    (principal, mirror.routing_digest())
+                    for principal, mirror in sorted(
+                        self.mirrors.items(), key=lambda kv: repr(kv[0])
+                    )
+                    if mirror.comp is not None
+                ],
+                flags=[encode_flag(f) for f in flags],
+            )
+        elif stage == "bank2":
+            self._send_bank_report(
+                stage,
+                pricing_digest=self.report_pricing_digest(),
+                mirror_pricing=[
+                    (principal, mirror.pricing_digest())
+                    for principal, mirror in sorted(
+                        self.mirrors.items(), key=lambda kv: repr(kv[0])
+                    )
+                    if mirror.comp is not None
+                ],
+                flags=[],
+            )
+        elif stage == "execution":
+            self._send_bank_report(stage, **self.execution_report())
+        else:
+            raise ProtocolError(f"unknown bank stage {stage!r}")
+
+    # --- reporting seams (deviants may lie here) -----------------------
+
+    def report_cost_digest(self) -> str:
+        """DATA1 digest reported at the phase-1 checkpoint."""
+        assert self.comp is not None
+        return self.comp.cost_digest()
+
+    def report_routing_digest(self) -> str:
+        """Own DATA2 digest reported at BANK1."""
+        assert self.comp is not None
+        return self.comp.routing_digest()
+
+    def report_pricing_digest(self) -> str:
+        """Own DATA3* digest reported at BANK2."""
+        assert self.comp is not None
+        return self.comp.pricing_digest()
+
+    def execution_report(self) -> Dict[str, Any]:
+        """Everything the bank needs from this node for settlement."""
+        observations = []
+        for (origin, destination), volume in sorted(
+            self.observed_originations.items(), key=repr
+        ):
+            mirror = self.mirrors.get(origin)
+            if mirror is None or mirror.comp is None:
+                continue
+            entry = mirror.comp.routing.entry(destination)
+            if entry is None:
+                continue
+            charges = [
+                (transit, mirror.comp.pricing.price(destination, transit) * volume)
+                for transit in entry.path[1:-1]
+            ]
+            observations.append(
+                (origin, destination, volume, entry.path, charges)
+            )
+        return {
+            "reported_payments": sorted(
+                self.report_payments().items(), key=repr
+            ),
+            "receipts": [
+                (origin, destination, sender, volume)
+                for (origin, destination), senders in sorted(
+                    self.receipts.items(), key=repr
+                )
+                for sender, volume in sorted(senders.items(), key=repr)
+            ],
+            "delivered": [
+                (origin, destination, volume)
+                for (origin, destination), volume in sorted(
+                    self.delivered.items(), key=repr
+                )
+            ],
+            "observations": observations,
+            "flags": [encode_flag(f) for f in self.execution_flags],
+        }

@@ -1,0 +1,389 @@
+"""Protocol orchestration: faithful and plain FPSS mechanism runs.
+
+:class:`FaithfulFPSSProtocol` drives the complete extended
+specification of Section 4: the two construction phases separated by
+bank checkpoints (with restart semantics), then the execution phase
+with settlement.  :class:`PlainFPSSProtocol` runs the original,
+trusting FPSS — no checkers, no bank examination, reported payments
+taken at face value — providing the baseline that shows *why* the
+extension is needed (experiment E5).
+
+Utility model (Section 4.3 assumptions):
+
+* a node's money flow = payments received - charges paid - penalties;
+* its real resource cost = true transit cost actually incurred;
+* "every node wishes to make progress in the mechanism, and indeed has
+  a strong negative value when a construction phase does not
+  progress" — a run that exhausts its restart budget ends with every
+  node receiving ``no_progress_utility``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..routing.fpss import FPSSNode
+from ..routing.graph import ASGraph, Cost, NodeId
+from ..sim.crypto import SigningAuthority
+from ..sim.simulator import Simulator
+from ..routing.convergence import topology_from_graph
+from .audit import DetectionReport
+from .bank import BankNode
+from .node import BANK_ID, FaithfulRoutingNode
+
+#: (source, destination) -> packet volume.
+TrafficMatrix = Mapping[Tuple[NodeId, NodeId], float]
+
+#: Builds the node for one vertex; manipulation strategies substitute
+#: deviant subclasses for their target node here.
+FaithfulNodeFactory = Callable[[NodeId, Cost, SigningAuthority], FaithfulRoutingNode]
+PlainNodeFactory = Callable[[NodeId, Cost], FPSSNode]
+
+
+@dataclass
+class RunResult:
+    """Everything a mechanism run produced."""
+
+    progressed: bool
+    utilities: Dict[NodeId, float]
+    detection: DetectionReport
+    received: Dict[NodeId, float] = field(default_factory=dict)
+    charged: Dict[NodeId, float] = field(default_factory=dict)
+    penalties: Dict[NodeId, float] = field(default_factory=dict)
+    incurred: Dict[NodeId, float] = field(default_factory=dict)
+    metrics: Dict[str, int] = field(default_factory=dict)
+    construction_events: int = 0
+
+    def utility_of(self, node_id: NodeId) -> float:
+        """One node's realised utility."""
+        return self.utilities[node_id]
+
+
+class FaithfulFPSSProtocol:
+    """One complete run of the extended (faithful) FPSS specification.
+
+    Parameters
+    ----------
+    graph:
+        The AS graph with *true* transit costs (deviant nodes may
+        declare otherwise through their node subclass).
+    traffic:
+        Execution-phase traffic matrix.
+    node_factory:
+        Optional substitution hook for deviant node subclasses.
+    max_restarts:
+        Restart budget per construction checkpoint before the run is
+        declared non-progressing.
+    epsilon:
+        The execution-phase penalty margin ("epsilon-above the
+        attempted deviation").
+    no_progress_utility:
+        Utility assigned to every node when construction never
+        certifies.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        traffic: TrafficMatrix,
+        node_factory: Optional[FaithfulNodeFactory] = None,
+        max_restarts: int = 2,
+        epsilon: float = 0.01,
+        no_progress_utility: float = -1000.0,
+        trace_enabled: bool = False,
+        max_events: int = 2_000_000,
+        link_delays=1.0,
+        bank_honors_flags: bool = True,
+        node_adapters: Optional[Callable[[FaithfulRoutingNode], None]] = None,
+    ) -> None:
+        graph.require_biconnected()
+        self.graph = graph
+        self.traffic = dict(traffic)
+        self.node_factory = node_factory or (
+            lambda node_id, cost, signing: FaithfulRoutingNode(
+                node_id, cost, signing
+            )
+        )
+        self.max_restarts = max_restarts
+        self.epsilon = epsilon
+        self.no_progress_utility = no_progress_utility
+        self.trace_enabled = trace_enabled
+        self.max_events = max_events
+        #: Constant, mapping, or callable per-link delay (asynchrony).
+        self.link_delays = link_delays
+        #: Ablation switch: when False, BANK1/BANK2 compare digests
+        #: only and ignore checker flags (used to show the flags are a
+        #: necessary ingredient, not redundancy).
+        self.bank_honors_flags = bank_honors_flags
+        #: Optional hook applied to every node after construction,
+        #: e.g. installing failure adapters for the Section 5
+        #: experiments (omission faults on obedient nodes).
+        self.node_adapters = node_adapters
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _build(self) -> Tuple[Simulator, Dict[NodeId, FaithfulRoutingNode], BankNode]:
+        signing = SigningAuthority()
+        simulator = Simulator(
+            topology_from_graph(self.graph, delay=self.link_delays),
+            trace_enabled=self.trace_enabled,
+        )
+        nodes: Dict[NodeId, FaithfulRoutingNode] = {}
+        for node_id in self.graph.nodes:
+            signing.register(node_id)
+            node = self.node_factory(node_id, self.graph.cost(node_id), signing)
+            if self.node_adapters is not None:
+                self.node_adapters(node)
+            nodes[node_id] = node
+            simulator.add_node(node)
+        signing.register(BANK_ID)
+        bank = BankNode(signing)
+        simulator.add_node(bank, well_known=True)
+        return simulator, nodes, bank
+
+    def _quiesce(self, simulator: Simulator) -> int:
+        return simulator.run_until_quiescent(max_events=self.max_events)
+
+    def _checker_map(self) -> Dict[NodeId, Tuple[NodeId, ...]]:
+        """Every neighbour of a node is a checker for that node."""
+        return {n: self.graph.neighbors(n) for n in self.graph.nodes}
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute construction -> checkpoints -> execution -> settle."""
+        simulator, nodes, bank = self._build()
+        node_ids = tuple(sorted(nodes, key=repr))
+        detection = DetectionReport()
+        checker_map = self._checker_map()
+        construction_events = 0
+
+        # ---------------- first construction phase -------------------
+        phase1_certified = False
+        for _attempt in range(self.max_restarts + 1):
+            for node_id in node_ids:
+                simulator.schedule_local(
+                    node_id, 0.0, nodes[node_id].start_phase1, label="phase1"
+                )
+            construction_events += self._quiesce(simulator)
+            bank.request_reports("phase1", node_ids)
+            construction_events += self._quiesce(simulator)
+            decision = bank.decide_phase1(node_ids)
+            detection.record(decision)
+            if decision.green_light:
+                phase1_certified = True
+                break
+        if not phase1_certified:
+            return self._no_progress_result(
+                simulator, nodes, detection, construction_events
+            )
+
+        # Checker-setup handshake: share connectivity with checkers.
+        for node_id in node_ids:
+            nodes[node_id].prepare_checking(
+                {
+                    neighbor: self.graph.neighbors(neighbor)
+                    for neighbor in self.graph.neighbors(node_id)
+                }
+            )
+
+        # ---------------- second construction phase ------------------
+        phase2_certified = False
+        for _attempt in range(self.max_restarts + 1):
+            for node_id in node_ids:
+                simulator.schedule_local(
+                    node_id, 0.0, nodes[node_id].start_phase2, label="phase2"
+                )
+            construction_events += self._quiesce(simulator)
+
+            bank.request_reports("bank1", node_ids)
+            construction_events += self._quiesce(simulator)
+            decision1 = bank.decide_bank1(
+                checker_map, honor_flags=self.bank_honors_flags
+            )
+            detection.record(decision1)
+            if decision1.deviation_detected:
+                continue
+
+            bank.request_reports("bank2", node_ids)
+            construction_events += self._quiesce(simulator)
+            decision2 = bank.decide_bank2(
+                checker_map, honor_flags=self.bank_honors_flags
+            )
+            detection.record(decision2)
+            if decision2.deviation_detected:
+                continue
+            phase2_certified = True
+            break
+        if not phase2_certified:
+            return self._no_progress_result(
+                simulator, nodes, detection, construction_events
+            )
+
+        # ---------------- execution phase ----------------------------
+        for node_id in node_ids:
+            nodes[node_id].start_execution()
+        for (source, destination), volume in sorted(self.traffic.items(), key=repr):
+            if volume <= 0:
+                continue
+            node = nodes[source]
+            simulator.schedule_local(
+                source,
+                0.0,
+                lambda n=node, d=destination, v=volume: n.originate_flow(d, v),
+                label="originate",
+            )
+        self._quiesce(simulator)
+
+        bank.request_reports("execution", node_ids)
+        self._quiesce(simulator)
+        records, settlement_flags = bank.settle(
+            node_ids,
+            declared_costs={n: nodes[n].comp.costs.cost(n) for n in node_ids},
+            epsilon=self.epsilon,
+        )
+        detection.settlement_flags.extend(settlement_flags)
+
+        utilities: Dict[NodeId, float] = {}
+        received: Dict[NodeId, float] = {}
+        charged: Dict[NodeId, float] = {}
+        penalties: Dict[NodeId, float] = {}
+        incurred: Dict[NodeId, float] = {}
+        for node_id in node_ids:
+            record = records[node_id]
+            received[node_id] = record.received
+            charged[node_id] = record.charged
+            penalties[node_id] = record.penalties
+            incurred[node_id] = nodes[node_id].incurred_cost
+            utilities[node_id] = (
+                record.received
+                - record.charged
+                - record.penalties
+                - nodes[node_id].incurred_cost
+            )
+
+        return RunResult(
+            progressed=True,
+            utilities=utilities,
+            detection=detection,
+            received=received,
+            charged=charged,
+            penalties=penalties,
+            incurred=incurred,
+            metrics=simulator.metrics.summary(),
+            construction_events=construction_events,
+        )
+
+    def _no_progress_result(
+        self,
+        simulator: Simulator,
+        nodes: Mapping[NodeId, FaithfulRoutingNode],
+        detection: DetectionReport,
+        construction_events: int,
+    ) -> RunResult:
+        detection.progressed = False
+        return RunResult(
+            progressed=False,
+            utilities={n: self.no_progress_utility for n in nodes},
+            detection=detection,
+            metrics=simulator.metrics.summary(),
+            construction_events=construction_events,
+        )
+
+
+class PlainFPSSProtocol:
+    """The original FPSS: trusting construction and settlement.
+
+    Nodes exchange and believe each other's tables; at settlement each
+    origin pays exactly what it *reports* owing, and transit nodes
+    receive those reported amounts.  No deviation is ever detected —
+    this is the baseline whose manipulation gains the faithful
+    extension eliminates.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        traffic: TrafficMatrix,
+        node_factory: Optional[PlainNodeFactory] = None,
+        trace_enabled: bool = False,
+        max_events: int = 2_000_000,
+        link_delays=1.0,
+    ) -> None:
+        graph.require_biconnected()
+        self.graph = graph
+        self.traffic = dict(traffic)
+        self.node_factory = node_factory or (
+            lambda node_id, cost: FPSSNode(node_id, cost)
+        )
+        self.trace_enabled = trace_enabled
+        self.max_events = max_events
+        self.link_delays = link_delays
+
+    def run(self) -> RunResult:
+        """Construction to quiescence, traffic, trusting settlement."""
+        simulator = Simulator(
+            topology_from_graph(self.graph, delay=self.link_delays),
+            trace_enabled=self.trace_enabled,
+        )
+        nodes: Dict[NodeId, FPSSNode] = {}
+        for node_id in self.graph.nodes:
+            node = self.node_factory(node_id, self.graph.cost(node_id))
+            nodes[node_id] = node
+            simulator.add_node(node)
+        node_ids = tuple(sorted(nodes, key=repr))
+
+        construction_events = 0
+        for node_id in node_ids:
+            simulator.schedule_local(
+                node_id, 0.0, nodes[node_id].start_phase1, label="phase1"
+            )
+        construction_events += simulator.run_until_quiescent(self.max_events)
+        for node_id in node_ids:
+            simulator.schedule_local(
+                node_id, 0.0, nodes[node_id].start_phase2, label="phase2"
+            )
+        construction_events += simulator.run_until_quiescent(self.max_events)
+
+        for node_id in node_ids:
+            nodes[node_id].start_execution()
+        for (source, destination), volume in sorted(self.traffic.items(), key=repr):
+            if volume <= 0:
+                continue
+            node = nodes[source]
+            simulator.schedule_local(
+                source,
+                0.0,
+                lambda n=node, d=destination, v=volume: n.originate_flow(d, v),
+                label="originate",
+            )
+        simulator.run_until_quiescent(self.max_events)
+
+        # Trusting settlement: reported DATA4 is simply executed.
+        received: Dict[NodeId, float] = {n: 0.0 for n in node_ids}
+        charged: Dict[NodeId, float] = {n: 0.0 for n in node_ids}
+        for node_id in node_ids:
+            for payee, amount in nodes[node_id].report_payments().items():
+                charged[node_id] += amount
+                if payee in received:
+                    received[payee] += amount
+
+        utilities = {
+            n: received[n] - charged[n] - nodes[n].incurred_cost for n in node_ids
+        }
+        return RunResult(
+            progressed=True,
+            utilities=utilities,
+            detection=DetectionReport(),
+            received=received,
+            charged=charged,
+            penalties={n: 0.0 for n in node_ids},
+            incurred={n: nodes[n].incurred_cost for n in node_ids},
+            metrics=simulator.metrics.summary(),
+            construction_events=construction_events,
+        )

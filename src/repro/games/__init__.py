@@ -1,0 +1,18 @@
+"""Game-theoretic analysis tools: explicit games and deviation sweeps."""
+
+from .deviation import (
+    DeviationOutcome,
+    DeviationTable,
+    MechanismRunner,
+    explore_deviations,
+)
+from .normalform import GameFamily, NormalFormGame
+
+__all__ = [
+    "DeviationOutcome",
+    "DeviationTable",
+    "GameFamily",
+    "MechanismRunner",
+    "NormalFormGame",
+    "explore_deviations",
+]

@@ -1,0 +1,156 @@
+"""The deviation explorer: measure every catalogued manipulation.
+
+This is the executable counterpart of the paper's faithfulness proofs:
+for a mechanism runner, a baseline strategy assignment, and a catalogue
+of deviations, it evaluates the deviator's realised utility change for
+each (node, deviation) pair — under the faithful specification the
+gains must all be non-positive (Theorem 1), while under the plain
+specification positive entries exhibit the incentive holes the
+extension closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import MechanismError
+
+NodeLabel = Hashable
+DeviationLabel = str
+
+#: Runs the mechanism with one node deviating (or none for baseline)
+#: and returns per-node utilities plus whether a deviation was
+#: detected.  ``deviation=None`` means the all-faithful baseline.
+MechanismRunner = Callable[
+    [Optional[NodeLabel], Optional[DeviationLabel]],
+    Tuple[Mapping[NodeLabel, float], bool],
+]
+
+
+@dataclass(frozen=True)
+class DeviationOutcome:
+    """One (node, deviation) evaluation."""
+
+    node: NodeLabel
+    deviation: DeviationLabel
+    baseline_utility: float
+    deviant_utility: float
+    detected: bool
+    #: Sum of all nodes' utilities in the two runs (for welfare and
+    #: antisocial-objective analysis; 0.0 when the runner predates it).
+    baseline_total: float = 0.0
+    deviant_total: float = 0.0
+
+    @property
+    def gain(self) -> float:
+        """The deviator's improvement (<= 0 for a faithful spec)."""
+        return self.deviant_utility - self.baseline_utility
+
+    @property
+    def others_gain(self) -> float:
+        """Utility change of everyone except the deviator."""
+        return (self.deviant_total - self.deviant_utility) - (
+            self.baseline_total - self.baseline_utility
+        )
+
+    def antisocial_gain(self, spite: float = 1.0) -> float:
+        """Gain under the Section 5 antisocial objective.
+
+        An antisocial node values its own utility minus ``spite`` times
+        everyone else's: deviations that torch the whole network (e.g.
+        forcing non-progress) can be *attractive* under this objective
+        even though they are strictly losing for a selfish node —
+        which is why the paper's faithfulness guarantee is explicitly
+        scoped to rational (self-interested) manipulation.
+        """
+        return self.gain - spite * self.others_gain
+
+
+@dataclass
+class DeviationTable:
+    """All outcomes of one exploration run."""
+
+    outcomes: List[DeviationOutcome] = field(default_factory=list)
+
+    @property
+    def max_gain(self) -> float:
+        """Largest gain any deviation achieved."""
+        if not self.outcomes:
+            return 0.0
+        return max(o.gain for o in self.outcomes)
+
+    @property
+    def profitable(self) -> List[DeviationOutcome]:
+        """Outcomes with strictly positive gain (tolerance 1e-9)."""
+        return [o for o in self.outcomes if o.gain > 1e-9]
+
+    def detection_rate(self, excluding: Sequence[DeviationLabel] = ()) -> float:
+        """Fraction of *detectable* deviations that were detected.
+
+        Deviations are counted detectable when they had an observable
+        effect (their gain differs from zero or they were detected);
+        no-op parameterisations are excluded so the rate is not diluted
+        by deviations that never fired.  ``excluding`` removes labels
+        the specification deliberately permits — e.g. ``cost-lie`` is a
+        *consistent* type misreport that the mechanism neutralises with
+        VCG incentives rather than detection (Definition 2 allows it).
+        """
+        skip = set(excluding)
+        fired = [
+            o
+            for o in self.outcomes
+            if o.deviation not in skip and (o.detected or abs(o.gain) > 1e-9)
+        ]
+        if not fired:
+            return 1.0
+        return sum(1 for o in fired if o.detected) / len(fired)
+
+    def by_deviation(self) -> Dict[DeviationLabel, List[DeviationOutcome]]:
+        """Group outcomes per deviation label."""
+        grouped: Dict[DeviationLabel, List[DeviationOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.deviation, []).append(outcome)
+        return grouped
+
+    def is_faithful(self, tolerance: float = 1e-9) -> bool:
+        """True when no explored deviation strictly profits."""
+        return all(o.gain <= tolerance for o in self.outcomes)
+
+
+def explore_deviations(
+    runner: MechanismRunner,
+    nodes: Sequence[NodeLabel],
+    deviations: Sequence[DeviationLabel],
+) -> DeviationTable:
+    """Run the full (node x deviation) grid against a baseline.
+
+    The baseline (everyone faithful) is evaluated once; each grid cell
+    re-runs the mechanism with exactly one node deviating, matching the
+    unilateral quantifier of the ex post Nash definition.
+    """
+    if not nodes:
+        raise MechanismError("no nodes to explore")
+    baseline_utilities, baseline_detected = runner(None, None)
+    if baseline_detected:
+        raise MechanismError(
+            "the faithful baseline was flagged as deviant; the "
+            "detector is unsound"
+        )
+    baseline_total = sum(baseline_utilities.values())
+    table = DeviationTable()
+    for node in nodes:
+        for deviation in deviations:
+            utilities, detected = runner(node, deviation)
+            table.outcomes.append(
+                DeviationOutcome(
+                    node=node,
+                    deviation=deviation,
+                    baseline_utility=baseline_utilities[node],
+                    deviant_utility=utilities[node],
+                    detected=detected,
+                    baseline_total=baseline_total,
+                    deviant_total=sum(utilities.values()),
+                )
+            )
+    return table

@@ -1,0 +1,202 @@
+"""Finite normal-form games and exhaustive equilibrium analysis.
+
+Small, fully enumerable games are where the paper's solution-concept
+machinery can be verified *exactly*: best responses, dominant
+strategies, pure Nash equilibria, and — for games parameterised by a
+type profile — the ex post Nash property (Definition 6) checked over
+every state of the world.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from ..errors import MechanismError
+
+Player = Hashable
+StrategyLabel = Hashable
+Profile = Tuple[StrategyLabel, ...]
+
+#: payoff(profile) -> per-player payoff vector (aligned with players).
+PayoffFunction = Callable[[Profile], Sequence[float]]
+
+
+class NormalFormGame:
+    """An explicit finite game.
+
+    Parameters
+    ----------
+    players:
+        Ordered player labels.
+    strategy_sets:
+        One finite strategy list per player (same order).
+    payoff:
+        Maps a joint profile (ordered like players) to the payoff
+        vector.
+    """
+
+    def __init__(
+        self,
+        players: Sequence[Player],
+        strategy_sets: Sequence[Sequence[StrategyLabel]],
+        payoff: PayoffFunction,
+    ) -> None:
+        if len(players) != len(strategy_sets):
+            raise MechanismError("one strategy set per player required")
+        if not players:
+            raise MechanismError("a game needs players")
+        for strategies in strategy_sets:
+            if not strategies:
+                raise MechanismError("empty strategy set")
+        self.players: Tuple[Player, ...] = tuple(players)
+        self.strategy_sets: Tuple[Tuple[StrategyLabel, ...], ...] = tuple(
+            tuple(s) for s in strategy_sets
+        )
+        self._payoff = payoff
+        self._cache: Dict[Profile, Tuple[float, ...]] = {}
+
+    def index_of(self, player: Player) -> int:
+        """Position of a player in the ordering."""
+        try:
+            return self.players.index(player)
+        except ValueError:
+            raise MechanismError(f"unknown player {player!r}") from None
+
+    def payoffs(self, profile: Profile) -> Tuple[float, ...]:
+        """The (cached) payoff vector of one joint profile."""
+        profile = tuple(profile)
+        if profile not in self._cache:
+            vector = tuple(self._payoff(profile))
+            if len(vector) != len(self.players):
+                raise MechanismError("payoff vector has wrong arity")
+            self._cache[profile] = vector
+        return self._cache[profile]
+
+    def payoff_of(self, player: Player, profile: Profile) -> float:
+        """One player's payoff in one profile."""
+        return self.payoffs(profile)[self.index_of(player)]
+
+    def profiles(self) -> Iterable[Profile]:
+        """Every joint pure-strategy profile."""
+        return itertools.product(*self.strategy_sets)
+
+    # ------------------------------------------------------------------
+    # solution concepts
+    # ------------------------------------------------------------------
+
+    def unilateral_variants(
+        self, profile: Profile, player_index: int
+    ) -> Iterable[Profile]:
+        """All profiles differing from ``profile`` only at one player."""
+        current = profile[player_index]
+        for strategy in self.strategy_sets[player_index]:
+            if strategy == current:
+                continue
+            variant = list(profile)
+            variant[player_index] = strategy
+            yield tuple(variant)
+
+    def best_responses(
+        self, player: Player, opponents: Profile
+    ) -> List[StrategyLabel]:
+        """Best responses of one player to a fixed opponent profile.
+
+        ``opponents`` is a full profile; the player's own entry is
+        ignored and replaced by each candidate.
+        """
+        index = self.index_of(player)
+        best: List[StrategyLabel] = []
+        best_payoff = None
+        for strategy in self.strategy_sets[index]:
+            candidate = list(opponents)
+            candidate[index] = strategy
+            payoff = self.payoff_of(player, tuple(candidate))
+            if best_payoff is None or payoff > best_payoff + 1e-12:
+                best, best_payoff = [strategy], payoff
+            elif abs(payoff - best_payoff) <= 1e-12:
+                best.append(strategy)
+        return best
+
+    def is_nash(self, profile: Profile, tolerance: float = 1e-9) -> bool:
+        """No player gains by a unilateral pure deviation."""
+        profile = tuple(profile)
+        for index, player in enumerate(self.players):
+            own = self.payoffs(profile)[index]
+            for variant in self.unilateral_variants(profile, index):
+                if self.payoffs(variant)[index] > own + tolerance:
+                    return False
+        return True
+
+    def pure_nash_equilibria(self) -> List[Profile]:
+        """All pure-strategy Nash equilibria (exhaustive)."""
+        return [p for p in self.profiles() if self.is_nash(p)]
+
+    def is_dominant(
+        self, player: Player, strategy: StrategyLabel, tolerance: float = 1e-9
+    ) -> bool:
+        """``strategy`` is weakly dominant for ``player``."""
+        index = self.index_of(player)
+        others = [
+            self.strategy_sets[i]
+            for i in range(len(self.players))
+            if i != index
+        ]
+        for combo in itertools.product(*others):
+            profile = list(combo)
+            profile.insert(index, strategy)
+            own = self.payoffs(tuple(profile))[index]
+            for alternative in self.strategy_sets[index]:
+                if alternative == strategy:
+                    continue
+                variant = list(combo)
+                variant.insert(index, alternative)
+                if self.payoffs(tuple(variant))[index] > own + tolerance:
+                    return False
+        return True
+
+
+class GameFamily:
+    """A game per type profile: the object ex post Nash quantifies over.
+
+    Definition 6 requires the equilibrium property to hold for *every*
+    joint type profile; a :class:`GameFamily` materialises one
+    :class:`NormalFormGame` per profile and checks them all.
+    """
+
+    def __init__(
+        self,
+        players: Sequence[Player],
+        strategy_sets: Sequence[Sequence[StrategyLabel]],
+        payoff_for_types: Callable[[Mapping[Player, object], Profile], Sequence[float]],
+        type_profiles: Sequence[Mapping[Player, object]],
+    ) -> None:
+        self.players = tuple(players)
+        self.strategy_sets = tuple(tuple(s) for s in strategy_sets)
+        self._payoff_for_types = payoff_for_types
+        self.type_profiles = list(type_profiles)
+        if not self.type_profiles:
+            raise MechanismError("a game family needs type profiles")
+
+    def game_at(self, types: Mapping[Player, object]) -> NormalFormGame:
+        """The realised game for one type profile."""
+        return NormalFormGame(
+            self.players,
+            self.strategy_sets,
+            lambda profile: self._payoff_for_types(types, profile),
+        )
+
+    def is_ex_post_nash(
+        self, profile: Profile, tolerance: float = 1e-9
+    ) -> bool:
+        """Definition 6 over the whole family: ``profile`` must be a
+        Nash equilibrium of every realised game."""
+        return all(
+            self.game_at(types).is_nash(profile, tolerance=tolerance)
+            for types in self.type_profiles
+        )
+
+    def ex_post_equilibria(self) -> List[Profile]:
+        """All pure profiles that are ex post Nash across the family."""
+        first = self.game_at(self.type_profiles[0])
+        return [p for p in first.profiles() if self.is_ex_post_nash(p)]

@@ -1,0 +1,78 @@
+"""Mechanism design core: centralized MD, VCG, distributed specs,
+solution concepts, and the faithfulness verifiers of Sections 3.2-3.8.
+"""
+
+from .centralized import (
+    DirectRevelationMechanism,
+    StrategyproofnessReport,
+    StrategyproofnessViolation,
+    audit_strategyproofness,
+)
+from .distributed import (
+    DistributedMechanism,
+    DistributedStrategy,
+    MechanismRun,
+    OutcomeEngine,
+)
+from .faithfulness import (
+    CompatibilityReport,
+    FaithfulnessVerdict,
+    check_ac,
+    check_cc,
+    check_compatibility,
+    check_ic,
+    check_strong_ac,
+    check_strong_cc,
+    proposition1_verdict,
+    proposition2_verdict,
+)
+from .solution import (
+    EquilibriumReport,
+    EquilibriumViolation,
+    check_dominant_strategy,
+    check_ex_post_nash,
+)
+from .types import (
+    AgentId,
+    Outcome,
+    TypeProfile,
+    TypeSpace,
+    enumerate_profiles,
+    sample_profiles,
+)
+from .utility import UtilityFunction
+from .vcg import make_vcg_mechanism, vcg_outcome
+
+__all__ = [
+    "AgentId",
+    "CompatibilityReport",
+    "DirectRevelationMechanism",
+    "DistributedMechanism",
+    "DistributedStrategy",
+    "EquilibriumReport",
+    "EquilibriumViolation",
+    "FaithfulnessVerdict",
+    "MechanismRun",
+    "Outcome",
+    "OutcomeEngine",
+    "StrategyproofnessReport",
+    "StrategyproofnessViolation",
+    "TypeProfile",
+    "TypeSpace",
+    "UtilityFunction",
+    "audit_strategyproofness",
+    "check_ac",
+    "check_cc",
+    "check_compatibility",
+    "check_dominant_strategy",
+    "check_ex_post_nash",
+    "check_ic",
+    "check_strong_ac",
+    "check_strong_cc",
+    "enumerate_profiles",
+    "make_vcg_mechanism",
+    "proposition1_verdict",
+    "proposition2_verdict",
+    "sample_profiles",
+    "vcg_outcome",
+]

@@ -1,0 +1,173 @@
+"""Centralized (direct-revelation) mechanisms and strategyproofness.
+
+A centralized mechanism ``M = (f, Theta)`` asks nodes to report types
+to a trusted, obedient center that selects the outcome ``f(theta-hat)``
+(Section 3.2).  Definition 5: ``M`` is **strategyproof** when truthful
+reporting maximises each node's utility whatever the others report:
+
+    u_i(f(theta_i, theta_{-i}); theta_i)
+        >= u_i(f(theta-hat_i, theta_{-i}); theta_i)
+
+for all ``theta_i``, all ``theta-hat_i != theta_i``, all ``theta_{-i}``.
+
+The :func:`audit_strategyproofness` verifier checks that inequality
+exhaustively on finite type spaces and statistically on sampled ones;
+it is the "corresponding centralized mechanism is strategyproof" leg of
+Proposition 2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Hashable, List, Mapping, Optional, TypeVar
+
+from ..errors import MechanismError
+from .types import (
+    AgentId,
+    Outcome,
+    TypeProfile,
+    TypeSpace,
+    enumerate_profiles,
+    sample_profiles,
+)
+from .utility import UtilityFunction
+
+TypeT = TypeVar("TypeT", bound=Hashable)
+
+#: An outcome rule: reported profile -> outcome.
+OutcomeRule = Callable[[TypeProfile], Outcome]
+
+
+class DirectRevelationMechanism(Generic[TypeT]):
+    """``M = (f, Theta)`` with quasi-linear utilities."""
+
+    def __init__(
+        self,
+        outcome_rule: OutcomeRule,
+        type_spaces: Mapping[AgentId, TypeSpace[TypeT]],
+        utility: UtilityFunction[TypeT],
+        name: str = "mechanism",
+    ) -> None:
+        if not type_spaces:
+            raise MechanismError("a mechanism needs at least one agent")
+        self._outcome_rule = outcome_rule
+        self._type_spaces = dict(type_spaces)
+        self.utility = utility
+        self.name = name
+
+    @property
+    def agents(self) -> tuple:
+        """All participating agent ids."""
+        return tuple(sorted(self._type_spaces, key=repr))
+
+    @property
+    def type_spaces(self) -> Dict[AgentId, TypeSpace[TypeT]]:
+        """Copy of the per-agent type spaces."""
+        return dict(self._type_spaces)
+
+    def outcome(self, reports: TypeProfile[TypeT]) -> Outcome:
+        """``f(theta-hat)``."""
+        return self._outcome_rule(reports)
+
+    def agent_utility(
+        self, agent: AgentId, reports: TypeProfile[TypeT], true_type: TypeT
+    ) -> float:
+        """Utility of one agent under given reports and its true type."""
+        return self.utility.utility(agent, self.outcome(reports), true_type)
+
+
+@dataclass(frozen=True)
+class StrategyproofnessViolation:
+    """A profitable misreport found by the auditor."""
+
+    agent: AgentId
+    true_profile: TypeProfile
+    misreport: object
+    truthful_utility: float
+    deviant_utility: float
+
+    @property
+    def gain(self) -> float:
+        """How much the lie earned."""
+        return self.deviant_utility - self.truthful_utility
+
+
+@dataclass
+class StrategyproofnessReport:
+    """Verdict of a strategyproofness audit."""
+
+    mechanism_name: str
+    profiles_checked: int
+    deviations_checked: int
+    violations: List[StrategyproofnessViolation] = field(default_factory=list)
+    max_gain: float = 0.0
+
+    @property
+    def is_strategyproof(self) -> bool:
+        """True if no profitable misreport was found."""
+        return not self.violations
+
+
+def audit_strategyproofness(
+    mechanism: DirectRevelationMechanism[TypeT],
+    rng: Optional[random.Random] = None,
+    profile_samples: int = 50,
+    misreport_samples: int = 10,
+    tolerance: float = 1e-9,
+) -> StrategyproofnessReport:
+    """Search for profitable unilateral misreports (Definition 5).
+
+    On finite type spaces the check is exhaustive over all profiles and
+    all misreports; otherwise ``profile_samples`` joint profiles are
+    drawn and ``misreport_samples`` alternative reports per agent.
+
+    Parameters
+    ----------
+    tolerance:
+        Gains below this are attributed to float noise and ignored.
+    """
+    spaces = mechanism.type_spaces
+    finite = all(space.is_finite for space in spaces.values())
+    rng = rng or random.Random(0)
+
+    if finite:
+        profiles = list(enumerate_profiles(spaces))
+    else:
+        profiles = sample_profiles(spaces, rng, profile_samples)
+
+    report = StrategyproofnessReport(
+        mechanism_name=mechanism.name, profiles_checked=len(profiles),
+        deviations_checked=0,
+    )
+
+    for profile in profiles:
+        for agent in mechanism.agents:
+            true_type = profile.type_of(agent)
+            truthful_utility = mechanism.agent_utility(agent, profile, true_type)
+            if spaces[agent].is_finite:
+                misreports = [t for t in spaces[agent].values if t != true_type]
+            else:
+                misreports = [
+                    spaces[agent].sample(rng) for _ in range(misreport_samples)
+                ]
+                misreports = [m for m in misreports if m != true_type]
+            for misreport in misreports:
+                report.deviations_checked += 1
+                deviant_profile = profile.replace(agent, misreport)
+                deviant_utility = mechanism.agent_utility(
+                    agent, deviant_profile, true_type
+                )
+                gain = deviant_utility - truthful_utility
+                report.max_gain = max(report.max_gain, gain)
+                if gain > tolerance:
+                    report.violations.append(
+                        StrategyproofnessViolation(
+                            agent=agent,
+                            true_profile=profile,
+                            misreport=misreport,
+                            truthful_utility=truthful_utility,
+                            deviant_utility=deviant_utility,
+                        )
+                    )
+    return report

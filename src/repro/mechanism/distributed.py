@@ -1,0 +1,213 @@
+"""Distributed mechanism specifications ``dM = (g, Sigma, s^m)``.
+
+Definition 1: a distributed mechanism specification defines an outcome
+rule ``g``, a feasible strategy space ``Sigma``, and a suggested
+strategy ``s^m``.  The outcome rule depends on the *sequence of actions
+taken by nodes* — here, on which strategy each node runs inside the
+network simulator — rather than on a vector of reports.
+
+A strategy in this module is a named, classified element of ``Sigma_i``
+(:class:`DistributedStrategy`); running the mechanism under a strategy
+assignment is delegated to an *outcome engine* callable supplied by the
+domain (e.g. the faithful-routing experiment runner).  The engine
+returns per-node utilities, which is all the equilibrium and
+faithfulness verifiers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import MechanismError
+from ..specs.actions import ActionClass
+from .types import AgentId, TypeProfile
+
+
+@dataclass(frozen=True)
+class DistributedStrategy:
+    """One element of a node's feasible strategy space ``Sigma_i``.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"suggested"`` or ``"drop-routing-updates"``.
+    deviation_classes:
+        Which external-action classes the strategy deviates in,
+        relative to the suggested strategy (empty for the suggested
+        strategy itself).  This classification is what the IC/CC/AC
+        verifiers filter on.
+    payload:
+        Opaque domain data (e.g. a node-subclass factory) that the
+        outcome engine knows how to interpret.  Excluded from equality.
+    """
+
+    name: str
+    deviation_classes: FrozenSet[ActionClass] = frozenset()
+    payload: Any = field(default=None, compare=False)
+
+    @property
+    def is_suggested(self) -> bool:
+        """True for the faithful strategy (no deviation classes)."""
+        return not self.deviation_classes
+
+    def touches(self, action_class: ActionClass) -> bool:
+        """True if the strategy deviates in the given class."""
+        return action_class in self.deviation_classes
+
+
+@dataclass(frozen=True)
+class MechanismRun:
+    """The result of evaluating ``g`` under one strategy assignment."""
+
+    utilities: Mapping[AgentId, float]
+    outcome_data: Any = None
+
+    def utility_of(self, agent: AgentId) -> float:
+        """One agent's realised utility."""
+        try:
+            return self.utilities[agent]
+        except KeyError:
+            raise MechanismError(f"run has no utility for agent {agent!r}") from None
+
+
+#: ``g``: (strategy assignment, type profile) -> realised run.
+OutcomeEngine = Callable[[Mapping[AgentId, DistributedStrategy], TypeProfile], MechanismRun]
+
+
+class DistributedMechanism:
+    """``dM = (g, Sigma, s^m)`` with an executable outcome rule.
+
+    Parameters
+    ----------
+    engine:
+        The outcome rule ``g``, evaluated by simulation.
+    strategy_space:
+        ``Sigma_i`` per agent; each must contain the suggested
+        strategy.
+    suggested:
+        ``s^m_i`` per agent.
+    """
+
+    def __init__(
+        self,
+        engine: OutcomeEngine,
+        strategy_space: Mapping[AgentId, Sequence[DistributedStrategy]],
+        suggested: Mapping[AgentId, DistributedStrategy],
+        name: str = "dM",
+    ) -> None:
+        if not strategy_space:
+            raise MechanismError("a distributed mechanism needs agents")
+        self._engine = engine
+        self._space: Dict[AgentId, Tuple[DistributedStrategy, ...]] = {
+            agent: tuple(strategies) for agent, strategies in strategy_space.items()
+        }
+        self._suggested: Dict[AgentId, DistributedStrategy] = dict(suggested)
+        self.name = name
+
+        for agent in self._space:
+            if agent not in self._suggested:
+                raise MechanismError(f"no suggested strategy for agent {agent!r}")
+            if self._suggested[agent] not in self._space[agent]:
+                raise MechanismError(
+                    f"suggested strategy of {agent!r} is outside Sigma_{agent!r}"
+                )
+            if not self._suggested[agent].is_suggested:
+                raise MechanismError(
+                    f"suggested strategy of {agent!r} is itself classified "
+                    "as a deviation"
+                )
+
+    @property
+    def agents(self) -> Tuple[AgentId, ...]:
+        """All participating agents, repr-sorted."""
+        return tuple(sorted(self._space, key=repr))
+
+    def strategies_of(self, agent: AgentId) -> Tuple[DistributedStrategy, ...]:
+        """``Sigma_i``."""
+        try:
+            return self._space[agent]
+        except KeyError:
+            raise MechanismError(f"unknown agent {agent!r}") from None
+
+    def suggested_strategy(self, agent: AgentId) -> DistributedStrategy:
+        """``s^m_i``."""
+        return self._suggested[agent]
+
+    def suggested_assignment(self) -> Dict[AgentId, DistributedStrategy]:
+        """The full suggested profile ``s^m``."""
+        return dict(self._suggested)
+
+    def deviations_of(
+        self,
+        agent: AgentId,
+        classes: Optional[Iterable[ActionClass]] = None,
+        require_touch: Optional[ActionClass] = None,
+    ) -> List[DistributedStrategy]:
+        """Non-suggested strategies of one agent, optionally filtered.
+
+        Parameters
+        ----------
+        classes:
+            If given, keep only deviations whose classes are a subset
+            (pure deviations for IC/CC/AC checks).
+        require_touch:
+            If given, keep only deviations that include this class
+            (arbitrary joint deviations for strong-CC/strong-AC).
+        """
+        allowed = frozenset(classes) if classes is not None else None
+        result = []
+        for strategy in self._space[agent]:
+            if strategy == self._suggested[agent]:
+                continue
+            if allowed is not None and not strategy.deviation_classes <= allowed:
+                continue
+            if require_touch is not None and not strategy.touches(require_touch):
+                continue
+            result.append(strategy)
+        return result
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        assignment: Mapping[AgentId, DistributedStrategy],
+        types: TypeProfile,
+    ) -> MechanismRun:
+        """Evaluate ``g`` under a full strategy assignment."""
+        merged = dict(self._suggested)
+        for agent, strategy in assignment.items():
+            if agent not in self._space:
+                raise MechanismError(f"unknown agent {agent!r}")
+            if strategy not in self._space[agent]:
+                raise MechanismError(
+                    f"strategy {strategy.name!r} is outside Sigma_{agent!r}"
+                )
+            merged[agent] = strategy
+        return self._engine(merged, types)
+
+    def run_suggested(self, types: TypeProfile) -> MechanismRun:
+        """Evaluate ``g(s^m(theta))``."""
+        return self.run({}, types)
+
+    def run_unilateral(
+        self,
+        agent: AgentId,
+        strategy: DistributedStrategy,
+        types: TypeProfile,
+    ) -> MechanismRun:
+        """Everyone faithful except one agent playing ``strategy``."""
+        return self.run({agent: strategy}, types)

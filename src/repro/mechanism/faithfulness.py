@@ -1,0 +1,299 @@
+"""Faithfulness: IC, CC, AC, strong-CC, strong-AC, and Propositions 1-2.
+
+Definition 8: a distributed mechanism specification is an (ex post)
+**faithful implementation** when the suggested strategy ``s^m`` is an
+ex post Nash equilibrium.  The compatibility properties slice that
+requirement by action class:
+
+* **IC** (Definition 9): no profitable deviation confined to
+  information-revelation actions;
+* **CC** (Definition 10): none confined to message-passing actions;
+* **AC** (Definition 11): none confined to computational actions;
+* **strong-CC** (Definition 12): no profitable deviation *touching*
+  message-passing, whatever the node simultaneously does to its
+  computational and information-revelation actions;
+* **strong-AC** (Definition 13): symmetrically for computation.
+
+Proposition 1: IC + CC + AC in the same equilibrium => faithful.
+Proposition 2: centralized strategyproofness + strong-CC + strong-AC
+=> faithful.
+
+The verifiers here operationalise those statements over an explicit
+deviation catalogue (the strategy space ``Sigma``): an exhaustive check
+on small instances, a statistical one on sampled instances.  They
+cannot replace the paper's symbolic proofs — a sampled check is
+falsification-complete only over the catalogue it is given — but they
+make every claim *executable*: any bug in the mechanism that admits a
+profitable catalogued deviation is reported as a concrete
+counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import MechanismError
+from ..specs.actions import ActionClass
+from .centralized import StrategyproofnessReport
+from .distributed import DistributedMechanism
+from .solution import EquilibriumReport, check_ex_post_nash
+from .types import TypeProfile
+
+
+@dataclass
+class CompatibilityReport:
+    """IC/CC/AC verdicts plus the strong variants for one mechanism."""
+
+    mechanism_name: str
+    ic: Optional[EquilibriumReport] = None
+    cc: Optional[EquilibriumReport] = None
+    ac: Optional[EquilibriumReport] = None
+    strong_cc: Optional[EquilibriumReport] = None
+    strong_ac: Optional[EquilibriumReport] = None
+
+    def _holds(self, report: Optional[EquilibriumReport]) -> bool:
+        if report is None:
+            raise MechanismError("property was not checked")
+        return report.holds
+
+    @property
+    def is_ic(self) -> bool:
+        """Definition 9 verdict."""
+        return self._holds(self.ic)
+
+    @property
+    def is_cc(self) -> bool:
+        """Definition 10 verdict."""
+        return self._holds(self.cc)
+
+    @property
+    def is_ac(self) -> bool:
+        """Definition 11 verdict."""
+        return self._holds(self.ac)
+
+    @property
+    def is_strong_cc(self) -> bool:
+        """Definition 12 verdict."""
+        return self._holds(self.strong_cc)
+
+    @property
+    def is_strong_ac(self) -> bool:
+        """Definition 13 verdict."""
+        return self._holds(self.strong_ac)
+
+    def all_violations(self) -> List:
+        """Every counterexample found across all checked properties."""
+        violations = []
+        for report in (self.ic, self.cc, self.ac, self.strong_cc, self.strong_ac):
+            if report is not None:
+                violations.extend(report.violations)
+        return violations
+
+
+def check_ic(
+    mechanism: DistributedMechanism,
+    type_profiles: Iterable[TypeProfile],
+    tolerance: float = 1e-9,
+) -> EquilibriumReport:
+    """Definition 9: deviations confined to information revelation."""
+    return check_ex_post_nash(
+        mechanism,
+        type_profiles,
+        classes=(ActionClass.INFORMATION_REVELATION,),
+        tolerance=tolerance,
+        concept="IC",
+    )
+
+
+def check_cc(
+    mechanism: DistributedMechanism,
+    type_profiles: Iterable[TypeProfile],
+    tolerance: float = 1e-9,
+) -> EquilibriumReport:
+    """Definition 10: deviations confined to message passing."""
+    return check_ex_post_nash(
+        mechanism,
+        type_profiles,
+        classes=(ActionClass.MESSAGE_PASSING,),
+        tolerance=tolerance,
+        concept="CC",
+    )
+
+
+def check_ac(
+    mechanism: DistributedMechanism,
+    type_profiles: Iterable[TypeProfile],
+    tolerance: float = 1e-9,
+) -> EquilibriumReport:
+    """Definition 11: deviations confined to computation."""
+    return check_ex_post_nash(
+        mechanism,
+        type_profiles,
+        classes=(ActionClass.COMPUTATION,),
+        tolerance=tolerance,
+        concept="AC",
+    )
+
+
+def check_strong_cc(
+    mechanism: DistributedMechanism,
+    type_profiles: Iterable[TypeProfile],
+    tolerance: float = 1e-9,
+) -> EquilibriumReport:
+    """Definition 12: any deviation touching message passing, jointly
+    with arbitrary revelation/computation changes."""
+    return check_ex_post_nash(
+        mechanism,
+        type_profiles,
+        require_touch=ActionClass.MESSAGE_PASSING,
+        tolerance=tolerance,
+        concept="strong-CC",
+    )
+
+
+def check_strong_ac(
+    mechanism: DistributedMechanism,
+    type_profiles: Iterable[TypeProfile],
+    tolerance: float = 1e-9,
+) -> EquilibriumReport:
+    """Definition 13: any deviation touching computation, jointly with
+    arbitrary revelation/message-passing changes."""
+    return check_ex_post_nash(
+        mechanism,
+        type_profiles,
+        require_touch=ActionClass.COMPUTATION,
+        tolerance=tolerance,
+        concept="strong-AC",
+    )
+
+
+def check_compatibility(
+    mechanism: DistributedMechanism,
+    type_profiles: Sequence[TypeProfile],
+    tolerance: float = 1e-9,
+    include_strong: bool = True,
+) -> CompatibilityReport:
+    """Run all compatibility checks over one profile set."""
+    profiles = list(type_profiles)
+    report = CompatibilityReport(mechanism_name=mechanism.name)
+    report.ic = check_ic(mechanism, profiles, tolerance=tolerance)
+    report.cc = check_cc(mechanism, profiles, tolerance=tolerance)
+    report.ac = check_ac(mechanism, profiles, tolerance=tolerance)
+    if include_strong:
+        report.strong_cc = check_strong_cc(mechanism, profiles, tolerance=tolerance)
+        report.strong_ac = check_strong_ac(mechanism, profiles, tolerance=tolerance)
+    return report
+
+
+@dataclass
+class FaithfulnessVerdict:
+    """The conclusion of a Proposition 1 or Proposition 2 argument."""
+
+    mechanism_name: str
+    proposition: str
+    faithful: bool
+    reasons: List[str] = field(default_factory=list)
+    compatibility: Optional[CompatibilityReport] = None
+    full_equilibrium: Optional[EquilibriumReport] = None
+
+
+def proposition1_verdict(
+    mechanism: DistributedMechanism,
+    type_profiles: Sequence[TypeProfile],
+    tolerance: float = 1e-9,
+) -> FaithfulnessVerdict:
+    """Proposition 1: IC and CC and AC (same equilibrium) => faithful.
+
+    The verifier also confirms the conclusion independently by running
+    the *unrestricted* ex post Nash check over the entire deviation
+    catalogue: on every instance, the implication itself is validated,
+    not merely applied.
+    """
+    profiles = list(type_profiles)
+    compatibility = check_compatibility(
+        mechanism, profiles, tolerance=tolerance, include_strong=False
+    )
+    reasons = []
+    for prop_name, holds in (
+        ("IC", compatibility.is_ic),
+        ("CC", compatibility.is_cc),
+        ("AC", compatibility.is_ac),
+    ):
+        if not holds:
+            reasons.append(f"{prop_name} fails")
+    premise = not reasons
+
+    full = check_ex_post_nash(
+        mechanism, profiles, tolerance=tolerance, concept="faithful"
+    )
+    faithful = full.holds
+    if premise and not faithful:
+        # Pure-class checks passed but some *joint* deviation profits;
+        # this is exactly why the paper needs the strong properties.
+        reasons.append(
+            "IC+CC+AC hold for pure deviations but a joint deviation "
+            "profits; Proposition 1 requires compatibility over the "
+            "full strategy space (see strong-CC/strong-AC)"
+        )
+    return FaithfulnessVerdict(
+        mechanism_name=mechanism.name,
+        proposition="proposition-1",
+        faithful=faithful,
+        reasons=reasons,
+        compatibility=compatibility,
+        full_equilibrium=full,
+    )
+
+
+def proposition2_verdict(
+    mechanism: DistributedMechanism,
+    type_profiles: Sequence[TypeProfile],
+    centralized_report: StrategyproofnessReport,
+    tolerance: float = 1e-9,
+) -> FaithfulnessVerdict:
+    """Proposition 2: strategyproof center + strong-CC + strong-AC
+    => faithful implementation.
+
+    ``centralized_report`` is the audit of the corresponding
+    centralized mechanism ``f(theta) = g(s^m(theta))``.  As with
+    Proposition 1, the conclusion is re-validated with the full
+    unrestricted equilibrium check.
+    """
+    profiles = list(type_profiles)
+    reasons = []
+    if not centralized_report.is_strategyproof:
+        reasons.append(
+            "corresponding centralized mechanism is not strategyproof "
+            f"({len(centralized_report.violations)} profitable misreports)"
+        )
+    strong_cc = check_strong_cc(mechanism, profiles, tolerance=tolerance)
+    strong_ac = check_strong_ac(mechanism, profiles, tolerance=tolerance)
+    ic = check_ic(mechanism, profiles, tolerance=tolerance)
+    if not strong_cc.holds:
+        reasons.append("strong-CC fails")
+    if not strong_ac.holds:
+        reasons.append("strong-AC fails")
+    if not ic.holds:
+        # With strong-CC/AC in place, IC follows from centralized
+        # strategyproofness; a failure here signals an inconsistent
+        # information-revelation classification (Remark 4).
+        reasons.append("IC fails despite strategyproof center")
+
+    full = check_ex_post_nash(
+        mechanism, profiles, tolerance=tolerance, concept="faithful"
+    )
+    compatibility = CompatibilityReport(
+        mechanism_name=mechanism.name,
+        ic=ic,
+        strong_cc=strong_cc,
+        strong_ac=strong_ac,
+    )
+    return FaithfulnessVerdict(
+        mechanism_name=mechanism.name,
+        proposition="proposition-2",
+        faithful=full.holds and not reasons,
+        reasons=reasons,
+        compatibility=compatibility,
+        full_equilibrium=full,
+    )

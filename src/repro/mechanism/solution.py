@@ -1,0 +1,171 @@
+"""Solution concepts and equilibrium verification (Definitions 5-8).
+
+The paper designs for **ex post Nash equilibrium** (Definition 6): a
+strategy profile ``s*`` such that no node would deviate even knowing
+the private types of all other nodes —
+
+    u_i(g(s*(theta)); theta_i) >= u_i(g(s'_i(theta_i), s*_{-i}(theta_{-i})); theta_i)
+
+for all nodes ``i``, all ``s'_i != s*_i``, all ``theta_i``, and all
+``theta_{-i}``.  The verifier here checks that quantifier structure
+directly: over every supplied type profile it evaluates every
+unilateral strategy deviation of every agent and compares utilities.
+On small finite instances this is an exhaustive proof-by-enumeration;
+on sampled profiles it is a statistical test.
+
+Remark 1 of the paper (weak equilibrium suffices — nodes are benevolent
+and follow the suggestion when indifferent) is honoured by using a
+``>=`` comparison with a numeric tolerance: ties do not count as
+violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..specs.actions import ActionClass
+from .distributed import DistributedMechanism, DistributedStrategy
+from .types import AgentId, TypeProfile
+
+
+@dataclass(frozen=True)
+class EquilibriumViolation:
+    """A profitable unilateral deviation found by a verifier."""
+
+    agent: AgentId
+    types: TypeProfile
+    deviation: DistributedStrategy
+    suggested_utility: float
+    deviant_utility: float
+
+    @property
+    def gain(self) -> float:
+        """The deviator's utility improvement."""
+        return self.deviant_utility - self.suggested_utility
+
+
+@dataclass
+class EquilibriumReport:
+    """Outcome of an equilibrium check over a set of type profiles."""
+
+    concept: str
+    profiles_checked: int = 0
+    deviations_checked: int = 0
+    violations: List[EquilibriumViolation] = field(default_factory=list)
+    max_gain: float = 0.0
+
+    @property
+    def holds(self) -> bool:
+        """True if no profitable deviation was found."""
+        return not self.violations
+
+    def merge(self, other: "EquilibriumReport") -> "EquilibriumReport":
+        """Combine two reports (e.g. across experiment shards)."""
+        merged = EquilibriumReport(concept=self.concept)
+        merged.profiles_checked = self.profiles_checked + other.profiles_checked
+        merged.deviations_checked = (
+            self.deviations_checked + other.deviations_checked
+        )
+        merged.violations = self.violations + other.violations
+        merged.max_gain = max(self.max_gain, other.max_gain)
+        return merged
+
+
+def check_ex_post_nash(
+    mechanism: DistributedMechanism,
+    type_profiles: Iterable[TypeProfile],
+    agents: Optional[Sequence[AgentId]] = None,
+    classes: Optional[Iterable[ActionClass]] = None,
+    require_touch: Optional[ActionClass] = None,
+    tolerance: float = 1e-9,
+    concept: str = "ex-post-nash",
+) -> EquilibriumReport:
+    """Verify Definition 6 over the supplied profiles and deviations.
+
+    Parameters
+    ----------
+    agents:
+        Restrict the check to some deviators (default: everyone).
+    classes / require_touch:
+        Forwarded to :meth:`DistributedMechanism.deviations_of`,
+        selecting pure-class deviations (IC/CC/AC) or any-joint
+        deviations touching one class (strong-CC/strong-AC).
+    tolerance:
+        Gains below this are float noise / indifference (Remark 1).
+    """
+    report = EquilibriumReport(concept=concept)
+    check_agents = tuple(agents) if agents is not None else mechanism.agents
+
+    for types in type_profiles:
+        report.profiles_checked += 1
+        baseline = mechanism.run_suggested(types)
+        for agent in check_agents:
+            suggested_utility = baseline.utility_of(agent)
+            for deviation in mechanism.deviations_of(
+                agent, classes=classes, require_touch=require_touch
+            ):
+                report.deviations_checked += 1
+                deviant_run = mechanism.run_unilateral(agent, deviation, types)
+                deviant_utility = deviant_run.utility_of(agent)
+                gain = deviant_utility - suggested_utility
+                report.max_gain = max(report.max_gain, gain)
+                if gain > tolerance:
+                    report.violations.append(
+                        EquilibriumViolation(
+                            agent=agent,
+                            types=types,
+                            deviation=deviation,
+                            suggested_utility=suggested_utility,
+                            deviant_utility=deviant_utility,
+                        )
+                    )
+    return report
+
+
+def check_dominant_strategy(
+    mechanism: DistributedMechanism,
+    type_profiles: Iterable[TypeProfile],
+    tolerance: float = 1e-9,
+) -> EquilibriumReport:
+    """Verify dominant-strategy faithfulness: the suggested strategy
+    beats deviations against *every* joint strategy of the others.
+
+    Far stronger than ex post Nash, and usually false for distributed
+    mechanisms (Remark 3: a node must reason about whether *others*
+    follow computation/message-passing suggestions, so the lowest
+    common denominator is ex post Nash).  Provided so experiments can
+    demonstrate exactly that gap on small instances.
+    """
+    import itertools
+
+    report = EquilibriumReport(concept="dominant-strategy")
+    agents = mechanism.agents
+
+    for types in type_profiles:
+        report.profiles_checked += 1
+        for agent in agents:
+            others = [a for a in agents if a != agent]
+            other_spaces = [mechanism.strategies_of(a) for a in others]
+            for combo in itertools.product(*other_spaces):
+                opponents = dict(zip(others, combo))
+                baseline = mechanism.run(
+                    {**opponents, agent: mechanism.suggested_strategy(agent)}, types
+                )
+                suggested_utility = baseline.utility_of(agent)
+                for deviation in mechanism.deviations_of(agent):
+                    report.deviations_checked += 1
+                    run = mechanism.run({**opponents, agent: deviation}, types)
+                    gain = run.utility_of(agent) - suggested_utility
+                    report.max_gain = max(report.max_gain, gain)
+                    if gain > tolerance:
+                        report.violations.append(
+                            EquilibriumViolation(
+                                agent=agent,
+                                types=types,
+                                deviation=deviation,
+                                suggested_utility=suggested_utility,
+                                deviant_utility=run.utility_of(agent),
+                            )
+                        )
+    return report

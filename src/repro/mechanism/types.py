@@ -1,0 +1,188 @@
+"""Type spaces, profiles, and outcomes (paper Section 3.2).
+
+Traditional mechanism design considers nodes ``i`` with private
+information ``theta_i`` (their *type*) drawn from a type space
+``Theta_i``; the mechanism implements an outcome ``f(theta)`` from a
+set of feasible outcomes.  This module provides the small amount of
+structure the rest of the library needs: finite or sampled type
+spaces, immutable type profiles with ``theta_{-i}`` surgery, and a
+generic outcome wrapper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from ..errors import MechanismError
+
+AgentId = Hashable
+TypeT = TypeVar("TypeT", bound=Hashable)
+
+
+class TypeSpace(Generic[TypeT]):
+    """The set ``Theta_i`` of possible types for one node.
+
+    Either an explicit finite set (``values``) for exhaustive
+    verification, or a sampler for continuous spaces where faithfulness
+    is checked statistically.
+    """
+
+    def __init__(
+        self,
+        values: Optional[Iterable[TypeT]] = None,
+        sampler: Optional[Callable[[random.Random], TypeT]] = None,
+        name: str = "Theta",
+    ) -> None:
+        self._values: Optional[Tuple[TypeT, ...]] = (
+            tuple(values) if values is not None else None
+        )
+        self._sampler = sampler
+        self.name = name
+        if self._values is None and self._sampler is None:
+            raise MechanismError("a type space needs values or a sampler")
+        if self._values is not None and not self._values:
+            raise MechanismError("a finite type space cannot be empty")
+
+    @property
+    def is_finite(self) -> bool:
+        """True if the space can be enumerated exactly."""
+        return self._values is not None
+
+    @property
+    def values(self) -> Tuple[TypeT, ...]:
+        """All types (finite spaces only)."""
+        if self._values is None:
+            raise MechanismError(f"type space {self.name!r} is not finite")
+        return self._values
+
+    def sample(self, rng: random.Random) -> TypeT:
+        """Draw one type."""
+        if self._sampler is not None:
+            return self._sampler(rng)
+        assert self._values is not None
+        return rng.choice(self._values)
+
+    def __contains__(self, value: TypeT) -> bool:
+        if self._values is None:
+            return True  # samplers define open-ended spaces
+        return value in self._values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._values is not None:
+            return f"TypeSpace({self.name!r}, |Theta|={len(self._values)})"
+        return f"TypeSpace({self.name!r}, sampled)"
+
+
+class TypeProfile(Generic[TypeT]):
+    """An immutable assignment of one type per agent (``theta``)."""
+
+    def __init__(self, assignment: Mapping[AgentId, TypeT]) -> None:
+        if not assignment:
+            raise MechanismError("a type profile cannot be empty")
+        self._assignment: Dict[AgentId, TypeT] = dict(assignment)
+
+    @property
+    def agents(self) -> Tuple[AgentId, ...]:
+        """All agent ids, repr-sorted."""
+        return tuple(sorted(self._assignment, key=repr))
+
+    def type_of(self, agent: AgentId) -> TypeT:
+        """``theta_i``."""
+        try:
+            return self._assignment[agent]
+        except KeyError:
+            raise MechanismError(f"no type for agent {agent!r}") from None
+
+    def replace(self, agent: AgentId, new_type: TypeT) -> "TypeProfile[TypeT]":
+        """The profile ``(hat-theta_i, theta_{-i})``."""
+        if agent not in self._assignment:
+            raise MechanismError(f"no type for agent {agent!r}")
+        merged = dict(self._assignment)
+        merged[agent] = new_type
+        return TypeProfile(merged)
+
+    def without(self, agent: AgentId) -> Dict[AgentId, TypeT]:
+        """``theta_{-i}`` as a plain dict."""
+        return {a: t for a, t in self._assignment.items() if a != agent}
+
+    def as_dict(self) -> Dict[AgentId, TypeT]:
+        """Copy of the full assignment."""
+        return dict(self._assignment)
+
+    def __getitem__(self, agent: AgentId) -> TypeT:
+        return self.type_of(agent)
+
+    def __iter__(self) -> Iterator[AgentId]:
+        return iter(self.agents)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeProfile):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._assignment.items(), key=repr)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TypeProfile({self._assignment!r})"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """A mechanism outcome: a decision plus per-agent transfers.
+
+    ``decision`` is domain-specific (a chosen leader, a set of routes).
+    ``transfers`` holds payments *to* each agent (negative = the agent
+    pays), the quasi-linear convention used throughout.
+    """
+
+    decision: Any
+    transfers: Mapping[AgentId, float] = field(default_factory=dict)
+
+    def transfer_to(self, agent: AgentId) -> float:
+        """The payment flowing to one agent (0 if absent)."""
+        return self.transfers.get(agent, 0.0)
+
+
+def enumerate_profiles(
+    spaces: Mapping[AgentId, TypeSpace[TypeT]]
+) -> Iterator[TypeProfile[TypeT]]:
+    """All joint type profiles of finite spaces (exhaustive checks)."""
+    agents = sorted(spaces, key=repr)
+    for space in spaces.values():
+        if not space.is_finite:
+            raise MechanismError("cannot enumerate a sampled type space")
+    for combo in itertools.product(*(spaces[a].values for a in agents)):
+        yield TypeProfile(dict(zip(agents, combo)))
+
+
+def sample_profiles(
+    spaces: Mapping[AgentId, TypeSpace[TypeT]],
+    rng: random.Random,
+    count: int,
+) -> List[TypeProfile[TypeT]]:
+    """Independent joint samples (statistical checks)."""
+    agents = sorted(spaces, key=repr)
+    return [
+        TypeProfile({a: spaces[a].sample(rng) for a in agents})
+        for _ in range(count)
+    ]

@@ -1,0 +1,57 @@
+"""Utility functions for rational nodes.
+
+Nodes are modelled as game-theoretic utility maximisers with a utility
+function ``u_i(o; theta_i)`` inducing a preference ordering over
+outcomes (Section 3.2).  The library standardises on *quasi-linear*
+utility — value of the decision plus money received — which is the
+setting in which VCG mechanisms are strategyproof.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, TypeVar
+
+from .types import AgentId, Outcome
+
+TypeT = TypeVar("TypeT", bound=Hashable)
+
+#: Signature of a valuation: value of a decision given the agent's type.
+Valuation = Callable[[AgentId, object, object], float]
+
+
+class UtilityFunction(Generic[TypeT]):
+    """``u_i(o; theta_i)`` for quasi-linear agents.
+
+    Parameters
+    ----------
+    valuation:
+        ``valuation(agent, decision, theta_i)`` -> value in money units.
+        The valuation uses the agent's *true* type; misreports change
+        the outcome, never the valuation.
+    """
+
+    def __init__(self, valuation: Valuation) -> None:
+        self._valuation = valuation
+
+    def value(self, agent: AgentId, decision: object, true_type: TypeT) -> float:
+        """The decision's worth to the agent."""
+        return self._valuation(agent, decision, true_type)
+
+    def utility(self, agent: AgentId, outcome: Outcome, true_type: TypeT) -> float:
+        """Quasi-linear utility: valuation plus transfer received."""
+        return self.value(agent, outcome.decision, true_type) + outcome.transfer_to(
+            agent
+        )
+
+    def prefers(
+        self,
+        agent: AgentId,
+        better: Outcome,
+        worse: Outcome,
+        true_type: TypeT,
+        strictly: bool = True,
+    ) -> bool:
+        """Preference comparison between two outcomes."""
+        lhs = self.utility(agent, better, true_type)
+        rhs = self.utility(agent, worse, true_type)
+        return lhs > rhs if strictly else lhs >= rhs

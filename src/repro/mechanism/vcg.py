@@ -1,0 +1,111 @@
+"""Generic Vickrey-Clarke-Groves mechanisms.
+
+FPSS achieves strategyproofness "by using a Vickrey-Clarke-Groves (VCG)
+mechanism where transit nodes are paid based on the utility that they
+bring to the routing system plus their declared cost" (Section 4.1).
+This module provides VCG over an explicit finite decision set — used by
+the leader-election example and the Proposition-2 test fixtures — while
+:mod:`repro.routing.vcg_payments` specialises the payment formula for
+the routing domain.
+
+Given reported types ``theta-hat`` and a reported-value function
+``v_i(d; theta-hat_i)``:
+
+* decision: ``d* = argmax_d sum_i v_i(d; theta-hat_i)``;
+* Clarke payment to agent ``i``:
+  ``h_i = sum_{j != i} v_j(d*) - max_d sum_{j != i} v_j(d)``
+  (a non-positive pivot; the agent receives its externality).
+
+Truthful reporting is then a dominant strategy for quasi-linear agents.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Sequence, Tuple, TypeVar
+
+from ..errors import MechanismError
+from .centralized import DirectRevelationMechanism
+from .types import AgentId, Outcome, TypeProfile, TypeSpace
+from .utility import UtilityFunction
+
+TypeT = TypeVar("TypeT", bound=Hashable)
+Decision = Hashable
+
+#: Reported value of a decision to one agent given its reported type.
+ReportedValuation = Callable[[AgentId, Decision, object], float]
+
+
+def _best_decision(
+    decisions: Sequence[Decision],
+    agents: Sequence[AgentId],
+    profile: TypeProfile,
+    valuation: ReportedValuation,
+    exclude: AgentId = None,
+) -> Tuple[Decision, float]:
+    """Welfare-maximising decision (optionally excluding one agent).
+
+    Deterministic tie-break by decision repr so that every node (and
+    every checker replaying a node) picks the same optimum.
+    """
+    best = None
+    best_welfare = None
+    for decision in sorted(decisions, key=repr):
+        welfare = sum(
+            valuation(agent, decision, profile.type_of(agent))
+            for agent in agents
+            if agent != exclude
+        )
+        if best_welfare is None or welfare > best_welfare:
+            best, best_welfare = decision, welfare
+    assert best_welfare is not None
+    return best, best_welfare
+
+
+def vcg_outcome(
+    decisions: Sequence[Decision],
+    profile: TypeProfile,
+    valuation: ReportedValuation,
+) -> Outcome:
+    """Run VCG once: efficient decision plus Clarke transfers."""
+    if not decisions:
+        raise MechanismError("VCG needs a non-empty decision set")
+    agents = profile.agents
+    decision, _ = _best_decision(decisions, agents, profile, valuation)
+    transfers: Dict[AgentId, float] = {}
+    for agent in agents:
+        others_at_decision = sum(
+            valuation(other, decision, profile.type_of(other))
+            for other in agents
+            if other != agent
+        )
+        _, others_best = _best_decision(
+            decisions, agents, profile, valuation, exclude=agent
+        )
+        transfers[agent] = others_at_decision - others_best
+    return Outcome(decision=decision, transfers=transfers)
+
+
+def make_vcg_mechanism(
+    decisions: Sequence[Decision],
+    type_spaces: Mapping[AgentId, TypeSpace[TypeT]],
+    valuation: ReportedValuation,
+    name: str = "vcg",
+) -> DirectRevelationMechanism[TypeT]:
+    """Package VCG as a :class:`DirectRevelationMechanism`.
+
+    The same ``valuation`` is used both as the *reported* valuation in
+    the outcome rule and as the *true* valuation in utilities — the
+    agent's report only enters through the outcome rule, as Definition
+    5 requires.
+    """
+    frozen_decisions = tuple(decisions)
+
+    def outcome_rule(reports: TypeProfile) -> Outcome:
+        return vcg_outcome(frozen_decisions, reports, valuation)
+
+    utility = UtilityFunction(
+        lambda agent, decision, true_type: valuation(agent, decision, true_type)
+    )
+    return DirectRevelationMechanism(
+        outcome_rule, type_spaces, utility, name=name
+    )

@@ -1,0 +1,157 @@
+"""Helpers to run the plain FPSS protocol to convergence.
+
+Builds a simulator from an :class:`~repro.routing.graph.ASGraph`,
+drives the two construction phases to quiescence, and cross-checks the
+distributed fixed point against the centralized oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import ConvergenceError
+from ..sim.network import NetworkTopology
+from ..sim.simulator import Simulator
+from .fpss import FPSSNode
+from .graph import ASGraph, Cost, NodeId
+from .lcp import lowest_cost_path
+from .vcg_payments import vcg_transit_payment
+
+
+def topology_from_graph(graph: ASGraph, delay=1.0) -> NetworkTopology:
+    """A simulator topology mirroring the AS graph's links.
+
+    Parameters
+    ----------
+    delay:
+        Either a constant, a mapping ``frozenset({a, b}) -> delay``, or
+        a callable ``delay(a, b) -> float``.  Heterogeneous delays make
+        the network asynchronous across links; the faithful extension
+        only relies on per-link FIFO, which any fixed per-link delay
+        preserves.
+    """
+    topology = NetworkTopology()
+    for node in graph.nodes:
+        topology.add_node(node)
+    for a, b in graph.edges:
+        if callable(delay):
+            link_delay = delay(a, b)
+        elif isinstance(delay, dict):
+            link_delay = delay[frozenset((a, b))]
+        else:
+            link_delay = delay
+        topology.add_link(a, b, delay=link_delay)
+    return topology
+
+
+def build_plain_network(
+    graph: ASGraph,
+    node_factory: Optional[Callable[[NodeId, Cost], FPSSNode]] = None,
+    trace_enabled: bool = False,
+) -> Tuple[Simulator, Dict[NodeId, FPSSNode]]:
+    """A simulator populated with (possibly customised) FPSS nodes.
+
+    ``node_factory`` lets callers substitute manipulation subclasses
+    for chosen nodes; the default builds obedient :class:`FPSSNode`.
+    """
+    factory = node_factory or (lambda node_id, cost: FPSSNode(node_id, cost))
+    simulator = Simulator(topology_from_graph(graph), trace_enabled=trace_enabled)
+    nodes: Dict[NodeId, FPSSNode] = {}
+    for node_id in graph.nodes:
+        node = factory(node_id, graph.cost(node_id))
+        nodes[node_id] = node
+        simulator.add_node(node)
+    return simulator, nodes
+
+
+@dataclass
+class ConvergenceStats:
+    """How much work the construction phases took."""
+
+    phase1_events: int
+    phase2_events: int
+    total_messages: int
+    total_computations: int
+
+
+def run_construction_phases(
+    simulator: Simulator,
+    nodes: Mapping[NodeId, FPSSNode],
+    max_events: int = 2_000_000,
+) -> ConvergenceStats:
+    """Drive phase 1 then phase 2 to quiescence."""
+    for node_id in sorted(nodes, key=repr):
+        simulator.schedule_local(
+            node_id, 0.0, nodes[node_id].start_phase1, label="start-phase1"
+        )
+    phase1_events = simulator.run_until_quiescent(max_events=max_events)
+
+    for node_id in sorted(nodes, key=repr):
+        simulator.schedule_local(
+            node_id, 0.0, nodes[node_id].start_phase2, label="start-phase2"
+        )
+    phase2_events = simulator.run_until_quiescent(max_events=max_events)
+
+    return ConvergenceStats(
+        phase1_events=phase1_events,
+        phase2_events=phase2_events,
+        total_messages=simulator.metrics.total_messages,
+        total_computations=simulator.metrics.total_computations,
+    )
+
+
+def run_plain_fpss(
+    graph: ASGraph,
+    node_factory: Optional[Callable[[NodeId, Cost], FPSSNode]] = None,
+    trace_enabled: bool = False,
+) -> Tuple[Simulator, Dict[NodeId, FPSSNode], ConvergenceStats]:
+    """Build, run, and return a converged plain-FPSS network."""
+    simulator, nodes = build_plain_network(
+        graph, node_factory=node_factory, trace_enabled=trace_enabled
+    )
+    stats = run_construction_phases(simulator, nodes)
+    return simulator, nodes, stats
+
+
+def verify_against_oracle(
+    graph: ASGraph, nodes: Mapping[NodeId, FPSSNode], check_prices: bool = True
+) -> None:
+    """Assert the converged tables equal the centralized computation.
+
+    Raises
+    ------
+    ConvergenceError
+        On the first routing or pricing disagreement found.
+    """
+    for source in graph.nodes:
+        node = nodes[source]
+        routing = node.routing_table()
+        pricing = node.pricing_table()
+        for destination in graph.nodes:
+            if destination == source:
+                continue
+            oracle = lowest_cost_path(graph, source, destination)
+            entry = routing.entry(destination)
+            if entry is None:
+                raise ConvergenceError(
+                    f"{source!r} has no route to {destination!r}"
+                )
+            # Costs may differ by float accumulation order between the
+            # hop-by-hop relaxation and the oracle's Dijkstra.
+            if entry.path != oracle.path or abs(entry.cost - oracle.cost) > 1e-9:
+                raise ConvergenceError(
+                    f"route {source!r}->{destination!r}: protocol said "
+                    f"{entry.path} @ {entry.cost}, oracle said "
+                    f"{oracle.path} @ {oracle.cost}"
+                )
+            if not check_prices:
+                continue
+            for transit in oracle.transit_nodes:
+                expected = vcg_transit_payment(graph, source, destination, transit)
+                actual = pricing.price(destination, transit)
+                if abs(expected - actual) > 1e-9:
+                    raise ConvergenceError(
+                        f"price {source!r}->{destination!r} via {transit!r}: "
+                        f"protocol said {actual}, oracle said {expected}"
+                    )

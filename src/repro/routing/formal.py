@@ -1,0 +1,229 @@
+"""Formal state-machine model of the FPSS node (Sections 3.1 + 4.1).
+
+The paper notes that the FPSS specification "could be formalized with a
+state machine", and classifies its external actions:
+
+* declaring the transit cost and providing connectivity information are
+  **information-revelation** actions;
+* relaying other nodes' transit-cost announcements are
+  **message-passing** actions;
+* updating and forwarding routing and pricing tables are
+  **computation** actions;
+* reporting payments to the bank is a further computation action.
+
+This module builds that machine explicitly with the
+:mod:`repro.specs` language, at the granularity of one input-handling
+round, together with the suggested specification and the catalogue of
+single-state deviations.  It is the bridge between the paper's formal
+Section 3 machinery and the executable Section 4 protocol: the
+machine's deviation classes match the classifications assigned to the
+operational manipulation catalogue
+(:data:`repro.faithful.manipulations.DEVIATION_CATALOGUE`), which
+``tests/routing/test_formal.py`` verifies.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Tuple
+
+from ..specs import (
+    Action,
+    Specification,
+    StateMachine,
+    Transition,
+    computation,
+    internal,
+    message_passing,
+    revelation,
+)
+
+# ----------------------------------------------------------------------
+# states: one handling round of the suggested node specification
+# ----------------------------------------------------------------------
+
+#: The node is idle, before declaring its type.
+S_START = "start"
+#: Declared; waiting for input (the hub state of the event loop).
+S_READY = "ready"
+#: A transit-cost announcement was received and recorded.
+S_GOT_COST_DECL = "got-cost-decl"
+#: A routing/pricing update was received; copies must go to checkers.
+S_GOT_UPDATE = "got-update"
+#: Copies forwarded; tables must be recomputed.
+S_COPIED = "copied"
+#: Tables recomputed; announcements are due if anything changed.
+S_RECOMPUTED = "recomputed"
+#: The bank asked for a digest/settlement report.
+S_BANK_QUERY = "bank-query"
+#: Terminal state of the modelled round.
+S_DONE = "done"
+
+
+@functools.lru_cache(maxsize=1)
+def _cached_actions() -> Tuple[Action, ...]:
+    return tuple(_build_actions())
+
+
+def fpss_actions() -> Dict[str, Action]:
+    """The classified action alphabet of the FPSS node machine."""
+    return {action.name: action for action in _cached_actions()}
+
+
+def _build_actions():
+    actions = [
+        # Information revelation (Definition 2).
+        revelation("declare-true-cost", table="DATA1"),
+        revelation("declare-false-cost", table="DATA1"),
+        # Message passing (Definition 3).
+        message_passing("relay-cost-declaration"),
+        message_passing("drop-cost-declaration"),
+        message_passing("forward-copies-to-checkers", rule="PRINC1/PRINC2"),
+        message_passing("drop-checker-copies"),
+        message_passing("alter-checker-copies"),
+        # Computation (Definition 4).
+        computation("recompute-tables-honestly", tables="DATA2/DATA3*"),
+        computation("miscompute-tables", tables="DATA2/DATA3*"),
+        computation("announce-tables", rule="PRINC1/PRINC2"),
+        computation("announce-false-tables"),
+        computation("suppress-announcement"),
+        computation("report-honest-digest", rule="BANK1/BANK2"),
+        computation("report-false-digest"),
+        # Internal actions (unconstrained, Section 3.3).
+        internal("record-input"),
+        internal("await-input"),
+        internal("note-bank-query"),
+    ]
+    return actions
+
+
+@functools.lru_cache(maxsize=1)
+def fpss_state_machine() -> StateMachine:
+    """One input-handling round of the faithful FPSS node.
+
+    Cached: all specifications over the machine must share one
+    instance, since specification comparisons are machine-identity
+    scoped.
+    """
+    a = fpss_actions()
+    transitions = [
+        # Startup: reveal the type (truthfully or not).
+        Transition(S_START, a["declare-true-cost"], S_READY),
+        Transition(S_START, a["declare-false-cost"], S_READY),
+        # Cost-declaration flooding (first construction phase).
+        Transition(S_READY, a["record-input"], S_GOT_COST_DECL),
+        Transition(S_GOT_COST_DECL, a["relay-cost-declaration"], S_DONE),
+        Transition(S_GOT_COST_DECL, a["drop-cost-declaration"], S_DONE),
+        # Update handling (second construction phase, PRINC1/PRINC2).
+        Transition(S_READY, a["await-input"], S_GOT_UPDATE),
+        Transition(S_GOT_UPDATE, a["forward-copies-to-checkers"], S_COPIED),
+        Transition(S_GOT_UPDATE, a["drop-checker-copies"], S_COPIED),
+        Transition(S_GOT_UPDATE, a["alter-checker-copies"], S_COPIED),
+        Transition(S_COPIED, a["recompute-tables-honestly"], S_RECOMPUTED),
+        Transition(S_COPIED, a["miscompute-tables"], S_RECOMPUTED),
+        Transition(S_RECOMPUTED, a["announce-tables"], S_DONE),
+        Transition(S_RECOMPUTED, a["announce-false-tables"], S_DONE),
+        Transition(S_RECOMPUTED, a["suppress-announcement"], S_DONE),
+        # Bank interaction (checkpoints and settlement).
+        Transition(S_READY, a["note-bank-query"], S_BANK_QUERY),
+        Transition(S_BANK_QUERY, a["report-honest-digest"], S_DONE),
+        Transition(S_BANK_QUERY, a["report-false-digest"], S_DONE),
+    ]
+    return StateMachine(
+        states=[
+            S_START,
+            S_READY,
+            S_GOT_COST_DECL,
+            S_GOT_UPDATE,
+            S_COPIED,
+            S_RECOMPUTED,
+            S_BANK_QUERY,
+            S_DONE,
+        ],
+        initial_states=[S_START],
+        transitions=transitions,
+    )
+
+
+def suggested_choices() -> Dict[str, str]:
+    """State -> suggested action name (the faithful specification).
+
+    The hub state ``ready`` is nondeterministic in the machine (the
+    environment decides which input arrives); the suggested choice
+    models the cost-declaration round.  Use :func:`suggested_update_round`
+    for the update-handling projection.
+    """
+    return {
+        S_START: "declare-true-cost",
+        S_READY: "record-input",
+        S_GOT_COST_DECL: "relay-cost-declaration",
+        S_GOT_UPDATE: "forward-copies-to-checkers",
+        S_COPIED: "recompute-tables-honestly",
+        S_RECOMPUTED: "announce-tables",
+        S_BANK_QUERY: "report-honest-digest",
+    }
+
+
+def _specification_from(choices: Dict[str, str], name: str) -> Specification:
+    machine = fpss_state_machine()
+    actions = fpss_actions()
+    return Specification(
+        machine,
+        {state: actions[action] for state, action in choices.items()},
+        name=name,
+    )
+
+
+def suggested_specification() -> Specification:
+    """The suggested FPSS node specification ``s^m_i``."""
+    return _specification_from(suggested_choices(), "fpss-suggested")
+
+
+def suggested_update_round() -> Specification:
+    """The suggested specification entering the update-handling branch."""
+    choices = dict(suggested_choices())
+    choices[S_READY] = "await-input"
+    return _specification_from(choices, "fpss-suggested-update")
+
+
+def suggested_bank_round() -> Specification:
+    """The suggested specification entering the bank-query branch."""
+    choices = dict(suggested_choices())
+    choices[S_READY] = "note-bank-query"
+    return _specification_from(choices, "fpss-suggested-bank")
+
+
+def _base_for_state(state: str) -> Specification:
+    """The suggested round whose environment reaches ``state``."""
+    if state in (S_GOT_UPDATE, S_COPIED, S_RECOMPUTED):
+        return suggested_update_round()
+    if state == S_BANK_QUERY:
+        return suggested_bank_round()
+    return suggested_specification()
+
+
+#: Formal single-state deviations mirroring the operational catalogue:
+#: deviation name -> (state, deviant action name).
+FORMAL_DEVIATIONS: Dict[str, Tuple[str, str]] = {
+    "cost-lie": (S_START, "declare-false-cost"),
+    "copy-drop": (S_GOT_UPDATE, "drop-checker-copies"),
+    "copy-alter": (S_GOT_UPDATE, "alter-checker-copies"),
+    "false-route-announce": (S_RECOMPUTED, "announce-false-tables"),
+    "route-suppress": (S_RECOMPUTED, "suppress-announcement"),
+    "routing-digest-lie": (S_BANK_QUERY, "report-false-digest"),
+}
+
+
+def formal_deviation(name: str) -> Specification:
+    """The deviant specification for one catalogue entry."""
+    state, action_name = FORMAL_DEVIATIONS[name]
+    actions = fpss_actions()
+    return _base_for_state(state).deviate(
+        {state: actions[action_name]}, name=name
+    )
+
+
+def classification_of(name: str) -> frozenset:
+    """Action classes touched by a formal deviation (Defs 2-4)."""
+    state, _ = FORMAL_DEVIATIONS[name]
+    return _base_for_state(state).deviation_classes(formal_deviation(name))

@@ -1,0 +1,631 @@
+"""The distributed FPSS protocol (plain, trusting variant).
+
+FPSS computes lowest-cost paths and VCG pricing tables "by each node
+using information from neighbors in an iterative calculation",
+following the Griffin-Wilfong abstract model of BGP.  This module
+implements that computation in two layers:
+
+:class:`FPSSComputation`
+    A *pure, deterministic* state container holding DATA1-DATA3* and
+    the neighbour vectors, with explicit apply/recompute methods and no
+    I/O.  Determinism matters beyond tidiness: the faithful extension's
+    checker nodes replay a principal's computation on copies of its
+    messages, and replay only works if the computation is a pure
+    function of (identity, neighbour set, message sequence).
+
+:class:`FPSSNode`
+    A :class:`~repro.sim.node.ProtocolNode` driving one computation
+    instance: it floods cost declarations (first construction phase)
+    and exchanges routing/pricing updates (second construction phase),
+    broadcasting whenever its own tables change.
+
+Distributed pricing
+-------------------
+The per-packet VCG payment to transit node ``k`` on the LCP from ``i``
+to ``j`` is ``p^{ij}_k = c_k + d^{-k}(i,j) - d(i,j)`` where ``d`` is
+the LCP cost and ``d^{-k}`` the LCP cost avoiding ``k``.  FPSS computes
+the prices iteratively from neighbours' pricing information; here the
+exchanged quantity is the table of *avoidance costs* ``d^{-k}(a, j)``,
+which carries the identical information (``d^{-k} = p - c_k + d``) and
+admits the same Bellman-Ford style relaxation:
+
+    d^{-k}(i, j) = min over neighbours a != k of
+                   [ (c_a if a != j else 0) + d^{-k}(a, j) ]
+
+Identity tags (DATA3*)
+----------------------
+Each pricing entry carries the set of neighbours that *triggered* its
+current value — the argmin suppliers in the relaxation above, with
+ties unioned — exactly the DATA3* extension of Section 4.3 ("this tag
+identifies the node that triggered the most recent FPSS pricing table
+update; in the case of a pricing tie, this tag field actually contains
+the union of the nodes that suggested the same pricing entry").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ProtocolError, RoutingError
+from ..sim.crypto import stable_hash
+from ..sim.messages import Message, NodeId
+from ..sim.node import ProtocolNode
+from .graph import Cost
+from .tables import (
+    PaymentList,
+    PricingTable,
+    RouteEntry,
+    RoutingTable,
+    TransitCostTable,
+)
+
+#: Message kinds used by the two construction phases.
+KIND_COST_DECL = "cost-decl"
+KIND_RT_UPDATE = "rt-update"
+KIND_PRICE_UPDATE = "price-update"
+#: Message kind used by the execution phase.
+KIND_PACKET = "packet"
+
+RouteVector = Dict[NodeId, RouteEntry]
+AvoidKey = Tuple[NodeId, NodeId]  # (destination, avoided node)
+AvoidVector = Dict[AvoidKey, RouteEntry]
+
+
+def encode_route_vector(vector: Mapping[NodeId, RouteEntry]) -> Tuple:
+    """Wire encoding of a routing vector (sorted, immutable)."""
+    return tuple(
+        (dest, entry.cost, entry.path)
+        for dest, entry in sorted(vector.items(), key=lambda kv: repr(kv[0]))
+    )
+
+
+def decode_route_vector(encoded: Sequence[Tuple]) -> RouteVector:
+    """Inverse of :func:`encode_route_vector`."""
+    return {
+        dest: RouteEntry(cost=cost, path=tuple(path)) for dest, cost, path in encoded
+    }
+
+
+def encode_avoid_vector(vector: Mapping[AvoidKey, RouteEntry]) -> Tuple:
+    """Wire encoding of an avoidance-cost vector."""
+    return tuple(
+        (dest, avoided, entry.cost, entry.path)
+        for (dest, avoided), entry in sorted(vector.items(), key=lambda kv: repr(kv[0]))
+    )
+
+
+def decode_avoid_vector(encoded: Sequence[Tuple]) -> AvoidVector:
+    """Inverse of :func:`encode_avoid_vector`."""
+    return {
+        (dest, avoided): RouteEntry(cost=cost, path=tuple(path))
+        for dest, avoided, cost, path in encoded
+    }
+
+
+class FPSSComputation:
+    """Pure FPSS mechanism state for one node (or one mirror of one).
+
+    Parameters
+    ----------
+    owner:
+        The node whose computation this is.
+    neighbors:
+        The owner's neighbour set (semi-private connectivity
+        information; common knowledge between link endpoints).
+    own_cost:
+        The transit cost the owner *declares* (truthful for obedient
+        nodes; a lie is an information-revelation deviation).
+    """
+
+    def __init__(
+        self, owner: NodeId, neighbors: Sequence[NodeId], own_cost: Cost
+    ) -> None:
+        self.owner = owner
+        self.neighbors: Tuple[NodeId, ...] = tuple(sorted(neighbors, key=repr))
+        self.own_cost = float(own_cost)
+
+        self.costs = TransitCostTable()  # DATA1
+        self.costs.declare(owner, own_cost)
+        self.routing = RoutingTable(owner)  # DATA2
+        self.pricing = PricingTable(owner)  # DATA3*
+        self.avoid: AvoidVector = {}
+        #: Last routing/avoid vector received from each neighbour.
+        self.neighbor_routes: Dict[NodeId, RouteVector] = {}
+        self.neighbor_avoid: Dict[NodeId, AvoidVector] = {}
+        self.computation_count = 0
+
+    # ------------------------------------------------------------------
+    # phase 1: transit cost dissemination
+    # ------------------------------------------------------------------
+
+    def note_cost_declaration(self, node: NodeId, cost: Cost) -> bool:
+        """Record a flooded declaration; True if DATA1 changed."""
+        return self.costs.declare(node, cost)
+
+    def known_nodes(self) -> Tuple[NodeId, ...]:
+        """Every node with a DATA1 entry, repr-sorted."""
+        return tuple(sorted(self.costs.as_dict(), key=repr))
+
+    # ------------------------------------------------------------------
+    # phase 2: routing and pricing
+    # ------------------------------------------------------------------
+
+    def reset_phase2(self) -> None:
+        """Clear DATA2/DATA3* state for a phase restart."""
+        self.routing = RoutingTable(self.owner)
+        self.pricing = PricingTable(self.owner)
+        self.avoid = {}
+        self.neighbor_routes = {}
+        self.neighbor_avoid = {}
+
+    def apply_route_update(self, neighbor: NodeId, vector: RouteVector) -> None:
+        """Store a neighbour's announced routing vector."""
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
+            )
+        self.neighbor_routes[neighbor] = dict(vector)
+
+    def apply_avoid_update(self, neighbor: NodeId, vector: AvoidVector) -> None:
+        """Store a neighbour's announced avoidance-cost vector."""
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
+            )
+        self.neighbor_avoid[neighbor] = dict(vector)
+
+    def _candidate_routes(self, destination: NodeId) -> List[RouteEntry]:
+        """All loop-free route candidates to one destination."""
+        candidates: List[RouteEntry] = []
+        for neighbor in self.neighbors:
+            if neighbor == destination:
+                candidates.append(
+                    RouteEntry(cost=0.0, path=(self.owner, destination))
+                )
+                continue
+            entry = self.neighbor_routes.get(neighbor, {}).get(destination)
+            if entry is None or self.owner in entry.path:
+                continue
+            transit_cost = self.costs.cost(neighbor) if self.costs.knows(neighbor) else None
+            if transit_cost is None:
+                continue
+            candidates.append(
+                RouteEntry(
+                    cost=transit_cost + entry.cost,
+                    path=(self.owner,) + entry.path,
+                )
+            )
+        return candidates
+
+    def recompute_routes(self) -> bool:
+        """Re-derive DATA2 from neighbour vectors; True if changed.
+
+        The relaxation is the path-vector Bellman-Ford of the
+        Griffin-Wilfong model with the deterministic (cost, hops,
+        lexicographic) tie-break shared with the centralized oracle.
+        """
+        self.computation_count += 1
+        changed = False
+        destinations: Set[NodeId] = set()
+        for vector in self.neighbor_routes.values():
+            destinations.update(vector)
+        destinations.update(self.neighbors)
+        destinations.discard(self.owner)
+
+        for destination in sorted(destinations, key=repr):
+            candidates = self._candidate_routes(destination)
+            if not candidates:
+                continue
+            best = min(candidates, key=RouteEntry.sort_key)
+            current = self.routing.entry(destination)
+            if current is None or best != current:
+                # Only adopt strictly better or structurally different
+                # routes; the comparison to `current` keeps quiescence.
+                if current is None or best.sort_key() != current.sort_key():
+                    self.routing.update(destination, best)
+                    changed = True
+        return changed
+
+    def _candidate_avoid(
+        self, destination: NodeId, avoided: NodeId
+    ) -> List[Tuple[RouteEntry, NodeId]]:
+        """Loop-free avoidance candidates, each with its supplier tag."""
+        candidates: List[Tuple[RouteEntry, NodeId]] = []
+        for neighbor in self.neighbors:
+            if neighbor == avoided:
+                continue
+            if neighbor == destination:
+                candidates.append(
+                    (RouteEntry(cost=0.0, path=(self.owner, destination)), neighbor)
+                )
+                continue
+            entry = self.neighbor_avoid.get(neighbor, {}).get((destination, avoided))
+            if entry is None or self.owner in entry.path or avoided in entry.path:
+                continue
+            if not self.costs.knows(neighbor):
+                continue
+            candidates.append(
+                (
+                    RouteEntry(
+                        cost=self.costs.cost(neighbor) + entry.cost,
+                        path=(self.owner,) + entry.path,
+                    ),
+                    neighbor,
+                )
+            )
+        return candidates
+
+    def recompute_avoidance(self) -> bool:
+        """Re-derive the avoidance-cost table; True if changed."""
+        self.computation_count += 1
+        changed = False
+        all_nodes = set(self.known_nodes())
+        destinations: Set[NodeId] = set()
+        for vector in self.neighbor_routes.values():
+            destinations.update(vector)
+        destinations.update(self.neighbors)
+        destinations.discard(self.owner)
+
+        for destination in sorted(destinations, key=repr):
+            for avoided in sorted(all_nodes, key=repr):
+                if avoided in (self.owner, destination):
+                    continue
+                candidates = self._candidate_avoid(destination, avoided)
+                if not candidates:
+                    continue
+                best_entry = min(candidates, key=lambda c: c[0].sort_key())[0]
+                key = (destination, avoided)
+                current = self.avoid.get(key)
+                if current is None or best_entry.sort_key() != current.sort_key():
+                    self.avoid[key] = best_entry
+                    changed = True
+        return changed
+
+    def derive_pricing(self) -> bool:
+        """Recompute DATA3* from DATA2 and the avoidance table.
+
+        For every destination ``j`` with a route, and every transit
+        node ``k`` interior to that route, install
+
+            price = c_k + d^{-k}(owner, j) - d(owner, j)
+
+        with the identity tag set to the argmin suppliers of the
+        avoidance entry.  Returns True if any cell changed.
+        """
+        self.computation_count += 1
+        changed = False
+        for destination in self.routing.destinations:
+            entry = self.routing.entry(destination)
+            assert entry is not None
+            desired: Dict[NodeId, PricingEntryLike] = {}
+            for transit in entry.path[1:-1]:
+                avoid_entry = self.avoid.get((destination, transit))
+                if avoid_entry is None or not self.costs.knows(transit):
+                    continue
+                price = self.costs.cost(transit) + avoid_entry.cost - entry.cost
+                tag = self._supplier_tag(destination, transit)
+                desired[transit] = (price, tag)
+            current_row = self.pricing.row(destination)
+            current_view = {
+                transit: (cell.price, cell.tag) for transit, cell in current_row.items()
+            }
+            if current_view != desired:
+                self.pricing.clear_destination(destination)
+                for transit, (price, tag) in desired.items():
+                    self.pricing.set_price(destination, transit, price, tag)
+                changed = True
+        return changed
+
+    def _supplier_tag(self, destination: NodeId, avoided: NodeId) -> FrozenSet[NodeId]:
+        """Argmin suppliers of one avoidance entry (union on ties)."""
+        candidates = self._candidate_avoid(destination, avoided)
+        if not candidates:
+            return frozenset()
+        best_key = min(c[0].sort_key() for c in candidates)
+        return frozenset(
+            supplier for entry, supplier in candidates if entry.sort_key() == best_key
+        )
+
+    # ------------------------------------------------------------------
+    # digests for bank comparison
+    # ------------------------------------------------------------------
+
+    def routing_digest(self) -> str:
+        """Hash of DATA2 (BANK1 material)."""
+        return self.routing.stable_digest()
+
+    def pricing_digest(self) -> str:
+        """Hash of DATA3* including tags (BANK2 material)."""
+        return self.pricing.stable_digest()
+
+    def cost_digest(self) -> str:
+        """Hash of DATA1 (first-construction-phase checkpoint)."""
+        return self.costs.stable_digest()
+
+    def full_digest(self) -> str:
+        """Combined digest over all construction state."""
+        return stable_hash(
+            (self.cost_digest(), self.routing_digest(), self.pricing_digest())
+        )
+
+
+PricingEntryLike = Tuple[Cost, FrozenSet[NodeId]]
+
+
+class FPSSNode(ProtocolNode):
+    """A trusting FPSS participant (the original, non-faithful protocol).
+
+    The node follows the suggested specification but performs *no*
+    checking: there are no checkers, no bank examination, and nothing
+    prevents a rational variant from manipulating tables — which is
+    exactly the gap the faithful extension closes.
+
+    Subclass hook methods (`declared_cost`, `make_route_broadcast`,
+    `make_price_broadcast`) are the seams where manipulation strategies
+    attach.
+    """
+
+    def __init__(self, node_id: NodeId, true_cost: Cost) -> None:
+        super().__init__(node_id)
+        self.true_cost = float(true_cost)
+        self.comp: Optional[FPSSComputation] = None
+        self.phase: str = "idle"
+        # --- execution-phase state (DATA4 and usage logs) ---
+        self.data4 = PaymentList(node_id)
+        #: True transit cost actually incurred forwarding packets.
+        self.incurred_cost: Cost = 0.0
+        #: (origin, dest) -> {sender: volume} ground-truth receipts.
+        self.receipts: Dict[Tuple[NodeId, NodeId], Dict[NodeId, float]] = {}
+        #: (origin, dest) -> volume delivered here as destination.
+        self.delivered: Dict[Tuple[NodeId, NodeId], float] = {}
+
+    # ------------------------------------------------------------------
+    # deviation seams
+    # ------------------------------------------------------------------
+
+    def declared_cost(self) -> Cost:
+        """The cost this node announces (information revelation)."""
+        return self.true_cost
+
+    def make_route_broadcast(self) -> RouteVector:
+        """The routing vector this node announces (computation)."""
+        assert self.comp is not None
+        return {
+            dest: entry
+            for dest in self.comp.routing.destinations
+            if (entry := self.comp.routing.entry(dest)) is not None
+        }
+
+    def make_price_broadcast(self) -> AvoidVector:
+        """The avoidance/pricing vector this node announces."""
+        assert self.comp is not None
+        return dict(self.comp.avoid)
+
+    # ------------------------------------------------------------------
+    # phase 1
+    # ------------------------------------------------------------------
+
+    def start_phase1(self) -> None:
+        """Begin the first construction phase: declare and flood costs."""
+        self.comp = FPSSComputation(
+            self.node_id, self.neighbors, self.declared_cost()
+        )
+        self.phase = "phase1"
+        self.broadcast(
+            KIND_COST_DECL, node=self.node_id, cost=self.comp.own_cost
+        )
+
+    def on_cost_decl(self, message: Message) -> None:
+        """Flooding handler: record new declarations and relay them."""
+        if self.comp is None:
+            return
+        node = message.payload["node"]
+        cost = message.payload["cost"]
+        if self.comp.note_cost_declaration(node, cost):
+            self.sim.metrics.record_computation(self.node_id)
+            self.relay_cost_declaration(message)
+
+    def relay_cost_declaration(self, message: Message) -> None:
+        """Forward a novel declaration to every neighbour.
+
+        Message-passing action; a deviation seam for drop/alter tests.
+        """
+        for neighbor in self.neighbors:
+            if neighbor != message.src:
+                self.forward(message, neighbor)
+
+    # ------------------------------------------------------------------
+    # phase 2
+    # ------------------------------------------------------------------
+
+    def start_phase2(self) -> None:
+        """Begin the second construction phase from converged DATA1."""
+        if self.comp is None:
+            raise ProtocolError(f"{self.node_id!r} cannot enter phase 2 before 1")
+        self.phase = "phase2"
+        self.comp.reset_phase2()
+        self.recompute_and_announce(force_announce=True)
+
+    def recompute_and_announce(self, force_announce: bool = False) -> None:
+        """Run the local relaxations and broadcast whatever changed."""
+        assert self.comp is not None
+        self.sim.metrics.record_computation(self.node_id)
+        routes_changed = self.comp.recompute_routes()
+        avoid_changed = self.comp.recompute_avoidance()
+        self.comp.derive_pricing()
+        if routes_changed or force_announce:
+            self.announce_routes()
+        if avoid_changed or force_announce:
+            self.announce_prices()
+
+    def announce_routes(self) -> None:
+        """Broadcast the (hook-provided) routing vector to neighbours."""
+        vector = encode_route_vector(self.make_route_broadcast())
+        self.broadcast(KIND_RT_UPDATE, vector=vector)
+
+    def announce_prices(self) -> None:
+        """Broadcast the (hook-provided) avoidance vector to neighbours."""
+        vector = encode_avoid_vector(self.make_price_broadcast())
+        self.broadcast(KIND_PRICE_UPDATE, vector=vector)
+
+    def on_rt_update(self, message: Message) -> None:
+        """[PRINC1] computation half: recompute LCPs on new input."""
+        if self.comp is None or self.phase != "phase2":
+            return
+        vector = decode_route_vector(message.payload["vector"])
+        self.comp.apply_route_update(message.src, vector)
+        self.after_route_input(message)
+        self.sim.metrics.record_computation(self.node_id)
+        if self.comp.recompute_routes():
+            self.announce_routes()
+        if self.comp.recompute_avoidance():
+            self.announce_prices()
+        self.comp.derive_pricing()
+
+    def on_price_update(self, message: Message) -> None:
+        """[PRINC2] computation half: recompute pricing on new input."""
+        if self.comp is None or self.phase != "phase2":
+            return
+        vector = decode_avoid_vector(message.payload["vector"])
+        self.comp.apply_avoid_update(message.src, vector)
+        self.after_price_input(message)
+        self.sim.metrics.record_computation(self.node_id)
+        if self.comp.recompute_avoidance():
+            self.announce_prices()
+        self.comp.derive_pricing()
+
+    # Hooks the faithful extension overrides to forward copies to
+    # checkers *before* recomputation, per PRINC1/PRINC2 ordering.
+    def after_route_input(self, message: Message) -> None:
+        """Called after storing a route update (pre-recompute)."""
+
+    def after_price_input(self, message: Message) -> None:
+        """Called after storing a price update (pre-recompute)."""
+
+    # ------------------------------------------------------------------
+    # execution phase (mechanism usage)
+    # ------------------------------------------------------------------
+
+    def start_execution(self) -> None:
+        """Enter the execution phase (after construction certifies)."""
+        self.phase = "execution"
+
+    def originate_flow(self, destination: NodeId, volume: float) -> None:
+        """Send ``volume`` packets toward a destination along the LCP,
+        recording the per-packet payments owed into DATA4."""
+        if self.comp is None:
+            raise ProtocolError(f"{self.node_id!r} has no converged tables")
+        entry = self.comp.routing.entry(destination)
+        if entry is None:
+            raise RoutingError(
+                f"{self.node_id!r} has no route to {destination!r}"
+            )
+        for payee, amount in self.compute_charges(destination, volume).items():
+            self.data4.charge(payee, amount)
+        first_hop = self.choose_first_hop(destination)
+        # TTL bounds forwarding loops created by misrouting deviants,
+        # as IP's hop limit does; honest LCP forwarding never hits it.
+        ttl = 4 * max(4, len(self.comp.known_nodes()))
+        self.send(
+            first_hop,
+            KIND_PACKET,
+            origin=self.node_id,
+            destination=destination,
+            volume=volume,
+            ttl=ttl,
+        )
+
+    def on_packet(self, message: Message) -> None:
+        """Receive a packet: deliver locally or transit it onward."""
+        origin = message.payload["origin"]
+        destination = message.payload["destination"]
+        volume = message.payload["volume"]
+        flow = (origin, destination)
+        self.receipts.setdefault(flow, {})
+        self.receipts[flow][message.src] = (
+            self.receipts[flow].get(message.src, 0.0) + volume
+        )
+        self.observe_packet(message)
+        if destination == self.node_id:
+            self.delivered[flow] = self.delivered.get(flow, 0.0) + volume
+            return
+        if not self.should_forward(origin, destination, volume):
+            return
+        ttl = message.payload.get("ttl", 64) - 1
+        if ttl <= 0:
+            return  # loop guard; settlement treats it as a drop
+        self.incurred_cost += self.true_cost * volume
+        next_hop = self.choose_next_hop(origin, destination)
+        self.send(
+            next_hop,
+            KIND_PACKET,
+            origin=origin,
+            destination=destination,
+            volume=volume,
+            ttl=ttl,
+        )
+
+    def observe_packet(self, message: Message) -> None:
+        """Hook for checker-side packet observation (faithful mode)."""
+
+    # --- execution deviation seams -----------------------------------
+
+    def compute_charges(
+        self, destination: NodeId, volume: float
+    ) -> Dict[NodeId, float]:
+        """Per-payee charges for one originated flow, from DATA3*."""
+        assert self.comp is not None
+        entry = self.comp.routing.entry(destination)
+        if entry is None:
+            return {}
+        # Prices are non-negative at the honest fixed point; off the
+        # fixed point (deviant runs) a stale table can yield a negative
+        # price, which no node would ever accept as a charge.
+        return {
+            transit: max(0.0, self.comp.pricing.price(destination, transit))
+            * volume
+            for transit in entry.path[1:-1]
+        }
+
+    def choose_first_hop(self, destination: NodeId) -> NodeId:
+        """First hop for own traffic (suggested: the LCP next hop)."""
+        assert self.comp is not None
+        entry = self.comp.routing.entry(destination)
+        assert entry is not None and len(entry.path) >= 2
+        return entry.path[1]
+
+    def choose_next_hop(self, origin: NodeId, destination: NodeId) -> NodeId:
+        """Next hop for transited traffic (suggested: own LCP)."""
+        assert self.comp is not None
+        entry = self.comp.routing.entry(destination)
+        if entry is None or len(entry.path) < 2:
+            raise RoutingError(
+                f"{self.node_id!r} cannot transit toward {destination!r}"
+            )
+        return entry.path[1]
+
+    def should_forward(
+        self, origin: NodeId, destination: NodeId, volume: float
+    ) -> bool:
+        """Whether to forward a transiting flow (suggested: always)."""
+        return True
+
+    def report_payments(self) -> Dict[NodeId, float]:
+        """The DATA4 report submitted for settlement."""
+        return self.data4.as_dict()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def routing_table(self) -> RoutingTable:
+        """This node's DATA2."""
+        if self.comp is None:
+            raise ProtocolError(f"{self.node_id!r} has not started")
+        return self.comp.routing
+
+    def pricing_table(self) -> PricingTable:
+        """This node's DATA3*."""
+        if self.comp is None:
+            raise ProtocolError(f"{self.node_id!r} has not started")
+        return self.comp.pricing

@@ -1,0 +1,143 @@
+"""Centralized lowest-cost-path (LCP) oracle.
+
+The cost of a path is the sum of the *transit costs of its interior
+nodes*: packets cost nothing to originate or terminate, so endpoints
+never contribute (Section 4.1).  This module computes LCPs with a
+node-weighted Dijkstra and serves as the reference oracle the
+distributed FPSS protocol must agree with.
+
+Tie-breaking is deterministic: among equal-cost paths the oracle
+prefers fewer hops, then the lexicographically smallest node sequence.
+FPSS assumes ties are broken consistently network-wide; both the oracle
+and the distributed protocol use this same rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional, Tuple
+
+from ..errors import GraphError, RoutingError
+from .graph import ASGraph, Cost, NodeId, PathCost
+
+#: Sort key making path preference total and deterministic.
+def _path_key(cost: Cost, path: Tuple[NodeId, ...]) -> Tuple:
+    return (cost, len(path), tuple(repr(n) for n in path))
+
+
+def lowest_cost_path(
+    graph: ASGraph,
+    source: NodeId,
+    destination: NodeId,
+    avoiding: Optional[NodeId] = None,
+) -> PathCost:
+    """The LCP from ``source`` to ``destination``.
+
+    Parameters
+    ----------
+    graph:
+        The AS graph with (declared) transit costs.
+    avoiding:
+        If given, paths through this node are forbidden — the
+        ``-k`` restriction used in the VCG payment formula.
+
+    Raises
+    ------
+    RoutingError
+        If no path exists (e.g. avoidance disconnects the pair).
+    """
+    if source not in graph:
+        raise GraphError(f"unknown source {source!r}")
+    if destination not in graph:
+        raise GraphError(f"unknown destination {destination!r}")
+    if avoiding is not None and avoiding in (source, destination):
+        raise RoutingError(
+            f"cannot avoid endpoint {avoiding!r} of pair ({source!r}, {destination!r})"
+        )
+    if source == destination:
+        return PathCost(path=(source,), cost=0.0)
+
+    # Dijkstra where the "distance" to node v is the transit cost of the
+    # best known path source..v, counting interior nodes only.  When we
+    # extend a path ending at u by edge (u, v), u becomes interior
+    # (unless u is the source) and contributes c_u.
+    best: Dict[NodeId, Tuple[Cost, Tuple[NodeId, ...]]] = {}
+    heap = [( _path_key(0.0, (source,)), 0.0, (source,) )]
+    while heap:
+        _, cost, path = heapq.heappop(heap)
+        node = path[-1]
+        if node in best and _path_key(*best[node]) <= _path_key(cost, path):
+            continue
+        best[node] = (cost, path)
+        if node == destination:
+            continue
+        extension_cost = 0.0 if node == source else graph.cost(node)
+        for neighbor in graph.neighbors(node):
+            if neighbor == avoiding or neighbor in path:
+                continue
+            new_cost = cost + extension_cost
+            new_path = path + (neighbor,)
+            if neighbor in best and _path_key(*best[neighbor]) <= _path_key(
+                new_cost, new_path
+            ):
+                continue
+            heapq.heappush(heap, (_path_key(new_cost, new_path), new_cost, new_path))
+
+    if destination not in best:
+        detail = f" avoiding {avoiding!r}" if avoiding is not None else ""
+        raise RoutingError(
+            f"no path from {source!r} to {destination!r}{detail}"
+        )
+    cost, path = best[destination]
+    return PathCost(path=path, cost=cost)
+
+
+def lcp_cost(
+    graph: ASGraph,
+    source: NodeId,
+    destination: NodeId,
+    avoiding: Optional[NodeId] = None,
+) -> Cost:
+    """Just the cost of the LCP (convenience wrapper)."""
+    return lowest_cost_path(graph, source, destination, avoiding=avoiding).cost
+
+
+def lcp_tree(graph: ASGraph, source: NodeId) -> Dict[NodeId, PathCost]:
+    """LCPs from ``source`` to every other node (Figure 1's bold tree)."""
+    return {
+        destination: lowest_cost_path(graph, source, destination)
+        for destination in graph.nodes
+        if destination != source
+    }
+
+
+def all_pairs_lcp(graph: ASGraph) -> Dict[Tuple[NodeId, NodeId], PathCost]:
+    """LCPs for every ordered (source, destination) pair."""
+    result: Dict[Tuple[NodeId, NodeId], PathCost] = {}
+    for source in graph.nodes:
+        for destination, path_cost in lcp_tree(graph, source).items():
+            result[(source, destination)] = path_cost
+    return result
+
+
+def total_routing_cost(
+    graph: ASGraph,
+    truthful_graph: Optional[ASGraph] = None,
+) -> Cost:
+    """Sum of *true* costs of the LCPs chosen under declared costs.
+
+    ``graph`` carries declared costs (which determine route choice);
+    ``truthful_graph`` carries true costs (which determine the real
+    resource usage).  With a single argument the two coincide.  This is
+    the network-efficiency measure of Example 1: a lie that diverts
+    traffic onto a path whose *true* cost is higher damages efficiency.
+    """
+    truth = truthful_graph if truthful_graph is not None else graph
+    total = 0.0
+    for source in graph.nodes:
+        for destination in graph.nodes:
+            if source == destination:
+                continue
+            chosen = lowest_cost_path(graph, source, destination)
+            total += sum(truth.cost(k) for k in chosen.transit_nodes)
+    return total

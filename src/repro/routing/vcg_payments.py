@@ -1,0 +1,189 @@
+"""FPSS/VCG transit payments (centralized reference).
+
+FPSS pays each transit node based on the utility it brings to the
+routing system plus its declared cost: for a packet from ``i`` to ``j``
+whose LCP passes through transit node ``k``,
+
+    p^{ij}_k = c_k + cost(LCP_{-k}(i, j)) - cost(LCP(i, j))
+
+where ``LCP_{-k}`` is the lowest-cost path avoiding ``k``.  Nodes not
+on the LCP receive nothing.  Biconnectivity guarantees ``LCP_{-k}``
+exists, so every payment is well-defined.
+
+This module is the centralized oracle; the distributed protocol in
+:mod:`repro.routing.fpss` must converge to the same values, and the
+strategyproofness benchmark (experiment E3) sweeps misreports against
+these payments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..errors import RoutingError
+from .graph import ASGraph, Cost, NodeId, PathCost
+from .lcp import lowest_cost_path
+
+
+@dataclass(frozen=True)
+class RoutePayments:
+    """The LCP for one (source, destination) pair and its payments."""
+
+    source: NodeId
+    destination: NodeId
+    route: PathCost
+    payments: Mapping[NodeId, Cost]
+
+    @property
+    def total_payment(self) -> Cost:
+        """Sum paid by the source for one packet on this route."""
+        return sum(self.payments.values())
+
+
+def vcg_transit_payment(
+    graph: ASGraph, source: NodeId, destination: NodeId, transit: NodeId
+) -> Cost:
+    """The per-packet VCG payment to one transit node.
+
+    Returns 0 for nodes not on the LCP (their marginal contribution is
+    nil).  Raises :class:`RoutingError` if ``transit`` is an endpoint.
+    """
+    if transit in (source, destination):
+        raise RoutingError(f"{transit!r} is an endpoint, not a transit node")
+    route = lowest_cost_path(graph, source, destination)
+    if transit not in route.transit_nodes:
+        return 0.0
+    with_k = route.cost
+    without_k = lowest_cost_path(graph, source, destination, avoiding=transit).cost
+    return graph.cost(transit) + without_k - with_k
+
+
+def route_payments(
+    graph: ASGraph, source: NodeId, destination: NodeId
+) -> RoutePayments:
+    """LCP and all transit payments for one ordered pair."""
+    route = lowest_cost_path(graph, source, destination)
+    payments: Dict[NodeId, Cost] = {}
+    for transit in route.transit_nodes:
+        without_k = lowest_cost_path(
+            graph, source, destination, avoiding=transit
+        ).cost
+        payments[transit] = graph.cost(transit) + without_k - route.cost
+    return RoutePayments(
+        source=source, destination=destination, route=route, payments=payments
+    )
+
+
+def all_pairs_payments(
+    graph: ASGraph,
+) -> Dict[Tuple[NodeId, NodeId], RoutePayments]:
+    """Route payments for every ordered pair (requires biconnectivity)."""
+    graph.require_biconnected()
+    result: Dict[Tuple[NodeId, NodeId], RoutePayments] = {}
+    for source in graph.nodes:
+        for destination in graph.nodes:
+            if source != destination:
+                result[(source, destination)] = route_payments(
+                    graph, source, destination
+                )
+    return result
+
+
+@dataclass
+class NodeEconomics:
+    """One node's cash flows and true costs under a traffic matrix."""
+
+    received: Cost = 0.0
+    paid: Cost = 0.0
+    true_transit_cost: Cost = 0.0
+    penalties: Cost = 0.0
+    #: Extra terms (e.g. non-progress penalty) applied by experiments.
+    adjustments: Cost = 0.0
+    detail: Dict[str, Cost] = field(default_factory=dict)
+
+    @property
+    def utility(self) -> Cost:
+        """Quasi-linear utility: income minus expenditure and cost."""
+        return (
+            self.received
+            - self.paid
+            - self.true_transit_cost
+            - self.penalties
+            + self.adjustments
+        )
+
+
+def economics_under_traffic(
+    declared_graph: ASGraph,
+    true_graph: ASGraph,
+    traffic: Mapping[Tuple[NodeId, NodeId], float],
+    payment_rule: str = "vcg",
+) -> Dict[NodeId, NodeEconomics]:
+    """Per-node economics when routes/payments follow declared costs.
+
+    Parameters
+    ----------
+    declared_graph:
+        Topology with the costs nodes *declared*; routing and payments
+        are computed from these.
+    true_graph:
+        Same topology with *true* costs; real transit expenses come
+        from these.
+    traffic:
+        Mapping (source, destination) -> packet volume.
+    payment_rule:
+        ``"vcg"`` for the FPSS payment above, or ``"declared-cost"``
+        for the naive scheme that simply reimburses each transit node
+        its declared cost — the scheme Example 1 shows is manipulable.
+
+    Returns
+    -------
+    dict
+        Economics for every node of the graph (zeroed if untouched).
+    """
+    if payment_rule not in ("vcg", "declared-cost"):
+        raise RoutingError(f"unknown payment rule {payment_rule!r}")
+    economics: Dict[NodeId, NodeEconomics] = {
+        node: NodeEconomics() for node in declared_graph.nodes
+    }
+    for (source, destination), volume in sorted(traffic.items(), key=repr):
+        if volume == 0:
+            continue
+        if volume < 0:
+            raise RoutingError(f"negative traffic volume for {(source, destination)}")
+        route = lowest_cost_path(declared_graph, source, destination)
+        for transit in route.transit_nodes:
+            if payment_rule == "vcg":
+                payment = vcg_transit_payment(
+                    declared_graph, source, destination, transit
+                )
+            else:
+                payment = declared_graph.cost(transit)
+            economics[source].paid += volume * payment
+            economics[transit].received += volume * payment
+            economics[transit].true_transit_cost += volume * true_graph.cost(transit)
+    return economics
+
+
+def utility_of_misreport(
+    true_graph: ASGraph,
+    node: NodeId,
+    declared_cost: Cost,
+    traffic: Mapping[Tuple[NodeId, NodeId], float],
+    payment_rule: str = "vcg",
+) -> Tuple[Cost, Cost]:
+    """(truthful utility, misreport utility) for one node's cost lie.
+
+    All other nodes declare truthfully.  Under ``"vcg"`` the second
+    component never exceeds the first (strategyproofness, Definition
+    5); under ``"declared-cost"`` it can, reproducing Example 1.
+    """
+    truthful = economics_under_traffic(
+        true_graph, true_graph, traffic, payment_rule=payment_rule
+    )[node].utility
+    lied_graph = true_graph.with_costs({node: declared_cost})
+    lied = economics_under_traffic(
+        lied_graph, true_graph, traffic, payment_rule=payment_rule
+    )[node].utility
+    return truthful, lied

@@ -1,0 +1,80 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker, making every simulation fully deterministic for
+a given schedule of insertions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by (time, seq) only; the callback itself is excluded
+    from comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._popped = 0
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Insert a callback to fire at simulated ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        self._popped += 1
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """The time of the earliest pending event, or None if empty."""
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet dispatched."""
+        return len(self._heap)
+
+    @property
+    def dispatched(self) -> int:
+        """Number of events popped so far."""
+        return self._popped
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Pop events until the queue is empty (used in tests)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,177 @@
+"""The failure-model taxonomy, including rational manipulation.
+
+Section 3 of the paper argues that *rational manipulation* deserves a
+place in the classical failure taxonomy (failstop ... Byzantine): it is
+currently classified as a subset of Byzantine behaviour, but rational
+failures are predictable — a node deviates only to increase its own
+utility — which opens design tools (incentives, partitioning,
+catch-and-punish) that redundancy-based BFT does not exploit.
+
+This module implements the taxonomy as *adapters*: wrappers installed
+on a :class:`~repro.sim.node.ProtocolNode` via its inbound/outbound
+filters.  The rational adapter is special: it does not act randomly but
+delegates to a manipulation strategy with a utility target, defined in
+:mod:`repro.faithful.manipulations` for the routing case study.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Callable, Optional
+
+from .messages import Message
+from .node import ProtocolNode
+
+
+class FailureModel(enum.Enum):
+    """The taxonomy of Section 3 (plus the correct baseline)."""
+
+    #: Follows the suggested specification exactly.
+    OBEDIENT = "obedient"
+    #: Halts permanently at a known point; others can detect the halt.
+    FAILSTOP = "failstop"
+    #: Halts permanently at an arbitrary point, without announcement.
+    CRASH = "crash"
+    #: Loses some messages (send and/or receive omissions).
+    OMISSION = "omission"
+    #: Arbitrary behaviour, unconstrained by self-interest.
+    BYZANTINE = "byzantine"
+    #: Deviates exactly when deviation increases its own utility.
+    RATIONAL = "rational"
+
+
+class FailureAdapter:
+    """Base adapter: installs behaviour-modifying filters on a node.
+
+    Adapters chain with any filters the node already has (so a
+    rational manipulation strategy can be combined with, say, an
+    omission fault for the Section 5 discussion experiments).
+    """
+
+    model = FailureModel.OBEDIENT
+
+    def __init__(self, node: ProtocolNode) -> None:
+        self.node = node
+        self._wrapped_outbound = node.outbound
+        self._wrapped_inbound = node.inbound
+        node.outbound = self.outbound  # type: ignore[method-assign]
+        node.inbound = self.inbound  # type: ignore[method-assign]
+
+    def outbound(self, message: Message) -> Optional[Message]:
+        """Default: pass through to the node's previous filter."""
+        return self._wrapped_outbound(message)
+
+    def inbound(self, message: Message) -> Optional[Message]:
+        """Default: pass through to the node's previous filter."""
+        return self._wrapped_inbound(message)
+
+
+class FailstopAdapter(FailureAdapter):
+    """Node halts at a scheduled simulated time; silent afterwards."""
+
+    model = FailureModel.FAILSTOP
+
+    def __init__(self, node: ProtocolNode, fail_time: float) -> None:
+        super().__init__(node)
+        self.fail_time = fail_time
+
+    @property
+    def failed(self) -> bool:
+        """True once the node's halt time has passed."""
+        return self.node.sim.now >= self.fail_time
+
+    def outbound(self, message: Message) -> Optional[Message]:
+        if self.failed:
+            return None
+        return self._wrapped_outbound(message)
+
+    def inbound(self, message: Message) -> Optional[Message]:
+        if self.failed:
+            return None
+        return self._wrapped_inbound(message)
+
+
+class CrashAdapter(FailstopAdapter):
+    """Like failstop but the halt point is drawn at random, modelling a
+    crash other nodes cannot anticipate."""
+
+    model = FailureModel.CRASH
+
+    def __init__(
+        self, node: ProtocolNode, rng: random.Random, horizon: float = 100.0
+    ) -> None:
+        super().__init__(node, fail_time=rng.uniform(0.0, horizon))
+
+
+class OmissionAdapter(FailureAdapter):
+    """Drops each message independently with fixed probability."""
+
+    model = FailureModel.OMISSION
+
+    def __init__(
+        self,
+        node: ProtocolNode,
+        rng: random.Random,
+        send_drop_prob: float = 0.0,
+        receive_drop_prob: float = 0.0,
+    ) -> None:
+        super().__init__(node)
+        if not 0.0 <= send_drop_prob <= 1.0 or not 0.0 <= receive_drop_prob <= 1.0:
+            raise ValueError("drop probabilities must lie in [0, 1]")
+        self.rng = rng
+        self.send_drop_prob = send_drop_prob
+        self.receive_drop_prob = receive_drop_prob
+
+    def outbound(self, message: Message) -> Optional[Message]:
+        if self.rng.random() < self.send_drop_prob:
+            return None
+        return self._wrapped_outbound(message)
+
+    def inbound(self, message: Message) -> Optional[Message]:
+        if self.rng.random() < self.receive_drop_prob:
+            return None
+        return self._wrapped_inbound(message)
+
+
+class ByzantineAdapter(FailureAdapter):
+    """Applies an arbitrary mutator to outbound messages.
+
+    The mutator may return the message unchanged, a tampered copy, or
+    None to drop — capturing "arbitrary behaviour" without requiring a
+    motive, in contrast to :class:`RationalAdapter`.
+    """
+
+    model = FailureModel.BYZANTINE
+
+    def __init__(
+        self,
+        node: ProtocolNode,
+        mutator: Callable[[Message], Optional[Message]],
+    ) -> None:
+        super().__init__(node)
+        self.mutator = mutator
+
+    def outbound(self, message: Message) -> Optional[Message]:
+        mutated = self.mutator(message)
+        if mutated is None:
+            return None
+        return self._wrapped_outbound(mutated)
+
+
+class RationalAdapter(FailureAdapter):
+    """Marks a node as rational and carries its manipulation strategy.
+
+    The adapter itself adds no behaviour: rational deviations in the
+    case study are implemented as strategy subclasses of the protocol
+    node (see :mod:`repro.faithful.manipulations`), because a rational
+    node rewrites its *algorithm*, not merely its channel.  The adapter
+    exists so experiments can tag and enumerate which nodes are
+    rational and what deviation they attempt.
+    """
+
+    model = FailureModel.RATIONAL
+
+    def __init__(self, node: ProtocolNode, deviation_name: str) -> None:
+        super().__init__(node)
+        self.deviation_name = deviation_name

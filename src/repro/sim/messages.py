@@ -1,0 +1,110 @@
+"""Messages exchanged between protocol nodes.
+
+A message is an immutable envelope: sender, receiver, a ``kind`` tag
+that selects the handler on the receiving node, and a payload dict.
+Tampering (for Byzantine/rational adapters) is modelled by building a
+*new* message via :meth:`Message.altered`; originals are never mutated,
+so traces always show both what was sent and what was delivered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Hashable, Mapping, Optional
+
+NodeId = Hashable
+"""Node identifiers are arbitrary hashable labels (strings in practice)."""
+
+_msg_counter = itertools.count(1)
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert payload values to hashable/immutable forms."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable protocol message.
+
+    Attributes
+    ----------
+    src:
+        Originating node of this hop (not necessarily the original
+        author if the message is a forwarded copy).
+    dst:
+        Receiving node of this hop.
+    kind:
+        Handler-selector string, e.g. ``"rt-update"``.
+    payload:
+        Message body.  Treated as immutable by convention.
+    author:
+        The node that created the information in this message; equals
+        ``src`` unless this is a forwarded copy.
+    msg_id:
+        Unique id assigned at construction; forwarded copies share the
+        author's id so checkers can match copies to originals.
+    signature:
+        Optional signature tag from :mod:`repro.sim.crypto`.
+    """
+
+    src: NodeId
+    dst: NodeId
+    kind: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    author: Optional[NodeId] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    signature: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.author is None:
+            object.__setattr__(self, "author", self.src)
+
+    def forwarded(self, src: NodeId, dst: NodeId) -> "Message":
+        """A copy of this message relayed by ``src`` to ``dst``.
+
+        Keeps the author and ``msg_id`` so receivers can recognise the
+        message as a forwarded copy of the original.
+        """
+        return replace(self, src=src, dst=dst)
+
+    def altered(self, **payload_updates: Any) -> "Message":
+        """A tampered copy with payload fields replaced.
+
+        Used by manipulation strategies; the result keeps the original
+        ``msg_id`` (a rational node forging content, not identity).
+        """
+        merged = dict(self.payload)
+        merged.update(payload_updates)
+        return replace(self, payload=merged)
+
+    def readdressed(self, dst: NodeId) -> "Message":
+        """A copy sent to a different destination."""
+        return replace(self, dst=dst)
+
+    def content_key(self) -> Hashable:
+        """A hashable digest of (kind, author, payload) for comparisons."""
+        return (self.kind, self.author, _freeze(dict(self.payload)))
+
+    @property
+    def size(self) -> int:
+        """Crude size proxy: number of scalar entries in the payload."""
+
+        def count(value: Any) -> int:
+            if isinstance(value, dict):
+                return sum(count(v) for v in value.values()) or 1
+            if isinstance(value, (list, tuple, set, frozenset)):
+                return sum(count(v) for v in value) or 1
+            return 1
+
+        return max(1, count(dict(self.payload)))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.kind} {self.src}->{self.dst} #{self.msg_id}>"

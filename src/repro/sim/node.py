@@ -1,0 +1,139 @@
+"""Protocol node base class.
+
+A :class:`ProtocolNode` is an event-driven process: the simulator calls
+:meth:`ProtocolNode.start` once at time zero and :meth:`deliver` for
+each arriving message.  Handlers are discovered by naming convention:
+a message of kind ``"rt-update"`` is dispatched to ``on_rt_update``.
+
+Two filter hooks, :meth:`outbound` and :meth:`inbound`, exist so that
+failure adapters (:mod:`repro.sim.failures`) and rational manipulation
+strategies (:mod:`repro.faithful.manipulations`) can intercept traffic
+without rewriting protocol logic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ProtocolError, SimulationError
+from .messages import Message, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .simulator import Simulator
+
+
+class ProtocolNode:
+    """Base class for all simulated protocol participants."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        self._sim: Optional["Simulator"] = None
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+
+    # ------------------------------------------------------------------
+    # simulator wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, simulator: "Simulator") -> None:
+        """Called by the simulator when the node is registered."""
+        if self._sim is not None:
+            raise SimulationError(f"node {self.node_id!r} already attached")
+        self._sim = simulator
+
+    @property
+    def sim(self) -> "Simulator":
+        """The owning simulator (raises if not yet attached)."""
+        if self._sim is None:
+            raise SimulationError(f"node {self.node_id!r} is not attached")
+        return self._sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    @property
+    def neighbors(self) -> Tuple[NodeId, ...]:
+        """This node's neighbours in the topology."""
+        return self.sim.topology.neighbors(self.node_id)
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoked once at simulation start; override to kick off."""
+
+    def outbound(self, message: Message) -> Optional[Message]:
+        """Filter applied to every message this node sends.
+
+        Return the (possibly replaced) message, or None to drop it.
+        The faithful base implementation is the identity.
+        """
+        return message
+
+    def inbound(self, message: Message) -> Optional[Message]:
+        """Filter applied to every message delivered to this node."""
+        return message
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, dst: NodeId, kind: str, **payload: Any) -> Optional[Message]:
+        """Construct and transmit a fresh message to ``dst``."""
+        message = Message(src=self.node_id, dst=dst, kind=kind, payload=payload)
+        return self.send_message(message)
+
+    def send_message(self, message: Message) -> Optional[Message]:
+        """Transmit a pre-built message through the outbound filter."""
+        filtered = self.outbound(message)
+        if filtered is None:
+            self.sim.note_drop(self.node_id, message, reason="outbound-filter")
+            return None
+        self.sim.transmit(filtered)
+        return filtered
+
+    def forward(self, message: Message, dst: NodeId) -> Optional[Message]:
+        """Relay a received message to ``dst`` (message-passing action)."""
+        return self.send_message(message.forwarded(self.node_id, dst))
+
+    def broadcast(self, kind: str, **payload: Any) -> None:
+        """Send the same fresh message to every neighbour."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, kind, **payload)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Entry point used by the simulator for an arriving message."""
+        filtered = self.inbound(message)
+        if filtered is None:
+            self.sim.note_drop(self.node_id, message, reason="inbound-filter")
+            return
+        self.dispatch(filtered)
+
+    def dispatch(self, message: Message) -> None:
+        """Route a message to its ``on_<kind>`` handler."""
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            handler_name = "on_" + message.kind.replace("-", "_")
+            handler = getattr(self, handler_name, None)
+            if handler is None:
+                raise ProtocolError(
+                    f"node {self.node_id!r} has no handler {handler_name!r} "
+                    f"for message kind {message.kind!r}"
+                )
+            self._handlers[message.kind] = handler
+        handler(message)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> None:
+        """Schedule a local (internal-action) callback after ``delay``."""
+        self.sim.schedule_local(self.node_id, delay, callback, label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.node_id!r})"

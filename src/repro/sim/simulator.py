@@ -1,0 +1,185 @@
+"""The discrete-event simulator.
+
+Couples a :class:`~repro.sim.network.NetworkTopology`, a set of
+:class:`~repro.sim.node.ProtocolNode` processes, an event queue, a
+trace, and a metrics registry.  ``run_until_quiescent`` drives the
+system to a fixed point — the "network quiescence point" at which the
+paper's bank performs its BANK1/BANK2 checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..errors import ConvergenceError, SimulationError
+from .events import EventQueue
+from .messages import Message, NodeId
+from .metrics import MetricsRegistry
+from .network import NetworkTopology
+from .node import ProtocolNode
+from .trace import Trace, TraceKind
+
+
+class Simulator:
+    """Deterministic discrete-event simulation of a node network.
+
+    Parameters
+    ----------
+    topology:
+        The static network.  Messages may only flow along its links,
+        except for nodes registered as *well-known* (the bank), which
+        every node can reach directly — modelling the paper's signed
+        out-of-band bank channel.
+    trace_enabled:
+        Record a full event trace (disable for large sweeps).
+    """
+
+    def __init__(self, topology: NetworkTopology, trace_enabled: bool = True) -> None:
+        self.topology = topology
+        self.queue = EventQueue()
+        self.trace = Trace(enabled=trace_enabled)
+        self.metrics = MetricsRegistry()
+        self._nodes: Dict[NodeId, ProtocolNode] = {}
+        self._well_known: set = set()
+        self._now: float = 0.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: ProtocolNode, well_known: bool = False) -> None:
+        """Register a protocol node occupying a topology vertex.
+
+        ``well_known=True`` marks the node as reachable by every other
+        node without a topology link (used for the bank; the paper
+        assumes signed communication between every node and the bank).
+        """
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id!r}")
+        if node.node_id not in self.topology and not well_known:
+            raise SimulationError(
+                f"node {node.node_id!r} is not a vertex of the topology"
+            )
+        self._nodes[node.node_id] = node
+        if well_known:
+            self._well_known.add(node.node_id)
+        node.attach(self)
+
+    def node(self, node_id: NodeId) -> ProtocolNode:
+        """Look up a registered node."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id!r}") from None
+
+    @property
+    def nodes(self) -> Dict[NodeId, ProtocolNode]:
+        """All registered nodes keyed by id (copy)."""
+        return dict(self._nodes)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def _link_delay(self, src: NodeId, dst: NodeId) -> float:
+        if src in self._well_known or dst in self._well_known:
+            return 1.0
+        return self.topology.delay(src, dst)
+
+    def _check_reachable(self, src: NodeId, dst: NodeId) -> None:
+        if src in self._well_known or dst in self._well_known:
+            return
+        if not self.topology.has_link(src, dst):
+            raise SimulationError(
+                f"{src!r} cannot send to non-neighbour {dst!r}; "
+                "only the bank is reachable without a link"
+            )
+
+    def transmit(self, message: Message) -> None:
+        """Accept a message from a node and schedule its delivery."""
+        self._check_reachable(message.src, message.dst)
+        if message.dst not in self._nodes:
+            raise SimulationError(f"message to unknown node {message.dst!r}")
+        self.metrics.record_send(message.src, payload_units=message.size)
+        self.trace.record(self._now, TraceKind.SEND, message.src, message)
+        delay = self._link_delay(message.src, message.dst)
+        self.queue.schedule(
+            self._now + delay,
+            lambda: self._deliver(message),
+            label=f"deliver:{message.kind}:{message.src}->{message.dst}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        self.metrics.record_receive(message.dst)
+        self.trace.record(self._now, TraceKind.DELIVER, message.dst, message)
+        self._nodes[message.dst].deliver(message)
+
+    def note_drop(self, node_id: NodeId, message: Message, reason: str) -> None:
+        """Record that a filter suppressed a message."""
+        self.trace.record(self._now, TraceKind.DROP, node_id, message, reason=reason)
+
+    def schedule_local(
+        self, node_id: NodeId, delay: float, callback, label: str = ""
+    ) -> None:
+        """Schedule a node-local callback (internal action)."""
+        if delay < 0:
+            raise SimulationError("negative delay")
+        self.queue.schedule(self._now + delay, callback, label=f"{node_id}:{label}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def start(self, nodes: Optional[Iterable[NodeId]] = None) -> None:
+        """Invoke ``start()`` on nodes (all of them by default).
+
+        Safe to call again for later phases; each call simply schedules
+        another round of start hooks at the current time.
+        """
+        targets = list(nodes) if nodes is not None else sorted(self._nodes, key=repr)
+        for node_id in targets:
+            node = self.node(node_id)
+            self.queue.schedule(self._now, node.start, label=f"start:{node_id}")
+        self._started = True
+
+    def step(self) -> bool:
+        """Dispatch one event; returns False if the queue was empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        if event.time < self._now:
+            raise SimulationError("event queue went backwards in time")
+        self._now = event.time
+        self.metrics.events_processed += 1
+        event.callback()
+        return True
+
+    def run_until_quiescent(self, max_events: int = 1_000_000) -> int:
+        """Dispatch events until none remain; returns events processed.
+
+        Raises
+        ------
+        ConvergenceError
+            If the budget is exhausted, which for a static-topology
+            Bellman-Ford style protocol indicates a livelock bug or a
+            deviation that prevents convergence.
+        """
+        processed = 0
+        while self.queue:
+            if processed >= max_events:
+                raise ConvergenceError(
+                    f"simulation did not quiesce within {max_events} events"
+                )
+            self.step()
+            processed += 1
+        return processed
+
+    def is_quiescent(self) -> bool:
+        """True when no events are pending."""
+        return not self.queue

@@ -1,0 +1,127 @@
+"""Execution traces: a queryable log of everything the simulator did.
+
+Traces serve two purposes: debugging, and *evidence*.  The faithfulness
+experiments compare what a deviating node actually emitted against what
+the suggested specification would have emitted, and the trace is the
+ground truth for that comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from .messages import Message, NodeId
+
+
+class TraceKind(enum.Enum):
+    """Categories of trace entries."""
+
+    SEND = "send"
+    DELIVER = "deliver"
+    DROP = "drop"
+    COMPUTE = "compute"
+    STATE = "state"
+    DETECT = "detect"
+    PHASE = "phase"
+    PACKET = "packet"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulator occurrence."""
+
+    time: float
+    kind: TraceKind
+    node: Optional[NodeId]
+    message: Optional[Message] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        msg = f" {self.message}" if self.message else ""
+        return f"[{self.time:8.3f}] {self.kind.value:8s} {self.node}{msg} {self.detail}"
+
+
+class Trace:
+    """An append-only log of :class:`TraceEvent` entries.
+
+    Recording can be disabled wholesale (``enabled=False``) for large
+    benchmark sweeps where only the metrics counters matter.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        kind: TraceKind,
+        node: Optional[NodeId],
+        message: Optional[Message] = None,
+        **detail: Any,
+    ) -> None:
+        """Append one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(time=time, kind=kind, node=node, message=message, detail=detail)
+        )
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All recorded events in order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def filter(
+        self,
+        kind: Optional[TraceKind] = None,
+        node: Optional[NodeId] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events matching all the given criteria."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            result.append(event)
+        return result
+
+    def sends(self, node: Optional[NodeId] = None) -> List[TraceEvent]:
+        """All SEND events, optionally for one node."""
+        return self.filter(kind=TraceKind.SEND, node=node)
+
+    def deliveries(self, node: Optional[NodeId] = None) -> List[TraceEvent]:
+        """All DELIVER events, optionally for one node."""
+        return self.filter(kind=TraceKind.DELIVER, node=node)
+
+    def detections(self) -> List[TraceEvent]:
+        """All DETECT events (bank catching a deviation)."""
+        return self.filter(kind=TraceKind.DETECT)
+
+    def messages_by_kind(self) -> Dict[str, int]:
+        """Histogram of sent message kinds."""
+        histogram: Dict[str, int] = {}
+        for event in self.sends():
+            assert event.message is not None
+            histogram[event.message.kind] = histogram.get(event.message.kind, 0) + 1
+        return histogram
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events.clear()

@@ -1,0 +1,123 @@
+"""External-action classification (paper Definitions 2-4).
+
+The paper splits the external actions of a distributed mechanism
+specification into three disjoint classes:
+
+* **information-revelation** actions (Definition 2): the only effect is
+  to reveal *consistent* (possibly partial, possibly untruthful)
+  information about the node's own type;
+* **message-passing** actions (Definition 3): the only effect is to
+  relay a message received from another node;
+* **computational** actions (Definition 4): actions that can affect the
+  outcome rule beyond what misreporting one's own type could achieve.
+
+Internal actions have no external effect and are unconstrained by the
+feasible strategy space (Section 3.3).
+
+This module provides the enumeration used to tag every external effect
+produced in a simulation, which is what lets the faithfulness verifiers
+in :mod:`repro.mechanism.faithfulness` decide whether a deviation
+attacks IC, CC, or AC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class ActionKind(enum.Enum):
+    """Whether an action is internal or has an external effect."""
+
+    INTERNAL = "internal"
+    EXTERNAL = "external"
+
+
+class ActionClass(enum.Enum):
+    """Classification of actions per paper Definitions 2-4."""
+
+    #: Internal action: no message is generated (Section 3.1).
+    INTERNAL = "internal"
+    #: Definition 2: reveals consistent information about own type.
+    INFORMATION_REVELATION = "information-revelation"
+    #: Definition 3: forwards a message received from another node.
+    MESSAGE_PASSING = "message-passing"
+    #: Definition 4: can affect the outcome rule beyond type misreport.
+    COMPUTATION = "computation"
+
+    @property
+    def kind(self) -> ActionKind:
+        """The :class:`ActionKind` implied by this classification."""
+        if self is ActionClass.INTERNAL:
+            return ActionKind.INTERNAL
+        return ActionKind.EXTERNAL
+
+    @property
+    def is_external(self) -> bool:
+        """True if actions of this class generate messages."""
+        return self.kind is ActionKind.EXTERNAL
+
+
+#: The three external classes, in the order (r, p, c) used for the
+#: sub-strategy decomposition s^m_i = (r^m_i, p^m_i, c^m_i).
+EXTERNAL_ACTION_CLASSES = (
+    ActionClass.INFORMATION_REVELATION,
+    ActionClass.MESSAGE_PASSING,
+    ActionClass.COMPUTATION,
+)
+
+
+@dataclass(frozen=True)
+class Action:
+    """A named action in a state machine alphabet.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the action within one machine.
+    action_class:
+        The classification of the action (Definitions 2-4), defaulting
+        to :data:`ActionClass.INTERNAL`.
+    metadata:
+        Optional free-form annotations (e.g. which table an update
+        touches). Not part of equality: two actions are the same action
+        iff their ``name`` and ``action_class`` agree.
+    """
+
+    name: str
+    action_class: ActionClass = ActionClass.INTERNAL
+    metadata: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def kind(self) -> ActionKind:
+        """Internal or external, derived from the classification."""
+        return self.action_class.kind
+
+    @property
+    def is_external(self) -> bool:
+        """True if executing the action emits a message."""
+        return self.action_class.is_external
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{self.action_class.value}]"
+
+
+def internal(name: str, **metadata: Any) -> Action:
+    """Build an internal action."""
+    return Action(name, ActionClass.INTERNAL, metadata)
+
+
+def revelation(name: str, **metadata: Any) -> Action:
+    """Build an information-revelation action (Definition 2)."""
+    return Action(name, ActionClass.INFORMATION_REVELATION, metadata)
+
+
+def message_passing(name: str, **metadata: Any) -> Action:
+    """Build a message-passing action (Definition 3)."""
+    return Action(name, ActionClass.MESSAGE_PASSING, metadata)
+
+
+def computation(name: str, **metadata: Any) -> Action:
+    """Build a computational action (Definition 4)."""
+    return Action(name, ActionClass.COMPUTATION, metadata)

@@ -1,0 +1,232 @@
+"""Specifications: deterministic action choices over a state machine.
+
+Given a state machine ``SM``, a specification ``s: L -> A`` defines an
+action ``s(l)`` for each state ``l`` (paper Section 3.1).  Running a
+specification from an initial state yields a behaviour; comparing the
+behaviours of a suggested specification and a deviating one is the raw
+material for the faithfulness analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..errors import SpecificationError
+from .actions import Action, ActionClass
+from .statemachine import Behavior, State, StateMachine
+
+
+class Specification:
+    """A deterministic choice of action in every non-terminal state.
+
+    Parameters
+    ----------
+    machine:
+        The state machine over which the specification is defined.
+    choice:
+        Mapping from state to the action the node should take there.
+        Every chosen action must be enabled in its state.  Terminal
+        states need no entry.
+    name:
+        Human-readable label used in reports.
+
+    Raises
+    ------
+    SpecificationError
+        If a chosen action is not enabled, or a reachable non-terminal
+        state has no choice.
+    """
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        choice: Mapping[State, Action],
+        name: str = "spec",
+    ) -> None:
+        self._machine = machine
+        self._choice: Dict[State, Action] = dict(choice)
+        self.name = name
+
+        for state, action in self._choice.items():
+            if state not in machine:
+                raise SpecificationError(f"choice references unknown state {state!r}")
+            if action not in machine.enabled_actions(state):
+                raise SpecificationError(
+                    f"action {action.name!r} is not enabled in state {state!r}"
+                )
+        for state in machine.reachable_states():
+            if not machine.is_terminal(state) and state not in self._choice:
+                raise SpecificationError(
+                    f"reachable non-terminal state {state!r} has no chosen action"
+                )
+
+    @property
+    def machine(self) -> StateMachine:
+        """The underlying state machine."""
+        return self._machine
+
+    def action(self, state: State) -> Optional[Action]:
+        """The action chosen in ``state`` (None in terminal states)."""
+        return self._choice.get(state)
+
+    def run(self, initial: Optional[State] = None, max_steps: int = 10_000) -> Behavior:
+        """Execute the specification and return the behaviour.
+
+        Parameters
+        ----------
+        initial:
+            Starting state; defaults to the machine's unique initial
+            state and raises if the machine has several.
+        max_steps:
+            Safety bound against specifications that loop forever.
+        """
+        if initial is None:
+            initials = sorted(self._machine.initial_states, key=repr)
+            if len(initials) != 1:
+                raise SpecificationError(
+                    "machine has several initial states; pass one explicitly"
+                )
+            initial = initials[0]
+        if initial not in self._machine:
+            raise SpecificationError(f"unknown initial state {initial!r}")
+
+        behavior = Behavior(states=[initial])
+        state = initial
+        for _ in range(max_steps):
+            action = self._choice.get(state)
+            if action is None:
+                return behavior
+            state = self._machine.successor(state, action)
+            behavior.record(action, state)
+        raise SpecificationError(
+            f"specification {self.name!r} exceeded {max_steps} steps without halting"
+        )
+
+    # ------------------------------------------------------------------
+    # deviation construction
+    # ------------------------------------------------------------------
+
+    def deviate(
+        self,
+        overrides: Mapping[State, Action],
+        name: Optional[str] = None,
+    ) -> "Specification":
+        """A new specification that differs only in ``overrides``."""
+        merged = dict(self._choice)
+        merged.update(overrides)
+        return Specification(
+            self._machine, merged, name=name or f"{self.name}+dev"
+        )
+
+    def deviation_states(self, other: "Specification") -> FrozenSet[State]:
+        """States on which two specifications over one machine differ."""
+        if other.machine is not self._machine:
+            raise SpecificationError("specifications are over different machines")
+        keys = set(self._choice) | set(other._choice)
+        return frozenset(
+            s for s in keys if self._choice.get(s) != other._choice.get(s)
+        )
+
+    def deviation_classes(self, other: "Specification") -> FrozenSet[ActionClass]:
+        """Action classes touched by the deviation from ``self`` to ``other``.
+
+        A deviation touches a class if, in some state where the two
+        specifications differ, either of the two chosen actions belongs
+        to that class.  This is what decides whether a deviation is an
+        information-revelation, message-passing, or computational
+        deviation for the IC/CC/AC analysis.
+        """
+        classes = set()
+        for state in self.deviation_states(other):
+            for spec in (self, other):
+                action = spec.action(state)
+                if action is not None:
+                    classes.add(action.action_class)
+        return frozenset(classes)
+
+    def restricted_to(
+        self, allowed: Iterable[ActionClass]
+    ) -> Callable[["Specification"], bool]:
+        """Predicate: does a deviation stay within ``allowed`` classes?
+
+        Returns a function usable to filter enumerated deviations, e.g.
+        only information-revelation deviations for an IC check.
+        """
+        allowed_set = frozenset(allowed)
+
+        def predicate(other: "Specification") -> bool:
+            return self.deviation_classes(other) <= allowed_set
+
+        return predicate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Specification({self.name!r}, states={len(self._choice)})"
+
+
+def enumerate_deviations(
+    suggested: Specification,
+    classes: Optional[Iterable[ActionClass]] = None,
+    max_overrides: int = 1,
+) -> Iterable[Specification]:
+    """Enumerate single- and multi-state deviations from a specification.
+
+    Parameters
+    ----------
+    suggested:
+        The suggested specification ``s^m``.
+    classes:
+        If given, only deviations whose touched action classes are a
+        subset of ``classes`` are yielded (e.g. only message-passing
+        deviations for a CC check).
+    max_overrides:
+        How many states may simultaneously be overridden.  ``1`` gives
+        unilateral single-state deviations; larger values enumerate
+        joint deviations within one node's strategy.
+
+    Yields
+    ------
+    Specification
+        Every alternative specification differing from ``suggested`` in
+        at most ``max_overrides`` states, restricted to the requested
+        classes.  The suggested specification itself is not yielded.
+    """
+    machine = suggested.machine
+    reachable = sorted(machine.reachable_states(), key=repr)
+
+    candidates: Dict[State, Tuple[Action, ...]] = {}
+    for state in reachable:
+        enabled = machine.enabled_actions(state)
+        current = suggested.action(state)
+        alternatives = tuple(
+            a
+            for a in sorted(enabled, key=lambda a: a.name)
+            if a != current
+        )
+        if alternatives:
+            candidates[state] = alternatives
+
+    allowed = frozenset(classes) if classes is not None else None
+
+    def emit(overrides: Dict[State, Action]) -> Optional[Specification]:
+        deviant = suggested.deviate(overrides)
+        if allowed is not None and not suggested.deviation_classes(deviant) <= allowed:
+            return None
+        return deviant
+
+    states = sorted(candidates, key=repr)
+
+    def recurse(index: int, chosen: Dict[State, Action]):
+        if chosen:
+            spec = emit(dict(chosen))
+            if spec is not None:
+                yield spec
+        if len(chosen) >= max_overrides:
+            return
+        for i in range(index, len(states)):
+            state = states[i]
+            for action in candidates[state]:
+                chosen[state] = action
+                yield from recurse(i + 1, chosen)
+                del chosen[state]
+
+    yield from recurse(0, {})

@@ -1,0 +1,247 @@
+"""State-machine model of node behaviour (paper Section 3.1).
+
+A mechanism specification is expressed in terms of behaviours generated
+by state machines.  A state machine ``SM`` consists of
+
+1. a set ``L`` of states, a subset of which are initial states;
+2. a set ``A = {IA, EA}`` of actions (internal and external);
+3. a set ``T`` of transitions ``(s, a, s')``.
+
+A node's state captures all relevant information about its role in a
+mechanism: received messages, partial computations, private knowledge,
+and derived knowledge about other nodes.  External actions generate a
+message to one or more neighbours; internal actions do not.
+
+The machines here are finite and explicit, which is what the
+faithfulness verifiers need: they enumerate alternative specifications
+(deviations) over the same machine and compare induced outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from ..errors import SpecificationError
+from .actions import Action, ActionKind
+
+State = Hashable
+"""States are arbitrary hashable labels."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single transition ``(source, action, target)`` in ``T``."""
+
+    source: State
+    action: Action
+    target: State
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source!r} --{self.action.name}--> {self.target!r}"
+
+
+class StateMachine:
+    """An explicit finite state machine over a typed action alphabet.
+
+    Parameters
+    ----------
+    states:
+        All states ``L`` of the machine.
+    initial_states:
+        Non-empty subset of ``states`` where execution may begin.
+    transitions:
+        The transition relation ``T``.  The machine may be
+        nondeterministic (several transitions from the same state), but
+        a :class:`~repro.specs.specification.Specification` resolves
+        the choice by selecting one action per state.
+
+    Raises
+    ------
+    SpecificationError
+        If initial states are not a subset of states, if a transition
+        references an unknown state, or if there are no initial states.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        initial_states: Iterable[State],
+        transitions: Iterable[Transition],
+    ) -> None:
+        self._states: FrozenSet[State] = frozenset(states)
+        self._initial: FrozenSet[State] = frozenset(initial_states)
+        self._transitions: Tuple[Transition, ...] = tuple(transitions)
+
+        if not self._initial:
+            raise SpecificationError("a state machine needs at least one initial state")
+        unknown_initial = self._initial - self._states
+        if unknown_initial:
+            raise SpecificationError(
+                f"initial states {sorted(map(repr, unknown_initial))} are not states"
+            )
+        for t in self._transitions:
+            if t.source not in self._states:
+                raise SpecificationError(f"transition {t} has unknown source state")
+            if t.target not in self._states:
+                raise SpecificationError(f"transition {t} has unknown target state")
+
+        self._by_source: Dict[State, List[Transition]] = {}
+        for t in self._transitions:
+            self._by_source.setdefault(t.source, []).append(t)
+
+        self._actions: FrozenSet[Action] = frozenset(t.action for t in self._transitions)
+
+    # ------------------------------------------------------------------
+    # structural accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def states(self) -> FrozenSet[State]:
+        """The state set ``L``."""
+        return self._states
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        """The initial subset of ``L``."""
+        return self._initial
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        """The transition relation ``T``."""
+        return self._transitions
+
+    @property
+    def actions(self) -> FrozenSet[Action]:
+        """The action alphabet ``A`` (as used by some transition)."""
+        return self._actions
+
+    @property
+    def internal_actions(self) -> FrozenSet[Action]:
+        """The internal subset ``IA`` of the alphabet."""
+        return frozenset(a for a in self._actions if a.kind is ActionKind.INTERNAL)
+
+    @property
+    def external_actions(self) -> FrozenSet[Action]:
+        """The external subset ``EA`` of the alphabet."""
+        return frozenset(a for a in self._actions if a.kind is ActionKind.EXTERNAL)
+
+    # ------------------------------------------------------------------
+    # behaviour
+    # ------------------------------------------------------------------
+
+    def transitions_from(self, state: State) -> Tuple[Transition, ...]:
+        """All transitions whose source is ``state``."""
+        if state not in self._states:
+            raise SpecificationError(f"unknown state {state!r}")
+        return tuple(self._by_source.get(state, ()))
+
+    def enabled_actions(self, state: State) -> FrozenSet[Action]:
+        """The actions available in ``state``."""
+        return frozenset(t.action for t in self.transitions_from(state))
+
+    def successor(self, state: State, action: Action) -> State:
+        """The unique target of taking ``action`` in ``state``.
+
+        Raises
+        ------
+        SpecificationError
+            If the action is not enabled in the state or if the machine
+            is nondeterministic on that (state, action) pair.
+        """
+        matches = [t for t in self.transitions_from(state) if t.action == action]
+        if not matches:
+            raise SpecificationError(
+                f"action {action.name!r} is not enabled in state {state!r}"
+            )
+        if len(matches) > 1:
+            raise SpecificationError(
+                f"nondeterministic on ({state!r}, {action.name!r}); "
+                "a specification must resolve to a unique successor"
+            )
+        return matches[0].target
+
+    def is_terminal(self, state: State) -> bool:
+        """True if no action is enabled in ``state``."""
+        return not self.transitions_from(state)
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """All states reachable from some initial state."""
+        seen: Set[State] = set(self._initial)
+        frontier: List[State] = list(self._initial)
+        while frontier:
+            state = frontier.pop()
+            for t in self._by_source.get(state, ()):
+                if t.target not in seen:
+                    seen.add(t.target)
+                    frontier.append(t.target)
+        return frozenset(seen)
+
+    def unreachable_states(self) -> FrozenSet[State]:
+        """States never visited from any initial state (dead spec code)."""
+        return self._states - self.reachable_states()
+
+    def iter_paths(self, max_length: int) -> Iterator[Tuple[Transition, ...]]:
+        """Enumerate all executions of length at most ``max_length``.
+
+        Used by the exhaustive verifiers on small machines; the number
+        of paths can be exponential in ``max_length``.
+        """
+        stack: List[Tuple[State, Tuple[Transition, ...]]] = [
+            (s, ()) for s in sorted(self._initial, key=repr)
+        ]
+        while stack:
+            state, prefix = stack.pop()
+            yield prefix
+            if len(prefix) >= max_length:
+                continue
+            for t in self.transitions_from(state):
+                stack.append((t.target, prefix + (t,)))
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._states
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateMachine(states={len(self._states)}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+
+@dataclass
+class Behavior:
+    """A finite execution: alternating states and actions.
+
+    ``states[0]`` is the initial state; ``states[i+1]`` results from
+    taking ``actions[i]`` in ``states[i]``.
+    """
+
+    states: List[State] = field(default_factory=list)
+    actions: List[Action] = field(default_factory=list)
+
+    def record(self, action: Action, next_state: State) -> None:
+        """Append one step to the behaviour."""
+        self.actions.append(action)
+        self.states.append(next_state)
+
+    @property
+    def length(self) -> int:
+        """Number of steps taken."""
+        return len(self.actions)
+
+    @property
+    def final_state(self) -> State:
+        """The last state reached."""
+        if not self.states:
+            raise SpecificationError("empty behaviour has no final state")
+        return self.states[-1]
+
+    def external_trace(self) -> List[Action]:
+        """The externally visible projection of the behaviour.
+
+        Two behaviours with the same external trace are
+        indistinguishable to other nodes; deviations confined to
+        internal actions are therefore unconstrained by the feasible
+        strategy space (Section 3.3).
+        """
+        return [a for a in self.actions if a.is_external]

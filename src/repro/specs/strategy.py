@@ -1,0 +1,163 @@
+"""Strategies and the (r, p, c) sub-strategy decomposition (Section 3.3).
+
+In a distributed mechanism it makes sense to talk of a node's strategy
+``s_i(theta_i)`` — how it behaves in every state of the world — rather
+than just its reported type.  The suggested strategy decomposes into
+
+* ``r^m_i`` — the information-revelation strategy,
+* ``p^m_i`` — the message-passing strategy,
+* ``c^m_i`` — the computational strategy.
+
+Formally each sub-strategy simulates the entire specification but only
+performs its corresponding external actions.  This module models a
+strategy as "type -> Specification" and provides that projection, which
+the faithfulness verifiers use to build class-restricted deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, Mapping, Optional, TypeVar
+
+from ..errors import SpecificationError
+from .actions import EXTERNAL_ACTION_CLASSES, ActionClass
+from .specification import Specification
+from .statemachine import Behavior, State
+
+TypeT = TypeVar("TypeT", bound=Hashable)
+
+
+class Strategy(Generic[TypeT]):
+    """A mapping from a node's private type to a specification.
+
+    ``strategy(theta)`` is the specification the node follows when its
+    type is ``theta``.  The suggested strategy ``s^m_i`` is one such
+    object; deviations are others over the same machines.
+    """
+
+    def __init__(
+        self,
+        select: Callable[[TypeT], Specification],
+        name: str = "strategy",
+    ) -> None:
+        self._select = select
+        self.name = name
+
+    def __call__(self, node_type: TypeT) -> Specification:
+        return self._select(node_type)
+
+    def behavior(self, node_type: TypeT, **run_kwargs) -> Behavior:
+        """Run the specification selected for ``node_type``."""
+        return self(node_type).run(**run_kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Strategy({self.name!r})"
+
+
+def tabular_strategy(
+    table: Mapping[TypeT, Specification], name: str = "strategy"
+) -> Strategy[TypeT]:
+    """A strategy given by an explicit type -> specification table."""
+    mapping: Dict[TypeT, Specification] = dict(table)
+
+    def select(node_type: TypeT) -> Specification:
+        try:
+            return mapping[node_type]
+        except KeyError:
+            raise SpecificationError(
+                f"strategy {name!r} has no specification for type {node_type!r}"
+            ) from None
+
+    return Strategy(select, name=name)
+
+
+@dataclass(frozen=True)
+class SubStrategyProjection:
+    """The projection of a behaviour onto one external-action class.
+
+    Per Section 3.3, each sub-strategy simulates the whole suggested
+    specification but only *performs* the external actions of its own
+    class.  Two full strategies induce the same sub-strategy for class
+    ``k`` exactly when their behaviours agree on class-``k`` actions.
+    """
+
+    action_class: ActionClass
+
+    def project(self, behavior: Behavior) -> tuple:
+        """The sequence of class-matching external actions taken."""
+        return tuple(
+            (i, a)
+            for i, a in enumerate(behavior.actions)
+            if a.action_class is self.action_class
+        )
+
+    def agrees(self, first: Behavior, second: Behavior) -> bool:
+        """True if two behaviours perform identical class-k actions.
+
+        Positions matter: performing the same forwarding action earlier
+        or later is a different message-passing behaviour.
+        """
+        return self.project(first) == self.project(second)
+
+
+class DecomposedStrategy(Generic[TypeT]):
+    """A strategy together with its (r, p, c) sub-strategy views.
+
+    The decomposition is definitional rather than operational: there is
+    one underlying specification per type, and the sub-strategies are
+    projections of its behaviour.  ``deviation_profile`` reports which
+    sub-strategies a deviating strategy actually changes, which is the
+    question the IC/CC/AC definitions ask.
+    """
+
+    def __init__(self, strategy: Strategy[TypeT]) -> None:
+        self.strategy = strategy
+        self.revelation = SubStrategyProjection(ActionClass.INFORMATION_REVELATION)
+        self.message_passing = SubStrategyProjection(ActionClass.MESSAGE_PASSING)
+        self.computation = SubStrategyProjection(ActionClass.COMPUTATION)
+
+    def projections(self) -> Mapping[ActionClass, SubStrategyProjection]:
+        """All three external projections keyed by class."""
+        return {
+            ActionClass.INFORMATION_REVELATION: self.revelation,
+            ActionClass.MESSAGE_PASSING: self.message_passing,
+            ActionClass.COMPUTATION: self.computation,
+        }
+
+    def deviation_profile(
+        self,
+        node_type: TypeT,
+        deviant: Strategy[TypeT],
+        initial: Optional[State] = None,
+    ) -> Dict[ActionClass, bool]:
+        """Which external sub-strategies does ``deviant`` change?
+
+        Returns a mapping ``class -> changed?`` comparing the behaviour
+        of the suggested and the deviant strategy for one type.  A pure
+        information-revelation deviation flips only the revelation
+        entry; a joint deviation flips several.
+        """
+        kwargs = {} if initial is None else {"initial": initial}
+        suggested_behavior = self.strategy(node_type).run(**kwargs)
+        deviant_behavior = deviant(node_type).run(**kwargs)
+        return {
+            cls: not proj.agrees(suggested_behavior, deviant_behavior)
+            for cls, proj in self.projections().items()
+        }
+
+    def is_pure_deviation(
+        self,
+        node_type: TypeT,
+        deviant: Strategy[TypeT],
+        action_class: ActionClass,
+        initial: Optional[State] = None,
+    ) -> bool:
+        """True if ``deviant`` changes only the given sub-strategy."""
+        if action_class not in EXTERNAL_ACTION_CLASSES:
+            raise SpecificationError(
+                f"{action_class} is not an external action class"
+            )
+        profile = self.deviation_profile(node_type, deviant, initial=initial)
+        return profile[action_class] and not any(
+            changed for cls, changed in profile.items() if cls is not action_class
+        )

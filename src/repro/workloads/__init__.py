@@ -1,0 +1,24 @@
+"""Workload generators: topologies and traffic matrices."""
+
+from .topologies import (
+    complete_graph,
+    figure1_graph,
+    node_names,
+    random_biconnected_graph,
+    ring_graph,
+    wheel_graph,
+)
+from .traffic import gravity, hotspot, random_pairs, uniform_all_pairs
+
+__all__ = [
+    "complete_graph",
+    "figure1_graph",
+    "gravity",
+    "hotspot",
+    "node_names",
+    "random_biconnected_graph",
+    "random_pairs",
+    "ring_graph",
+    "uniform_all_pairs",
+    "wheel_graph",
+]

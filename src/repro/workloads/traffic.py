@@ -1,0 +1,88 @@
+"""Traffic-matrix generators for the execution phase."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from ..errors import MechanismError
+from ..routing.graph import ASGraph, NodeId
+
+TrafficMatrix = Dict[Tuple[NodeId, NodeId], float]
+
+
+def uniform_all_pairs(graph: ASGraph, volume: float = 1.0) -> TrafficMatrix:
+    """Every ordered pair exchanges the same volume."""
+    if volume < 0:
+        raise MechanismError("volume must be non-negative")
+    return {
+        (source, destination): volume
+        for source in graph.nodes
+        for destination in graph.nodes
+        if source != destination
+    }
+
+
+def random_pairs(
+    graph: ASGraph,
+    rng: random.Random,
+    flow_count: int,
+    volume_range: Tuple[float, float] = (1.0, 5.0),
+) -> TrafficMatrix:
+    """``flow_count`` random ordered pairs with random volumes.
+
+    Repeated picks of the same pair accumulate volume.
+    """
+    if flow_count < 0:
+        raise MechanismError("flow_count must be non-negative")
+    low, high = volume_range
+    if low < 0 or high < low:
+        raise MechanismError(f"invalid volume range {volume_range}")
+    nodes = list(graph.nodes)
+    if len(nodes) < 2:
+        raise MechanismError("need at least two nodes for traffic")
+    traffic: TrafficMatrix = {}
+    for _ in range(flow_count):
+        source, destination = rng.sample(nodes, 2)
+        traffic[(source, destination)] = traffic.get(
+            (source, destination), 0.0
+        ) + rng.uniform(low, high)
+    return traffic
+
+
+def hotspot(
+    graph: ASGraph,
+    destination: NodeId,
+    volume: float = 1.0,
+) -> TrafficMatrix:
+    """Everyone sends to one popular destination (CDN-like)."""
+    if destination not in graph:
+        raise MechanismError(f"unknown destination {destination!r}")
+    return {
+        (source, destination): volume
+        for source in graph.nodes
+        if source != destination
+    }
+
+
+def gravity(
+    graph: ASGraph,
+    rng: random.Random,
+    total_volume: float = 100.0,
+) -> TrafficMatrix:
+    """A gravity model: volume proportional to node-mass products.
+
+    Masses are drawn uniformly, and the matrix is normalised so all
+    flows sum to ``total_volume``.
+    """
+    nodes = list(graph.nodes)
+    if len(nodes) < 2:
+        raise MechanismError("need at least two nodes for traffic")
+    masses = {node: rng.uniform(0.5, 2.0) for node in nodes}
+    raw: TrafficMatrix = {}
+    for source in nodes:
+        for destination in nodes:
+            if source != destination:
+                raw[(source, destination)] = masses[source] * masses[destination]
+    scale = total_volume / sum(raw.values())
+    return {pair: volume * scale for pair, volume in raw.items()}

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.routing import figure1_graph
+from repro.workloads import ring_graph, uniform_all_pairs
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Figure 1 network."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def fig1_traffic(fig1):
+    """Uniform all-pairs traffic over Figure 1."""
+    return uniform_all_pairs(fig1)
+
+
+@pytest.fixture
+def small_ring():
+    """A deterministic 4-node ring (fast protocol runs)."""
+    return ring_graph(4, random.Random(7))
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests that sample."""
+    return random.Random(12345)

@@ -1,0 +1,130 @@
+"""Tests for the Section 3 leader-election example."""
+
+import random
+
+import pytest
+
+from repro.election import (
+    SERVICE_VALUE,
+    ElectionNode,
+    naive_election_mechanism,
+    optimal_leader,
+    social_cost,
+    vcg_election_mechanism,
+)
+from repro.errors import MechanismError
+from repro.mechanism import (
+    TypeProfile,
+    TypeSpace,
+    audit_strategyproofness,
+)
+from repro.sim import NetworkTopology, Simulator
+
+
+@pytest.fixture
+def spaces():
+    return {
+        name: TypeSpace(values=(1.0, 4.0, 7.0)) for name in ("x", "y", "z")
+    }
+
+
+class TestNaiveElection:
+    def test_truthful_play_elects_optimum(self, spaces):
+        mech = naive_election_mechanism(spaces)
+        profile = TypeProfile({"x": 4.0, "y": 1.0, "z": 7.0})
+        outcome = mech.outcome(profile)
+        assert outcome.decision == "y"
+        assert outcome.transfers == {}
+
+    def test_not_strategyproof(self, spaces):
+        report = audit_strategyproofness(naive_election_mechanism(spaces))
+        assert not report.is_strategyproof
+        # The profitable lie is overstating the cost to dodge the chore.
+        violation = report.violations[0]
+        assert violation.misreport > violation.true_profile.type_of(
+            violation.agent
+        )
+
+    def test_rational_overstating_degrades_social_cost(self, spaces):
+        """When everyone maxes out, the winner is arbitrary and the
+        true social cost exceeds the optimum."""
+        mech = naive_election_mechanism(spaces)
+        truth = TypeProfile({"x": 4.0, "y": 1.0, "z": 7.0})
+        rational = TypeProfile({"x": 7.0, "y": 7.0, "z": 7.0})
+        elected = mech.outcome(rational).decision
+        assert social_cost(truth, elected) >= social_cost(
+            truth, optimal_leader(truth)
+        )
+
+
+class TestVcgElection:
+    def test_strategyproof(self, spaces):
+        report = audit_strategyproofness(vcg_election_mechanism(spaces))
+        assert report.is_strategyproof
+
+    def test_winner_paid_second_lowest(self, spaces):
+        mech = vcg_election_mechanism(spaces)
+        profile = TypeProfile({"x": 4.0, "y": 1.0, "z": 7.0})
+        outcome = mech.outcome(profile)
+        assert outcome.decision == "y"
+        assert outcome.transfer_to("y") == pytest.approx(4.0)
+
+    def test_winner_utility_covers_cost(self, spaces):
+        mech = vcg_election_mechanism(spaces)
+        profile = TypeProfile({"x": 4.0, "y": 1.0, "z": 7.0})
+        assert mech.agent_utility("y", profile, 1.0) == pytest.approx(
+            SERVICE_VALUE - 1.0 + 4.0
+        )
+
+    def test_truthful_equilibrium_is_efficient(self, spaces):
+        mech = vcg_election_mechanism(spaces)
+        profile = TypeProfile({"x": 7.0, "y": 4.0, "z": 1.0})
+        assert mech.outcome(profile).decision == optimal_leader(profile)
+
+    def test_needs_two_candidates(self):
+        mech = vcg_election_mechanism({"only": TypeSpace(values=(1.0,))})
+        with pytest.raises(MechanismError, match="two candidates"):
+            mech.outcome(TypeProfile({"only": 1.0}))
+
+
+class TestDistributedElection:
+    def build(self, biases):
+        """Three nodes in a triangle with given report biases."""
+        topo = NetworkTopology.from_edges(
+            [("x", "y"), ("y", "z"), ("z", "x")]
+        )
+        sim = Simulator(topo)
+        costs = {"x": 4.0, "y": 1.0, "z": 7.0}
+        nodes = {}
+        for name, cost in costs.items():
+            node = ElectionNode(name, cost, report_bias=biases.get(name, 1.0))
+            nodes[name] = node
+            sim.add_node(node)
+        sim.start()
+        sim.run_until_quiescent()
+        return nodes
+
+    def test_flooding_reaches_consensus(self):
+        nodes = self.build({})
+        winners = {n.winner() for n in nodes.values()}
+        assert winners == {"y"}
+
+    def test_all_reports_known_everywhere(self):
+        nodes = self.build({})
+        for node in nodes.values():
+            assert set(node.known_reports) == {"x", "y", "z"}
+
+    def test_vcg_payment_agreed(self):
+        nodes = self.build({})
+        payments = {n.second_lowest_report() for n in nodes.values()}
+        assert payments == {4.0}
+
+    def test_rational_overstating_changes_outcome(self):
+        # y dodges the chore by quadrupling its report.
+        nodes = self.build({"y": 4.0})
+        assert nodes["x"].winner() == "x"
+
+    def test_winner_requires_reports(self):
+        node = ElectionNode("lonely", 1.0)
+        with pytest.raises(MechanismError, match="no reports"):
+            node.winner()

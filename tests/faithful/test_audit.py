@@ -1,0 +1,76 @@
+"""Tests for the detection vocabulary."""
+
+from repro.faithful import (
+    CheckpointDecision,
+    DetectionReport,
+    Flag,
+    FlagKind,
+    decode_flag,
+    encode_flag,
+)
+
+
+class TestFlag:
+    def test_make_sorts_detail(self):
+        flag = Flag.make(
+            FlagKind.MISROUTE, "c", "p", "execution", z=1, a=2
+        )
+        assert flag.detail == (("a", 2), ("z", 1))
+        assert flag.detail_dict() == {"a": 2, "z": 1}
+
+    def test_wire_roundtrip(self):
+        flag = Flag.make(
+            FlagKind.COPY_FORGERY, "c", "p", "construction-2", reason="x"
+        )
+        assert decode_flag(encode_flag(flag)) == flag
+
+    def test_flags_hashable(self):
+        one = Flag.make(FlagKind.PACKET_DROP, None, "p", "execution")
+        two = Flag.make(FlagKind.PACKET_DROP, None, "p", "execution")
+        assert one == two
+        assert len({one, two}) == 1
+
+
+class TestCheckpointDecision:
+    def test_deviation_detected(self):
+        good = CheckpointDecision(checkpoint="bank1", green_light=True)
+        bad = CheckpointDecision(checkpoint="bank1", green_light=False)
+        assert not good.deviation_detected
+        assert bad.deviation_detected
+
+
+class TestDetectionReport:
+    def test_restart_counting(self):
+        report = DetectionReport()
+        report.record(CheckpointDecision(checkpoint="bank1", green_light=False))
+        report.record(CheckpointDecision(checkpoint="bank1", green_light=True))
+        assert report.restarts == 1
+        assert report.detected_any
+
+    def test_clean_report(self):
+        report = DetectionReport()
+        report.record(CheckpointDecision(checkpoint="bank1", green_light=True))
+        assert not report.detected_any
+        assert report.all_flags == []
+
+    def test_settlement_flags_count(self):
+        report = DetectionReport()
+        flag = Flag.make(FlagKind.PAYMENT_UNDERREPORT, None, "p", "execution")
+        report.settlement_flags.append(flag)
+        assert report.detected_any
+        assert report.all_flags == [flag]
+        assert report.suspects() == ["p"]
+
+    def test_suspects_deduplicated(self):
+        report = DetectionReport()
+        report.record(
+            CheckpointDecision(
+                checkpoint="bank1", green_light=False, suspects=["p", "q"]
+            )
+        )
+        report.record(
+            CheckpointDecision(
+                checkpoint="bank2", green_light=False, suspects=["p"]
+            )
+        )
+        assert report.suspects() == ["p", "q"]

@@ -1,0 +1,196 @@
+"""Unit tests for the bank's decisions and settlement arithmetic."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.faithful import BANK_ID, BankNode
+from repro.sim import NetworkTopology, Simulator
+
+
+def make_bank_with_reports(stage, reports):
+    """A detached bank pre-loaded with collected reports."""
+    bank = BankNode()
+    bank.reports[stage] = dict(reports)
+    return bank
+
+
+class TestPhase1Decision:
+    def test_all_equal_green_lights(self):
+        bank = make_bank_with_reports(
+            "phase1",
+            {n: {"cost_digest": "same"} for n in ("a", "b", "c")},
+        )
+        decision = bank.decide_phase1(("a", "b", "c"))
+        assert decision.green_light
+        assert decision.suspects == []
+
+    def test_minority_digest_suspected(self):
+        bank = make_bank_with_reports(
+            "phase1",
+            {
+                "a": {"cost_digest": "same"},
+                "b": {"cost_digest": "same"},
+                "c": {"cost_digest": "different"},
+            },
+        )
+        decision = bank.decide_phase1(("a", "b", "c"))
+        assert not decision.green_light
+        assert decision.suspects == ["c"]
+
+    def test_missing_report_blocks(self):
+        bank = make_bank_with_reports(
+            "phase1", {"a": {"cost_digest": "x"}}
+        )
+        decision = bank.decide_phase1(("a", "b"))
+        assert not decision.green_light
+        assert "b" in decision.suspects
+
+    def test_unrequested_stage_raises(self):
+        with pytest.raises(ProtocolError, match="no reports"):
+            BankNode().decide_phase1(("a",))
+
+
+class TestBank1Decision:
+    CHECKERS = {"p": ("c1", "c2"), "c1": ("p",), "c2": ("p",)}
+
+    def make_reports(self, p_digest="good", c1_mirror="good", c2_mirror="good",
+                     c1_flags=()):
+        return {
+            "p": {
+                "routing_digest": p_digest,
+                "mirror_routing": [("c1", "good"), ("c2", "good")],
+                "flags": [],
+            },
+            "c1": {
+                "routing_digest": "good",
+                "mirror_routing": [("p", c1_mirror)],
+                "flags": list(c1_flags),
+            },
+            "c2": {
+                "routing_digest": "good",
+                "mirror_routing": [("p", c2_mirror)],
+                "flags": [],
+            },
+        }
+
+    def test_agreement_green_lights(self):
+        bank = make_bank_with_reports("bank1", self.make_reports())
+        decision = bank.decide_bank1(self.CHECKERS)
+        assert decision.green_light
+
+    def test_principal_vs_checker_mismatch(self):
+        bank = make_bank_with_reports(
+            "bank1", self.make_reports(p_digest="lie")
+        )
+        decision = bank.decide_bank1(self.CHECKERS)
+        assert not decision.green_light
+        assert "p" in decision.suspects
+
+    def test_checker_vs_checker_mismatch(self):
+        """Divergent mirrors (spoof fed to a subset) also veto."""
+        bank = make_bank_with_reports(
+            "bank1", self.make_reports(c2_mirror="diverged")
+        )
+        decision = bank.decide_bank1(self.CHECKERS)
+        assert not decision.green_light
+        assert "p" in decision.suspects
+
+    def test_checker_flags_veto(self):
+        from repro.faithful import Flag, FlagKind, encode_flag
+
+        flag = Flag.make(
+            FlagKind.COPY_MISSING, "c1", "p", "construction-2"
+        )
+        bank = make_bank_with_reports(
+            "bank1", self.make_reports(c1_flags=[encode_flag(flag)])
+        )
+        decision = bank.decide_bank1(self.CHECKERS)
+        assert not decision.green_light
+        assert "p" in decision.suspects
+        assert decision.flags[0].kind is FlagKind.COPY_MISSING
+
+
+def execution_report(reported=(), receipts=(), delivered=(), observations=(),
+                     flags=()):
+    return {
+        "reported_payments": list(reported),
+        "receipts": list(receipts),
+        "delivered": list(delivered),
+        "observations": list(observations),
+        "flags": list(flags),
+    }
+
+
+class TestSettlement:
+    """Flow o -> k -> d: transit k is owed 4.0 per unit."""
+
+    NODES = ("o", "k", "d")
+    COSTS = {"o": 1.0, "k": 2.0, "d": 1.0}
+
+    def make_reports(self, reported_total=4.0, k_forwards=True):
+        path = ("o", "k", "d")
+        reports = {
+            "o": execution_report(
+                reported=[("k", reported_total)] if reported_total else [],
+            ),
+            "k": execution_report(
+                receipts=[("o", "d", "o", 1.0)],
+                observations=[("o", "d", 1.0, path, [("k", 4.0)])],
+            ),
+            "d": execution_report(
+                receipts=[("o", "d", "k", 1.0)] if k_forwards else [],
+                delivered=[("o", "d", 1.0)] if k_forwards else [],
+            ),
+        }
+        return reports
+
+    def settle(self, reports, epsilon=0.01):
+        bank = make_bank_with_reports("execution", reports)
+        return bank.settle(self.NODES, self.COSTS, epsilon=epsilon)
+
+    def test_clean_flow_settles_exactly(self):
+        records, flags = self.settle(self.make_reports())
+        assert flags == []
+        assert records["o"].charged == pytest.approx(4.0)
+        assert records["k"].received == pytest.approx(4.0)
+        assert records["o"].penalties == 0.0
+
+    def test_underreport_penalised_epsilon_above(self):
+        records, flags = self.settle(self.make_reports(reported_total=1.0))
+        assert any(f.kind.value == "payment-underreport" for f in flags)
+        # Penalty = shortfall + epsilon, and charges enforced in full.
+        assert records["o"].penalties == pytest.approx(3.0 + 0.01)
+        assert records["o"].charged == pytest.approx(4.0)
+
+    def test_drop_denies_payment_and_penalises(self):
+        records, flags = self.settle(self.make_reports(k_forwards=False))
+        assert any(f.kind.value == "packet-drop" for f in flags)
+        assert records["k"].received == 0.0
+        assert records["k"].penalties == pytest.approx(0.01)
+        # The origin is not charged for the undelivered segment.
+        assert records["o"].charged == pytest.approx(0.0)
+
+    def test_reported_and_expected_totals_recorded(self):
+        records, _ = self.settle(self.make_reports())
+        assert records["o"].reported_total == pytest.approx(4.0)
+        assert records["o"].expected_total == pytest.approx(4.0)
+
+
+class TestSignedChannel:
+    def test_unsigned_report_rejected_when_signing_enabled(self):
+        from repro.errors import SignatureError
+        from repro.sim import Message, SigningAuthority
+
+        signing = SigningAuthority()
+        signing.register(BANK_ID)
+        signing.register("a")
+        topo = NetworkTopology()
+        topo.add_node("a")
+        sim = Simulator(topo)
+        bank = BankNode(signing)
+        sim.add_node(bank, well_known=True)
+        unsigned = Message(
+            src="a", dst=BANK_ID, kind="bank-report", payload={"stage": "x"}
+        )
+        with pytest.raises(SignatureError):
+            bank.on_bank_report(unsigned)

@@ -1,0 +1,78 @@
+"""Tests for the collusion boundary (Section 1's 'without collusion')."""
+
+import pytest
+
+from repro.faithful import (
+    DEVIATION_CATALOGUE,
+    FaithfulFPSSProtocol,
+)
+from repro.faithful.collusion import ComplicitCheckerMixin, coalition_factory
+from repro.routing import figure1_graph
+from repro.workloads import uniform_all_pairs
+
+GRAPH = figure1_graph()
+TRAFFIC = uniform_all_pairs(GRAPH)
+SPEC = DEVIATION_CATALOGUE["false-route-announce"]
+PRINCIPAL = "C"
+CHECKERS = GRAPH.neighbors(PRINCIPAL)
+
+
+def run_with(accomplices):
+    return FaithfulFPSSProtocol(
+        GRAPH,
+        TRAFFIC,
+        node_factory=coalition_factory(SPEC, PRINCIPAL, accomplices),
+    ).run()
+
+
+class TestCoalitionEvasion:
+    def test_full_coalition_evades_detection(self):
+        result = run_with(CHECKERS)
+        assert result.progressed
+        assert not result.detection.detected_any
+
+    def test_principal_profits_inside_full_coalition(self):
+        baseline = FaithfulFPSSProtocol(GRAPH, TRAFFIC).run()
+        result = run_with(CHECKERS)
+        assert (
+            result.utilities[PRINCIPAL]
+            > baseline.utilities[PRINCIPAL] + 1e-9
+        )
+
+    @pytest.mark.parametrize("honest_index", range(len(CHECKERS)))
+    def test_one_honest_checker_suffices(self, honest_index):
+        """Leave any single checker honest: the deviation is caught —
+        the paper's 'at least one checker' argument."""
+        accomplices = [
+            c for i, c in enumerate(CHECKERS) if i != honest_index
+        ]
+        result = run_with(accomplices)
+        assert result.detection.detected_any
+
+    def test_empty_coalition_is_unilateral_case(self):
+        result = run_with([])
+        assert result.detection.detected_any
+        assert not result.progressed
+
+
+class TestComplicitCheckersAreOtherwiseFaithful:
+    def test_accomplices_without_deviant_principal_are_clean(self):
+        """Complicit checkers shielding an honest principal change
+        nothing observable: the run certifies with no flags."""
+        from repro.faithful.manipulations import DeviationSpec
+        from repro.specs import ActionClass
+
+        # A 'deviation' that is actually the faithful behaviour.
+        class NoopMixin:
+            dev_params = {}
+
+        noop = DeviationSpec(
+            "noop", NoopMixin, frozenset({ActionClass.COMPUTATION})
+        )
+        result = FaithfulFPSSProtocol(
+            GRAPH,
+            TRAFFIC,
+            node_factory=coalition_factory(noop, PRINCIPAL, CHECKERS),
+        ).run()
+        assert result.progressed
+        assert not result.detection.detected_any

@@ -1,0 +1,154 @@
+"""Unit tests for the faithful node's reporting and setup surface."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.faithful import (
+    BANK_ID,
+    BankNode,
+    FaithfulFPSSProtocol,
+    FaithfulRoutingNode,
+)
+from repro.routing import figure1_graph
+from repro.sim import Message, NetworkTopology, SigningAuthority, Simulator
+from repro.workloads import uniform_all_pairs
+
+
+def converged_network(fig1, fig1_traffic):
+    """Run a full faithful protocol and hand back live pieces.
+
+    The protocol object rebuilds its own simulator, so for node-level
+    inspection we re-run construction manually on a fresh simulator.
+    """
+    from repro.routing.convergence import topology_from_graph
+
+    signing = SigningAuthority()
+    simulator = Simulator(topology_from_graph(fig1))
+    nodes = {}
+    for node_id in fig1.nodes:
+        signing.register(node_id)
+        node = FaithfulRoutingNode(node_id, fig1.cost(node_id), signing)
+        nodes[node_id] = node
+        simulator.add_node(node)
+    signing.register(BANK_ID)
+    bank = BankNode(signing)
+    simulator.add_node(bank, well_known=True)
+
+    for node_id, node in sorted(nodes.items(), key=repr):
+        simulator.schedule_local(node_id, 0.0, node.start_phase1)
+    simulator.run_until_quiescent()
+    for node_id, node in sorted(nodes.items(), key=repr):
+        node.prepare_checking(
+            {n: fig1.neighbors(n) for n in fig1.neighbors(node_id)}
+        )
+        simulator.schedule_local(node_id, 0.0, node.start_phase2)
+    simulator.run_until_quiescent()
+    return simulator, nodes, bank
+
+
+@pytest.fixture(scope="module")
+def network(request):
+    fig1 = figure1_graph()
+    return converged_network(fig1, uniform_all_pairs(fig1))
+
+
+class TestSetup:
+    def test_phase2_requires_connectivity_info(self, fig1):
+        signing = SigningAuthority()
+        topo = NetworkTopology.from_edges([("A", "X"), ("A", "Z")])
+        sim = Simulator(topo)
+        nodes = {}
+        for name in ("A", "X", "Z"):
+            signing.register(name)
+            nodes[name] = FaithfulRoutingNode(name, 5.0, signing)
+            sim.add_node(nodes[name])
+        nodes["A"].start_phase1()
+        with pytest.raises(ProtocolError, match="prepare_checking"):
+            nodes["A"].start_phase2()
+
+    def test_phase2_requires_phase1(self, fig1):
+        signing = SigningAuthority()
+        signing.register("A")
+        node = FaithfulRoutingNode("A", 5.0, signing)
+        with pytest.raises(ProtocolError, match="before 1"):
+            node.start_phase2()
+
+
+class TestMirrorsAfterConvergence:
+    def test_every_neighbor_mirrored(self, network, fig1=figure1_graph()):
+        _, nodes, _ = network
+        for node_id, node in nodes.items():
+            assert set(node.mirrors) == set(fig1.neighbors(node_id))
+
+    def test_mirrors_agree_with_principals(self, network):
+        _, nodes, _ = network
+        for node in nodes.values():
+            for principal_id, mirror in node.mirrors.items():
+                principal = nodes[principal_id]
+                assert (
+                    mirror.routing_digest()
+                    == principal.comp.routing_digest()
+                )
+                assert (
+                    mirror.pricing_digest()
+                    == principal.comp.pricing_digest()
+                )
+
+    def test_no_flags_on_obedient_network(self, network):
+        _, nodes, _ = network
+        for node in nodes.values():
+            for mirror in node.mirrors.values():
+                assert mirror.checkpoint_flags() == []
+
+
+class TestBankReporting:
+    def test_bank1_report_shape(self, network):
+        simulator, nodes, bank = network
+        bank.request_reports("bank1", sorted(nodes, key=repr))
+        simulator.run_until_quiescent()
+        report = bank.reports["bank1"]["A"]
+        assert "routing_digest" in report
+        mirror_digests = dict(report["mirror_routing"])
+        assert set(mirror_digests) == set(nodes["A"].mirrors)
+
+    def test_reports_are_signature_checked(self, network):
+        _, nodes, bank = network
+        from repro.errors import SignatureError
+
+        forged = Message(
+            src="A",
+            dst=BANK_ID,
+            kind="bank-report",
+            payload={"stage": "bank1", "routing_digest": "x"},
+        )
+        with pytest.raises(SignatureError):
+            bank.on_bank_report(forged)
+
+    def test_unknown_bank_stage_rejected(self, network):
+        _, nodes, bank = network
+        node = nodes["A"]
+        request = Message(
+            src=BANK_ID,
+            dst="A",
+            kind="bank-request",
+            payload={"stage": "audit-me"},
+        )
+        signed = node.signing.sign(BANK_ID, request)
+        with pytest.raises(ProtocolError, match="unknown bank stage"):
+            node.on_bank_request(signed)
+
+
+class TestExecutionReport:
+    def test_report_contains_all_sections(self, fig1):
+        result_protocol = FaithfulFPSSProtocol(
+            fig1, {("X", "Z"): 2.0, ("B", "D"): 1.0}
+        )
+        # Access the node state through a full run with tracing.
+        result = result_protocol.run()
+        assert result.progressed
+        # X's flow crossed D and C; both were charged and received.
+        assert result.charged["X"] > 0
+        assert result.received["C"] > 0
+        assert result.received["D"] > 0
+        # The direct B->D flow has no transit nodes: no charges.
+        assert result.charged["B"] == 0.0

@@ -1,0 +1,107 @@
+"""Tests for the deviation explorer."""
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.games import DeviationTable, explore_deviations
+from repro.games.deviation import DeviationOutcome
+
+
+def runner_with(gains, detected=()):
+    """gains[(node, deviation)] -> utility delta; baseline is 10."""
+
+    def runner(node, deviation):
+        utilities = {n: 10.0 for n in ("a", "b")}
+        if node is not None:
+            utilities[node] += gains.get((node, deviation), 0.0)
+        flagged = node is not None and (node, deviation) in detected
+        return utilities, flagged
+
+    return runner
+
+
+class TestExplore:
+    def test_grid_shape(self):
+        table = explore_deviations(
+            runner_with({}), nodes=("a", "b"), deviations=("d1", "d2")
+        )
+        assert len(table.outcomes) == 4
+
+    def test_gains_computed(self):
+        table = explore_deviations(
+            runner_with({("a", "d1"): 2.0}),
+            nodes=("a",),
+            deviations=("d1", "d2"),
+        )
+        by_dev = {o.deviation: o for o in table.outcomes}
+        assert by_dev["d1"].gain == pytest.approx(2.0)
+        assert by_dev["d2"].gain == pytest.approx(0.0)
+        assert table.max_gain == pytest.approx(2.0)
+        assert [o.deviation for o in table.profitable] == ["d1"]
+        assert not table.is_faithful()
+
+    def test_faithful_when_no_gains(self):
+        table = explore_deviations(
+            runner_with({("a", "d1"): -1.0}),
+            nodes=("a",),
+            deviations=("d1",),
+        )
+        assert table.is_faithful()
+
+    def test_unsound_detector_rejected(self):
+        def runner(node, deviation):
+            return {"a": 10.0}, True  # flags even the baseline
+
+        with pytest.raises(MechanismError, match="unsound"):
+            explore_deviations(runner, nodes=("a",), deviations=("d",))
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(MechanismError, match="no nodes"):
+            explore_deviations(runner_with({}), nodes=(), deviations=("d",))
+
+
+class TestDetectionRate:
+    def test_full_detection(self):
+        table = explore_deviations(
+            runner_with(
+                {("a", "d1"): 1.0}, detected={("a", "d1")}
+            ),
+            nodes=("a",),
+            deviations=("d1",),
+        )
+        assert table.detection_rate() == 1.0
+
+    def test_missed_detection(self):
+        table = explore_deviations(
+            runner_with({("a", "d1"): 1.0, ("a", "d2"): 1.0},
+                        detected={("a", "d1")}),
+            nodes=("a",),
+            deviations=("d1", "d2"),
+        )
+        assert table.detection_rate() == pytest.approx(0.5)
+
+    def test_excluding_permitted_deviations(self):
+        table = explore_deviations(
+            runner_with({("a", "cost-lie"): -1.0}),
+            nodes=("a",),
+            deviations=("cost-lie",),
+        )
+        assert table.detection_rate() == 0.0
+        assert table.detection_rate(excluding=("cost-lie",)) == 1.0
+
+    def test_noop_deviations_ignored(self):
+        table = explore_deviations(
+            runner_with({}), nodes=("a",), deviations=("d1",)
+        )
+        assert table.detection_rate() == 1.0
+
+    def test_by_deviation_grouping(self):
+        table = DeviationTable(
+            outcomes=[
+                DeviationOutcome("a", "d1", 10.0, 10.0, False),
+                DeviationOutcome("b", "d1", 10.0, 11.0, True),
+            ]
+        )
+        grouped = table.by_deviation()
+        assert set(grouped) == {"d1"}
+        assert len(grouped["d1"]) == 2

@@ -1,0 +1,144 @@
+"""Tests for explicit normal-form games and ex post families."""
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.games import GameFamily, NormalFormGame
+
+
+def prisoners_dilemma():
+    payoffs = {
+        ("c", "c"): (3.0, 3.0),
+        ("c", "d"): (0.0, 5.0),
+        ("d", "c"): (5.0, 0.0),
+        ("d", "d"): (1.0, 1.0),
+    }
+    return NormalFormGame(
+        ["row", "col"], [("c", "d"), ("c", "d")], lambda p: payoffs[p]
+    )
+
+
+def coordination_game():
+    payoffs = {
+        ("a", "a"): (2.0, 2.0),
+        ("a", "b"): (0.0, 0.0),
+        ("b", "a"): (0.0, 0.0),
+        ("b", "b"): (1.0, 1.0),
+    }
+    return NormalFormGame(
+        ["row", "col"], [("a", "b"), ("a", "b")], lambda p: payoffs[p]
+    )
+
+
+class TestConstruction:
+    def test_arity_checks(self):
+        with pytest.raises(MechanismError):
+            NormalFormGame(["p"], [], lambda p: (0.0,))
+        with pytest.raises(MechanismError):
+            NormalFormGame([], [], lambda p: ())
+        with pytest.raises(MechanismError):
+            NormalFormGame(["p"], [()], lambda p: (0.0,))
+
+    def test_bad_payoff_arity_detected(self):
+        game = NormalFormGame(["p", "q"], [("x",), ("x",)], lambda p: (0.0,))
+        with pytest.raises(MechanismError, match="arity"):
+            game.payoffs(("x", "x"))
+
+    def test_payoffs_cached(self):
+        calls = []
+
+        def payoff(profile):
+            calls.append(profile)
+            return (0.0, 0.0)
+
+        game = NormalFormGame(["p", "q"], [("x",), ("x",)], payoff)
+        game.payoffs(("x", "x"))
+        game.payoffs(("x", "x"))
+        assert len(calls) == 1
+
+
+class TestSolutionConcepts:
+    def test_pd_unique_equilibrium(self):
+        game = prisoners_dilemma()
+        assert game.pure_nash_equilibria() == [("d", "d")]
+
+    def test_pd_defect_is_dominant(self):
+        game = prisoners_dilemma()
+        assert game.is_dominant("row", "d")
+        assert not game.is_dominant("row", "c")
+
+    def test_coordination_two_equilibria(self):
+        game = coordination_game()
+        assert set(game.pure_nash_equilibria()) == {("a", "a"), ("b", "b")}
+
+    def test_coordination_has_no_dominant_strategy(self):
+        game = coordination_game()
+        assert not game.is_dominant("row", "a")
+        assert not game.is_dominant("row", "b")
+
+    def test_best_responses(self):
+        game = prisoners_dilemma()
+        assert game.best_responses("row", ("c", "c")) == ["d"]
+        assert game.best_responses("row", ("c", "d")) == ["d"]
+
+    def test_unknown_player(self):
+        with pytest.raises(MechanismError):
+            prisoners_dilemma().index_of("ghost")
+
+    def test_is_nash_rejects_profitable_deviation(self):
+        game = prisoners_dilemma()
+        assert not game.is_nash(("c", "c"))
+        assert game.is_nash(("d", "d"))
+
+
+class TestGameFamily:
+    """A two-state family where honesty is ex post, cheating is not."""
+
+    @staticmethod
+    def payoff_for_types(types, profile):
+        # Each player gets 10; cheating subtracts its own type value.
+        result = []
+        for player, strategy in zip(("p", "q"), profile):
+            penalty = types[player] if strategy == "cheat" else 0.0
+            result.append(10.0 - penalty)
+        return tuple(result)
+
+    def make_family(self, type_profiles):
+        return GameFamily(
+            ["p", "q"],
+            [("honest", "cheat"), ("honest", "cheat")],
+            self.payoff_for_types,
+            type_profiles,
+        )
+
+    def test_honest_profile_is_ex_post(self):
+        family = self.make_family(
+            [{"p": 1.0, "q": 1.0}, {"p": 5.0, "q": 0.5}]
+        )
+        assert family.is_ex_post_nash(("honest", "honest"))
+
+    def test_state_dependent_equilibrium_fails_ex_post(self):
+        # With a negative-penalty state, cheating profits there, so
+        # honesty is Nash in one state but not ex post over the family.
+        family = GameFamily(
+            ["p", "q"],
+            [("honest", "cheat"), ("honest", "cheat")],
+            lambda types, profile: tuple(
+                10.0 - (types[pl] if s == "cheat" else 0.0)
+                for pl, s in zip(("p", "q"), profile)
+            ),
+            [{"p": 1.0, "q": 1.0}, {"p": -1.0, "q": 1.0}],
+        )
+        assert not family.is_ex_post_nash(("honest", "honest"))
+        assert family.game_at({"p": 1.0, "q": 1.0}).is_nash(
+            ("honest", "honest")
+        )
+
+    def test_ex_post_enumeration(self):
+        family = self.make_family([{"p": 1.0, "q": 1.0}])
+        equilibria = family.ex_post_equilibria()
+        assert ("honest", "honest") in equilibria
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(MechanismError):
+            self.make_family([])

@@ -1,0 +1,107 @@
+"""Asynchrony: heterogeneous link delays.
+
+The faithful extension's replay argument relies only on *per-link*
+FIFO ordering ([PRINC1]/[PRINC2] forward copies before recomputing, so
+on each principal->checker link the copy precedes any broadcast it
+triggered).  It must therefore survive arbitrary fixed per-link delays:
+no false positives on obedient runs, full detection of deviants, and
+the same converged tables.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faithful import (
+    DEVIATION_CATALOGUE,
+    FaithfulFPSSProtocol,
+    PlainFPSSProtocol,
+    faithful_deviant_factory,
+)
+from repro.routing import figure1_graph
+from repro.workloads import (
+    random_biconnected_graph,
+    uniform_all_pairs,
+)
+
+
+def random_delays(seed):
+    rng = random.Random(seed)
+    cache = {}
+
+    def delay(a, b):
+        key = frozenset((a, b))
+        if key not in cache:
+            cache[key] = rng.uniform(0.3, 4.0)
+        return cache[key]
+
+    return delay
+
+
+class TestAsynchronousBaseline:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_no_false_positives_under_random_delays(self, seed):
+        """Property: the obedient baseline certifies cleanly for any
+        assignment of per-link delays."""
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(rng.randint(4, 6), rng)
+        result = FaithfulFPSSProtocol(
+            graph,
+            uniform_all_pairs(graph),
+            link_delays=random_delays(seed + 1),
+        ).run()
+        assert result.progressed
+        assert not result.detection.detected_any
+        assert result.detection.all_flags == []
+
+    def test_same_utilities_as_synchronous(self, fig1, fig1_traffic):
+        """The converged fixed point (and hence the settled economics)
+        is delay-independent on obedient runs."""
+        synchronous = FaithfulFPSSProtocol(fig1, fig1_traffic).run()
+        asynchronous = FaithfulFPSSProtocol(
+            fig1, fig1_traffic, link_delays=random_delays(42)
+        ).run()
+        for node in fig1.nodes:
+            assert asynchronous.utilities[node] == pytest.approx(
+                synchronous.utilities[node]
+            )
+
+    def test_plain_protocol_also_converges(self, fig1, fig1_traffic):
+        result = PlainFPSSProtocol(
+            fig1, fig1_traffic, link_delays=random_delays(7)
+        ).run()
+        assert result.progressed
+
+
+class TestAsynchronousDetection:
+    @pytest.mark.parametrize(
+        "name",
+        ["false-route-announce", "copy-alter", "payment-underreport"],
+    )
+    def test_deviations_still_caught(self, name, fig1, fig1_traffic):
+        spec = DEVIATION_CATALOGUE[name]
+        result = FaithfulFPSSProtocol(
+            fig1,
+            fig1_traffic,
+            node_factory=faithful_deviant_factory(spec, "C"),
+            link_delays=random_delays(3),
+        ).run()
+        assert result.detection.detected_any
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_detection_property_random_delays(self, seed):
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(4, rng)
+        deviator = rng.choice(list(graph.nodes))
+        spec = DEVIATION_CATALOGUE["copy-drop"]
+        result = FaithfulFPSSProtocol(
+            graph,
+            uniform_all_pairs(graph),
+            node_factory=faithful_deviant_factory(spec, deviator),
+            link_delays=random_delays(seed),
+        ).run()
+        assert result.detection.detected_any

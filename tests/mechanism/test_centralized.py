@@ -1,0 +1,117 @@
+"""Tests for direct-revelation mechanisms and the SP auditor (Def 5)."""
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.mechanism import (
+    DirectRevelationMechanism,
+    Outcome,
+    TypeProfile,
+    TypeSpace,
+    UtilityFunction,
+    audit_strategyproofness,
+)
+
+
+def second_price_auction(spaces):
+    """Single-item second-price (Vickrey) auction: strategyproof."""
+
+    def outcome_rule(reports):
+        ordered = sorted(
+            ((reports.type_of(a), repr(a), a) for a in reports.agents),
+            reverse=True,
+        )
+        winner = ordered[0][2]
+        price = ordered[1][0]
+        return Outcome(decision=winner, transfers={winner: -price})
+
+    utility = UtilityFunction(
+        lambda agent, decision, value: value if decision == agent else 0.0
+    )
+    return DirectRevelationMechanism(
+        outcome_rule, spaces, utility, name="vickrey"
+    )
+
+
+def first_price_auction(spaces):
+    """Pay-your-bid auction: not strategyproof."""
+
+    def outcome_rule(reports):
+        ordered = sorted(
+            ((reports.type_of(a), repr(a), a) for a in reports.agents),
+            reverse=True,
+        )
+        winner = ordered[0][2]
+        return Outcome(decision=winner, transfers={winner: -ordered[0][0]})
+
+    utility = UtilityFunction(
+        lambda agent, decision, value: value if decision == agent else 0.0
+    )
+    return DirectRevelationMechanism(
+        outcome_rule, spaces, utility, name="first-price"
+    )
+
+
+@pytest.fixture
+def spaces():
+    return {
+        "a": TypeSpace(values=(1.0, 2.0, 3.0)),
+        "b": TypeSpace(values=(1.0, 2.0, 3.0)),
+    }
+
+
+class TestMechanismBasics:
+    def test_agents(self, spaces):
+        mech = second_price_auction(spaces)
+        assert mech.agents == ("a", "b")
+
+    def test_needs_agents(self):
+        with pytest.raises(MechanismError):
+            DirectRevelationMechanism(
+                lambda r: Outcome(None), {}, UtilityFunction(lambda *a: 0.0)
+            )
+
+    def test_agent_utility(self, spaces):
+        mech = second_price_auction(spaces)
+        reports = TypeProfile({"a": 3.0, "b": 1.0})
+        # a wins at price 1; utility = 3 - 1 = 2.
+        assert mech.agent_utility("a", reports, 3.0) == pytest.approx(2.0)
+        assert mech.agent_utility("b", reports, 1.0) == pytest.approx(0.0)
+
+
+class TestAuditor:
+    def test_vickrey_is_strategyproof(self, spaces):
+        report = audit_strategyproofness(second_price_auction(spaces))
+        assert report.is_strategyproof
+        assert report.max_gain <= 1e-9
+        assert report.profiles_checked == 9
+        assert report.deviations_checked == 9 * 2 * 2
+
+    def test_first_price_is_not(self, spaces):
+        report = audit_strategyproofness(first_price_auction(spaces))
+        assert not report.is_strategyproof
+        violation = report.violations[0]
+        assert violation.gain > 0
+        # Shading the bid below value is the profitable lie.
+        assert violation.misreport < violation.true_profile.type_of(
+            violation.agent
+        )
+
+    def test_sampled_spaces_audited_statistically(self):
+        spaces = {
+            "a": TypeSpace(sampler=lambda rng: rng.uniform(0.0, 3.0)),
+            "b": TypeSpace(sampler=lambda rng: rng.uniform(0.0, 3.0)),
+        }
+        report = audit_strategyproofness(
+            second_price_auction(spaces), profile_samples=20,
+            misreport_samples=5,
+        )
+        assert report.is_strategyproof
+        assert report.profiles_checked == 20
+
+    def test_violation_records_utilities(self, spaces):
+        report = audit_strategyproofness(first_price_auction(spaces))
+        violation = report.violations[0]
+        assert violation.deviant_utility == pytest.approx(
+            violation.truthful_utility + violation.gain
+        )

@@ -1,0 +1,135 @@
+"""Tests for distributed mechanism specifications (Definition 1)."""
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.mechanism import (
+    DistributedMechanism,
+    DistributedStrategy,
+    MechanismRun,
+    TypeProfile,
+)
+from repro.specs import ActionClass
+
+IR = ActionClass.INFORMATION_REVELATION
+MP = ActionClass.MESSAGE_PASSING
+COMP = ActionClass.COMPUTATION
+
+SUGGESTED = DistributedStrategy(name="suggested")
+LIE = DistributedStrategy(name="lie", deviation_classes=frozenset({IR}))
+DROP = DistributedStrategy(name="drop", deviation_classes=frozenset({MP}))
+JOINT = DistributedStrategy(
+    name="joint", deviation_classes=frozenset({MP, COMP})
+)
+
+
+def toy_engine(assignment, types):
+    """Utility 10 for faithful agents; deviants get 10 + #classes."""
+    utilities = {
+        agent: 10.0 + len(strategy.deviation_classes)
+        for agent, strategy in assignment.items()
+    }
+    return MechanismRun(utilities=utilities)
+
+
+@pytest.fixture
+def mechanism():
+    space = {
+        "a": (SUGGESTED, LIE, DROP, JOINT),
+        "b": (SUGGESTED, LIE),
+    }
+    return DistributedMechanism(
+        toy_engine, space, {"a": SUGGESTED, "b": SUGGESTED}
+    )
+
+
+class TestConstruction:
+    def test_needs_agents(self):
+        with pytest.raises(MechanismError):
+            DistributedMechanism(toy_engine, {}, {})
+
+    def test_suggested_must_be_in_space(self):
+        with pytest.raises(MechanismError, match="outside"):
+            DistributedMechanism(
+                toy_engine, {"a": (LIE,)}, {"a": SUGGESTED}
+            )
+
+    def test_suggested_must_be_unclassified(self):
+        with pytest.raises(MechanismError, match="classified"):
+            DistributedMechanism(toy_engine, {"a": (LIE,)}, {"a": LIE})
+
+    def test_missing_suggested(self):
+        with pytest.raises(MechanismError, match="no suggested"):
+            DistributedMechanism(toy_engine, {"a": (SUGGESTED,)}, {})
+
+
+class TestStrategyQueries:
+    def test_strategies_and_suggested(self, mechanism):
+        assert mechanism.agents == ("a", "b")
+        assert mechanism.suggested_strategy("a") is SUGGESTED
+        assert len(mechanism.strategies_of("a")) == 4
+
+    def test_deviations_all(self, mechanism):
+        names = {s.name for s in mechanism.deviations_of("a")}
+        assert names == {"lie", "drop", "joint"}
+
+    def test_deviations_pure_class_filter(self, mechanism):
+        mp_only = mechanism.deviations_of("a", classes=(MP,))
+        assert [s.name for s in mp_only] == ["drop"]
+
+    def test_deviations_require_touch(self, mechanism):
+        touching_mp = mechanism.deviations_of("a", require_touch=MP)
+        assert {s.name for s in touching_mp} == {"drop", "joint"}
+
+    def test_unknown_agent(self, mechanism):
+        with pytest.raises(MechanismError):
+            mechanism.strategies_of("z")
+
+
+class TestEvaluation:
+    def test_run_suggested(self, mechanism):
+        types = TypeProfile({"a": 0, "b": 0})
+        run = mechanism.run_suggested(types)
+        assert run.utility_of("a") == 10.0
+        assert run.utility_of("b") == 10.0
+
+    def test_run_unilateral(self, mechanism):
+        types = TypeProfile({"a": 0, "b": 0})
+        run = mechanism.run_unilateral("a", JOINT, types)
+        assert run.utility_of("a") == 12.0
+        assert run.utility_of("b") == 10.0
+
+    def test_run_rejects_foreign_strategy(self, mechanism):
+        types = TypeProfile({"a": 0, "b": 0})
+        with pytest.raises(MechanismError, match="outside"):
+            mechanism.run({"b": JOINT}, types)
+
+    def test_run_rejects_unknown_agent(self, mechanism):
+        types = TypeProfile({"a": 0, "b": 0})
+        with pytest.raises(MechanismError, match="unknown agent"):
+            mechanism.run({"z": SUGGESTED}, types)
+
+    def test_missing_utility_raises(self):
+        engine = lambda assignment, types: MechanismRun(utilities={})
+        mech = DistributedMechanism(
+            engine, {"a": (SUGGESTED,)}, {"a": SUGGESTED}
+        )
+        run = mech.run_suggested(TypeProfile({"a": 0}))
+        with pytest.raises(MechanismError, match="no utility"):
+            run.utility_of("a")
+
+
+class TestDistributedStrategy:
+    def test_is_suggested(self):
+        assert SUGGESTED.is_suggested
+        assert not LIE.is_suggested
+
+    def test_touches(self):
+        assert JOINT.touches(MP)
+        assert JOINT.touches(COMP)
+        assert not JOINT.touches(IR)
+
+    def test_payload_not_compared(self):
+        one = DistributedStrategy(name="x", payload=object())
+        two = DistributedStrategy(name="x", payload=object())
+        assert one == two

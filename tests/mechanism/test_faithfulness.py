@@ -1,0 +1,172 @@
+"""Tests for IC/CC/AC, strong-CC/strong-AC, and Propositions 1-2."""
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.mechanism import (
+    DistributedMechanism,
+    DistributedStrategy,
+    MechanismRun,
+    StrategyproofnessReport,
+    TypeProfile,
+    check_ac,
+    check_cc,
+    check_compatibility,
+    check_ic,
+    check_strong_ac,
+    check_strong_cc,
+    proposition1_verdict,
+    proposition2_verdict,
+)
+from repro.specs import ActionClass
+
+IR = ActionClass.INFORMATION_REVELATION
+MP = ActionClass.MESSAGE_PASSING
+COMP = ActionClass.COMPUTATION
+
+SUGGESTED = DistributedStrategy(name="suggested")
+LIE = DistributedStrategy(name="lie", deviation_classes=frozenset({IR}))
+DROP = DistributedStrategy(name="drop", deviation_classes=frozenset({MP}))
+CORRUPT = DistributedStrategy(
+    name="corrupt", deviation_classes=frozenset({COMP})
+)
+JOINT = DistributedStrategy(
+    name="joint", deviation_classes=frozenset({MP, COMP})
+)
+
+ALL = (SUGGESTED, LIE, DROP, CORRUPT, JOINT)
+
+
+def mechanism_with_gains(gains):
+    """gains: strategy name -> utility delta over the faithful 10.0."""
+
+    def engine(assignment, types):
+        return MechanismRun(
+            utilities={
+                agent: 10.0 + gains.get(strategy.name, 0.0)
+                for agent, strategy in assignment.items()
+            }
+        )
+
+    space = {"a": ALL, "b": ALL}
+    return DistributedMechanism(
+        engine, space, {"a": SUGGESTED, "b": SUGGESTED}
+    )
+
+
+PROFILES = [TypeProfile({"a": 0, "b": 0})]
+
+
+class TestCompatibilityChecks:
+    def test_all_pass_when_no_gain(self):
+        mech = mechanism_with_gains({})
+        report = check_compatibility(mech, PROFILES)
+        assert report.is_ic and report.is_cc and report.is_ac
+        assert report.is_strong_cc and report.is_strong_ac
+        assert report.all_violations() == []
+
+    def test_ic_catches_revelation_gain(self):
+        mech = mechanism_with_gains({"lie": 1.0})
+        report = check_compatibility(mech, PROFILES)
+        assert not report.is_ic
+        assert report.is_cc and report.is_ac
+
+    def test_cc_catches_message_passing_gain(self):
+        mech = mechanism_with_gains({"drop": 1.0})
+        assert not check_cc(mech, PROFILES).holds
+        assert check_ic(mech, PROFILES).holds
+        assert check_ac(mech, PROFILES).holds
+
+    def test_ac_catches_computation_gain(self):
+        mech = mechanism_with_gains({"corrupt": 1.0})
+        assert not check_ac(mech, PROFILES).holds
+
+    def test_joint_deviation_escapes_pure_checks(self):
+        """Pure IC/CC/AC filters miss a joint MP+COMP deviation..."""
+        mech = mechanism_with_gains({"joint": 1.0})
+        assert check_ic(mech, PROFILES).holds
+        assert check_cc(mech, PROFILES).holds
+        assert check_ac(mech, PROFILES).holds
+
+    def test_strong_checks_catch_joint_deviation(self):
+        """...but the strong variants quantify over joint deviations."""
+        mech = mechanism_with_gains({"joint": 1.0})
+        assert not check_strong_cc(mech, PROFILES).holds
+        assert not check_strong_ac(mech, PROFILES).holds
+
+    def test_unchecked_property_raises(self):
+        mech = mechanism_with_gains({})
+        report = check_compatibility(
+            mech, PROFILES, include_strong=False
+        )
+        with pytest.raises(MechanismError, match="not checked"):
+            report.is_strong_cc
+
+
+class TestProposition1:
+    def test_faithful_verdict(self):
+        verdict = proposition1_verdict(mechanism_with_gains({}), PROFILES)
+        assert verdict.faithful
+        assert verdict.reasons == []
+        assert verdict.full_equilibrium.holds
+
+    def test_pure_failure_reported(self):
+        verdict = proposition1_verdict(
+            mechanism_with_gains({"drop": 1.0}), PROFILES
+        )
+        assert not verdict.faithful
+        assert any("CC" in reason for reason in verdict.reasons)
+
+    def test_joint_gap_is_surfaced(self):
+        """The verdict explains when IC+CC+AC pass on pure deviations
+        but a joint deviation still profits (the reason the paper
+        introduces strong-CC/strong-AC)."""
+        verdict = proposition1_verdict(
+            mechanism_with_gains({"joint": 1.0}), PROFILES
+        )
+        assert not verdict.faithful
+        assert any("joint deviation" in reason for reason in verdict.reasons)
+
+
+def sp_report(ok=True):
+    report = StrategyproofnessReport(
+        mechanism_name="center", profiles_checked=1, deviations_checked=1
+    )
+    if not ok:
+        from repro.mechanism import StrategyproofnessViolation
+
+        report.violations.append(
+            StrategyproofnessViolation(
+                agent="a",
+                true_profile=TypeProfile({"a": 0}),
+                misreport=1,
+                truthful_utility=0.0,
+                deviant_utility=1.0,
+            )
+        )
+    return report
+
+
+class TestProposition2:
+    def test_faithful_when_all_premises_hold(self):
+        verdict = proposition2_verdict(
+            mechanism_with_gains({}), PROFILES, sp_report(ok=True)
+        )
+        assert verdict.faithful
+        assert verdict.full_equilibrium.holds
+
+    def test_non_strategyproof_center_blocks(self):
+        verdict = proposition2_verdict(
+            mechanism_with_gains({}), PROFILES, sp_report(ok=False)
+        )
+        assert not verdict.faithful
+        assert any("strategyproof" in r for r in verdict.reasons)
+
+    def test_strong_cc_failure_blocks(self):
+        verdict = proposition2_verdict(
+            mechanism_with_gains({"joint": 1.0}),
+            PROFILES,
+            sp_report(ok=True),
+        )
+        assert not verdict.faithful
+        assert any("strong-CC" in r for r in verdict.reasons)

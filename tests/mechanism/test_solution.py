@@ -1,0 +1,127 @@
+"""Tests for equilibrium verification (Definitions 5-6)."""
+
+import pytest
+
+from repro.mechanism import (
+    DistributedMechanism,
+    DistributedStrategy,
+    MechanismRun,
+    TypeProfile,
+    check_dominant_strategy,
+    check_ex_post_nash,
+)
+from repro.specs import ActionClass
+
+MP = ActionClass.MESSAGE_PASSING
+
+SUGGESTED = DistributedStrategy(name="suggested")
+CHEAT = DistributedStrategy(
+    name="cheat", deviation_classes=frozenset({MP})
+)
+
+
+def make_mechanism(payoff):
+    """payoff(agent, own_strategy_name, other_strategy_name, types)."""
+
+    def engine(assignment, types):
+        names = {agent: s.name for agent, s in assignment.items()}
+        utilities = {}
+        for agent in names:
+            other = next(a for a in names if a != agent)
+            utilities[agent] = payoff(
+                agent, names[agent], names[other], types
+            )
+        return MechanismRun(utilities=utilities)
+
+    space = {"a": (SUGGESTED, CHEAT), "b": (SUGGESTED, CHEAT)}
+    return DistributedMechanism(
+        engine, space, {"a": SUGGESTED, "b": SUGGESTED}
+    )
+
+
+class TestExPostNash:
+    def test_faithful_mechanism_passes(self):
+        # Cheating always loses 1.
+        mech = make_mechanism(
+            lambda agent, own, other, types: 10.0 - (own == "cheat")
+        )
+        report = check_ex_post_nash(mech, [TypeProfile({"a": 1, "b": 1})])
+        assert report.holds
+        assert report.deviations_checked == 2
+        assert report.max_gain <= 0
+
+    def test_profitable_deviation_found(self):
+        mech = make_mechanism(
+            lambda agent, own, other, types: 10.0 + (own == "cheat")
+        )
+        report = check_ex_post_nash(mech, [TypeProfile({"a": 1, "b": 1})])
+        assert not report.holds
+        assert report.violations[0].gain == pytest.approx(1.0)
+
+    def test_type_dependent_violation_found(self):
+        # Cheating profits only when the agent's own type is "greedy";
+        # ex post requires robustness over every type profile.
+        def payoff(agent, own, other, types):
+            bonus = 1.0 if types.type_of(agent) == "greedy" else -1.0
+            return 10.0 + (bonus if own == "cheat" else 0.0)
+
+        mech = make_mechanism(payoff)
+        profiles = [
+            TypeProfile({"a": "modest", "b": "modest"}),
+            TypeProfile({"a": "greedy", "b": "modest"}),
+        ]
+        report = check_ex_post_nash(mech, profiles)
+        assert not report.holds
+        assert all(
+            v.types.type_of(v.agent) == "greedy" for v in report.violations
+        )
+
+    def test_indifference_is_not_a_violation(self):
+        """Remark 1: weak equilibrium suffices (benevolent tie-break)."""
+        mech = make_mechanism(lambda agent, own, other, types: 10.0)
+        report = check_ex_post_nash(mech, [TypeProfile({"a": 1, "b": 1})])
+        assert report.holds
+
+    def test_agent_restriction(self):
+        mech = make_mechanism(
+            lambda agent, own, other, types: 10.0
+            + (1.0 if own == "cheat" and agent == "b" else 0.0)
+        )
+        report = check_ex_post_nash(
+            mech, [TypeProfile({"a": 1, "b": 1})], agents=("a",)
+        )
+        assert report.holds  # only the innocent agent was checked
+
+    def test_merge(self):
+        mech = make_mechanism(lambda agent, own, other, types: 10.0)
+        one = check_ex_post_nash(mech, [TypeProfile({"a": 1, "b": 1})])
+        two = check_ex_post_nash(mech, [TypeProfile({"a": 2, "b": 2})])
+        merged = one.merge(two)
+        assert merged.profiles_checked == 2
+        assert merged.deviations_checked == 4
+
+
+class TestDominantStrategy:
+    def test_ex_post_but_not_dominant(self):
+        """Remark 3: the suggested profile can be ex post Nash while
+        failing dominance — cheating pays when the *other* cheats."""
+
+        def payoff(agent, own, other, types):
+            if other == "cheat":
+                return 10.0 + (1.0 if own == "cheat" else 0.0)
+            return 10.0 - (1.0 if own == "cheat" else 0.0)
+
+        mech = make_mechanism(payoff)
+        profiles = [TypeProfile({"a": 1, "b": 1})]
+        assert check_ex_post_nash(mech, profiles).holds
+        dominant = check_dominant_strategy(mech, profiles)
+        assert not dominant.holds
+
+    def test_strictly_dominant_passes(self):
+        mech = make_mechanism(
+            lambda agent, own, other, types: 10.0 - (own == "cheat")
+        )
+        report = check_dominant_strategy(
+            mech, [TypeProfile({"a": 1, "b": 1})]
+        )
+        assert report.holds

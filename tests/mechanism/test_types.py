@@ -1,0 +1,113 @@
+"""Tests for type spaces, profiles, and outcomes."""
+
+import random
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.mechanism import (
+    Outcome,
+    TypeProfile,
+    TypeSpace,
+    enumerate_profiles,
+    sample_profiles,
+)
+
+
+class TestTypeSpace:
+    def test_finite_space(self):
+        space = TypeSpace(values=(1, 2, 3))
+        assert space.is_finite
+        assert space.values == (1, 2, 3)
+        assert 2 in space
+        assert 9 not in space
+
+    def test_sampled_space(self):
+        space = TypeSpace(sampler=lambda rng: rng.uniform(0, 1))
+        assert not space.is_finite
+        value = space.sample(random.Random(0))
+        assert 0 <= value <= 1
+        assert 0.5 in space  # samplers define open-ended membership
+        with pytest.raises(MechanismError, match="not finite"):
+            space.values
+
+    def test_needs_values_or_sampler(self):
+        with pytest.raises(MechanismError):
+            TypeSpace()
+
+    def test_empty_finite_rejected(self):
+        with pytest.raises(MechanismError, match="empty"):
+            TypeSpace(values=())
+
+    def test_finite_sampling_uses_values(self):
+        space = TypeSpace(values=(7,))
+        assert space.sample(random.Random(0)) == 7
+
+
+class TestTypeProfile:
+    def test_accessors(self):
+        profile = TypeProfile({"a": 1, "b": 2})
+        assert profile.agents == ("a", "b")
+        assert profile.type_of("a") == 1
+        assert profile["b"] == 2
+        assert len(profile) == 2
+        assert list(profile) == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(MechanismError):
+            TypeProfile({})
+
+    def test_replace_is_functional(self):
+        profile = TypeProfile({"a": 1, "b": 2})
+        replaced = profile.replace("a", 9)
+        assert replaced.type_of("a") == 9
+        assert profile.type_of("a") == 1
+
+    def test_replace_unknown_agent(self):
+        with pytest.raises(MechanismError):
+            TypeProfile({"a": 1}).replace("z", 2)
+
+    def test_without(self):
+        profile = TypeProfile({"a": 1, "b": 2})
+        assert profile.without("a") == {"b": 2}
+
+    def test_equality_and_hash(self):
+        one = TypeProfile({"a": 1, "b": 2})
+        two = TypeProfile({"b": 2, "a": 1})
+        assert one == two
+        assert hash(one) == hash(two)
+        assert one != TypeProfile({"a": 1, "b": 3})
+
+    def test_unknown_agent_raises(self):
+        with pytest.raises(MechanismError, match="no type"):
+            TypeProfile({"a": 1}).type_of("z")
+
+
+class TestOutcome:
+    def test_transfer_defaults_to_zero(self):
+        outcome = Outcome(decision="x", transfers={"a": 3.0})
+        assert outcome.transfer_to("a") == 3.0
+        assert outcome.transfer_to("b") == 0.0
+
+
+class TestEnumeration:
+    def test_enumerate_profiles_cartesian(self):
+        spaces = {
+            "a": TypeSpace(values=(1, 2)),
+            "b": TypeSpace(values=(10, 20, 30)),
+        }
+        profiles = list(enumerate_profiles(spaces))
+        assert len(profiles) == 6
+        assert len(set(profiles)) == 6
+
+    def test_enumerate_rejects_sampled(self):
+        spaces = {"a": TypeSpace(sampler=lambda rng: 1)}
+        with pytest.raises(MechanismError, match="enumerate"):
+            list(enumerate_profiles(spaces))
+
+    def test_sample_profiles_deterministic(self):
+        spaces = {"a": TypeSpace(sampler=lambda rng: rng.randint(0, 100))}
+        one = sample_profiles(spaces, random.Random(5), 10)
+        two = sample_profiles(spaces, random.Random(5), 10)
+        assert one == two
+        assert len(one) == 10

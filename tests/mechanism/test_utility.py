@@ -1,0 +1,33 @@
+"""Tests for quasi-linear utility functions."""
+
+import pytest
+
+from repro.mechanism import Outcome, UtilityFunction
+
+
+@pytest.fixture
+def utility():
+    return UtilityFunction(
+        lambda agent, decision, value: float(value) if decision == agent else 0.0
+    )
+
+
+class TestUtilityFunction:
+    def test_value(self, utility):
+        assert utility.value("a", "a", 4.0) == 4.0
+        assert utility.value("a", "b", 4.0) == 0.0
+
+    def test_quasilinear_combination(self, utility):
+        outcome = Outcome(decision="a", transfers={"a": -1.5})
+        assert utility.utility("a", outcome, 4.0) == pytest.approx(2.5)
+
+    def test_prefers_strict(self, utility):
+        win = Outcome(decision="a", transfers={})
+        lose = Outcome(decision="b", transfers={})
+        assert utility.prefers("a", win, lose, 4.0)
+        assert not utility.prefers("a", lose, win, 4.0)
+
+    def test_prefers_weak_on_tie(self, utility):
+        same = Outcome(decision="b", transfers={})
+        assert not utility.prefers("a", same, same, 4.0, strictly=True)
+        assert utility.prefers("a", same, same, 4.0, strictly=False)

@@ -1,0 +1,116 @@
+"""Tests for the formal FPSS state-machine model.
+
+The point of this model is coherence between the paper's Section 3
+formalism and the operational Section 4 protocol: the action classes
+of the formal single-state deviations must match the classifications
+carried by the executable manipulation catalogue.
+"""
+
+import pytest
+
+from repro.faithful import DEVIATION_CATALOGUE
+from repro.routing.formal import (
+    FORMAL_DEVIATIONS,
+    classification_of,
+    formal_deviation,
+    fpss_actions,
+    fpss_state_machine,
+    suggested_specification,
+    suggested_update_round,
+)
+from repro.specs import ActionClass, enumerate_deviations
+
+
+class TestMachineStructure:
+    def test_all_states_reachable(self):
+        machine = fpss_state_machine()
+        assert machine.unreachable_states() == frozenset()
+
+    def test_alphabet_covers_all_three_external_classes(self):
+        machine = fpss_state_machine()
+        classes = {a.action_class for a in machine.external_actions}
+        assert classes == {
+            ActionClass.INFORMATION_REVELATION,
+            ActionClass.MESSAGE_PASSING,
+            ActionClass.COMPUTATION,
+        }
+
+    def test_paper_stated_classification(self):
+        """Section 4.1: declaring costs is revelation; relaying
+        announcements is message passing; table updates/forwarding and
+        bank reporting are computation."""
+        actions = fpss_actions()
+        assert (
+            actions["declare-true-cost"].action_class
+            is ActionClass.INFORMATION_REVELATION
+        )
+        assert (
+            actions["relay-cost-declaration"].action_class
+            is ActionClass.MESSAGE_PASSING
+        )
+        assert (
+            actions["recompute-tables-honestly"].action_class
+            is ActionClass.COMPUTATION
+        )
+        assert (
+            actions["report-honest-digest"].action_class
+            is ActionClass.COMPUTATION
+        )
+
+
+class TestSuggestedSpecifications:
+    def test_declaration_round_runs_to_done(self):
+        behavior = suggested_specification().run()
+        assert behavior.final_state == "done"
+        names = [a.name for a in behavior.actions]
+        assert names == [
+            "declare-true-cost",
+            "record-input",
+            "relay-cost-declaration",
+        ]
+
+    def test_update_round_follows_princ_rules(self):
+        """[PRINC1]/[PRINC2] ordering: copies first, then recompute,
+        then announce."""
+        behavior = suggested_update_round().run()
+        names = [a.name for a in behavior.actions]
+        assert names == [
+            "declare-true-cost",
+            "await-input",
+            "forward-copies-to-checkers",
+            "recompute-tables-honestly",
+            "announce-tables",
+        ]
+
+
+class TestFormalOperationalCoherence:
+    @pytest.mark.parametrize("name", sorted(FORMAL_DEVIATIONS))
+    def test_formal_classes_match_catalogue(self, name):
+        """The formal machine and the executable catalogue assign the
+        same Definition 2-4 classes to each manipulation."""
+        assert classification_of(name) == DEVIATION_CATALOGUE[name].classes
+
+    @pytest.mark.parametrize("name", sorted(FORMAL_DEVIATIONS))
+    def test_formal_deviation_differs_in_one_state(self, name):
+        deviant = formal_deviation(name)
+        base_name = deviant.name
+        assert base_name == name
+
+    def test_enumeration_finds_every_formal_deviation(self):
+        """The generic deviation enumerator discovers all catalogued
+        single-state deviations of the update round."""
+        base = suggested_update_round()
+        deviant_actions = set()
+        for deviant in enumerate_deviations(base, max_overrides=1):
+            for state in base.deviation_states(deviant):
+                action = deviant.action(state)
+                if action is not None:
+                    deviant_actions.add(action.name)
+        assert {
+            "drop-checker-copies",
+            "alter-checker-copies",
+            "announce-false-tables",
+            "suppress-announcement",
+            "miscompute-tables",
+            "declare-false-cost",
+        } <= deviant_actions

@@ -1,0 +1,157 @@
+"""Tests for the LCP oracle, including the paper's Figure 1 claims."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, RoutingError
+from repro.routing import (
+    ASGraph,
+    all_pairs_lcp,
+    figure1_graph,
+    lcp_cost,
+    lcp_tree,
+    lowest_cost_path,
+    total_routing_cost,
+)
+from repro.workloads import random_biconnected_graph
+
+
+class TestFigure1Claims:
+    """The exact numbers stated in Section 4.1."""
+
+    def setup_method(self):
+        self.graph = figure1_graph()
+
+    def test_x_to_z_costs_two_via_d_c(self):
+        result = lowest_cost_path(self.graph, "X", "Z")
+        assert result.cost == 2.0
+        assert result.path == ("X", "D", "C", "Z")
+
+    def test_z_to_d_costs_one(self):
+        assert lcp_cost(self.graph, "Z", "D") == 1.0
+
+    def test_b_to_d_costs_zero_direct(self):
+        result = lowest_cost_path(self.graph, "B", "D")
+        assert result.cost == 0.0
+        assert result.path == ("B", "D")
+        assert result.transit_nodes == ()
+
+    def test_example1_lie_diverts_traffic(self):
+        """If C declared cost 5, X-A-Z becomes the X-to-Z LCP."""
+        lied = self.graph.with_costs({"C": 5.0})
+        result = lowest_cost_path(lied, "X", "Z")
+        assert result.path == ("X", "A", "Z")
+        assert result.cost == 5.0
+
+    def test_example1_damages_efficiency(self):
+        """The lie reroutes X->Z onto a path of true cost 5 > 2."""
+        lied = self.graph.with_costs({"C": 5.0})
+        honest_total = total_routing_cost(self.graph)
+        lied_total = total_routing_cost(lied, truthful_graph=self.graph)
+        assert lied_total > honest_total
+
+
+class TestOracleBasics:
+    def test_source_equals_destination(self, fig1):
+        result = lowest_cost_path(fig1, "A", "A")
+        assert result.cost == 0.0
+        assert result.path == ("A",)
+        assert result.hops == 0
+
+    def test_unknown_nodes_rejected(self, fig1):
+        with pytest.raises(GraphError):
+            lowest_cost_path(fig1, "ghost", "A")
+        with pytest.raises(GraphError):
+            lowest_cost_path(fig1, "A", "ghost")
+
+    def test_avoiding_endpoint_rejected(self, fig1):
+        with pytest.raises(RoutingError, match="endpoint"):
+            lowest_cost_path(fig1, "X", "Z", avoiding="X")
+
+    def test_avoiding_transit_finds_detour(self, fig1):
+        detour = lowest_cost_path(fig1, "X", "Z", avoiding="C")
+        assert "C" not in detour.path
+        assert detour.cost >= lcp_cost(fig1, "X", "Z")
+
+    def test_no_path_raises(self):
+        graph = ASGraph(
+            {"a": 1, "b": 1, "c": 1, "d": 1},
+            [("a", "b"), ("c", "d")],
+        )
+        with pytest.raises(RoutingError, match="no path"):
+            lowest_cost_path(graph, "a", "c")
+
+    def test_tie_break_prefers_fewer_hops(self):
+        # Two zero-cost routes; the direct edge must win.
+        graph = ASGraph(
+            {"a": 1, "b": 0, "c": 1},
+            [("a", "c"), ("a", "b"), ("b", "c")],
+        )
+        assert lowest_cost_path(graph, "a", "c").path == ("a", "c")
+
+    def test_lcp_tree_covers_all_destinations(self, fig1):
+        tree = lcp_tree(fig1, "Z")
+        assert set(tree) == set(fig1.nodes) - {"Z"}
+        # The bold tree of Figure 1: all of Z's LCP costs.
+        assert tree["C"].cost == 0.0
+        assert tree["D"].cost == 1.0
+        assert tree["X"].cost == 2.0
+        assert tree["A"].cost == 0.0
+        assert tree["B"].cost == 1.0
+
+    def test_all_pairs_count(self, fig1):
+        pairs = all_pairs_lcp(fig1)
+        assert len(pairs) == 6 * 5
+
+    def test_paths_are_symmetric_in_cost(self, fig1):
+        # Undirected graph with node costs: reversing a path preserves
+        # its interior, so LCP costs are symmetric.
+        for (s, d), forward in all_pairs_lcp(fig1).items():
+            backward = lowest_cost_path(fig1, d, s)
+            assert backward.cost == pytest.approx(forward.cost)
+
+
+def _nx_transit_cost_graph(graph: ASGraph) -> nx.DiGraph:
+    """Encode node-weighted LCP as edge-weighted digraph for networkx:
+    weight(u -> v) = cost(u) if u is not the path source else 0 is not
+    expressible; instead weight(u -> v) = cost(v) for v != destination
+    is handled by subtracting the destination cost afterwards."""
+    digraph = nx.DiGraph()
+    for a, b in graph.edges:
+        for u, v in ((a, b), (b, a)):
+            digraph.add_edge(u, v, weight=graph.cost(v))
+    return digraph
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_lcp_cost_matches_networkx(self, seed):
+        """Property: for random biconnected graphs, our LCP cost equals
+        networkx Dijkstra on the edge-encoded graph."""
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(rng.randint(4, 9), rng)
+        digraph = _nx_transit_cost_graph(graph)
+        nodes = graph.nodes
+        source, destination = rng.sample(list(nodes), 2)
+        expected = nx.dijkstra_path_length(
+            digraph, source, destination
+        ) - graph.cost(destination)
+        ours = lcp_cost(graph, source, destination)
+        assert ours == pytest.approx(max(0.0, expected))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_avoiding_matches_networkx_on_reduced_graph(self, seed):
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(rng.randint(4, 9), rng)
+        nodes = list(graph.nodes)
+        source, destination, avoided = rng.sample(nodes, 3)
+        ours = lcp_cost(graph, source, destination, avoiding=avoided)
+        reduced = graph.without_node(avoided)
+        expected = lcp_cost(reduced, source, destination)
+        assert ours == pytest.approx(expected)

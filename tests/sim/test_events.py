@@ -1,0 +1,58 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("late"))
+        queue.schedule(1.0, lambda: fired.append("early"))
+        for event in queue.drain():
+            event.callback()
+        assert fired == ["early", "late"]
+
+    def test_fifo_tie_break(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(5):
+            queue.schedule(1.0, lambda i=i: fired.append(i))
+        for event in queue.drain():
+            event.callback()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty"):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(3.5, lambda: None)
+        queue.schedule(1.5, lambda: None)
+        assert queue.peek_time() == 1.5
+
+    def test_counters(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pending == 2
+        assert len(queue) == 2
+        queue.pop()
+        assert queue.dispatched == 1
+        assert bool(queue)
+        queue.pop()
+        assert not queue
+
+    def test_labels_preserved(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None, label="hello")
+        assert queue.pop().label == "hello"

@@ -1,0 +1,137 @@
+"""Tests for the failure-model taxonomy (Section 3)."""
+
+import random
+
+import pytest
+
+from repro.sim import (
+    ByzantineAdapter,
+    CrashAdapter,
+    FailstopAdapter,
+    FailureModel,
+    NetworkTopology,
+    OmissionAdapter,
+    ProtocolNode,
+    RationalAdapter,
+    Simulator,
+)
+
+
+class Counter(ProtocolNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_data(self, message):
+        self.received.append(message.payload.get("v"))
+
+
+def make_sim():
+    topo = NetworkTopology.from_edges([("a", "b")])
+    sim = Simulator(topo)
+    a, b = Counter("a"), Counter("b")
+    sim.add_node(a)
+    sim.add_node(b)
+    return sim, a, b
+
+
+class TestFailstop:
+    def test_silent_after_fail_time(self):
+        sim, a, b = make_sim()
+        FailstopAdapter(a, fail_time=5.0)
+        a.send("b", "data", v=1)  # t=0, delivered
+        sim.run_until_quiescent()
+        sim.queue.schedule(10.0, lambda: a.send("b", "data", v=2))
+        sim.run_until_quiescent()
+        assert b.received == [1]
+
+    def test_inbound_also_silenced(self):
+        sim, a, b = make_sim()
+        FailstopAdapter(b, fail_time=0.0)
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == []
+
+    def test_model_tag(self):
+        sim, a, _ = make_sim()
+        assert FailstopAdapter(a, 1.0).model is FailureModel.FAILSTOP
+
+
+class TestCrash:
+    def test_crash_time_drawn_from_rng(self):
+        sim, a, _ = make_sim()
+        adapter = CrashAdapter(a, random.Random(1), horizon=100.0)
+        assert 0.0 <= adapter.fail_time <= 100.0
+        assert adapter.model is FailureModel.CRASH
+
+    def test_crash_reproducible(self):
+        sim, a, b = make_sim()
+        one = CrashAdapter(a, random.Random(9)).fail_time
+        sim2, a2, _ = make_sim()
+        two = CrashAdapter(a2, random.Random(9)).fail_time
+        assert one == two
+
+
+class TestOmission:
+    def test_send_omissions_drop_messages(self):
+        sim, a, b = make_sim()
+        OmissionAdapter(a, random.Random(3), send_drop_prob=1.0)
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == []
+
+    def test_zero_prob_is_transparent(self):
+        sim, a, b = make_sim()
+        OmissionAdapter(a, random.Random(3), send_drop_prob=0.0)
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == [1]
+
+    def test_receive_omissions(self):
+        sim, a, b = make_sim()
+        OmissionAdapter(b, random.Random(3), receive_drop_prob=1.0)
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == []
+
+    def test_invalid_probability_rejected(self):
+        sim, a, _ = make_sim()
+        with pytest.raises(ValueError):
+            OmissionAdapter(a, random.Random(0), send_drop_prob=1.5)
+
+
+class TestByzantine:
+    def test_mutator_tampers(self):
+        sim, a, b = make_sim()
+        ByzantineAdapter(a, lambda m: m.altered(v=666))
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == [666]
+
+    def test_mutator_can_drop(self):
+        sim, a, b = make_sim()
+        ByzantineAdapter(a, lambda m: None)
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == []
+
+
+class TestRational:
+    def test_tag_only(self):
+        sim, a, b = make_sim()
+        adapter = RationalAdapter(a, deviation_name="cost-lie")
+        assert adapter.model is FailureModel.RATIONAL
+        assert adapter.deviation_name == "cost-lie"
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == [1]  # behaviour unchanged by the tag
+
+
+class TestChaining:
+    def test_adapters_compose(self):
+        sim, a, b = make_sim()
+        ByzantineAdapter(a, lambda m: m.altered(v=2))
+        OmissionAdapter(a, random.Random(0), send_drop_prob=0.0)
+        a.send("b", "data", v=1)
+        sim.run_until_quiescent()
+        assert b.received == [2]

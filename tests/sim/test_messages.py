@@ -1,0 +1,61 @@
+"""Tests for the immutable message envelope."""
+
+from repro.sim import Message
+
+
+class TestMessage:
+    def test_author_defaults_to_src(self):
+        msg = Message(src="a", dst="b", kind="hello")
+        assert msg.author == "a"
+
+    def test_unique_ids(self):
+        one = Message(src="a", dst="b", kind="k")
+        two = Message(src="a", dst="b", kind="k")
+        assert one.msg_id != two.msg_id
+
+    def test_forwarded_keeps_author_and_id(self):
+        original = Message(src="a", dst="b", kind="k", payload={"v": 1})
+        copy = original.forwarded("b", "c")
+        assert copy.src == "b"
+        assert copy.dst == "c"
+        assert copy.author == "a"
+        assert copy.msg_id == original.msg_id
+        assert copy.payload == original.payload
+
+    def test_altered_replaces_payload_fields(self):
+        original = Message(src="a", dst="b", kind="k", payload={"v": 1, "w": 2})
+        tampered = original.altered(v=99)
+        assert tampered.payload["v"] == 99
+        assert tampered.payload["w"] == 2
+        assert original.payload["v"] == 1  # original untouched
+
+    def test_readdressed(self):
+        msg = Message(src="a", dst="b", kind="k")
+        assert msg.readdressed("c").dst == "c"
+
+    def test_content_key_equality(self):
+        one = Message(src="a", dst="b", kind="k", payload={"x": [1, 2]})
+        two = Message(src="a", dst="c", kind="k", payload={"x": [1, 2]})
+        assert one.content_key() == two.content_key()
+
+    def test_content_key_detects_tampering(self):
+        one = Message(src="a", dst="b", kind="k", payload={"x": 1})
+        assert one.content_key() != one.altered(x=2).content_key()
+
+    def test_content_key_nested_structures(self):
+        msg = Message(
+            src="a",
+            dst="b",
+            kind="k",
+            payload={"table": {"d": (1.0, ("a", "b"))}, "tags": {1, 2}},
+        )
+        assert msg.content_key() == msg.forwarded("b", "c").content_key()
+
+    def test_size_counts_scalars(self):
+        msg = Message(
+            src="a", dst="b", kind="k", payload={"v": [1, 2, 3], "w": 4}
+        )
+        assert msg.size == 4
+
+    def test_size_minimum_one(self):
+        assert Message(src="a", dst="b", kind="k").size == 1

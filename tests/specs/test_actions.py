@@ -1,0 +1,78 @@
+"""Tests for the external-action classification (Definitions 2-4)."""
+
+import pytest
+
+from repro.specs import (
+    EXTERNAL_ACTION_CLASSES,
+    Action,
+    ActionClass,
+    ActionKind,
+    computation,
+    internal,
+    message_passing,
+    revelation,
+)
+
+
+class TestActionClass:
+    def test_internal_kind(self):
+        assert ActionClass.INTERNAL.kind is ActionKind.INTERNAL
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            ActionClass.INFORMATION_REVELATION,
+            ActionClass.MESSAGE_PASSING,
+            ActionClass.COMPUTATION,
+        ],
+    )
+    def test_external_kinds(self, cls):
+        assert cls.kind is ActionKind.EXTERNAL
+        assert cls.is_external
+
+    def test_internal_is_not_external(self):
+        assert not ActionClass.INTERNAL.is_external
+
+    def test_external_classes_tuple_matches_decomposition_order(self):
+        # The (r, p, c) order of the sub-strategy decomposition.
+        assert EXTERNAL_ACTION_CLASSES == (
+            ActionClass.INFORMATION_REVELATION,
+            ActionClass.MESSAGE_PASSING,
+            ActionClass.COMPUTATION,
+        )
+
+
+class TestActionConstructors:
+    def test_internal_constructor(self):
+        action = internal("think")
+        assert action.action_class is ActionClass.INTERNAL
+        assert not action.is_external
+
+    def test_revelation_constructor(self):
+        action = revelation("declare-cost")
+        assert action.action_class is ActionClass.INFORMATION_REVELATION
+        assert action.is_external
+
+    def test_message_passing_constructor(self):
+        action = message_passing("relay")
+        assert action.action_class is ActionClass.MESSAGE_PASSING
+
+    def test_computation_constructor(self):
+        action = computation("recompute-lcp")
+        assert action.action_class is ActionClass.COMPUTATION
+
+    def test_metadata_carried_but_not_compared(self):
+        a = computation("update", table="DATA2")
+        b = computation("update", table="DATA3")
+        assert a.metadata["table"] == "DATA2"
+        assert a == b  # metadata excluded from equality
+
+    def test_same_name_different_class_differ(self):
+        assert internal("x") != computation("x")
+
+    def test_kind_property_delegates(self):
+        assert revelation("r").kind is ActionKind.EXTERNAL
+        assert internal("i").kind is ActionKind.INTERNAL
+
+    def test_actions_are_hashable(self):
+        assert len({internal("a"), internal("a"), computation("a")}) == 2

@@ -1,0 +1,112 @@
+"""Tests for phase decomposition with checkpoints (Section 3.9)."""
+
+import pytest
+
+from repro.errors import PhaseError
+from repro.specs import (
+    CertificationResult,
+    Phase,
+    PhasedExecution,
+)
+
+
+def green(ctx):
+    return CertificationResult.GREEN_LIGHT
+
+
+class TestPhaseConstruction:
+    def test_needs_phases(self):
+        with pytest.raises(PhaseError, match="at least one"):
+            PhasedExecution([])
+
+    def test_rejects_duplicate_names(self):
+        phases = [
+            Phase("p", lambda ctx: None),
+            Phase("p", lambda ctx: None),
+        ]
+        with pytest.raises(PhaseError, match="duplicate"):
+            PhasedExecution(phases)
+
+    def test_rejects_negative_restarts(self):
+        with pytest.raises(PhaseError, match="non-negative"):
+            PhasedExecution([Phase("p", lambda ctx: None)], max_restarts_per_phase=-1)
+
+
+class TestExecution:
+    def test_phases_run_in_order_sharing_context(self):
+        order = []
+        phases = [
+            Phase("one", lambda ctx: order.append("one") or ctx.update(a=1)),
+            Phase("two", lambda ctx: order.append("two") or ctx.update(b=ctx["a"] + 1)),
+        ]
+        result = PhasedExecution(phases).run()
+        assert result.completed
+        assert order == ["one", "two"]
+        assert result.context == {"a": 1, "b": 2}
+
+    def test_self_certifying_phase_green_lights(self):
+        result = PhasedExecution([Phase("only", lambda ctx: None)]).run()
+        assert result.completed
+        assert result.records[-1].result is CertificationResult.GREEN_LIGHT
+
+    def test_restart_reruns_phase(self):
+        attempts = []
+
+        def body(ctx):
+            attempts.append(len(attempts))
+
+        def certify(ctx):
+            # Fail the first attempt, pass the second.
+            if len(attempts) < 2:
+                return CertificationResult.RESTART
+            return CertificationResult.GREEN_LIGHT
+
+        result = PhasedExecution(
+            [Phase("flaky", body, certify)], max_restarts_per_phase=3
+        ).run()
+        assert result.completed
+        assert len(attempts) == 2
+        assert result.restarts == 1
+        assert result.attempts("flaky") == 2
+
+    def test_persistent_deviation_halts_without_progress(self):
+        phase = Phase(
+            "stuck", lambda ctx: None, lambda ctx: CertificationResult.RESTART
+        )
+        result = PhasedExecution([phase], max_restarts_per_phase=2).run()
+        assert not result.completed
+        assert result.halted_phase == "stuck"
+        # Initial attempt + 2 restarts.
+        assert result.attempts("stuck") == 3
+
+    def test_on_restart_hook_invoked(self):
+        resets = []
+        phase = Phase(
+            "p",
+            lambda ctx: None,
+            lambda ctx: CertificationResult.RESTART,
+        )
+        PhasedExecution(
+            [phase],
+            max_restarts_per_phase=1,
+            on_restart=lambda ph, ctx: resets.append(ph.name),
+        ).run()
+        assert resets == ["p"]
+
+    def test_later_phase_never_runs_after_halt(self):
+        ran = []
+        phases = [
+            Phase(
+                "first",
+                lambda ctx: ran.append("first"),
+                lambda ctx: CertificationResult.RESTART,
+            ),
+            Phase("second", lambda ctx: ran.append("second")),
+        ]
+        result = PhasedExecution(phases, max_restarts_per_phase=0).run()
+        assert not result.completed
+        assert "second" not in ran
+
+    def test_halted_phase_none_on_success(self):
+        result = PhasedExecution([Phase("p", lambda ctx: None)]).run()
+        assert result.halted_phase is None

@@ -1,0 +1,156 @@
+"""Tests for specifications and deviation enumeration."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.specs import (
+    ActionClass,
+    Specification,
+    StateMachine,
+    Transition,
+    computation,
+    enumerate_deviations,
+    internal,
+    message_passing,
+    revelation,
+)
+
+
+@pytest.fixture
+def machine():
+    """Two decision points with classified alternatives."""
+    return StateMachine(
+        states=["s0", "s1", "s2"],
+        initial_states=["s0"],
+        transitions=[
+            Transition("s0", revelation("tell-truth"), "s1"),
+            Transition("s0", revelation("tell-lie"), "s1"),
+            Transition("s1", computation("compute-honest"), "s2"),
+            Transition("s1", computation("compute-corrupt"), "s2"),
+            Transition("s1", message_passing("just-forward"), "s2"),
+        ],
+    )
+
+
+@pytest.fixture
+def suggested(machine):
+    actions = {a.name: a for a in machine.actions}
+    return Specification(
+        machine,
+        {"s0": actions["tell-truth"], "s1": actions["compute-honest"]},
+        name="suggested",
+    )
+
+
+class TestSpecification:
+    def test_runs_to_terminal(self, suggested):
+        behavior = suggested.run()
+        assert behavior.final_state == "s2"
+        assert [a.name for a in behavior.actions] == [
+            "tell-truth",
+            "compute-honest",
+        ]
+
+    def test_rejects_disabled_choice(self, machine):
+        actions = {a.name: a for a in machine.actions}
+        with pytest.raises(SpecificationError, match="not enabled"):
+            Specification(machine, {"s0": actions["compute-honest"]})
+
+    def test_rejects_missing_choice_for_reachable_state(self, machine):
+        actions = {a.name: a for a in machine.actions}
+        with pytest.raises(SpecificationError, match="no chosen action"):
+            Specification(machine, {"s0": actions["tell-truth"]})
+
+    def test_rejects_unknown_state(self, machine, suggested):
+        actions = {a.name: a for a in machine.actions}
+        with pytest.raises(SpecificationError, match="unknown state"):
+            Specification(
+                machine,
+                {
+                    "s0": actions["tell-truth"],
+                    "s1": actions["compute-honest"],
+                    "ghost": actions["tell-lie"],
+                },
+            )
+
+    def test_nonhalting_specification_detected(self):
+        loop = internal("loop")
+        machine = StateMachine(
+            states=["a"], initial_states=["a"], transitions=[Transition("a", loop, "a")]
+        )
+        spec = Specification(machine, {"a": loop})
+        with pytest.raises(SpecificationError, match="exceeded"):
+            spec.run(max_steps=10)
+
+    def test_run_requires_unique_initial(self):
+        act = internal("x")
+        machine = StateMachine(
+            states=["a", "b"],
+            initial_states=["a", "b"],
+            transitions=[Transition("a", act, "b")],
+        )
+        spec = Specification(machine, {"a": act})
+        with pytest.raises(SpecificationError, match="several initial"):
+            spec.run()
+        assert spec.run(initial="b").length == 0
+
+
+class TestDeviations:
+    def test_deviate_and_deviation_states(self, machine, suggested):
+        actions = {a.name: a for a in machine.actions}
+        deviant = suggested.deviate({"s0": actions["tell-lie"]})
+        assert suggested.deviation_states(deviant) == frozenset({"s0"})
+
+    def test_deviation_classes(self, machine, suggested):
+        actions = {a.name: a for a in machine.actions}
+        deviant = suggested.deviate(
+            {"s0": actions["tell-lie"], "s1": actions["compute-corrupt"]}
+        )
+        assert suggested.deviation_classes(deviant) == frozenset(
+            {ActionClass.INFORMATION_REVELATION, ActionClass.COMPUTATION}
+        )
+
+    def test_cross_machine_comparison_rejected(self, machine, suggested):
+        other_machine = StateMachine(
+            states=["x"], initial_states=["x"], transitions=[]
+        )
+        other = Specification(other_machine, {})
+        with pytest.raises(SpecificationError, match="different machines"):
+            suggested.deviation_states(other)
+
+    def test_restricted_to_predicate(self, machine, suggested):
+        actions = {a.name: a for a in machine.actions}
+        only_revelation = suggested.restricted_to(
+            [ActionClass.INFORMATION_REVELATION]
+        )
+        lie = suggested.deviate({"s0": actions["tell-lie"]})
+        corrupt = suggested.deviate({"s1": actions["compute-corrupt"]})
+        assert only_revelation(lie)
+        assert not only_revelation(corrupt)
+
+
+class TestEnumerateDeviations:
+    def test_single_state_enumeration(self, suggested):
+        deviations = list(enumerate_deviations(suggested, max_overrides=1))
+        # s0 has 1 alternative; s1 has 2 alternatives.
+        assert len(deviations) == 3
+
+    def test_class_filter(self, suggested):
+        mp_only = list(
+            enumerate_deviations(
+                suggested,
+                classes=[ActionClass.MESSAGE_PASSING, ActionClass.COMPUTATION],
+                max_overrides=1,
+            )
+        )
+        # Only the two s1 alternatives qualify.
+        assert len(mp_only) == 2
+
+    def test_joint_deviations(self, suggested):
+        joint = list(enumerate_deviations(suggested, max_overrides=2))
+        # 3 singles + 1*2 pairs = 5.
+        assert len(joint) == 5
+
+    def test_suggested_not_yielded(self, suggested):
+        for deviant in enumerate_deviations(suggested, max_overrides=2):
+            assert suggested.deviation_states(deviant)

@@ -1,0 +1,140 @@
+"""Tests for the state-machine model (paper Section 3.1)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.specs import (
+    Behavior,
+    StateMachine,
+    Transition,
+    computation,
+    internal,
+    message_passing,
+)
+
+
+@pytest.fixture
+def simple_machine():
+    """idle --compute--> ready --send--> done, with a self-loop."""
+    compute = internal("compute")
+    send = message_passing("send")
+    wait = internal("wait")
+    return StateMachine(
+        states=["idle", "ready", "done"],
+        initial_states=["idle"],
+        transitions=[
+            Transition("idle", compute, "ready"),
+            Transition("idle", wait, "idle"),
+            Transition("ready", send, "done"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_requires_initial_state(self):
+        with pytest.raises(SpecificationError, match="initial"):
+            StateMachine(states=["a"], initial_states=[], transitions=[])
+
+    def test_initial_must_be_subset(self):
+        with pytest.raises(SpecificationError):
+            StateMachine(states=["a"], initial_states=["b"], transitions=[])
+
+    def test_transition_source_must_exist(self):
+        t = Transition("ghost", internal("x"), "a")
+        with pytest.raises(SpecificationError, match="source"):
+            StateMachine(states=["a"], initial_states=["a"], transitions=[t])
+
+    def test_transition_target_must_exist(self):
+        t = Transition("a", internal("x"), "ghost")
+        with pytest.raises(SpecificationError, match="target"):
+            StateMachine(states=["a"], initial_states=["a"], transitions=[t])
+
+    def test_alphabet_partitions(self, simple_machine):
+        assert len(simple_machine.internal_actions) == 2
+        assert len(simple_machine.external_actions) == 1
+        assert simple_machine.actions == (
+            simple_machine.internal_actions | simple_machine.external_actions
+        )
+
+
+class TestBehaviourQueries:
+    def test_enabled_actions(self, simple_machine):
+        names = {a.name for a in simple_machine.enabled_actions("idle")}
+        assert names == {"compute", "wait"}
+
+    def test_successor(self, simple_machine):
+        compute = next(
+            a for a in simple_machine.actions if a.name == "compute"
+        )
+        assert simple_machine.successor("idle", compute) == "ready"
+
+    def test_successor_rejects_disabled_action(self, simple_machine):
+        send = next(a for a in simple_machine.actions if a.name == "send")
+        with pytest.raises(SpecificationError, match="not enabled"):
+            simple_machine.successor("idle", send)
+
+    def test_successor_rejects_nondeterminism(self):
+        act = internal("go")
+        machine = StateMachine(
+            states=["a", "b", "c"],
+            initial_states=["a"],
+            transitions=[
+                Transition("a", act, "b"),
+                Transition("a", act, "c"),
+            ],
+        )
+        with pytest.raises(SpecificationError, match="nondeterministic"):
+            machine.successor("a", act)
+
+    def test_terminal_state(self, simple_machine):
+        assert simple_machine.is_terminal("done")
+        assert not simple_machine.is_terminal("idle")
+
+    def test_unknown_state_raises(self, simple_machine):
+        with pytest.raises(SpecificationError):
+            simple_machine.transitions_from("ghost")
+
+    def test_contains(self, simple_machine):
+        assert "idle" in simple_machine
+        assert "ghost" not in simple_machine
+
+
+class TestReachability:
+    def test_all_reachable(self, simple_machine):
+        assert simple_machine.reachable_states() == frozenset(
+            {"idle", "ready", "done"}
+        )
+
+    def test_unreachable_detected(self):
+        machine = StateMachine(
+            states=["a", "b", "orphan"],
+            initial_states=["a"],
+            transitions=[Transition("a", internal("x"), "b")],
+        )
+        assert machine.unreachable_states() == frozenset({"orphan"})
+
+    def test_iter_paths_bounded(self, simple_machine):
+        paths = list(simple_machine.iter_paths(max_length=2))
+        # Includes the empty path and every path of length <= 2.
+        assert () in paths
+        assert all(len(p) <= 2 for p in paths)
+        assert len(paths) > 3
+
+
+class TestBehavior:
+    def test_record_and_final_state(self):
+        behavior = Behavior(states=["a"])
+        behavior.record(internal("x"), "b")
+        assert behavior.length == 1
+        assert behavior.final_state == "b"
+
+    def test_empty_behavior_has_no_final_state(self):
+        with pytest.raises(SpecificationError):
+            Behavior().final_state
+
+    def test_external_trace_filters_internals(self):
+        behavior = Behavior(states=["a"])
+        behavior.record(internal("think"), "b")
+        behavior.record(computation("emit"), "c")
+        behavior.record(message_passing("relay"), "d")
+        assert [a.name for a in behavior.external_trace()] == ["emit", "relay"]

@@ -1,0 +1,139 @@
+"""Tests for strategies and the (r, p, c) decomposition (Section 3.3)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.specs import (
+    ActionClass,
+    DecomposedStrategy,
+    Specification,
+    StateMachine,
+    Strategy,
+    SubStrategyProjection,
+    Transition,
+    computation,
+    message_passing,
+    revelation,
+    tabular_strategy,
+)
+
+
+@pytest.fixture
+def machine():
+    return StateMachine(
+        states=["s0", "s1", "s2"],
+        initial_states=["s0"],
+        transitions=[
+            Transition("s0", revelation("report-high"), "s1"),
+            Transition("s0", revelation("report-low"), "s1"),
+            Transition("s1", message_passing("forward"), "s2"),
+            Transition("s1", message_passing("drop"), "s2"),
+            Transition("s1", computation("corrupt"), "s2"),
+        ],
+    )
+
+
+def spec_for(machine, s0_action, s1_action, name):
+    actions = {a.name: a for a in machine.actions}
+    return Specification(
+        machine, {"s0": actions[s0_action], "s1": actions[s1_action]}, name=name
+    )
+
+
+@pytest.fixture
+def suggested_strategy(machine):
+    truthful = spec_for(machine, "report-high", "forward", "truthful-high")
+    low = spec_for(machine, "report-low", "forward", "truthful-low")
+    return tabular_strategy({"high": truthful, "low": low}, name="suggested")
+
+
+class TestStrategy:
+    def test_tabular_selects_by_type(self, suggested_strategy):
+        assert suggested_strategy("high").name == "truthful-high"
+        assert suggested_strategy("low").name == "truthful-low"
+
+    def test_missing_type_raises(self, suggested_strategy):
+        with pytest.raises(SpecificationError, match="no specification"):
+            suggested_strategy("medium")
+
+    def test_behavior_runs_selected_spec(self, suggested_strategy):
+        behavior = suggested_strategy.behavior("high")
+        assert [a.name for a in behavior.actions] == ["report-high", "forward"]
+
+    def test_callable_wrapper(self, machine):
+        spec = spec_for(machine, "report-high", "forward", "s")
+        strategy = Strategy(lambda t: spec, name="const")
+        assert strategy(42) is spec
+
+
+class TestProjection:
+    def test_projection_extracts_class_actions(self, suggested_strategy):
+        behavior = suggested_strategy.behavior("high")
+        projection = SubStrategyProjection(ActionClass.MESSAGE_PASSING)
+        actions = projection.project(behavior)
+        assert [a.name for _, a in actions] == ["forward"]
+
+    def test_agreement_is_positional(self, machine):
+        one = spec_for(machine, "report-high", "forward", "a").run()
+        two = spec_for(machine, "report-low", "forward", "b").run()
+        projection = SubStrategyProjection(ActionClass.MESSAGE_PASSING)
+        assert projection.agrees(one, two)
+
+
+class TestDecomposedStrategy:
+    def test_pure_revelation_deviation(self, machine, suggested_strategy):
+        decomposed = DecomposedStrategy(suggested_strategy)
+        liar = tabular_strategy(
+            {
+                "high": spec_for(machine, "report-low", "forward", "lie"),
+                "low": spec_for(machine, "report-low", "forward", "same"),
+            },
+            name="liar",
+        )
+        profile = decomposed.deviation_profile("high", liar)
+        assert profile[ActionClass.INFORMATION_REVELATION]
+        assert not profile[ActionClass.MESSAGE_PASSING]
+        assert not profile[ActionClass.COMPUTATION]
+        assert decomposed.is_pure_deviation(
+            "high", liar, ActionClass.INFORMATION_REVELATION
+        )
+
+    def test_joint_deviation_not_pure(self, machine, suggested_strategy):
+        decomposed = DecomposedStrategy(suggested_strategy)
+        joint = tabular_strategy(
+            {
+                "high": spec_for(machine, "report-low", "drop", "joint"),
+                "low": spec_for(machine, "report-low", "forward", "same"),
+            },
+            name="joint",
+        )
+        profile = decomposed.deviation_profile("high", joint)
+        assert profile[ActionClass.INFORMATION_REVELATION]
+        assert profile[ActionClass.MESSAGE_PASSING]
+        assert not decomposed.is_pure_deviation(
+            "high", joint, ActionClass.MESSAGE_PASSING
+        )
+
+    def test_computation_substitution_detected(self, machine, suggested_strategy):
+        decomposed = DecomposedStrategy(suggested_strategy)
+        corruptor = tabular_strategy(
+            {
+                "high": spec_for(machine, "report-high", "corrupt", "c"),
+                "low": spec_for(machine, "report-low", "forward", "same"),
+            },
+            name="corruptor",
+        )
+        profile = decomposed.deviation_profile("high", corruptor)
+        # Replacing forward (MP) with corrupt (COMP) changes both
+        # projections: one loses an action, the other gains one.
+        assert profile[ActionClass.MESSAGE_PASSING]
+        assert profile[ActionClass.COMPUTATION]
+
+    def test_pure_deviation_requires_external_class(
+        self, machine, suggested_strategy
+    ):
+        decomposed = DecomposedStrategy(suggested_strategy)
+        with pytest.raises(SpecificationError, match="not an external"):
+            decomposed.is_pure_deviation(
+                "high", suggested_strategy, ActionClass.INTERNAL
+            )

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, resolve_graph
+from repro.errors import ReproError
+
+
+class TestResolveGraph:
+    def test_figure1(self):
+        graph = resolve_graph("figure1")
+        assert set(graph.nodes) == {"A", "B", "C", "D", "X", "Z"}
+
+    def test_random_spec(self):
+        graph = resolve_graph("random:5:3")
+        assert len(graph) == 5
+        assert graph.is_biconnected()
+
+    def test_random_spec_deterministic(self):
+        assert resolve_graph("random:5:3").edges == resolve_graph(
+            "random:5:3"
+        ).edges
+
+    def test_bad_specs(self):
+        with pytest.raises(ReproError):
+            resolve_graph("mystery")
+        with pytest.raises(ReproError):
+            resolve_graph("random:5")
+
+
+class TestCommands:
+    def test_lcp_command(self, capsys):
+        assert main(["lcp", "--graph", "figure1", "--source", "Z"]) == 0
+        out = capsys.readouterr().out
+        assert "Lowest-cost paths from Z" in out
+        assert "Z-C-D-X" in out
+
+    def test_lcp_unknown_source(self, capsys):
+        assert main(["lcp", "--source", "ghost"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_faithful(self, capsys):
+        assert main(["run", "--graph", "random:4:1"]) == 0
+        out = capsys.readouterr().out
+        assert "certified:  True" in out
+        assert "flags:      0" in out
+
+    def test_run_plain(self, capsys):
+        assert main(["run", "--graph", "random:4:1", "--plain"]) == 0
+        out = capsys.readouterr().out
+        assert "plain FPSS" in out
+
+    def test_deviate_command(self, capsys):
+        assert (
+            main(
+                [
+                    "deviate",
+                    "payment-underreport",
+                    "C",
+                    "--graph",
+                    "figure1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "payment-underreport by C" in out
+        assert "plain" in out and "faithful" in out
+
+    def test_deviate_unknown_deviation(self, capsys):
+        assert main(["deviate", "mind-control", "C"]) == 2
+        assert "unknown deviation" in capsys.readouterr().err
+
+    def test_deviate_unknown_node(self, capsys):
+        assert main(["deviate", "cost-lie", "ghost"]) == 2
+
+    def test_catalogue_command(self, capsys):
+        assert main(["catalogue"]) == 0
+        out = capsys.readouterr().out
+        assert "copy-drop" in out
+        assert "message-passing" in out
+        assert "execution" in out

@@ -1,0 +1,94 @@
+"""Tests for topology generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.workloads import (
+    complete_graph,
+    node_names,
+    random_biconnected_graph,
+    ring_graph,
+    wheel_graph,
+)
+
+
+class TestNodeNames:
+    def test_deterministic_width(self):
+        assert node_names(3) == ["n00", "n01", "n02"]
+        assert node_names(101)[100] == "n100"
+
+    def test_prefix(self):
+        assert node_names(1, prefix="as")[0] == "as00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            node_names(-1)
+
+
+class TestNamedFamilies:
+    def test_ring_structure(self):
+        graph = ring_graph(5, random.Random(0))
+        assert len(graph) == 5
+        assert all(graph.degree(n) == 2 for n in graph.nodes)
+        assert graph.is_biconnected()
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(GraphError):
+            ring_graph(2)
+
+    def test_wheel_structure(self):
+        graph = wheel_graph(6, random.Random(0))
+        hub = "n00"
+        assert graph.degree(hub) == 5
+        assert all(graph.degree(n) == 3 for n in graph.nodes if n != hub)
+        assert graph.is_biconnected()
+
+    def test_wheel_minimum_size(self):
+        with pytest.raises(GraphError):
+            wheel_graph(3)
+
+    def test_complete_structure(self):
+        graph = complete_graph(4, random.Random(0))
+        assert len(graph.edges) == 6
+        assert graph.is_biconnected()
+
+    def test_costs_within_range(self):
+        graph = ring_graph(4, random.Random(1), cost_range=(2.0, 3.0))
+        assert all(2.0 <= c <= 3.0 for c in graph.costs.values())
+
+    def test_invalid_cost_range(self):
+        with pytest.raises(GraphError):
+            ring_graph(4, random.Random(0), cost_range=(3.0, 2.0))
+
+
+class TestRandomBiconnected:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=3, max_value=14),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_always_biconnected(self, seed, size, prob):
+        graph = random_biconnected_graph(
+            size, random.Random(seed), extra_edge_prob=prob
+        )
+        assert graph.is_biconnected()
+        assert len(graph) == size
+
+    def test_reproducible_from_seed(self):
+        one = random_biconnected_graph(8, random.Random(42))
+        two = random_biconnected_graph(8, random.Random(42))
+        assert one.edges == two.edges
+        assert one.costs == two.costs
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(GraphError):
+            random_biconnected_graph(5, random.Random(0), extra_edge_prob=1.5)
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            random_biconnected_graph(2, random.Random(0))

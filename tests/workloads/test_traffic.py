@@ -1,0 +1,73 @@
+"""Tests for traffic-matrix generators."""
+
+import random
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.workloads import (
+    gravity,
+    hotspot,
+    random_pairs,
+    ring_graph,
+    uniform_all_pairs,
+)
+
+
+@pytest.fixture
+def graph():
+    return ring_graph(4, random.Random(0))
+
+
+class TestUniform:
+    def test_all_ordered_pairs(self, graph):
+        traffic = uniform_all_pairs(graph, volume=2.0)
+        assert len(traffic) == 4 * 3
+        assert all(v == 2.0 for v in traffic.values())
+        assert all(s != d for s, d in traffic)
+
+    def test_negative_volume_rejected(self, graph):
+        with pytest.raises(MechanismError):
+            uniform_all_pairs(graph, volume=-1.0)
+
+
+class TestRandomPairs:
+    def test_flow_count_and_volumes(self, graph):
+        traffic = random_pairs(graph, random.Random(1), 10, (1.0, 2.0))
+        assert sum(1 for _ in traffic) <= 10  # repeats accumulate
+        assert all(v >= 1.0 for v in traffic.values())
+
+    def test_deterministic(self, graph):
+        one = random_pairs(graph, random.Random(5), 6)
+        two = random_pairs(graph, random.Random(5), 6)
+        assert one == two
+
+    def test_invalid_args(self, graph):
+        with pytest.raises(MechanismError):
+            random_pairs(graph, random.Random(0), -1)
+        with pytest.raises(MechanismError):
+            random_pairs(graph, random.Random(0), 1, (2.0, 1.0))
+
+
+class TestHotspot:
+    def test_everyone_sends_to_destination(self, graph):
+        destination = graph.nodes[0]
+        traffic = hotspot(graph, destination, volume=3.0)
+        assert len(traffic) == 3
+        assert all(d == destination for _, d in traffic)
+        assert (destination, destination) not in traffic
+
+    def test_unknown_destination(self, graph):
+        with pytest.raises(MechanismError):
+            hotspot(graph, "ghost")
+
+
+class TestGravity:
+    def test_total_volume_normalised(self, graph):
+        traffic = gravity(graph, random.Random(2), total_volume=50.0)
+        assert sum(traffic.values()) == pytest.approx(50.0)
+        assert all(v > 0 for v in traffic.values())
+
+    def test_covers_all_pairs(self, graph):
+        traffic = gravity(graph, random.Random(2))
+        assert len(traffic) == 4 * 3
