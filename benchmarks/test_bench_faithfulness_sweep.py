@@ -10,6 +10,8 @@ necessary), and every gain is <= 0 in the faithful extension (Theorem
 
 import random
 
+import pytest
+
 from repro.analysis import (
     faithful_deviation_table,
     plain_deviation_table,
@@ -33,6 +35,7 @@ def run_sweep(fig1, fig1_traffic):
     return plain, faithful
 
 
+@pytest.mark.slow
 def test_bench_faithfulness_sweep_figure1(benchmark, fig1, fig1_traffic):
     plain, faithful = benchmark.pedantic(
         run_sweep, args=(fig1, fig1_traffic), rounds=1, iterations=1

@@ -10,6 +10,8 @@ the faithful specification.  Expected shape:
 * the all-obedient baseline is never falsely flagged.
 """
 
+import pytest
+
 from repro.analysis import faithful_deviation_table, render_table
 from repro.faithful import DEVIATION_CATALOGUE, FaithfulFPSSProtocol
 
@@ -18,6 +20,7 @@ def run_detection_matrix(graph, traffic):
     return faithful_deviation_table(graph, traffic)
 
 
+@pytest.mark.slow
 def test_bench_figure2_detection_matrix(benchmark, fig1, fig1_traffic):
     table = benchmark.pedantic(
         run_detection_matrix,

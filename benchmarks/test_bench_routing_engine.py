@@ -1,0 +1,66 @@
+"""E8 — Routing-engine scale: all-pairs VCG payments on large graphs.
+
+The seed oracle re-derived lowest-cost paths from scratch at every call
+site, making ``all_pairs_payments`` scale roughly as n^4 (23.5s for a
+64-node random biconnected graph on the reference machine).  The
+memoized :class:`~repro.routing.engine.RoutingEngine` computes one
+Dijkstra tree per source plus one per distinct transit node, which must
+keep the same workload comfortably under the ISSUE-1 budget of 1.2s.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.routing import all_pairs_payments, engine_for, total_routing_cost
+from repro.workloads import random_biconnected_graph
+
+
+def _once(benchmark, fn, *args):
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def test_bench_engine_all_pairs_payments_64(benchmark):
+    """The ISSUE-1 acceptance workload: 64 nodes, rng=Random(1)."""
+    graph = random_biconnected_graph(64, random.Random(1))
+    payments = _once(benchmark, all_pairs_payments, graph)
+
+    assert len(payments) == 64 * 63
+    engine = engine_for(graph)
+    # Budget realised: one tree per source plus one per distinct
+    # transit node — far below the n^2 * n searches of the seed.
+    assert engine.runs <= 64 * 63
+    for bundle in payments.values():
+        for transit, payment in bundle.payments.items():
+            assert payment >= graph.cost(transit) - 1e-9
+
+    rows = [
+        ["pairs priced", len(payments)],
+        ["Dijkstra runs", engine.runs],
+        ["tree cache hits", engine.hits],
+    ]
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title="Routing engine: 64-node all-pairs VCG payments",
+        )
+    )
+
+
+@pytest.mark.slow
+def test_bench_engine_all_pairs_payments_128(benchmark):
+    """The follow-on scale target: 128 nodes stays in seconds."""
+    graph = random_biconnected_graph(128, random.Random(1))
+    payments = _once(benchmark, all_pairs_payments, graph)
+    assert len(payments) == 128 * 127
+
+
+def test_bench_engine_total_routing_cost_64(benchmark):
+    """Network-efficiency sweep input: one Dijkstra tree per source."""
+    graph = random_biconnected_graph(64, random.Random(1))
+    total = _once(benchmark, total_routing_cost, graph)
+    assert total > 0.0
+    assert engine_for(graph).runs >= 64

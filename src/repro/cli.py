@@ -3,7 +3,10 @@
 Commands
 --------
 ``lcp``
-    Print the lowest-cost-path tree of a topology from one source.
+    Print the lowest-cost-path tree of a topology from one source
+    (optionally the ``LCP_{-k}`` tree avoiding one node).
+``payments``
+    Print per-node all-pairs VCG payment totals.
 ``run``
     Run the faithful (or plain) FPSS mechanism and print the settled
     economics and detection report.
@@ -33,7 +36,7 @@ from .faithful import (
     faithful_deviant_factory,
     plain_deviant_factory,
 )
-from .routing import ASGraph, figure1_graph, lcp_tree
+from .routing import ASGraph, all_pairs_payments, engine_for, figure1_graph
 from .workloads import random_biconnected_graph, uniform_all_pairs
 
 
@@ -59,16 +62,45 @@ def cmd_lcp(args: argparse.Namespace) -> int:
     source = args.source or graph.nodes[0]
     if source not in graph:
         raise ReproError(f"unknown source {source!r}")
-    tree = lcp_tree(graph, source)
+    engine = engine_for(graph)
+    avoiding = args.avoiding
+    if avoiding is not None and avoiding not in graph:
+        raise ReproError(f"unknown node {avoiding!r}")
+    tree = engine.tree(source, avoiding=avoiding)
     rows = [
         [destination, "-".join(str(n) for n in entry.path), entry.cost]
         for destination, entry in sorted(tree.items(), key=repr)
     ]
+    title = f"Lowest-cost paths from {source}"
+    if avoiding is not None:
+        title += f" avoiding {avoiding}"
+    print(render_table(["destination", "LCP", "transit cost"], rows, title=title))
+    return 0
+
+
+def cmd_payments(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    payments = all_pairs_payments(graph)
+    received = {node: 0.0 for node in graph.nodes}
+    paid = {node: 0.0 for node in graph.nodes}
+    for (source, _), bundle in payments.items():
+        paid[source] += bundle.total_payment
+        for transit, payment in bundle.payments.items():
+            received[transit] += payment
+    engine = engine_for(graph)
+    rows = [
+        [node, graph.cost(node), received[node], paid[node]]
+        for node in graph.nodes
+    ]
     print(
         render_table(
-            ["destination", "LCP", "transit cost"],
+            ["node", "declared cost", "VCG received", "VCG paid"],
             rows,
-            title=f"Lowest-cost paths from {source}",
+            float_digits=2,
+            title=(
+                f"All-pairs FPSS/VCG payments "
+                f"({len(payments)} pairs, {engine.runs} Dijkstra runs)"
+            ),
         )
     )
     return 0
@@ -189,7 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
     lcp = sub.add_parser("lcp", help="print an LCP tree")
     lcp.add_argument("--graph", default="figure1")
     lcp.add_argument("--source", default=None)
+    lcp.add_argument(
+        "--avoiding",
+        default=None,
+        help="print the LCP_{-k} tree that avoids this node",
+    )
     lcp.set_defaults(func=cmd_lcp)
+
+    payments = sub.add_parser(
+        "payments", help="print all-pairs VCG payment totals"
+    )
+    payments.add_argument("--graph", default="figure1")
+    payments.set_defaults(func=cmd_payments)
 
     run = sub.add_parser("run", help="run a full mechanism")
     run.add_argument("--graph", default="figure1")

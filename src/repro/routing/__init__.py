@@ -34,6 +34,7 @@ from .formal import (
     suggested_specification,
     suggested_update_round,
 )
+from .engine import RoutingEngine, engine_for
 from .graph import ASGraph, PathCost, figure1_graph
 from .lcp import (
     all_pairs_lcp,
@@ -84,6 +85,7 @@ __all__ = [
     "PricingTable",
     "RouteEntry",
     "RoutePayments",
+    "RoutingEngine",
     "RoutingTable",
     "TransitCostTable",
     "all_pairs_lcp",
@@ -94,6 +96,7 @@ __all__ = [
     "economics_under_traffic",
     "encode_avoid_vector",
     "encode_route_vector",
+    "engine_for",
     "figure1_graph",
     "lcp_cost",
     "lcp_tree",

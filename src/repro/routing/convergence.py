@@ -13,10 +13,10 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 from ..errors import ConvergenceError
 from ..sim.network import NetworkTopology
 from ..sim.simulator import Simulator
+from .engine import engine_for
 from .fpss import FPSSNode
 from .graph import ASGraph, Cost, NodeId
-from .lcp import lowest_cost_path
-from .vcg_payments import vcg_transit_payment
+from .vcg_payments import route_payments
 
 
 def topology_from_graph(graph: ASGraph, delay=1.0) -> NetworkTopology:
@@ -124,16 +124,18 @@ def verify_against_oracle(
     ConvergenceError
         On the first routing or pricing disagreement found.
     """
+    engine = engine_for(graph)
     for source in graph.nodes:
         node = nodes[source]
         routing = node.routing_table()
         pricing = node.pricing_table()
+        tree = engine.tree(source)
         for destination in graph.nodes:
             if destination == source:
                 continue
-            oracle = lowest_cost_path(graph, source, destination)
+            oracle = tree.get(destination)
             entry = routing.entry(destination)
-            if entry is None:
+            if entry is None or oracle is None:
                 raise ConvergenceError(
                     f"{source!r} has no route to {destination!r}"
                 )
@@ -147,8 +149,9 @@ def verify_against_oracle(
                 )
             if not check_prices:
                 continue
+            bundle = route_payments(graph, source, destination)
             for transit in oracle.transit_nodes:
-                expected = vcg_transit_payment(graph, source, destination, transit)
+                expected = bundle.payments[transit]
                 actual = pricing.price(destination, transit)
                 if abs(expected - actual) > 1e-9:
                     raise ConvergenceError(

@@ -1,0 +1,265 @@
+"""The memoizing routing engine: single-source LCP trees at scale.
+
+The seed oracle in :mod:`repro.routing.lcp` enumerated whole paths in
+its priority queue, which is exponential in the worst case and
+quadratic in path length even on friendly graphs.  This module replaces
+it with a proper node-weighted Dijkstra that keeps ``(cost, hops)``
+keys and predecessor pointers in the heap, resolves lexicographic ties
+once per settled node, and computes a *whole single-source tree* per
+run — including the ``LCP_{-k}`` avoidance trees the VCG payment
+formula needs.
+
+Tie-breaking is bit-identical to the seed oracle (and to
+:meth:`repro.routing.tables.RouteEntry.sort_key`): among equal-cost
+paths prefer fewer hops, then the lexicographically smallest
+``repr``-keyed node sequence.  The per-node ``repr`` keys are computed
+once per graph instead of once per heap operation.
+
+:class:`RoutingEngine` memoizes every tree it computes, keyed by
+``(source, avoiding)``.  All-pairs payments therefore cost one Dijkstra
+run per source plus one per *distinct transit node* of that source's
+tree, instead of one exponential search per (pair, transit) triple.
+Graphs are immutable, so a module-level weak cache
+(:func:`engine_for`) shares one engine per live graph across the
+functional APIs in :mod:`repro.routing.lcp` and
+:mod:`repro.routing.vcg_payments`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import GraphError, RoutingError
+from .graph import ASGraph, Cost, NodeId, PathCost
+
+_INF = float("inf")
+
+
+class RoutingEngine:
+    """Cached lowest-cost-path trees over one immutable :class:`ASGraph`.
+
+    One engine instance indexes the graph once (node order, costs,
+    adjacency, per-node ``repr`` tie-break keys) and then serves LCP
+    queries from memoized single-source trees.  ``avoiding`` trees —
+    the ``-k`` restriction of the VCG payment rule — are ordinary trees
+    on the graph minus one node and are cached the same way.
+    """
+
+    def __init__(self, graph: ASGraph) -> None:
+        # Only extracted arrays are kept — a strong reference to the
+        # graph here would pin every WeakKeyDictionary entry in
+        # engine_for's cache forever (value referencing key).
+        ids = graph.nodes
+        self._ids: Tuple[NodeId, ...] = ids
+        self._index: Dict[NodeId, int] = {node: i for i, node in enumerate(ids)}
+        self._costs: List[Cost] = [graph.cost(node) for node in ids]
+        #: Per-node repr computed once; the lex tie-break compares these.
+        self._rkeys: List[str] = [repr(node) for node in ids]
+        index = self._index
+        self._adj: List[Tuple[int, ...]] = [
+            tuple(index[m] for m in graph.neighbors(node)) for node in ids
+        ]
+        #: (source index, avoided index or -1) -> destination -> PathCost.
+        self._trees: Dict[Tuple[int, int], Mapping[NodeId, PathCost]] = {}
+        #: Dijkstra runs actually performed (cache misses).
+        self.runs = 0
+        #: Tree queries served from cache.
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def tree(
+        self, source: NodeId, avoiding: Optional[NodeId] = None
+    ) -> Mapping[NodeId, PathCost]:
+        """The LCP tree from ``source`` to every reachable destination.
+
+        With ``avoiding`` set, paths through that node are forbidden
+        (``LCP_{-k}``); destinations it disconnects are simply absent.
+        The mapping is cached and read-only — copy before mutating.
+        """
+        src = self._index.get(source)
+        if src is None:
+            raise GraphError(f"unknown source {source!r}")
+        if avoiding is None:
+            avoid = -1
+        else:
+            maybe = self._index.get(avoiding)
+            if maybe is None:
+                raise GraphError(f"unknown node {avoiding!r}")
+            if maybe == src:
+                raise RoutingError(
+                    f"cannot avoid the tree source {avoiding!r}"
+                )
+            avoid = maybe
+        key = (src, avoid)
+        cached = self._trees.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        tree = MappingProxyType(self._sssp(src, avoid))
+        self._trees[key] = tree
+        return tree
+
+    def path(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        avoiding: Optional[NodeId] = None,
+    ) -> PathCost:
+        """The LCP for one pair, with the seed oracle's exact contract.
+
+        Raises :class:`GraphError` for unknown nodes and
+        :class:`RoutingError` when ``avoiding`` is an endpoint or the
+        pair is disconnected.
+        """
+        if source not in self._index:
+            raise GraphError(f"unknown source {source!r}")
+        if destination not in self._index:
+            raise GraphError(f"unknown destination {destination!r}")
+        if avoiding is not None and avoiding in (source, destination):
+            raise RoutingError(
+                f"cannot avoid endpoint {avoiding!r} of pair "
+                f"({source!r}, {destination!r})"
+            )
+        if source == destination:
+            return PathCost(path=(source,), cost=0.0)
+        found = self.tree(source, avoiding).get(destination)
+        if found is None:
+            detail = f" avoiding {avoiding!r}" if avoiding is not None else ""
+            raise RoutingError(
+                f"no path from {source!r} to {destination!r}{detail}"
+            )
+        return found
+
+    def cost(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        avoiding: Optional[NodeId] = None,
+    ) -> Cost:
+        """Just the LCP cost for one pair."""
+        return self.path(source, destination, avoiding=avoiding).cost
+
+    def node_cost(self, node: NodeId) -> Cost:
+        """The declared transit cost of one node."""
+        index = self._index.get(node)
+        if index is None:
+            raise GraphError(f"unknown node {node!r}")
+        return self._costs[index]
+
+    # ------------------------------------------------------------------
+    # cache control
+    # ------------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop every memoized tree (the graph index is kept)."""
+        self._trees.clear()
+
+    @property
+    def cached_trees(self) -> int:
+        """How many single-source trees are currently memoized."""
+        return len(self._trees)
+
+    # ------------------------------------------------------------------
+    # the Dijkstra core
+    # ------------------------------------------------------------------
+
+    def _sssp(self, src: int, avoid: int) -> Dict[NodeId, PathCost]:
+        """One node-weighted Dijkstra run from ``src``.
+
+        The heap holds ``(cost, path_len, seq)`` keys only; predecessor
+        pointers replace full paths.  Lexicographic ties are resolved
+        once per settled node by comparing candidate predecessors'
+        repr-key sequences, which reproduces the seed oracle's
+        ``(cost, len(path), tuple(repr(n) for n in path))`` preference
+        exactly: a settled node's interior prefixes always settle
+        first, so every tying predecessor is available for comparison.
+        """
+        self.runs += 1
+        ids = self._ids
+        costs = self._costs
+        adj = self._adj
+        rkeys = self._rkeys
+        n = len(ids)
+
+        dist: List[Cost] = [_INF] * n
+        # Mirrors the seed's len(path) component (nodes, not edges).
+        plen: List[int] = [0] * n
+        settled: List[bool] = [False] * n
+        paths: List[Optional[Tuple[NodeId, ...]]] = [None] * n
+        lexpaths: List[Optional[Tuple[str, ...]]] = [None] * n
+
+        dist[src] = 0.0
+        plen[src] = 1
+        heap: List[Tuple[Cost, int, int, int]] = [(0.0, 1, 0, src)]
+        seq = 1
+        push = heapq.heappush
+        pop = heapq.heappop
+        result: Dict[NodeId, PathCost] = {}
+
+        while heap:
+            cost, length, _, node = pop(heap)
+            if settled[node]:
+                continue
+            settled[node] = True
+            if node == src:
+                paths[src] = (ids[src],)
+                lexpaths[src] = (rkeys[src],)
+            else:
+                # Choose the predecessor: every settled neighbour whose
+                # own label extends to exactly this (cost, length) label
+                # ties; the lexicographically smallest extension wins.
+                best_u = -1
+                best_lex: Optional[Tuple[str, ...]] = None
+                rk = rkeys[node]
+                for u in adj[node]:
+                    if not settled[u]:
+                        continue
+                    step = 0.0 if u == src else costs[u]
+                    if dist[u] + step == cost and plen[u] + 1 == length:
+                        if best_u < 0:
+                            best_u = u
+                        else:
+                            if best_lex is None:
+                                best_lex = lexpaths[best_u] + (rk,)
+                            challenger = lexpaths[u] + (rk,)
+                            if challenger < best_lex:
+                                best_u = u
+                                best_lex = challenger
+                paths[node] = paths[best_u] + (ids[node],)
+                lexpaths[node] = lexpaths[best_u] + (rk,)
+                result[ids[node]] = PathCost(path=paths[node], cost=cost)
+            extension = 0.0 if node == src else costs[node]
+            base = cost + extension
+            next_length = length + 1
+            for v in adj[node]:
+                if v == avoid or settled[v]:
+                    continue
+                label = dist[v]
+                if base < label or (base == label and next_length < plen[v]):
+                    dist[v] = base
+                    plen[v] = next_length
+                    push(heap, (base, next_length, seq, v))
+                    seq += 1
+        return result
+
+
+#: One shared engine per live graph; graphs are immutable, so trees
+#: computed for any caller stay valid for every other caller.
+_ENGINES: "weakref.WeakKeyDictionary[ASGraph, RoutingEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def engine_for(graph: ASGraph) -> RoutingEngine:
+    """The shared :class:`RoutingEngine` for a graph (weakly cached)."""
+    engine = _ENGINES.get(graph)
+    if engine is None:
+        engine = RoutingEngine(graph)
+        _ENGINES[graph] = engine
+    return engine

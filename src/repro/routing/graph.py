@@ -55,6 +55,21 @@ class ASGraph:
                 self._adjacency[a].add(b)
                 self._adjacency[b].add(a)
 
+        # The graph is immutable, so the deterministic (repr-sorted)
+        # views are computed once here instead of on every property
+        # access inside the routing hot loops.
+        self._sorted_nodes: Tuple[NodeId, ...] = tuple(
+            sorted(self._costs, key=repr)
+        )
+        pairs = [tuple(sorted(edge, key=repr)) for edge in self._edges]
+        self._sorted_edges: Tuple[Tuple[NodeId, NodeId], ...] = tuple(
+            sorted(pairs, key=repr)
+        )  # type: ignore[assignment]
+        self._sorted_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = {
+            node: tuple(sorted(adjacent, key=repr))
+            for node, adjacent in self._adjacency.items()
+        }
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
@@ -62,13 +77,12 @@ class ASGraph:
     @property
     def nodes(self) -> Tuple[NodeId, ...]:
         """All node ids in deterministic (repr-sorted) order."""
-        return tuple(sorted(self._costs, key=repr))
+        return self._sorted_nodes
 
     @property
     def edges(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
         """All edges as sorted pairs, deterministically ordered."""
-        pairs = [tuple(sorted(edge, key=repr)) for edge in self._edges]
-        return tuple(sorted(pairs, key=repr))  # type: ignore[return-value]
+        return self._sorted_edges
 
     def cost(self, node: NodeId) -> Cost:
         """The transit cost of a node."""
@@ -84,9 +98,10 @@ class ASGraph:
 
     def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
         """Neighbours of a node, repr-sorted for determinism."""
-        if node not in self._costs:
-            raise GraphError(f"unknown node {node!r}")
-        return tuple(sorted(self._adjacency[node], key=repr))
+        try:
+            return self._sorted_neighbors[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
 
     def degree(self, node: NodeId) -> int:
         """Number of neighbours."""

@@ -2,27 +2,35 @@
 
 The cost of a path is the sum of the *transit costs of its interior
 nodes*: packets cost nothing to originate or terminate, so endpoints
-never contribute (Section 4.1).  This module computes LCPs with a
-node-weighted Dijkstra and serves as the reference oracle the
-distributed FPSS protocol must agree with.
+never contribute (Section 4.1).  This module is the stable functional
+facade over :class:`repro.routing.engine.RoutingEngine`, which computes
+LCPs with a predecessor-pointer, node-weighted Dijkstra and memoizes
+whole single-source trees per graph.
 
 Tie-breaking is deterministic: among equal-cost paths the oracle
 prefers fewer hops, then the lexicographically smallest node sequence.
-FPSS assumes ties are broken consistently network-wide; both the oracle
-and the distributed protocol use this same rule.
+FPSS assumes ties are broken consistently network-wide; the engine, the
+distributed protocol, and :meth:`repro.routing.tables.RouteEntry.sort_key`
+all use this same rule.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, Optional, Tuple
 
-from ..errors import GraphError, RoutingError
+from ..errors import RoutingError
+from .engine import RoutingEngine, engine_for
 from .graph import ASGraph, Cost, NodeId, PathCost
 
-#: Sort key making path preference total and deterministic.
-def _path_key(cost: Cost, path: Tuple[NodeId, ...]) -> Tuple:
-    return (cost, len(path), tuple(repr(n) for n in path))
+__all__ = [
+    "RoutingEngine",
+    "engine_for",
+    "lowest_cost_path",
+    "lcp_cost",
+    "lcp_tree",
+    "all_pairs_lcp",
+    "total_routing_cost",
+]
 
 
 def lowest_cost_path(
@@ -46,50 +54,7 @@ def lowest_cost_path(
     RoutingError
         If no path exists (e.g. avoidance disconnects the pair).
     """
-    if source not in graph:
-        raise GraphError(f"unknown source {source!r}")
-    if destination not in graph:
-        raise GraphError(f"unknown destination {destination!r}")
-    if avoiding is not None and avoiding in (source, destination):
-        raise RoutingError(
-            f"cannot avoid endpoint {avoiding!r} of pair ({source!r}, {destination!r})"
-        )
-    if source == destination:
-        return PathCost(path=(source,), cost=0.0)
-
-    # Dijkstra where the "distance" to node v is the transit cost of the
-    # best known path source..v, counting interior nodes only.  When we
-    # extend a path ending at u by edge (u, v), u becomes interior
-    # (unless u is the source) and contributes c_u.
-    best: Dict[NodeId, Tuple[Cost, Tuple[NodeId, ...]]] = {}
-    heap = [( _path_key(0.0, (source,)), 0.0, (source,) )]
-    while heap:
-        _, cost, path = heapq.heappop(heap)
-        node = path[-1]
-        if node in best and _path_key(*best[node]) <= _path_key(cost, path):
-            continue
-        best[node] = (cost, path)
-        if node == destination:
-            continue
-        extension_cost = 0.0 if node == source else graph.cost(node)
-        for neighbor in graph.neighbors(node):
-            if neighbor == avoiding or neighbor in path:
-                continue
-            new_cost = cost + extension_cost
-            new_path = path + (neighbor,)
-            if neighbor in best and _path_key(*best[neighbor]) <= _path_key(
-                new_cost, new_path
-            ):
-                continue
-            heapq.heappush(heap, (_path_key(new_cost, new_path), new_cost, new_path))
-
-    if destination not in best:
-        detail = f" avoiding {avoiding!r}" if avoiding is not None else ""
-        raise RoutingError(
-            f"no path from {source!r} to {destination!r}{detail}"
-        )
-    cost, path = best[destination]
-    return PathCost(path=path, cost=cost)
+    return engine_for(graph).path(source, destination, avoiding=avoiding)
 
 
 def lcp_cost(
@@ -99,23 +64,30 @@ def lcp_cost(
     avoiding: Optional[NodeId] = None,
 ) -> Cost:
     """Just the cost of the LCP (convenience wrapper)."""
-    return lowest_cost_path(graph, source, destination, avoiding=avoiding).cost
+    return engine_for(graph).cost(source, destination, avoiding=avoiding)
 
 
-def lcp_tree(graph: ASGraph, source: NodeId) -> Dict[NodeId, PathCost]:
-    """LCPs from ``source`` to every other node (Figure 1's bold tree)."""
-    return {
-        destination: lowest_cost_path(graph, source, destination)
-        for destination in graph.nodes
-        if destination != source
-    }
+def lcp_tree(
+    graph: ASGraph,
+    source: NodeId,
+    avoiding: Optional[NodeId] = None,
+) -> Dict[NodeId, PathCost]:
+    """LCPs from ``source`` to every other node (Figure 1's bold tree).
+
+    One Dijkstra run computes the whole tree.  With ``avoiding`` set,
+    the tree is ``LCP_{-k}``.  Unreachable destinations (a disconnected
+    graph, or pairs the avoided node disconnects) are absent from the
+    result rather than raising, unlike the pairwise query.
+    """
+    return dict(engine_for(graph).tree(source, avoiding=avoiding))
 
 
 def all_pairs_lcp(graph: ASGraph) -> Dict[Tuple[NodeId, NodeId], PathCost]:
     """LCPs for every ordered (source, destination) pair."""
+    engine = engine_for(graph)
     result: Dict[Tuple[NodeId, NodeId], PathCost] = {}
     for source in graph.nodes:
-        for destination, path_cost in lcp_tree(graph, source).items():
+        for destination, path_cost in engine.tree(source).items():
             result[(source, destination)] = path_cost
     return result
 
@@ -133,11 +105,17 @@ def total_routing_cost(
     traffic onto a path whose *true* cost is higher damages efficiency.
     """
     truth = truthful_graph if truthful_graph is not None else graph
+    engine = engine_for(graph)
     total = 0.0
     for source in graph.nodes:
+        tree = engine.tree(source)
         for destination in graph.nodes:
             if source == destination:
                 continue
-            chosen = lowest_cost_path(graph, source, destination)
+            chosen = tree.get(destination)
+            if chosen is None:
+                raise RoutingError(
+                    f"no path from {source!r} to {destination!r}"
+                )
             total += sum(truth.cost(k) for k in chosen.transit_nodes)
     return total

@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple
 
 from ..errors import RoutingError
+from .engine import RoutingEngine, engine_for
 from .graph import ASGraph, Cost, NodeId, PathCost
-from .lcp import lowest_cost_path
 
 
 @dataclass(frozen=True)
@@ -51,41 +51,55 @@ def vcg_transit_payment(
     """
     if transit in (source, destination):
         raise RoutingError(f"{transit!r} is an endpoint, not a transit node")
-    route = lowest_cost_path(graph, source, destination)
+    engine = engine_for(graph)
+    route = engine.path(source, destination)
     if transit not in route.transit_nodes:
         return 0.0
-    with_k = route.cost
-    without_k = lowest_cost_path(graph, source, destination, avoiding=transit).cost
-    return graph.cost(transit) + without_k - with_k
+    without_k = engine.cost(source, destination, avoiding=transit)
+    return graph.cost(transit) + without_k - route.cost
+
+
+def _route_payments(
+    engine: RoutingEngine, source: NodeId, destination: NodeId
+) -> RoutePayments:
+    """:func:`route_payments` against an already-built engine.
+
+    Every ``LCP_{-k}`` lookup is a whole cached avoidance tree, so
+    pairs sharing a source and a transit node share one Dijkstra run.
+    """
+    route = engine.path(source, destination)
+    payments: Dict[NodeId, Cost] = {}
+    for transit in route.transit_nodes:
+        without_k = engine.cost(source, destination, avoiding=transit)
+        payments[transit] = engine.node_cost(transit) + without_k - route.cost
+    return RoutePayments(
+        source=source, destination=destination, route=route, payments=payments
+    )
 
 
 def route_payments(
     graph: ASGraph, source: NodeId, destination: NodeId
 ) -> RoutePayments:
     """LCP and all transit payments for one ordered pair."""
-    route = lowest_cost_path(graph, source, destination)
-    payments: Dict[NodeId, Cost] = {}
-    for transit in route.transit_nodes:
-        without_k = lowest_cost_path(
-            graph, source, destination, avoiding=transit
-        ).cost
-        payments[transit] = graph.cost(transit) + without_k - route.cost
-    return RoutePayments(
-        source=source, destination=destination, route=route, payments=payments
-    )
+    return _route_payments(engine_for(graph), source, destination)
 
 
 def all_pairs_payments(
     graph: ASGraph,
 ) -> Dict[Tuple[NodeId, NodeId], RoutePayments]:
-    """Route payments for every ordered pair (requires biconnectivity)."""
+    """Route payments for every ordered pair (requires biconnectivity).
+
+    Costs one Dijkstra run per source plus one per distinct transit
+    node of that source's tree — not one search per (pair, transit).
+    """
     graph.require_biconnected()
+    engine = engine_for(graph)
     result: Dict[Tuple[NodeId, NodeId], RoutePayments] = {}
     for source in graph.nodes:
         for destination in graph.nodes:
             if source != destination:
-                result[(source, destination)] = route_payments(
-                    graph, source, destination
+                result[(source, destination)] = _route_payments(
+                    engine, source, destination
                 )
     return result
 
@@ -147,19 +161,27 @@ def economics_under_traffic(
     economics: Dict[NodeId, NodeEconomics] = {
         node: NodeEconomics() for node in declared_graph.nodes
     }
+    engine = engine_for(declared_graph)
     for (source, destination), volume in sorted(traffic.items(), key=repr):
         if volume == 0:
             continue
         if volume < 0:
             raise RoutingError(f"negative traffic volume for {(source, destination)}")
-        route = lowest_cost_path(declared_graph, source, destination)
-        for transit in route.transit_nodes:
-            if payment_rule == "vcg":
-                payment = vcg_transit_payment(
-                    declared_graph, source, destination, transit
-                )
-            else:
-                payment = declared_graph.cost(transit)
+        if payment_rule == "vcg":
+            # One payment bundle per pair: the base LCP is computed once
+            # and shared across its transit nodes instead of re-derived
+            # inside a per-transit payment query.
+            bundle = _route_payments(engine, source, destination)
+            pair_payments = bundle.payments
+            transit_nodes = bundle.route.transit_nodes
+        else:
+            route = engine.path(source, destination)
+            transit_nodes = route.transit_nodes
+            pair_payments = {
+                transit: declared_graph.cost(transit) for transit in transit_nodes
+            }
+        for transit in transit_nodes:
+            payment = pair_payments[transit]
             economics[source].paid += volume * payment
             economics[transit].received += volume * payment
             economics[transit].true_transit_cost += volume * true_graph.cost(transit)

@@ -42,7 +42,6 @@ class Simulator:
         self._nodes: Dict[NodeId, ProtocolNode] = {}
         self._well_known: set = set()
         self._now: float = 0.0
-        self._started = False
 
     # ------------------------------------------------------------------
     # registration
@@ -146,7 +145,6 @@ class Simulator:
         for node_id in targets:
             node = self.node(node_id)
             self.queue.schedule(self._now, node.start, label=f"start:{node_id}")
-        self._started = True
 
     def step(self) -> bool:
         """Dispatch one event; returns False if the queue was empty."""

@@ -38,7 +38,14 @@ FAST_DEVIATIONS = (
 )
 
 
+@pytest.mark.slow
 class TestTheorem1OnFigure1:
+    """Full deviation grid on Figure 1 (~25s): slow tier.
+
+    The random-graph faithfulness property below keeps Theorem-1
+    coverage in the tier-1 suite.
+    """
+
     @pytest.fixture(scope="class")
     def table(self):
         graph = figure1_graph()

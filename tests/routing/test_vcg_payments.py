@@ -87,6 +87,42 @@ class TestEconomics:
             c.received - c.paid - c.true_transit_cost
         )
 
+    def test_economics_totals_equal_route_payments(self, fig1):
+        """Regression: economics_under_traffic must charge exactly the
+        per-pair route_payments bundle (it once re-derived the base LCP
+        per transit node via vcg_transit_payment)."""
+        traffic = {
+            pair: volume
+            for pair, volume in uniform_all_pairs(fig1, volume=2.5).items()
+        }
+        economics = economics_under_traffic(fig1, fig1, traffic)
+        expected_paid = {node: 0.0 for node in fig1.nodes}
+        expected_received = {node: 0.0 for node in fig1.nodes}
+        for (source, destination), volume in traffic.items():
+            bundle = route_payments(fig1, source, destination)
+            expected_paid[source] += volume * bundle.total_payment
+            for transit, payment in bundle.payments.items():
+                expected_received[transit] += volume * payment
+        for node in fig1.nodes:
+            assert economics[node].paid == pytest.approx(expected_paid[node])
+            assert economics[node].received == pytest.approx(
+                expected_received[node]
+            )
+
+    def test_economics_totals_equal_route_payments_random(self):
+        """Same regression on a random biconnected graph."""
+        rng = random.Random(99)
+        graph = random_biconnected_graph(7, rng)
+        traffic = uniform_all_pairs(graph)
+        economics = economics_under_traffic(graph, graph, traffic)
+        for node in graph.nodes:
+            expected_received = sum(
+                volume * route_payments(graph, s, d).payments.get(node, 0.0)
+                for (s, d), volume in traffic.items()
+                if node not in (s, d)
+            )
+            assert economics[node].received == pytest.approx(expected_received)
+
 
 class TestExample1:
     """Example 1: C's lie helps under naive pricing, never under VCG."""
