@@ -1,0 +1,158 @@
+"""E9 — Scenario-sweep throughput: serial vs. pooled execution.
+
+The sweep subsystem is the layer every scaling PR plugs into, so its
+own overhead has to stay negligible: the fast benchmark drives the
+stock payments grid through one serial worker and reports
+scenarios/sec.  The slow benchmark compares serial against pooled
+execution on protocol-heavy (convergence-probe) scenarios, where each
+scenario is expensive enough for process fan-out to pay; the speedup
+assertion only applies when the machine actually has multiple cores.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.experiments import (
+    SweepRunner,
+    default_sweep,
+    expand_grid,
+    summarize,
+)
+
+def once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def test_bench_sweep_payments_throughput(benchmark):
+    """The stock grid must clear hundreds of scenarios per second."""
+    sweep = default_sweep(seeds=3)
+    results = once(benchmark, lambda: SweepRunner(sweep, workers=1).run())
+
+    assert len(results) == 24
+    assert all(r.ok for r in results)
+    wall = sum(r.wall_time for r in results)
+    throughput = len(results) / wall if wall else float("inf")
+    summaries = summarize(results, group_by=("topology",))
+    rows = [
+        ["scenarios", len(results)],
+        ["cells", len(summaries)],
+        ["scenario seconds", round(wall, 4)],
+        ["scenarios/sec", round(throughput, 1)],
+    ]
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title="Sweep throughput: stock payments grid (serial)",
+        )
+    )
+    # The payments probe is engine-bound; anything below this signals
+    # an accidental protocol run or a memoization regression.
+    assert throughput > 20
+
+
+@pytest.mark.slow
+def test_bench_sweep_serial_vs_pooled(benchmark):
+    """Pooled execution beats serial on protocol-heavy scenarios.
+
+    Convergence probes run a full FPSS simulation each, so they are
+    the workload where fan-out matters.  On single-core machines the
+    pool can only add overhead, so the speedup assertion is gated on
+    the core count; correctness (same results either way) is asserted
+    unconditionally.
+    """
+    scenarios = expand_grid(
+        base={"probe": "convergence", "topology": "random", "size": 10},
+        axes={"seed": list(range(8))},
+    )
+    workers = min(4, multiprocessing.cpu_count())
+
+    started = time.perf_counter()
+    serial = SweepRunner(scenarios, workers=1).run()
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pooled = once(
+        benchmark, lambda: SweepRunner(scenarios, workers=workers).run()
+    )
+    pooled_wall = time.perf_counter() - started
+
+    assert all(r.ok for r in serial)
+    assert all(r.ok for r in pooled)
+    assert [r.scenario_id for r in pooled] == [r.scenario_id for r in serial]
+    for a, b in zip(serial, pooled):
+        assert a.values["convergence_events"] == b.values["convergence_events"]
+        assert a.values["messages"] == b.values["messages"]
+
+    rows = [
+        ["scenarios", len(scenarios)],
+        ["workers", workers],
+        ["serial wall (s)", round(serial_wall, 3)],
+        ["pooled wall (s)", round(pooled_wall, 3)],
+        [
+            "speedup",
+            round(serial_wall / pooled_wall, 2) if pooled_wall else 0.0,
+        ],
+        [
+            "serial scenarios/sec",
+            round(len(scenarios) / serial_wall, 2),
+        ],
+        [
+            "pooled scenarios/sec",
+            round(len(scenarios) / pooled_wall, 2),
+        ],
+    ]
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title="Sweep throughput: serial vs. pooled (convergence probe)",
+        )
+    )
+    if workers >= 2 and multiprocessing.cpu_count() >= 2:
+        assert pooled_wall < serial_wall
+
+
+@pytest.mark.slow
+def test_bench_sweep_detection_grid(benchmark):
+    """A small manipulation-detection grid: the paper's E5 story as a
+    sweep — protocol deviations detected, the cost lie merely
+    unprofitable."""
+    scenarios = expand_grid(
+        base={"topology": "figure1", "probe": "detection"},
+        axes={
+            "deviation": ["payment-underreport", "cost-lie"],
+            "deviant_index": [1, 2],
+        },
+    )
+    results = once(benchmark, lambda: SweepRunner(scenarios, workers=1).run())
+    assert all(r.ok for r in results)
+    summaries = summarize(results, group_by=("deviation",))
+    by_deviation = {dict(s.key)["deviation"]: s for s in summaries}
+    assert by_deviation["payment-underreport"].stats["detected"].mean == 1.0
+    assert by_deviation["cost-lie"].stats["detected"].mean == 0.0
+    assert by_deviation["cost-lie"].stats["deviator_gain"].maximum <= 1e-9
+
+    rows = [
+        [
+            name,
+            summary.stats["detected"].mean,
+            summary.stats["deviator_gain"].mean,
+            summary.stats["restarts"].mean,
+        ]
+        for name, summary in sorted(by_deviation.items())
+    ]
+    print()
+    print(
+        render_table(
+            ["deviation", "detection rate", "mean gain", "mean restarts"],
+            rows,
+            float_digits=3,
+            title="Detection sweep on Figure 1",
+        )
+    )

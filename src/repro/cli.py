@@ -15,6 +15,10 @@ Commands
     and faithful protocols, and print the gain/detection comparison.
 ``catalogue``
     List the manipulation catalogue with classifications.
+``sweep``
+    Expand a scenario grid (a JSON spec file or the stock grid), run
+    it serially or across a worker pool, print per-cell summaries, and
+    write CSV/JSON artifacts.
 
 Topologies are selected with ``--graph``: ``figure1`` (the paper's
 example) or ``random:<n>:<seed>`` (a random biconnected graph).
@@ -23,12 +27,21 @@ example) or ``random:<n>:<seed>`` (a random biconnected graph).
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
 
 from .analysis import render_table
-from .errors import ReproError
+from .errors import ExperimentError, ReproError
+from .experiments import (
+    SweepRunner,
+    default_sweep,
+    parse_sweep,
+    summarize,
+    validate_group_by,
+    write_artifacts,
+)
 from .faithful import (
     DEVIATION_CATALOGUE,
     FaithfulFPSSProtocol,
@@ -191,6 +204,63 @@ def cmd_deviate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        try:
+            with open(args.spec) as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise ExperimentError(f"cannot read spec file: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"spec file is not valid JSON: {exc}")
+        sweep = parse_sweep(document)
+    else:
+        sweep = default_sweep()
+    group_by = (
+        validate_group_by(part for part in args.group_by.split(",") if part)
+        if args.group_by
+        else sweep.group_by
+    )
+    runner = SweepRunner(sweep, workers=args.workers)
+    results = runner.run()
+    summaries = summarize(results, group_by=group_by)
+    paths = write_artifacts(results, summaries, args.out, name=sweep.name)
+
+    failures = sum(1 for r in results if not r.ok)
+    wall = sum(r.wall_time for r in results)
+    print(
+        f"sweep '{sweep.name}': {len(results)} scenarios, "
+        f"{len(summaries)} cells, {failures} failures, "
+        f"{runner.workers} worker(s), {wall:.2f}s scenario time"
+    )
+    headline = args.metric
+    rows = []
+    for summary in summaries:
+        stats = summary.stats.get(headline)
+        rows.append(
+            [
+                summary.label(),
+                summary.scenarios,
+                summary.failures,
+                stats.mean if stats else float("nan"),
+                stats.std if stats else float("nan"),
+                stats.minimum if stats else float("nan"),
+                stats.maximum if stats else float("nan"),
+            ]
+        )
+    print(
+        render_table(
+            ["cell", "n", "fail", "mean", "std", "min", "max"],
+            rows,
+            float_digits=3,
+            title=f"Per-cell {headline}",
+        )
+    )
+    for kind, path in sorted(paths.items()):
+        print(f"artifact [{kind}]: {path}")
+    return 1 if failures else 0
+
+
 def cmd_catalogue(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -249,6 +319,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     catalogue = sub.add_parser("catalogue", help="list manipulations")
     catalogue.set_defaults(func=cmd_catalogue)
+
+    sweep = sub.add_parser("sweep", help="run a scenario grid")
+    sweep.add_argument(
+        "--spec",
+        default=None,
+        help="JSON sweep document (default: the stock 56-scenario grid)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = one per CPU)",
+    )
+    sweep.add_argument(
+        "--out",
+        default="sweep-artifacts",
+        help="directory for results.csv / summary.csv / sweep.json",
+    )
+    sweep.add_argument(
+        "--group-by",
+        default=None,
+        help="comma-separated spec fields forming the summary cells",
+    )
+    sweep.add_argument(
+        "--metric",
+        default="overpayment_ratio",
+        help="metric shown in the printed per-cell table",
+    )
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

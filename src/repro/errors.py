@@ -67,3 +67,11 @@ class PhaseError(ReproError):
 
 class ConvergenceError(ReproError):
     """A distributed computation failed to reach quiescence in budget."""
+
+
+class ExperimentError(ReproError):
+    """A scenario or sweep specification is malformed or unrunnable.
+
+    Raised for unknown topology families, traffic models, probes, or
+    grid axes, and for sweep documents that fail validation.
+    """

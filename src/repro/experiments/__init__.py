@@ -1,0 +1,65 @@
+"""Scenario sweep subsystem: declarative experiments at scale.
+
+The paper's headline results are claims about *distributions over
+scenarios*; this package turns one spec template into hundreds of
+concrete scenarios, executes them (serially or across a worker pool),
+and reduces the results to per-cell summary statistics plus CSV/JSON
+artifacts.  Every future scaling PR (sharding, async backends, bigger
+topologies) plugs into this layer.
+
+Typical use::
+
+    from repro.experiments import (
+        SweepRunner, default_sweep, summarize, write_artifacts,
+    )
+
+    sweep = default_sweep()
+    results = SweepRunner(sweep, workers=4).run()
+    summaries = summarize(results, group_by=sweep.group_by)
+    write_artifacts(results, summaries, "out/", name=sweep.name)
+"""
+
+from .aggregate import (
+    CellSummary,
+    SummaryStats,
+    summarize,
+    write_artifacts,
+    write_results_csv,
+    write_summary_csv,
+    write_sweep_json,
+)
+from .runner import ScenarioResult, SweepRunner, run_scenario, run_sweep
+from .spec import (
+    PROBES,
+    TOPOLOGY_FAMILIES,
+    TRAFFIC_MODELS,
+    ScenarioSpec,
+    SweepSpec,
+    default_sweep,
+    expand_grid,
+    parse_sweep,
+    validate_group_by,
+)
+
+__all__ = [
+    "CellSummary",
+    "PROBES",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SummaryStats",
+    "SweepRunner",
+    "SweepSpec",
+    "TOPOLOGY_FAMILIES",
+    "TRAFFIC_MODELS",
+    "default_sweep",
+    "expand_grid",
+    "parse_sweep",
+    "run_scenario",
+    "run_sweep",
+    "summarize",
+    "validate_group_by",
+    "write_artifacts",
+    "write_results_csv",
+    "write_summary_csv",
+    "write_sweep_json",
+]

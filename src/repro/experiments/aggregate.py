@@ -1,0 +1,233 @@
+"""Reduce sweep results into per-cell summaries and write artifacts.
+
+A *cell* is one combination of the sweep's ``group_by`` fields
+(typically topology x size x traffic model); seeds vary within a cell.
+:func:`summarize` reduces every numeric metric in a cell to
+``(count, mean, std, min, max)``, which is what the paper-style claims
+("overpayment averages X on family Y") need.
+
+Artifacts are plain ``csv``/``json`` files with deterministic column
+order, so repeated runs of the same grid diff cleanly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .runner import ScenarioResult
+
+#: ((field, value), ...) — hashable, sorted by the group_by order.
+CellKey = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number reduction of one metric over one cell."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SummaryStats":
+        if not values:
+            raise ExperimentError("cannot summarise an empty series")
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            count=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """One grid cell: its key, scenario counts, and metric stats."""
+
+    key: CellKey
+    scenarios: int
+    failures: int
+    stats: Mapping[str, SummaryStats]
+
+    def label(self) -> str:
+        return ", ".join(f"{name}={value}" for name, value in self.key)
+
+
+def summarize(
+    results: Sequence[ScenarioResult],
+    group_by: Sequence[str] = ("topology", "size", "traffic"),
+) -> List[CellSummary]:
+    """Per-cell summary statistics over every numeric metric.
+
+    Failed scenarios count toward ``failures`` but contribute no
+    metric samples (their probe values are absent, and mixing partial
+    rows would silently skew the means).
+    """
+    cells: Dict[CellKey, List[ScenarioResult]] = {}
+    order: List[CellKey] = []
+    for result in results:
+        spec_row = result.spec.to_dict()
+        missing = [name for name in group_by if name not in spec_row]
+        if missing:
+            raise ExperimentError(f"unknown group_by fields: {missing}")
+        key = tuple((name, spec_row[name]) for name in group_by)
+        if key not in cells:
+            cells[key] = []
+            order.append(key)
+        cells[key].append(result)
+
+    summaries: List[CellSummary] = []
+    for key in order:
+        members = cells[key]
+        ok = [r for r in members if r.ok]
+        series: Dict[str, List[float]] = {}
+        for result in ok:
+            for metric, value in result.metrics().items():
+                series.setdefault(metric, []).append(float(value))
+        summaries.append(
+            CellSummary(
+                key=key,
+                scenarios=len(members),
+                failures=len(members) - len(ok),
+                stats={
+                    metric: SummaryStats.of(values)
+                    for metric, values in sorted(series.items())
+                },
+            )
+        )
+    return summaries
+
+
+def _result_columns(results: Sequence[ScenarioResult]) -> List[str]:
+    columns: List[str] = []
+    for result in results:
+        for name in result.to_row():
+            if name not in columns:
+                columns.append(name)
+    return columns
+
+
+def write_results_csv(
+    results: Sequence[ScenarioResult], path: str
+) -> str:
+    """One row per scenario; the union of all row keys as columns."""
+    columns = _result_columns(results)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for result in results:
+            writer.writerow(result.to_row())
+    return path
+
+
+def write_summary_csv(
+    summaries: Sequence[CellSummary], path: str
+) -> str:
+    """One row per (cell, metric) with the five summary statistics."""
+    group_fields: List[str] = []
+    for summary in summaries:
+        for name, _ in summary.key:
+            if name not in group_fields:
+                group_fields.append(name)
+    columns = group_fields + [
+        "metric",
+        "count",
+        "mean",
+        "std",
+        "min",
+        "max",
+        "scenarios",
+        "failures",
+    ]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for summary in summaries:
+            cell = dict(summary.key)
+            for metric, stats in summary.stats.items():
+                row = dict(cell)
+                row.update(
+                    metric=metric,
+                    count=stats.count,
+                    mean=stats.mean,
+                    std=stats.std,
+                    min=stats.minimum,
+                    max=stats.maximum,
+                    scenarios=summary.scenarios,
+                    failures=summary.failures,
+                )
+                writer.writerow(row)
+    return path
+
+
+def write_sweep_json(
+    results: Sequence[ScenarioResult],
+    summaries: Sequence[CellSummary],
+    path: str,
+    name: str = "sweep",
+) -> str:
+    """The whole sweep — rows and summaries — as one JSON document."""
+    document = {
+        "name": name,
+        "scenarios": [result.to_row() for result in results],
+        "summaries": [
+            {
+                "cell": dict(summary.key),
+                "scenarios": summary.scenarios,
+                "failures": summary.failures,
+                "metrics": {
+                    metric: {
+                        "count": stats.count,
+                        "mean": stats.mean,
+                        "std": stats.std,
+                        "min": stats.minimum,
+                        "max": stats.maximum,
+                    }
+                    for metric, stats in summary.stats.items()
+                },
+            }
+            for summary in summaries
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_artifacts(
+    results: Sequence[ScenarioResult],
+    summaries: Sequence[CellSummary],
+    out_dir: str,
+    name: str = "sweep",
+) -> Dict[str, str]:
+    """Write the standard artifact set into ``out_dir``.
+
+    Returns the mapping of artifact kind to path:
+    ``results.csv`` (per-scenario rows), ``summary.csv`` (per-cell
+    statistics), and ``sweep.json`` (everything).
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    return {
+        "results": write_results_csv(
+            results, os.path.join(out_dir, "results.csv")
+        ),
+        "summary": write_summary_csv(
+            summaries, os.path.join(out_dir, "summary.csv")
+        ),
+        "json": write_sweep_json(
+            results, summaries, os.path.join(out_dir, "sweep.json"), name=name
+        ),
+    }

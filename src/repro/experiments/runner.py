@@ -1,0 +1,275 @@
+"""Scenario execution: one worker function, serial or pooled.
+
+:func:`run_scenario` is the single entry point that turns one
+:class:`~repro.experiments.spec.ScenarioSpec` into a typed
+:class:`ScenarioResult`.  It is a module-level function of a picklable
+argument, so :class:`SweepRunner` can ship it unchanged into a
+:mod:`multiprocessing` pool; each worker process keeps its own
+:func:`~repro.routing.engine.engine_for` cache, so scenarios sharing a
+graph within a worker reuse one memoized routing engine.
+
+Probes
+------
+``payments``
+    Route the traffic matrix through the centralized VCG oracle and
+    record totals, the overpayment ratio (VCG paid / true transit cost
+    incurred), and the LCP routing cost.
+``convergence``
+    Run the plain FPSS protocol to quiescence (optionally under
+    heterogeneous link delays), verify the fixed point against the
+    oracle, and record event/message counts.
+``detection``
+    Install one catalogued manipulation on one node, run the faithful
+    protocol against its obedient baseline, and record the deviator's
+    gain, whether the deviation was detected, and restarts.
+``faithfulness``
+    Run the Proposition-1 verifier over the scenario's own type
+    profile and a (small) catalogue subset.  Orders of magnitude more
+    expensive than the other probes — meant for small graphs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.experiments import routing_distributed_mechanism
+from ..errors import ExperimentError, ReproError
+from ..faithful import (
+    DEVIATION_CATALOGUE,
+    FaithfulFPSSProtocol,
+    faithful_deviant_factory,
+)
+from ..mechanism.faithfulness import proposition1_verdict
+from ..mechanism.types import TypeProfile
+from ..routing.convergence import measure_convergence
+from ..routing.vcg_payments import economics_under_traffic
+from .spec import ScenarioSpec, SweepSpec
+
+#: Cheap default catalogue subset for the faithfulness probe.
+_DEFAULT_FAITHFULNESS_DEVIATIONS = ("cost-lie", "payment-underreport")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario produced, flattened for aggregation."""
+
+    spec: ScenarioSpec
+    scenario_id: str
+    nodes: int
+    edges: int
+    flows: int
+    total_volume: float
+    wall_time: float
+    #: Numeric probe outputs; keys depend on the probe (see metrics()).
+    values: Mapping[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario ran to completion."""
+        return self.error is None
+
+    def metrics(self) -> Dict[str, float]:
+        """All numeric metrics, including the structural ones."""
+        row = {
+            "nodes": float(self.nodes),
+            "edges": float(self.edges),
+            "flows": float(self.flows),
+            # Not "total_volume": that name is a gravity *input* knob on
+            # the spec, and artifact rows carry both side by side.
+            "traffic_volume": self.total_volume,
+            "wall_time": self.wall_time,
+        }
+        row.update(self.values)
+        return row
+
+    def to_row(self) -> Dict[str, Any]:
+        """One flat artifact row: spec fields + metrics + status."""
+        row: Dict[str, Any] = {"scenario_id": self.scenario_id}
+        row.update(self.spec.to_dict())
+        row.pop("faithfulness_deviations", None)
+        row.update(self.metrics())
+        row["error"] = self.error or ""
+        return row
+
+
+def _payments_probe(
+    spec: ScenarioSpec, graph, traffic
+) -> Dict[str, float]:
+    economics = economics_under_traffic(
+        graph, graph, traffic, payment_rule=spec.payment_rule
+    )
+    total_paid = sum(e.paid for e in economics.values())
+    true_cost = sum(e.true_transit_cost for e in economics.values())
+    return {
+        "total_payment": total_paid,
+        "true_transit_cost": true_cost,
+        # VCG individual rationality makes this >= 1 on every scenario;
+        # its distribution over the grid is the paper's overpayment story.
+        "overpayment_ratio": total_paid / true_cost if true_cost else 1.0,
+    }
+
+
+def _convergence_probe(
+    spec: ScenarioSpec, graph, traffic
+) -> Dict[str, float]:
+    stats = measure_convergence(graph, link_delays=spec.link_delays())
+    return {
+        "phase1_events": float(stats.phase1_events),
+        "phase2_events": float(stats.phase2_events),
+        "convergence_events": float(stats.total_events),
+        "messages": float(stats.total_messages),
+        "computations": float(stats.total_computations),
+    }
+
+
+def _detection_probe(
+    spec: ScenarioSpec, graph, traffic
+) -> Dict[str, float]:
+    deviation = DEVIATION_CATALOGUE[spec.deviation]
+    nodes = sorted(graph.nodes, key=repr)
+    deviant = nodes[spec.deviant_index % len(nodes)]
+    baseline = FaithfulFPSSProtocol(graph, traffic).run()
+    deviated = FaithfulFPSSProtocol(
+        graph,
+        traffic,
+        node_factory=faithful_deviant_factory(deviation, deviant),
+    ).run()
+    gain = deviated.utilities[deviant] - baseline.utilities[deviant]
+    return {
+        "detected": float(deviated.detection.detected_any),
+        "deviator_gain": gain,
+        "restarts": float(deviated.detection.restarts),
+        "flags": float(len(deviated.detection.all_flags)),
+        "progressed": float(deviated.progressed),
+    }
+
+
+def _faithfulness_probe(
+    spec: ScenarioSpec, graph, traffic
+) -> Dict[str, float]:
+    names = spec.faithfulness_deviations or _DEFAULT_FAITHFULNESS_DEVIATIONS
+    mechanism = routing_distributed_mechanism(
+        graph, traffic, deviations=names, faithful=True
+    )
+    profiles = [TypeProfile({n: graph.cost(n) for n in graph.nodes})]
+    verdict = proposition1_verdict(mechanism, profiles)
+    return verdict.summary()
+
+
+_PROBES = {
+    "payments": _payments_probe,
+    "convergence": _convergence_probe,
+    "detection": _detection_probe,
+    "faithfulness": _faithfulness_probe,
+}
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario and return its typed result.
+
+    Library-level failures (:class:`ReproError`) are captured into the
+    result's ``error`` field so one bad cell cannot sink a whole sweep;
+    programming errors still propagate.
+    """
+    spec.validate()
+    started = time.perf_counter()
+    nodes = edges = flows = 0
+    volume = 0.0
+    values: Dict[str, float] = {}
+    error: Optional[str] = None
+    try:
+        # Construction stays inside the capture: generator-level
+        # failures (e.g. a heavy-tail distribution with a zero anchor)
+        # are per-cell data, not grounds to abort the grid.
+        graph = spec.build_graph()
+        traffic = spec.build_traffic(graph)
+        nodes, edges = len(graph.nodes), len(graph.edges)
+        flows = sum(1 for v in traffic.values() if v > 0)
+        volume = sum(traffic.values())
+        values = _PROBES[spec.probe](spec, graph, traffic)
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return ScenarioResult(
+        spec=spec,
+        scenario_id=spec.scenario_id(),
+        nodes=nodes,
+        edges=edges,
+        flows=flows,
+        total_volume=volume,
+        wall_time=time.perf_counter() - started,
+        values=values,
+        error=error,
+    )
+
+
+def _run_indexed(item: Tuple[int, ScenarioSpec]) -> Tuple[int, ScenarioResult]:
+    index, spec = item
+    return index, run_scenario(spec)
+
+
+class SweepRunner:
+    """Execute a list of scenarios, serially or across a worker pool.
+
+    Parameters
+    ----------
+    scenarios:
+        The concrete grid (a :class:`SweepSpec` or a plain sequence).
+    workers:
+        ``1`` (the default) runs in-process.  Larger values fan out
+        over a ``multiprocessing`` pool; results come back in grid
+        order regardless of completion order.  ``0`` means "one worker
+        per available CPU".
+    """
+
+    def __init__(
+        self,
+        scenarios,
+        workers: int = 1,
+    ) -> None:
+        if isinstance(scenarios, SweepSpec):
+            scenarios = scenarios.scenarios
+        self.scenarios: Tuple[ScenarioSpec, ...] = tuple(scenarios)
+        if not self.scenarios:
+            raise ExperimentError("nothing to sweep")
+        for spec in self.scenarios:
+            spec.validate()
+        if workers < 0:
+            raise ExperimentError("workers must be non-negative")
+        if workers == 0:
+            workers = multiprocessing.cpu_count()
+        self.workers = workers
+
+    def run(self) -> List[ScenarioResult]:
+        """All results, in the same order as ``self.scenarios``."""
+        if self.workers == 1:
+            return [run_scenario(spec) for spec in self.scenarios]
+        return self._run_pooled()
+
+    def _run_pooled(self) -> List[ScenarioResult]:
+        # fork shares the imported library with the children for free;
+        # platforms without it (Windows, macOS spawn default) fall back
+        # to the default start method, which re-imports repro.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods and sys.platform != "win32" else None
+        )
+        indexed = list(enumerate(self.scenarios))
+        results: List[Optional[ScenarioResult]] = [None] * len(indexed)
+        with context.Pool(processes=self.workers) as pool:
+            for index, result in pool.imap_unordered(
+                _run_indexed, indexed, chunksize=1
+            ):
+                results[index] = result
+        return [r for r in results if r is not None]
+
+
+def run_sweep(
+    sweep: SweepSpec, workers: int = 1
+) -> List[ScenarioResult]:
+    """Convenience wrapper: expand-free execution of a parsed sweep."""
+    return SweepRunner(sweep, workers=workers).run()

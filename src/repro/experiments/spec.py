@@ -1,0 +1,461 @@
+"""Declarative scenario specifications and grid expansion.
+
+A :class:`ScenarioSpec` is one fully determined experiment: a topology
+family with its size/seed/cost-distribution knobs, a traffic model, a
+*probe* (which measurement to take), and optional manipulation
+injection.  Specs are frozen dataclasses of primitives, so they pickle
+cleanly into :mod:`multiprocessing` workers and round-trip through
+JSON.
+
+A sweep is a *grid*: one base spec plus named axes, expanded by
+:func:`expand_grid` into the cartesian product of concrete scenarios.
+The paper's headline numbers (overpayment under VCG, detection rates,
+convergence behaviour) are claims about distributions over such grids,
+not about any single topology.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..faithful import DEVIATION_CATALOGUE
+from ..routing.graph import ASGraph
+from ..workloads import (
+    COST_DISTRIBUTIONS,
+    MASS_DISTRIBUTIONS,
+    VOLUME_DISTRIBUTIONS,
+    complete_graph,
+    figure1_graph,
+    gravity,
+    hotspot,
+    random_biconnected_graph,
+    random_pairs,
+    ring_graph,
+    uniform_all_pairs,
+    wheel_graph,
+)
+
+#: Topology families a spec may name.
+TOPOLOGY_FAMILIES = ("figure1", "ring", "wheel", "complete", "random")
+#: Traffic models a spec may name.
+TRAFFIC_MODELS = ("uniform", "random-pairs", "hotspot", "gravity")
+#: Probes: which measurement one scenario takes.
+PROBES = ("payments", "convergence", "detection", "faithfulness")
+
+#: Minimum node count per family (mirrors the generators' own checks).
+_MIN_SIZE = {"figure1": 0, "ring": 3, "wheel": 4, "complete": 3, "random": 3}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One concrete, reproducible experiment scenario.
+
+    Every field is a primitive; two equal specs describe bit-identical
+    experiments (all randomness flows through ``seed``).
+    """
+
+    # --- topology ---------------------------------------------------
+    topology: str = "random"
+    size: int = 8
+    seed: int = 0
+    extra_edge_prob: float = 0.25
+    cost_dist: str = "uniform"
+    cost_low: float = 1.0
+    cost_high: float = 10.0
+    cost_param: float = 2.5
+
+    # --- traffic ----------------------------------------------------
+    traffic: str = "uniform"
+    volume: float = 1.0
+    volume_high: float = 5.0
+    flow_count: int = 16
+    volume_dist: str = "uniform"
+    volume_param: float = 1.5
+    total_volume: float = 100.0
+    mass_dist: str = "uniform"
+    mass_param: float = 1.5
+
+    # --- probe ------------------------------------------------------
+    probe: str = "payments"
+    payment_rule: str = "vcg"
+    #: Detection probe: catalogue deviation installed on one node.
+    deviation: Optional[str] = None
+    #: Index into the repr-sorted node list choosing the deviant.
+    deviant_index: int = 0
+    #: Convergence probe: per-link delays drawn from U(1, 1+spread).
+    link_delay_spread: float = 0.0
+    #: Faithfulness probe: catalogue subset to verify (None = a small
+    #: default pair; the full catalogue is far too slow per scenario).
+    faithfulness_deviations: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> "ScenarioSpec":
+        """Raise :class:`ExperimentError` on the first bad field."""
+        self._check_field_types()
+        if self.topology not in TOPOLOGY_FAMILIES:
+            raise ExperimentError(
+                f"unknown topology {self.topology!r}; "
+                f"expected one of {TOPOLOGY_FAMILIES}"
+            )
+        if self.topology != "figure1" and self.size < _MIN_SIZE[self.topology]:
+            raise ExperimentError(
+                f"{self.topology} topology needs at least "
+                f"{_MIN_SIZE[self.topology]} nodes, got {self.size}"
+            )
+        if self.traffic not in TRAFFIC_MODELS:
+            raise ExperimentError(
+                f"unknown traffic model {self.traffic!r}; "
+                f"expected one of {TRAFFIC_MODELS}"
+            )
+        if self.probe not in PROBES:
+            raise ExperimentError(
+                f"unknown probe {self.probe!r}; expected one of {PROBES}"
+            )
+        if self.cost_dist not in COST_DISTRIBUTIONS:
+            raise ExperimentError(f"unknown cost_dist {self.cost_dist!r}")
+        if self.volume_dist not in VOLUME_DISTRIBUTIONS:
+            raise ExperimentError(f"unknown volume_dist {self.volume_dist!r}")
+        if self.mass_dist not in MASS_DISTRIBUTIONS:
+            raise ExperimentError(f"unknown mass_dist {self.mass_dist!r}")
+        if self.payment_rule not in ("vcg", "declared-cost"):
+            raise ExperimentError(
+                f"unknown payment_rule {self.payment_rule!r}"
+            )
+        if self.probe == "detection":
+            if self.deviation is None:
+                raise ExperimentError(
+                    "detection probe needs a 'deviation' from the catalogue"
+                )
+            if self.deviation not in DEVIATION_CATALOGUE:
+                raise ExperimentError(
+                    f"unknown deviation {self.deviation!r}; "
+                    f"see DEVIATION_CATALOGUE"
+                )
+        names = (
+            self.faithfulness_deviations
+            if self.faithfulness_deviations is not None
+            else ()
+        )
+        for name in names:
+            if name not in DEVIATION_CATALOGUE:
+                raise ExperimentError(f"unknown deviation {name!r}")
+        if self.link_delay_spread < 0:
+            raise ExperimentError("link_delay_spread must be non-negative")
+        if self.deviant_index < 0:
+            raise ExperimentError("deviant_index must be non-negative")
+        return self
+
+    def _check_field_types(self) -> None:
+        """JSON documents feed these fields; reject wrong types with an
+        :class:`ExperimentError` instead of a downstream TypeError."""
+        for name in (
+            "size",
+            "seed",
+            "flow_count",
+            "deviant_index",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ExperimentError(
+                    f"{name} must be an integer, got {value!r}"
+                )
+        for name in (
+            "extra_edge_prob",
+            "cost_low",
+            "cost_high",
+            "cost_param",
+            "volume",
+            "volume_high",
+            "volume_param",
+            "total_volume",
+            "mass_param",
+            "link_delay_spread",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ExperimentError(
+                    f"{name} must be a number, got {value!r}"
+                )
+        for name in (
+            "topology",
+            "traffic",
+            "probe",
+            "cost_dist",
+            "volume_dist",
+            "mass_dist",
+            "payment_rule",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, str):
+                raise ExperimentError(
+                    f"{name} must be a string, got {value!r}"
+                )
+        if self.deviation is not None and not isinstance(self.deviation, str):
+            raise ExperimentError(
+                f"deviation must be a string, got {self.deviation!r}"
+            )
+        if self.faithfulness_deviations is not None and (
+            not isinstance(self.faithfulness_deviations, tuple)
+            or not all(
+                isinstance(n, str) for n in self.faithfulness_deviations
+            )
+        ):
+            raise ExperimentError(
+                "faithfulness_deviations must be a sequence of strings"
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def scenario_id(self) -> str:
+        """A compact, unique-within-a-grid label for artifacts."""
+        parts = [self.topology]
+        if self.topology != "figure1":
+            parts.append(str(self.size))
+        parts.extend([f"s{self.seed}", self.traffic, self.probe])
+        if self.cost_dist != "uniform":
+            parts.append(self.cost_dist)
+        if self.volume_dist != "uniform":
+            parts.append(self.volume_dist)
+        if self.deviation is not None:
+            parts.append(f"{self.deviation}@{self.deviant_index}")
+        return ":".join(parts)
+
+    def build_graph(self) -> ASGraph:
+        """The scenario's topology (deterministic in ``seed``)."""
+        if self.topology == "figure1":
+            return figure1_graph()
+        rng = random.Random(self.seed)
+        cost_range = (self.cost_low, self.cost_high)
+        if self.topology == "ring":
+            graph = ring_graph(self.size, rng, cost_range=cost_range)
+        elif self.topology == "wheel":
+            graph = wheel_graph(self.size, rng, cost_range=cost_range)
+        elif self.topology == "complete":
+            graph = complete_graph(self.size, rng, cost_range=cost_range)
+        else:
+            return random_biconnected_graph(
+                self.size,
+                rng,
+                extra_edge_prob=self.extra_edge_prob,
+                cost_range=cost_range,
+                cost_dist=self.cost_dist,
+                cost_param=self.cost_param,
+            )
+        if self.cost_dist != "uniform":
+            # Named families draw uniform costs internally; re-draw
+            # from the requested distribution with a derived seed so
+            # the edge structure is untouched.
+            from ..workloads import draw_costs
+
+            costs = draw_costs(
+                list(graph.nodes),
+                random.Random(self.seed + 0x5EED),
+                cost_range,
+                cost_dist=self.cost_dist,
+                cost_param=self.cost_param,
+            )
+            graph = graph.with_costs(costs)
+        return graph
+
+    def build_traffic(self, graph: ASGraph) -> Dict[Tuple[Any, Any], float]:
+        """The scenario's traffic matrix on ``graph``."""
+        if self.traffic == "uniform":
+            return uniform_all_pairs(graph, volume=self.volume)
+        rng = random.Random(self.seed + 1)  # independent of the topology draw
+        if self.traffic == "random-pairs":
+            return random_pairs(
+                graph,
+                rng,
+                self.flow_count,
+                volume_range=(self.volume, self.volume_high),
+                volume_dist=self.volume_dist,
+                volume_param=self.volume_param,
+            )
+        if self.traffic == "hotspot":
+            destination = sorted(graph.nodes, key=repr)[
+                rng.randrange(len(graph.nodes))
+            ]
+            return hotspot(graph, destination, volume=self.volume)
+        return gravity(
+            graph,
+            rng,
+            total_volume=self.total_volume,
+            mass_dist=self.mass_dist,
+            mass_param=self.mass_param,
+        )
+
+    def link_delays(self):
+        """Per-link delay model for protocol probes.
+
+        Zero spread keeps the synchronous default (1.0 everywhere);
+        otherwise each link's delay is drawn from ``U(1, 1+spread)``
+        with a seed-derived generator, giving reproducible link-delay
+        heterogeneity.
+        """
+        if self.link_delay_spread == 0.0:
+            return 1.0
+        rng = random.Random(self.seed + 2)
+        spread = self.link_delay_spread
+
+        def delay(a, b, _rng=rng, _spread=spread):
+            # Hash-free: one fresh draw per link, in topology order.
+            return _rng.uniform(1.0, 1.0 + _spread)
+
+        return delay
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (tuples become lists)."""
+        raw = asdict(self)
+        if raw["faithfulness_deviations"] is not None:
+            raw["faithfulness_deviations"] = list(
+                raw["faithfulness_deviations"]
+            )
+        return raw
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build and validate a spec from a JSON-style mapping."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ExperimentError(f"unknown scenario fields: {unknown}")
+        values = dict(document)
+        if values.get("faithfulness_deviations") is not None:
+            values["faithfulness_deviations"] = tuple(
+                values["faithfulness_deviations"]
+            )
+        return cls(**values).validate()
+
+
+def validate_group_by(group_by: Sequence[str]) -> Tuple[str, ...]:
+    """Check cell-key fields against the spec schema; returns a tuple.
+
+    Used both when a sweep document is parsed and before a sweep runs,
+    so a ``--group-by`` typo fails *before* any scenario executes.
+    """
+    names = tuple(group_by)
+    spec_fields = {f.name for f in fields(ScenarioSpec)}
+    bad = sorted(set(names) - spec_fields)
+    if bad:
+        raise ExperimentError(f"unknown group_by fields: {bad}")
+    return names
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named grid of scenarios plus its aggregation key."""
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    group_by: Tuple[str, ...] = ("topology", "size", "traffic")
+
+    def __post_init__(self) -> None:
+        validate_group_by(self.group_by)
+        if not self.scenarios:
+            raise ExperimentError("a sweep needs at least one scenario")
+
+
+def expand_grid(
+    base: Mapping[str, Any],
+    axes: Mapping[str, Sequence[Any]],
+) -> List[ScenarioSpec]:
+    """The cartesian product of ``axes`` over a ``base`` template.
+
+    ``base`` holds fixed :class:`ScenarioSpec` fields; each axis maps a
+    field name to the values it sweeps.  Axes expand in their given
+    order (first axis varies slowest), so the scenario list — and hence
+    every artifact row — is deterministic.
+    """
+    spec_fields = {f.name for f in fields(ScenarioSpec)}
+    bad = sorted((set(base) | set(axes)) - spec_fields)
+    if bad:
+        raise ExperimentError(f"unknown grid fields: {bad}")
+    overlap = sorted(set(base) & set(axes))
+    if overlap:
+        raise ExperimentError(
+            f"fields both fixed and swept: {overlap}"
+        )
+    for name, values in axes.items():
+        if not values:
+            raise ExperimentError(f"axis {name!r} has no values")
+    template = ScenarioSpec(**dict(base))
+    names = list(axes)
+    scenarios = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        scenarios.append(
+            replace(template, **dict(zip(names, combo))).validate()
+        )
+    return scenarios
+
+
+def parse_sweep(document: Mapping[str, Any]) -> SweepSpec:
+    """Parse a JSON sweep document.
+
+    Format::
+
+        {
+          "name": "overpayment-vs-density",
+          "base": {"probe": "payments", "cost_dist": "pareto"},
+          "axes": {
+            "topology": ["random", "ring"],
+            "traffic": ["uniform", "gravity"],
+            "size": [8, 16],
+            "seed": [0, 1, 2, 3, 4]
+          },
+          "group_by": ["topology", "size", "traffic"]
+        }
+    """
+    allowed = {"name", "base", "axes", "group_by"}
+    unknown = sorted(set(document) - allowed)
+    if unknown:
+        raise ExperimentError(f"unknown sweep fields: {unknown}")
+    if "axes" not in document or not document["axes"]:
+        raise ExperimentError("a sweep document needs non-empty 'axes'")
+    base = dict(document.get("base", {}))
+    if base.get("faithfulness_deviations") is not None:
+        base["faithfulness_deviations"] = tuple(
+            base["faithfulness_deviations"]
+        )
+    scenarios = expand_grid(base, document["axes"])
+    kwargs: Dict[str, Any] = {}
+    if "group_by" in document:
+        kwargs["group_by"] = tuple(document["group_by"])
+    return SweepSpec(
+        name=str(document.get("name", "sweep")),
+        scenarios=tuple(scenarios),
+        **kwargs,
+    )
+
+
+def default_sweep(seeds: int = 7) -> SweepSpec:
+    """The stock grid behind ``python -m repro sweep``.
+
+    Two topology families x two traffic models x two sizes x ``seeds``
+    seeds, all on the cheap payments probe: 8 cells, ``8 * seeds``
+    scenarios (56 at the default), each summarising VCG overpayment.
+    """
+    if seeds < 1:
+        raise ExperimentError("seeds must be positive")
+    scenarios = expand_grid(
+        base={"probe": "payments"},
+        axes={
+            "topology": ["random", "ring"],
+            "traffic": ["uniform", "gravity"],
+            "size": [8, 12],
+            "seed": list(range(seeds)),
+        },
+    )
+    return SweepSpec(name="default", scenarios=tuple(scenarios))

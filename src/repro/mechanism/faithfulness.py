@@ -31,7 +31,7 @@ counterexample.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import MechanismError
 from ..specs.actions import ActionClass
@@ -89,6 +89,27 @@ class CompatibilityReport:
             if report is not None:
                 violations.extend(report.violations)
         return violations
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric view for per-scenario aggregation.
+
+        Each *checked* property contributes ``<name>_holds`` (0/1) and
+        ``<name>_violations``; unchecked properties are simply absent.
+        Sweep runners average these across scenarios to report, e.g.,
+        the fraction of sampled instances where CC held.
+        """
+        row: Dict[str, float] = {}
+        for name, report in (
+            ("ic", self.ic),
+            ("cc", self.cc),
+            ("ac", self.ac),
+            ("strong_cc", self.strong_cc),
+            ("strong_ac", self.strong_ac),
+        ):
+            if report is not None:
+                row[f"{name}_holds"] = float(report.holds)
+                row[f"{name}_violations"] = float(len(report.violations))
+        return row
 
 
 def check_ic(
@@ -196,6 +217,22 @@ class FaithfulnessVerdict:
     reasons: List[str] = field(default_factory=list)
     compatibility: Optional[CompatibilityReport] = None
     full_equilibrium: Optional[EquilibriumReport] = None
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric view for per-scenario aggregation.
+
+        Combines the headline verdict with the compatibility rows so a
+        sweep can turn many per-instance verdicts into rates ("faithful
+        on 97% of sampled scenarios, CC violated on 3").
+        """
+        row: Dict[str, float] = {"faithful": float(self.faithful)}
+        if self.full_equilibrium is not None:
+            row["equilibrium_violations"] = float(
+                len(self.full_equilibrium.violations)
+            )
+        if self.compatibility is not None:
+            row.update(self.compatibility.summary())
+        return row
 
 
 def proposition1_verdict(

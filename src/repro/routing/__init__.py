@@ -9,6 +9,7 @@ extension), and the distributed, trusting FPSS protocol.
 from .convergence import (
     ConvergenceStats,
     build_plain_network,
+    measure_convergence,
     run_construction_phases,
     run_plain_fpss,
     topology_from_graph,
@@ -101,6 +102,7 @@ __all__ = [
     "lcp_cost",
     "lcp_tree",
     "lowest_cost_path",
+    "measure_convergence",
     "route_payments",
     "run_construction_phases",
     "run_plain_fpss",

@@ -49,14 +49,20 @@ def build_plain_network(
     graph: ASGraph,
     node_factory: Optional[Callable[[NodeId, Cost], FPSSNode]] = None,
     trace_enabled: bool = False,
+    link_delays=1.0,
 ) -> Tuple[Simulator, Dict[NodeId, FPSSNode]]:
     """A simulator populated with (possibly customised) FPSS nodes.
 
     ``node_factory`` lets callers substitute manipulation subclasses
     for chosen nodes; the default builds obedient :class:`FPSSNode`.
+    ``link_delays`` is forwarded to :func:`topology_from_graph`, so
+    heterogeneous (per-link) delays model asynchrony.
     """
     factory = node_factory or (lambda node_id, cost: FPSSNode(node_id, cost))
-    simulator = Simulator(topology_from_graph(graph), trace_enabled=trace_enabled)
+    simulator = Simulator(
+        topology_from_graph(graph, delay=link_delays),
+        trace_enabled=trace_enabled,
+    )
     nodes: Dict[NodeId, FPSSNode] = {}
     for node_id in graph.nodes:
         node = factory(node_id, graph.cost(node_id))
@@ -73,6 +79,11 @@ class ConvergenceStats:
     phase2_events: int
     total_messages: int
     total_computations: int
+
+    @property
+    def total_events(self) -> int:
+        """Events across both construction phases."""
+        return self.phase1_events + self.phase2_events
 
 
 def run_construction_phases(
@@ -105,13 +116,41 @@ def run_plain_fpss(
     graph: ASGraph,
     node_factory: Optional[Callable[[NodeId, Cost], FPSSNode]] = None,
     trace_enabled: bool = False,
+    link_delays=1.0,
+    max_events: int = 2_000_000,
 ) -> Tuple[Simulator, Dict[NodeId, FPSSNode], ConvergenceStats]:
     """Build, run, and return a converged plain-FPSS network."""
     simulator, nodes = build_plain_network(
-        graph, node_factory=node_factory, trace_enabled=trace_enabled
+        graph,
+        node_factory=node_factory,
+        trace_enabled=trace_enabled,
+        link_delays=link_delays,
     )
-    stats = run_construction_phases(simulator, nodes)
+    stats = run_construction_phases(simulator, nodes, max_events=max_events)
     return simulator, nodes, stats
+
+
+def measure_convergence(
+    graph: ASGraph,
+    link_delays=1.0,
+    verify: bool = True,
+    check_prices: bool = False,
+    max_events: int = 2_000_000,
+) -> ConvergenceStats:
+    """One self-contained convergence measurement for a scenario.
+
+    Builds a fresh simulator, drives both construction phases to
+    quiescence, optionally cross-checks the fixed point against the
+    centralized oracle, and returns the work counters.  Nothing is
+    shared between calls, so this is safe to invoke from sweep workers
+    (one process may run many scenarios back to back).
+    """
+    _, nodes, stats = run_plain_fpss(
+        graph, link_delays=link_delays, max_events=max_events
+    )
+    if verify:
+        verify_against_oracle(graph, nodes, check_prices=check_prices)
+    return stats
 
 
 def verify_against_oracle(

@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import weakref
 from types import MappingProxyType
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import GraphError, RoutingError
 from .graph import ASGraph, Cost, NodeId, PathCost
@@ -64,8 +64,16 @@ class RoutingEngine:
         ]
         #: (source index, avoided index or -1) -> destination -> PathCost.
         self._trees: Dict[Tuple[int, int], Mapping[NodeId, PathCost]] = {}
+        #: (source, avoided, frozenset of target indices) -> partial tree.
+        self._partials: Dict[
+            Tuple[int, int, frozenset], Mapping[NodeId, PathCost]
+        ] = {}
         #: Dijkstra runs actually performed (cache misses).
         self.runs = 0
+        #: Early-exit (partial) runs among ``runs``.
+        self.partial_runs = 0
+        #: Nodes settled across all runs (early exit keeps this low).
+        self.settled = 0
         #: Tree queries served from cache.
         self.hits = 0
 
@@ -104,6 +112,75 @@ class RoutingEngine:
         tree = MappingProxyType(self._sssp(src, avoid))
         self._trees[key] = tree
         return tree
+
+    def partial_tree(
+        self,
+        source: NodeId,
+        targets: Iterable[NodeId],
+        avoiding: Optional[NodeId] = None,
+    ) -> Mapping[NodeId, PathCost]:
+        """The LCP entries for just ``targets``, via early-exit Dijkstra.
+
+        The run stops relaxing as soon as every requested target is
+        settled, so on large graphs a handful of destinations costs a
+        fraction of a full tree.  Entries are bit-identical to the
+        corresponding :meth:`tree` entries (settled labels never change
+        after settling), which the property tests assert.  Targets the
+        restriction disconnects are absent, exactly as in :meth:`tree`.
+
+        A full cached tree is reused when available; otherwise the
+        partial result is cached under its own target set and promoted
+        to nothing — full-tree queries stay full-tree computations.
+        """
+        src = self._index.get(source)
+        if src is None:
+            raise GraphError(f"unknown source {source!r}")
+        avoid = -1
+        if avoiding is not None:
+            maybe = self._index.get(avoiding)
+            if maybe is None:
+                raise GraphError(f"unknown node {avoiding!r}")
+            if maybe == src:
+                raise RoutingError(
+                    f"cannot avoid the tree source {avoiding!r}"
+                )
+            avoid = maybe
+        wanted = []
+        for target in targets:
+            index = self._index.get(target)
+            if index is None:
+                raise GraphError(f"unknown destination {target!r}")
+            if index != src and index != avoid:
+                wanted.append(index)
+        until = frozenset(wanted)
+
+        full = self._trees.get((src, avoid))
+        if full is not None:
+            self.hits += 1
+            ids = self._ids
+            return MappingProxyType(
+                {
+                    ids[i]: full[ids[i]]
+                    for i in sorted(until)
+                    if ids[i] in full
+                }
+            )
+        key = (src, avoid, until)
+        cached = self._partials.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        settled = self._sssp(src, avoid, until=until)
+        ids = self._ids
+        partial = MappingProxyType(
+            {
+                ids[i]: settled[ids[i]]
+                for i in sorted(until)
+                if ids[i] in settled
+            }
+        )
+        self._partials[key] = partial
+        return partial
 
     def path(
         self,
@@ -159,6 +236,7 @@ class RoutingEngine:
     def clear_cache(self) -> None:
         """Drop every memoized tree (the graph index is kept)."""
         self._trees.clear()
+        self._partials.clear()
 
     @property
     def cached_trees(self) -> int:
@@ -169,7 +247,9 @@ class RoutingEngine:
     # the Dijkstra core
     # ------------------------------------------------------------------
 
-    def _sssp(self, src: int, avoid: int) -> Dict[NodeId, PathCost]:
+    def _sssp(
+        self, src: int, avoid: int, until: Optional[frozenset] = None
+    ) -> Dict[NodeId, PathCost]:
         """One node-weighted Dijkstra run from ``src``.
 
         The heap holds ``(cost, path_len, seq)`` keys only; predecessor
@@ -179,8 +259,21 @@ class RoutingEngine:
         ``(cost, len(path), tuple(repr(n) for n in path))`` preference
         exactly: a settled node's interior prefixes always settle
         first, so every tying predecessor is available for comparison.
+
+        With ``until`` (a set of node indices) the run stops once every
+        listed index is settled.  Settling order is identical to the
+        full run up to that point, so the labels of settled nodes —
+        including their tie-breaks — match the full tree exactly.
         """
         self.runs += 1
+        remaining = None
+        if until is not None:
+            self.partial_runs += 1
+            remaining = set(until)
+            remaining.discard(src)
+            remaining.discard(avoid)
+            if not remaining:
+                return {}
         ids = self._ids
         costs = self._costs
         adj = self._adj
@@ -207,6 +300,7 @@ class RoutingEngine:
             if settled[node]:
                 continue
             settled[node] = True
+            self.settled += 1
             if node == src:
                 paths[src] = (ids[src],)
                 lexpaths[src] = (rkeys[src],)
@@ -234,6 +328,10 @@ class RoutingEngine:
                 paths[node] = paths[best_u] + (ids[node],)
                 lexpaths[node] = lexpaths[best_u] + (rk,)
                 result[ids[node]] = PathCost(path=paths[node], cost=cost)
+            if remaining is not None:
+                remaining.discard(node)
+                if not remaining:
+                    break
             extension = 0.0 if node == src else costs[node]
             base = cost + extension
             next_length = length + 1

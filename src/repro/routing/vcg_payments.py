@@ -19,7 +19,7 @@ these payments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import RoutingError
 from .engine import RoutingEngine, engine_for
@@ -59,18 +59,58 @@ def vcg_transit_payment(
     return graph.cost(transit) + without_k - route.cost
 
 
+def _lazy_path(
+    engine: RoutingEngine,
+    source: NodeId,
+    destination: NodeId,
+    avoiding: Optional[NodeId] = None,
+) -> PathCost:
+    """One pair's LCP via an early-exit (partial) tree.
+
+    Same contract as :meth:`RoutingEngine.path`, but the Dijkstra run
+    stops as soon as ``destination`` settles instead of finishing the
+    whole tree — the right trade when a source only ever routes to a
+    few destinations.
+    """
+    if source == destination:
+        return PathCost(path=(source,), cost=0.0)
+    found = engine.partial_tree(source, (destination,), avoiding=avoiding).get(
+        destination
+    )
+    if found is None:
+        detail = f" avoiding {avoiding!r}" if avoiding is not None else ""
+        raise RoutingError(
+            f"no path from {source!r} to {destination!r}{detail}"
+        )
+    return found
+
+
 def _route_payments(
-    engine: RoutingEngine, source: NodeId, destination: NodeId
+    engine: RoutingEngine,
+    source: NodeId,
+    destination: NodeId,
+    lazy: bool = False,
 ) -> RoutePayments:
     """:func:`route_payments` against an already-built engine.
 
-    Every ``LCP_{-k}`` lookup is a whole cached avoidance tree, so
-    pairs sharing a source and a transit node share one Dijkstra run.
+    With ``lazy=False`` every ``LCP_{-k}`` lookup is a whole cached
+    avoidance tree, so pairs sharing a source and a transit node share
+    one Dijkstra run — the right shape for dense (all-pairs) traffic.
+    With ``lazy=True`` each lookup early-exits at the destination,
+    which wins when the traffic matrix is sparse.
     """
-    route = engine.path(source, destination)
+    if lazy:
+        route = _lazy_path(engine, source, destination)
+    else:
+        route = engine.path(source, destination)
     payments: Dict[NodeId, Cost] = {}
     for transit in route.transit_nodes:
-        without_k = engine.cost(source, destination, avoiding=transit)
+        if lazy:
+            without_k = _lazy_path(
+                engine, source, destination, avoiding=transit
+            ).cost
+        else:
+            without_k = engine.cost(source, destination, avoiding=transit)
         payments[transit] = engine.node_cost(transit) + without_k - route.cost
     return RoutePayments(
         source=source, destination=destination, route=route, payments=payments
@@ -133,6 +173,7 @@ def economics_under_traffic(
     true_graph: ASGraph,
     traffic: Mapping[Tuple[NodeId, NodeId], float],
     payment_rule: str = "vcg",
+    sparse: Optional[bool] = None,
 ) -> Dict[NodeId, NodeEconomics]:
     """Per-node economics when routes/payments follow declared costs.
 
@@ -150,6 +191,12 @@ def economics_under_traffic(
         ``"vcg"`` for the FPSS payment above, or ``"declared-cost"``
         for the naive scheme that simply reimburses each transit node
         its declared cost — the scheme Example 1 shows is manipulable.
+    sparse:
+        ``True`` routes every lookup through early-exit partial trees
+        (wins when few pairs carry traffic), ``False`` uses full cached
+        trees (wins for dense matrices).  ``None`` — the default —
+        picks partial trees when the matrix has at most as many flows
+        as the graph has nodes.
 
     Returns
     -------
@@ -162,6 +209,8 @@ def economics_under_traffic(
         node: NodeEconomics() for node in declared_graph.nodes
     }
     engine = engine_for(declared_graph)
+    if sparse is None:
+        sparse = len(traffic) <= len(declared_graph.nodes)
     for (source, destination), volume in sorted(traffic.items(), key=repr):
         if volume == 0:
             continue
@@ -171,11 +220,14 @@ def economics_under_traffic(
             # One payment bundle per pair: the base LCP is computed once
             # and shared across its transit nodes instead of re-derived
             # inside a per-transit payment query.
-            bundle = _route_payments(engine, source, destination)
+            bundle = _route_payments(engine, source, destination, lazy=sparse)
             pair_payments = bundle.payments
             transit_nodes = bundle.route.transit_nodes
         else:
-            route = engine.path(source, destination)
+            if sparse:
+                route = _lazy_path(engine, source, destination)
+            else:
+                route = engine.path(source, destination)
             transit_nodes = route.transit_nodes
             pair_payments = {
                 transit: declared_graph.cost(transit) for transit in transit_nodes

@@ -1,17 +1,30 @@
 """Workload generators: topologies and traffic matrices."""
 
 from .topologies import (
+    COST_DISTRIBUTIONS,
     complete_graph,
+    draw_costs,
     figure1_graph,
     node_names,
     random_biconnected_graph,
     ring_graph,
     wheel_graph,
 )
-from .traffic import gravity, hotspot, random_pairs, uniform_all_pairs
+from .traffic import (
+    MASS_DISTRIBUTIONS,
+    VOLUME_DISTRIBUTIONS,
+    gravity,
+    hotspot,
+    random_pairs,
+    uniform_all_pairs,
+)
 
 __all__ = [
+    "COST_DISTRIBUTIONS",
+    "MASS_DISTRIBUTIONS",
+    "VOLUME_DISTRIBUTIONS",
     "complete_graph",
+    "draw_costs",
     "figure1_graph",
     "gravity",
     "hotspot",

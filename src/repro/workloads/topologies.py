@@ -18,6 +18,8 @@ from ..errors import GraphError
 from ..routing.graph import ASGraph
 
 __all__ = [
+    "COST_DISTRIBUTIONS",
+    "draw_costs",
     "figure1_graph",
     "ring_graph",
     "wheel_graph",
@@ -38,15 +40,53 @@ def node_names(count: int, prefix: str = "n") -> List[str]:
     return [f"{prefix}{i:0{width}d}" for i in range(count)]
 
 
+#: Transit-cost distributions accepted by :func:`draw_costs`.
+COST_DISTRIBUTIONS = ("uniform", "pareto", "lognormal")
+
+
+def draw_costs(
+    names: Sequence[str],
+    rng: random.Random,
+    cost_range: Tuple[float, float],
+    cost_dist: str = "uniform",
+    cost_param: float = 2.5,
+) -> Dict[str, float]:
+    """Per-node transit costs from a configurable distribution.
+
+    ``"uniform"`` draws from ``cost_range`` directly.  The heavy-tailed
+    options anchor at ``cost_range[0]`` (which must then be positive)
+    and ignore the upper bound: ``"pareto"`` multiplies it by
+    ``Pareto(cost_param)``, ``"lognormal"`` by ``LogNormal(0,
+    cost_param)``.  Skewed costs concentrate cheap transit on a few
+    nodes, which is what makes VCG overpayment interesting to sweep.
+    """
+    low, high = cost_range
+    if low < 0 or high < low:
+        raise GraphError(f"invalid cost range {cost_range}")
+    if cost_dist not in COST_DISTRIBUTIONS:
+        raise GraphError(
+            f"unknown cost_dist {cost_dist!r}; "
+            f"expected one of {COST_DISTRIBUTIONS}"
+        )
+    if cost_dist == "uniform":
+        return {name: rng.uniform(low, high) for name in names}
+    if cost_param <= 0:
+        raise GraphError(f"cost_param must be positive, got {cost_param}")
+    if low <= 0:
+        raise GraphError(
+            f"{cost_dist} costs need a positive anchor, got low={low}"
+        )
+    if cost_dist == "pareto":
+        return {name: low * rng.paretovariate(cost_param) for name in names}
+    return {name: low * rng.lognormvariate(0.0, cost_param) for name in names}
+
+
 def _uniform_costs(
     names: Sequence[str],
     rng: random.Random,
     cost_range: Tuple[float, float],
 ) -> Dict[str, float]:
-    low, high = cost_range
-    if low < 0 or high < low:
-        raise GraphError(f"invalid cost range {cost_range}")
-    return {name: rng.uniform(low, high) for name in names}
+    return draw_costs(names, rng, cost_range, cost_dist="uniform")
 
 
 def ring_graph(
@@ -105,6 +145,8 @@ def random_biconnected_graph(
     rng: Optional[random.Random] = None,
     extra_edge_prob: float = 0.25,
     cost_range: Tuple[float, float] = (1.0, 10.0),
+    cost_dist: str = "uniform",
+    cost_param: float = 2.5,
 ) -> ASGraph:
     """A random biconnected AS graph.
 
@@ -116,6 +158,9 @@ def random_biconnected_graph(
     ----------
     rng:
         Seeded generator; the same seed reproduces the same graph.
+    cost_dist, cost_param:
+        Transit-cost distribution (see :func:`draw_costs`); the default
+        keeps the seed repository's uniform draw bit-for-bit.
     """
     if count < 3:
         raise GraphError("need at least 3 nodes for biconnectivity")
@@ -123,7 +168,9 @@ def random_biconnected_graph(
         raise GraphError("extra_edge_prob must lie in [0, 1]")
     rng = rng or random.Random(0)
     names = node_names(count)
-    costs = _uniform_costs(names, rng, cost_range)
+    costs = draw_costs(
+        names, rng, cost_range, cost_dist=cost_dist, cost_param=cost_param
+    )
 
     order = list(names)
     rng.shuffle(order)

@@ -1,4 +1,21 @@
-"""Traffic-matrix generators for the execution phase."""
+"""Traffic-matrix generators for the execution phase.
+
+Volume models
+-------------
+``random_pairs`` and ``gravity`` support heavy-tailed volume options in
+addition to the uniform defaults, because real interdomain traffic is
+famously skewed (a few elephant flows carry most bytes):
+
+* ``"uniform"`` — volumes drawn uniformly from ``volume_range``;
+* ``"pareto"`` — volumes ``low * Pareto(alpha)``: a continuous heavy
+  tail whose weight grows as ``alpha`` falls toward 1;
+* ``"zipf"`` (``random_pairs`` only) — the i-th drawn flow carries
+  ``high / i**alpha``: the literal rank-size law, deterministic given
+  the pair sequence.
+
+All generators consume only the supplied ``rng``, so a seed fully
+determines the matrix.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +26,16 @@ from ..errors import MechanismError
 from ..routing.graph import ASGraph, NodeId
 
 TrafficMatrix = Dict[Tuple[NodeId, NodeId], float]
+
+#: Volume distributions accepted by :func:`random_pairs`.
+VOLUME_DISTRIBUTIONS = ("uniform", "pareto", "zipf")
+#: Mass distributions accepted by :func:`gravity`.
+MASS_DISTRIBUTIONS = ("uniform", "pareto")
+
+
+def _require_tail_param(name: str, value: float) -> None:
+    if value <= 0:
+        raise MechanismError(f"{name} must be positive, got {value}")
 
 
 def uniform_all_pairs(graph: ASGraph, volume: float = 1.0) -> TrafficMatrix:
@@ -28,25 +55,51 @@ def random_pairs(
     rng: random.Random,
     flow_count: int,
     volume_range: Tuple[float, float] = (1.0, 5.0),
+    volume_dist: str = "uniform",
+    volume_param: float = 1.5,
 ) -> TrafficMatrix:
     """``flow_count`` random ordered pairs with random volumes.
 
     Repeated picks of the same pair accumulate volume.
+
+    Parameters
+    ----------
+    volume_dist:
+        ``"uniform"`` (the default, volumes in ``volume_range``),
+        ``"pareto"`` (``low * Pareto(volume_param)``), or ``"zipf"``
+        (the i-th flow carries ``high / i**volume_param``).
+    volume_param:
+        Tail exponent ``alpha`` for the heavy-tailed options.
     """
     if flow_count < 0:
         raise MechanismError("flow_count must be non-negative")
     low, high = volume_range
     if low < 0 or high < low:
         raise MechanismError(f"invalid volume range {volume_range}")
+    if volume_dist not in VOLUME_DISTRIBUTIONS:
+        raise MechanismError(
+            f"unknown volume_dist {volume_dist!r}; "
+            f"expected one of {VOLUME_DISTRIBUTIONS}"
+        )
+    if volume_dist != "uniform":
+        _require_tail_param("volume_param", volume_param)
+        if volume_dist == "pareto" and low <= 0:
+            raise MechanismError("pareto volumes need a positive lower bound")
     nodes = list(graph.nodes)
     if len(nodes) < 2:
         raise MechanismError("need at least two nodes for traffic")
     traffic: TrafficMatrix = {}
-    for _ in range(flow_count):
+    for rank in range(1, flow_count + 1):
         source, destination = rng.sample(nodes, 2)
+        if volume_dist == "uniform":
+            volume = rng.uniform(low, high)
+        elif volume_dist == "pareto":
+            volume = low * rng.paretovariate(volume_param)
+        else:  # zipf: rank-size law over the draw order
+            volume = high / rank**volume_param
         traffic[(source, destination)] = traffic.get(
             (source, destination), 0.0
-        ) + rng.uniform(low, high)
+        ) + volume
     return traffic
 
 
@@ -69,16 +122,36 @@ def gravity(
     graph: ASGraph,
     rng: random.Random,
     total_volume: float = 100.0,
+    mass_dist: str = "uniform",
+    mass_param: float = 1.5,
 ) -> TrafficMatrix:
     """A gravity model: volume proportional to node-mass products.
 
-    Masses are drawn uniformly, and the matrix is normalised so all
-    flows sum to ``total_volume``.
+    The matrix is normalised so all flows sum to ``total_volume``
+    regardless of the mass distribution (mass conservation).
+
+    Parameters
+    ----------
+    mass_dist:
+        ``"uniform"`` draws masses from ``U(0.5, 2.0)`` (the default);
+        ``"pareto"`` draws ``Pareto(mass_param)`` masses, concentrating
+        traffic on a few heavy nodes.
     """
+    if total_volume < 0:
+        raise MechanismError("total_volume must be non-negative")
+    if mass_dist not in MASS_DISTRIBUTIONS:
+        raise MechanismError(
+            f"unknown mass_dist {mass_dist!r}; "
+            f"expected one of {MASS_DISTRIBUTIONS}"
+        )
     nodes = list(graph.nodes)
     if len(nodes) < 2:
         raise MechanismError("need at least two nodes for traffic")
-    masses = {node: rng.uniform(0.5, 2.0) for node in nodes}
+    if mass_dist == "uniform":
+        masses = {node: rng.uniform(0.5, 2.0) for node in nodes}
+    else:
+        _require_tail_param("mass_param", mass_param)
+        masses = {node: rng.paretovariate(mass_param) for node in nodes}
     raw: TrafficMatrix = {}
     for source in nodes:
         for destination in nodes:

@@ -1,0 +1,117 @@
+"""Tests for summary statistics and artifact writing."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ScenarioSpec,
+    SummaryStats,
+    SweepRunner,
+    expand_grid,
+    summarize,
+    write_artifacts,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenarios = expand_grid(
+        base={"size": 6},
+        axes={"topology": ["random", "ring"], "seed": [0, 1, 2]},
+    )
+    return SweepRunner(scenarios, workers=1).run()
+
+
+class TestSummaryStats:
+    def test_five_numbers(self):
+        stats = SummaryStats.of([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.std == pytest.approx(1.1180339887)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            SummaryStats.of([])
+
+
+class TestSummarize:
+    def test_cells_and_counts(self, results):
+        summaries = summarize(results, group_by=("topology",))
+        assert [dict(s.key)["topology"] for s in summaries] == [
+            "random",
+            "ring",
+        ]
+        assert all(s.scenarios == 3 for s in summaries)
+        assert all(s.failures == 0 for s in summaries)
+
+    def test_stats_match_raw_values(self, results):
+        summaries = summarize(results, group_by=("topology",))
+        ring = next(s for s in summaries if dict(s.key)["topology"] == "ring")
+        raw = [
+            r.values["overpayment_ratio"]
+            for r in results
+            if r.spec.topology == "ring"
+        ]
+        assert ring.stats["overpayment_ratio"].mean == pytest.approx(
+            sum(raw) / len(raw)
+        )
+        assert ring.stats["overpayment_ratio"].count == len(raw)
+
+    def test_unknown_group_field(self, results):
+        with pytest.raises(ExperimentError):
+            summarize(results, group_by=("flavour",))
+
+    def test_failures_excluded_from_stats(self, results):
+        from dataclasses import replace
+
+        broken = replace(results[0], values={}, error="boom")
+        summaries = summarize(
+            [broken] + list(results[1:]), group_by=("topology",)
+        )
+        random_cell = next(
+            s for s in summaries if dict(s.key)["topology"] == "random"
+        )
+        assert random_cell.failures == 1
+        assert random_cell.scenarios == 3
+        assert random_cell.stats["overpayment_ratio"].count == 2
+
+
+class TestArtifacts:
+    def test_writes_all_three(self, results, tmp_path):
+        summaries = summarize(results, group_by=("topology",))
+        paths = write_artifacts(
+            results, summaries, str(tmp_path / "out"), name="unit"
+        )
+        assert set(paths) == {"results", "summary", "json"}
+
+        with open(paths["results"]) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(results)
+        assert rows[0]["scenario_id"] == results[0].scenario_id
+        assert float(rows[0]["overpayment_ratio"]) == pytest.approx(
+            results[0].values["overpayment_ratio"]
+        )
+
+        with open(paths["summary"]) as handle:
+            summary_rows = list(csv.DictReader(handle))
+        metrics = {row["metric"] for row in summary_rows}
+        assert "overpayment_ratio" in metrics
+        assert "wall_time" in metrics
+
+        with open(paths["json"]) as handle:
+            document = json.load(handle)
+        assert document["name"] == "unit"
+        assert len(document["scenarios"]) == len(results)
+        assert len(document["summaries"]) == 2
+
+    def test_results_csv_deterministic(self, results, tmp_path):
+        summaries = summarize(results, group_by=("topology",))
+        one = write_artifacts(results, summaries, str(tmp_path / "a"))
+        two = write_artifacts(results, summaries, str(tmp_path / "b"))
+        with open(one["summary"]) as f_a, open(two["summary"]) as f_b:
+            assert f_a.read() == f_b.read()

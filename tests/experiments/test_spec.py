@@ -1,0 +1,198 @@
+"""Tests for scenario specs, grid expansion, and sweep parsing."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ScenarioSpec,
+    SweepSpec,
+    default_sweep,
+    expand_grid,
+    parse_sweep,
+)
+
+
+class TestScenarioSpec:
+    def test_default_is_valid(self):
+        ScenarioSpec().validate()
+
+    def test_unknown_topology(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(topology="torus").validate()
+
+    def test_unknown_traffic(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(traffic="bursty").validate()
+
+    def test_unknown_probe(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(probe="telepathy").validate()
+
+    def test_too_small_family(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(topology="wheel", size=3).validate()
+
+    def test_detection_needs_deviation(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(probe="detection").validate()
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(probe="detection", deviation="mind-control").validate()
+        ScenarioSpec(probe="detection", deviation="cost-lie").validate()
+
+    def test_bad_distribution_names(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(cost_dist="cauchy").validate()
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(volume_dist="weibull").validate()
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(mass_dist="zipf").validate()
+
+    def test_build_graph_deterministic(self):
+        spec = ScenarioSpec(topology="random", size=9, seed=3)
+        one, two = spec.build_graph(), spec.build_graph()
+        assert one.edges == two.edges
+        assert one.costs == two.costs
+
+    def test_build_traffic_deterministic(self):
+        spec = ScenarioSpec(traffic="gravity", size=6, seed=4)
+        graph = spec.build_graph()
+        assert spec.build_traffic(graph) == spec.build_traffic(graph)
+
+    def test_heavy_tail_knobs_flow_through(self):
+        spec = ScenarioSpec(
+            topology="random",
+            size=8,
+            seed=1,
+            cost_dist="pareto",
+            cost_param=1.2,
+        )
+        graph = spec.build_graph()
+        uniform = ScenarioSpec(topology="random", size=8, seed=1).build_graph()
+        assert graph.edges == uniform.edges  # structure untouched
+        assert graph.costs != uniform.costs
+
+    def test_named_family_cost_dist_redraw(self):
+        spec = ScenarioSpec(
+            topology="ring", size=6, seed=2, cost_dist="lognormal"
+        )
+        graph = spec.build_graph()
+        base = ScenarioSpec(topology="ring", size=6, seed=2).build_graph()
+        assert graph.edges == base.edges
+        assert graph.costs != base.costs
+
+    def test_figure1_ignores_size(self):
+        graph = ScenarioSpec(topology="figure1", size=999).build_graph()
+        assert set(graph.nodes) == {"A", "B", "C", "D", "X", "Z"}
+
+    def test_link_delays_heterogeneous_and_seeded(self):
+        spec = ScenarioSpec(link_delay_spread=0.5, seed=7)
+        delay_a, delay_b = spec.link_delays(), spec.link_delays()
+        draws_a = [delay_a("x", "y") for _ in range(5)]
+        draws_b = [delay_b("x", "y") for _ in range(5)]
+        assert draws_a == draws_b  # seed-determined
+        assert len(set(draws_a)) > 1  # actually heterogeneous
+        assert all(1.0 <= d <= 1.5 for d in draws_a)
+        assert ScenarioSpec(link_delay_spread=0.0).link_delays() == 1.0
+
+    def test_round_trip_dict(self):
+        spec = ScenarioSpec(
+            topology="wheel",
+            size=7,
+            probe="detection",
+            deviation="cost-lie",
+            faithfulness_deviations=("cost-lie",),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec.from_dict({"warp_factor": 9})
+
+    def test_wrong_field_types_rejected(self):
+        # JSON documents can carry strings where numbers belong; the
+        # spec must refuse them instead of failing mid-sweep.
+        with pytest.raises(ExperimentError, match="size must be"):
+            ScenarioSpec.from_dict({"size": "8"})
+        with pytest.raises(ExperimentError, match="volume must be"):
+            ScenarioSpec.from_dict({"volume": "heavy"})
+        with pytest.raises(ExperimentError, match="topology must be"):
+            ScenarioSpec.from_dict({"topology": 3})
+        with pytest.raises(ExperimentError, match="seed must be"):
+            ScenarioSpec.from_dict({"seed": True})
+        with pytest.raises(ExperimentError, match="deviation must be"):
+            ScenarioSpec.from_dict(
+                {"probe": "detection", "deviation": 7}
+            )
+
+    def test_pickles(self):
+        spec = ScenarioSpec(probe="convergence", link_delay_spread=0.3)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_scenario_ids_unique_across_default_grid(self):
+        sweep = default_sweep()
+        ids = [spec.scenario_id() for spec in sweep.scenarios]
+        assert len(set(ids)) == len(ids)
+
+
+class TestExpandGrid:
+    def test_cartesian_product_order(self):
+        scenarios = expand_grid(
+            base={"probe": "payments"},
+            axes={"topology": ["ring", "random"], "seed": [0, 1, 2]},
+        )
+        assert len(scenarios) == 6
+        # First axis varies slowest.
+        assert [s.topology for s in scenarios] == ["ring"] * 3 + ["random"] * 3
+        assert [s.seed for s in scenarios] == [0, 1, 2, 0, 1, 2]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ExperimentError):
+            expand_grid(base={}, axes={"colour": ["red"]})
+        with pytest.raises(ExperimentError):
+            expand_grid(base={"colour": "red"}, axes={"seed": [0]})
+
+    def test_overlapping_base_and_axis_rejected(self):
+        with pytest.raises(ExperimentError):
+            expand_grid(base={"seed": 0}, axes={"seed": [0, 1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError):
+            expand_grid(base={}, axes={"seed": []})
+
+    def test_invalid_cell_rejected_at_expansion(self):
+        with pytest.raises(ExperimentError):
+            expand_grid(base={}, axes={"topology": ["random", "torus"]})
+
+
+class TestParseSweep:
+    def test_minimal_document(self):
+        sweep = parse_sweep(
+            {"axes": {"seed": [0, 1]}, "name": "tiny"}
+        )
+        assert sweep.name == "tiny"
+        assert len(sweep.scenarios) == 2
+
+    def test_group_by_validated(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(
+                name="x",
+                scenarios=(ScenarioSpec(),),
+                group_by=("nonsense",),
+            )
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ExperimentError):
+            parse_sweep({"axes": {"seed": [0]}, "scenario_count": 5})
+
+    def test_axes_required(self):
+        with pytest.raises(ExperimentError):
+            parse_sweep({"name": "empty"})
+
+    def test_default_sweep_shape(self):
+        sweep = default_sweep()
+        assert len(sweep.scenarios) >= 50
+        assert len({s.topology for s in sweep.scenarios}) >= 2
+        assert len({s.traffic for s in sweep.scenarios}) >= 2
+        assert len({s.seed for s in sweep.scenarios}) >= 3

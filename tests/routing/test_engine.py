@@ -276,3 +276,121 @@ class TestEngineFacade:
             engine.tree("X", avoiding="X")
         trivial = engine.path("A", "A")
         assert trivial.path == ("A",) and trivial.cost == 0.0
+
+
+# ----------------------------------------------------------------------
+# Early-exit (partial) trees
+# ----------------------------------------------------------------------
+
+
+class TestPartialTrees:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_partial_matches_full_tree(self, seed):
+        """Property: every partial-tree entry is bit-identical to the
+        full tree's, for random target subsets on tie-heavy graphs."""
+        graph = _tie_heavy_graph(seed)
+        rng = random.Random(seed ^ 0xBEEF)
+        nodes = list(graph.nodes)
+        source = rng.choice(nodes)
+        targets = rng.sample(nodes, rng.randint(1, len(nodes)))
+        engine = RoutingEngine(graph)
+        partial = engine.partial_tree(source, targets)
+        full = RoutingEngine(graph).tree(source)
+        expected = {
+            t for t in targets if t != source and t in full
+        }
+        assert set(partial) == expected
+        for destination in partial:
+            assert partial[destination].path == full[destination].path
+            assert partial[destination].cost == full[destination].cost
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_partial_matches_full_avoidance_tree(self, seed):
+        """Property: early exit agrees with the full LCP_{-k} tree,
+        including which targets the restriction disconnects."""
+        graph = _tie_heavy_graph(seed)
+        rng = random.Random(seed ^ 0xFACE)
+        nodes = list(graph.nodes)
+        source, avoided = rng.sample(nodes, 2)
+        targets = rng.sample(nodes, rng.randint(1, len(nodes) - 1))
+        engine = RoutingEngine(graph)
+        partial = engine.partial_tree(source, targets, avoiding=avoided)
+        full = RoutingEngine(graph).tree(source, avoiding=avoided)
+        expected = {
+            t
+            for t in targets
+            if t not in (source, avoided) and t in full
+        }
+        assert set(partial) == expected
+        for destination in partial:
+            assert partial[destination].path == full[destination].path
+            assert partial[destination].cost == full[destination].cost
+
+    def test_early_exit_settles_fewer_nodes(self):
+        """On a long ring, stopping at a close target must not pay for
+        the whole tree: the near side settles, the far side does not."""
+        graph = ring_for_partial(24)
+        engine = RoutingEngine(graph)
+        near = graph.nodes[1]
+        partial = engine.partial_tree(graph.nodes[0], (near,))
+        assert set(partial) == {near}
+        assert engine.partial_runs == 1
+        # Early exit: only a handful of the 24 nodes ever settled.
+        assert engine.settled <= 4
+        # The full tree is a separate computation, not the cached partial.
+        full = engine.tree(graph.nodes[0])
+        assert len(full) == 23
+        assert engine.runs == 2
+        assert engine.settled >= 24
+
+    def test_partial_results_are_cached(self, fig1):
+        engine = RoutingEngine(fig1)
+        one = engine.partial_tree("X", ("Z",))
+        two = engine.partial_tree("X", ("Z",))
+        assert one is two
+        assert engine.runs == 1 and engine.hits == 1
+
+    def test_full_tree_serves_partial_queries(self, fig1):
+        engine = RoutingEngine(fig1)
+        full = engine.tree("X")
+        partial = engine.partial_tree("X", ("Z", "D"))
+        assert engine.runs == 1  # no second Dijkstra
+        assert set(partial) == {"Z", "D"}
+        assert partial["Z"].path == full["Z"].path
+
+    def test_clear_cache_drops_partials(self, fig1):
+        engine = RoutingEngine(fig1)
+        engine.partial_tree("X", ("Z",))
+        engine.clear_cache()
+        engine.partial_tree("X", ("Z",))
+        assert engine.runs == 2
+
+    def test_source_and_avoided_targets_are_skipped(self, fig1):
+        engine = RoutingEngine(fig1)
+        partial = engine.partial_tree("X", ("X", "C", "Z"), avoiding="C")
+        assert set(partial) == {"Z"}
+        assert engine.partial_tree("X", ("X",)) == {}
+
+    def test_validation_matches_tree_contract(self, fig1):
+        engine = RoutingEngine(fig1)
+        with pytest.raises(GraphError):
+            engine.partial_tree("ghost", ("A",))
+        with pytest.raises(GraphError):
+            engine.partial_tree("A", ("ghost",))
+        with pytest.raises(GraphError):
+            engine.partial_tree("A", ("B",), avoiding="ghost")
+        with pytest.raises(RoutingError):
+            engine.partial_tree("A", ("B",), avoiding="A")
+
+
+def ring_for_partial(count):
+    """A unit-cost ring big enough to make early exit observable."""
+    from repro.routing import ASGraph
+
+    names = [f"r{i:02d}" for i in range(count)]
+    return ASGraph(
+        {name: 1.0 for name in names},
+        [(names[i], names[(i + 1) % count]) for i in range(count)],
+    )

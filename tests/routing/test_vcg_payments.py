@@ -193,3 +193,54 @@ class TestStrategyproofnessProperty:
                     payment_rule="declared-cost",
                 )
                 assert lied <= truthful + 1e-9
+
+
+class TestSparseEconomics:
+    """The early-exit (sparse) routing mode must be output-identical."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_sparse_matches_full_on_random_traffic(self, seed):
+        from repro.workloads import random_pairs
+
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(rng.randint(4, 10), rng)
+        traffic = random_pairs(graph, rng, rng.randint(1, 6))
+        full = economics_under_traffic(graph, graph, traffic, sparse=False)
+        sparse = economics_under_traffic(graph, graph, traffic, sparse=True)
+        assert set(full) == set(sparse)
+        for node in full:
+            assert full[node].received == pytest.approx(sparse[node].received)
+            assert full[node].paid == pytest.approx(sparse[node].paid)
+            assert full[node].true_transit_cost == pytest.approx(
+                sparse[node].true_transit_cost
+            )
+
+    def test_sparse_matches_full_declared_cost_rule(self, fig1):
+        traffic = {("X", "Z"): 2.0, ("Z", "D"): 1.0}
+        full = economics_under_traffic(
+            fig1, fig1, traffic, payment_rule="declared-cost", sparse=False
+        )
+        sparse = economics_under_traffic(
+            fig1, fig1, traffic, payment_rule="declared-cost", sparse=True
+        )
+        for node in full:
+            assert full[node].utility == pytest.approx(sparse[node].utility)
+
+    def test_auto_mode_picks_sparse_for_few_flows(self, fig1):
+        from repro.routing import engine_for
+
+        engine = engine_for(fig1)
+        engine.clear_cache()
+        engine.partial_runs = 0
+        economics_under_traffic(fig1, fig1, {("X", "Z"): 1.0})
+        assert engine.partial_runs > 0
+
+    def test_auto_mode_stays_full_for_dense_traffic(self, fig1):
+        from repro.routing import engine_for
+
+        engine = engine_for(fig1)
+        engine.clear_cache()
+        engine.partial_runs = 0
+        economics_under_traffic(fig1, fig1, uniform_all_pairs(fig1))
+        assert engine.partial_runs == 0

@@ -80,3 +80,125 @@ class TestCommands:
         assert "copy-drop" in out
         assert "message-passing" in out
         assert "execution" in out
+
+
+class TestSweepCommand:
+    def test_spec_file_sweep(self, capsys, tmp_path):
+        import csv
+        import json
+
+        spec = tmp_path / "sweep.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "cli-test",
+                    "base": {"size": 6},
+                    "axes": {
+                        "topology": ["random", "ring"],
+                        "traffic": ["uniform", "gravity"],
+                        "seed": [0, 1, 2],
+                    },
+                }
+            )
+        )
+        out_dir = tmp_path / "artifacts"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec),
+                    "--out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep 'cli-test': 12 scenarios" in out
+        assert "overpayment_ratio" in out
+        with open(out_dir / "results.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 12
+        assert all(row["error"] == "" for row in rows)
+        assert (out_dir / "summary.csv").exists()
+        assert (out_dir / "sweep.json").exists()
+
+    def test_custom_group_by_and_metric(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "sweep.json"
+        spec.write_text(
+            json.dumps({"axes": {"seed": [0, 1], "size": [6, 8]}})
+        )
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec),
+                    "--out",
+                    str(tmp_path / "a"),
+                    "--group-by",
+                    "size",
+                    "--metric",
+                    "total_payment",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Per-cell total_payment" in out
+        assert "size=6" in out and "size=8" in out
+
+    def test_bad_spec_file(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["sweep", "--spec", str(missing)]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep", "--spec", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bad_grid_field(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({"axes": {"colour": ["red"]}}))
+        assert main(["sweep", "--spec", str(spec)]) == 2
+        assert "unknown grid fields" in capsys.readouterr().err
+
+    def test_wrong_typed_axis_value(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({"axes": {"size": ["8"]}}))
+        assert main(["sweep", "--spec", str(spec)]) == 2
+        assert "size must be an integer" in capsys.readouterr().err
+
+    def test_bad_group_by_fails_before_running(self, capsys, tmp_path):
+        import json
+        import time
+
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({"axes": {"seed": [0, 1]}}))
+        started = time.perf_counter()
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec),
+                    "--out",
+                    str(tmp_path / "o"),
+                    "--group-by",
+                    "topolgy",
+                ]
+            )
+            == 2
+        )
+        assert "unknown group_by fields" in capsys.readouterr().err
+        # Fail-fast: no scenario ran, no artifact dir appeared.
+        assert time.perf_counter() - started < 5.0
+        assert not (tmp_path / "o").exists()

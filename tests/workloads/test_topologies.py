@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.errors import GraphError
 from repro.workloads import (
     complete_graph,
+    draw_costs,
     node_names,
     random_biconnected_graph,
     ring_graph,
@@ -92,3 +93,72 @@ class TestRandomBiconnected:
     def test_minimum_size(self):
         with pytest.raises(GraphError):
             random_biconnected_graph(2, random.Random(0))
+
+
+class TestCostDistributions:
+    def test_uniform_default_unchanged(self):
+        # The knob must not perturb the seed repository's default draw.
+        baseline = random_biconnected_graph(8, random.Random(11))
+        explicit = random_biconnected_graph(
+            8, random.Random(11), cost_dist="uniform"
+        )
+        assert baseline.costs == explicit.costs
+        assert baseline.edges == explicit.edges
+
+    def test_pareto_costs_anchor_at_low(self):
+        graph = random_biconnected_graph(
+            10,
+            random.Random(3),
+            cost_range=(2.0, 10.0),
+            cost_dist="pareto",
+            cost_param=1.5,
+        )
+        assert all(c >= 2.0 for c in graph.costs.values())
+        assert graph.is_biconnected()
+
+    def test_lognormal_costs_positive(self):
+        graph = random_biconnected_graph(
+            10,
+            random.Random(3),
+            cost_range=(1.0, 10.0),
+            cost_dist="lognormal",
+            cost_param=1.0,
+        )
+        assert all(c > 0 for c in graph.costs.values())
+
+    def test_heavy_tail_is_heavier(self):
+        names = node_names(200)
+        uniform = draw_costs(names, random.Random(0), (1.0, 10.0))
+        pareto = draw_costs(
+            names,
+            random.Random(0),
+            (1.0, 10.0),
+            cost_dist="pareto",
+            cost_param=1.05,
+        )
+        assert max(pareto.values()) > max(uniform.values())
+
+    def test_deterministic_per_seed(self):
+        kwargs = dict(cost_dist="lognormal", cost_param=0.8)
+        one = random_biconnected_graph(7, random.Random(5), **kwargs)
+        two = random_biconnected_graph(7, random.Random(5), **kwargs)
+        assert one.costs == two.costs
+
+    def test_unknown_dist_rejected(self):
+        with pytest.raises(GraphError):
+            random_biconnected_graph(5, random.Random(0), cost_dist="cauchy")
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(GraphError):
+            random_biconnected_graph(
+                5, random.Random(0), cost_dist="pareto", cost_param=0.0
+            )
+
+    def test_heavy_tail_needs_positive_anchor(self):
+        with pytest.raises(GraphError):
+            draw_costs(
+                node_names(4),
+                random.Random(0),
+                (0.0, 5.0),
+                cost_dist="pareto",
+            )

@@ -62,6 +62,78 @@ class TestHotspot:
             hotspot(graph, "ghost")
 
 
+class TestRandomPairsHeavyTails:
+    def test_pareto_volumes(self, graph):
+        traffic = random_pairs(
+            graph,
+            random.Random(3),
+            20,
+            (1.0, 5.0),
+            volume_dist="pareto",
+            volume_param=1.1,
+        )
+        # Pareto(alpha) >= 1, so every volume is at least the low bound.
+        assert all(v >= 1.0 for v in traffic.values())
+
+    def test_pareto_deterministic(self, graph):
+        kwargs = dict(volume_dist="pareto", volume_param=1.3)
+        one = random_pairs(graph, random.Random(9), 12, **kwargs)
+        two = random_pairs(graph, random.Random(9), 12, **kwargs)
+        assert one == two
+
+    def test_zipf_rank_size_law(self, graph):
+        # With distinct pairs, the i-th drawn flow carries high/i**a.
+        rng = random.Random(4)
+        traffic = random_pairs(
+            graph,
+            rng,
+            6,
+            (1.0, 8.0),
+            volume_dist="zipf",
+            volume_param=1.0,
+        )
+        replay = random.Random(4)
+        nodes = list(graph.nodes)
+        expected = {}
+        for rank in range(1, 7):
+            pair = tuple(replay.sample(nodes, 2))
+            expected[pair] = expected.get(pair, 0.0) + 8.0 / rank
+        assert traffic == pytest.approx(expected)
+
+    def test_zipf_heavier_head(self, graph):
+        traffic = random_pairs(
+            graph,
+            random.Random(5),
+            30,
+            (1.0, 10.0),
+            volume_dist="zipf",
+            volume_param=1.5,
+        )
+        volumes = sorted(traffic.values(), reverse=True)
+        # The top flow dominates: heavier than the sum of the tail half.
+        assert volumes[0] > sum(volumes[len(volumes) // 2 :])
+
+    def test_unknown_dist_rejected(self, graph):
+        with pytest.raises(MechanismError):
+            random_pairs(graph, random.Random(0), 4, volume_dist="normal")
+
+    def test_bad_tail_param_rejected(self, graph):
+        with pytest.raises(MechanismError):
+            random_pairs(
+                graph,
+                random.Random(0),
+                4,
+                volume_dist="pareto",
+                volume_param=0.0,
+            )
+
+    def test_pareto_needs_positive_low(self, graph):
+        with pytest.raises(MechanismError):
+            random_pairs(
+                graph, random.Random(0), 4, (0.0, 5.0), volume_dist="pareto"
+            )
+
+
 class TestGravity:
     def test_total_volume_normalised(self, graph):
         traffic = gravity(graph, random.Random(2), total_volume=50.0)
@@ -71,3 +143,45 @@ class TestGravity:
     def test_covers_all_pairs(self, graph):
         traffic = gravity(graph, random.Random(2))
         assert len(traffic) == 4 * 3
+
+    def test_seed_determinism(self, graph):
+        assert gravity(graph, random.Random(7)) == gravity(
+            graph, random.Random(7)
+        )
+        assert gravity(graph, random.Random(7)) != gravity(
+            graph, random.Random(8)
+        )
+
+    def test_pareto_masses_conserve_total(self, graph):
+        # Mass conservation must survive the heavy-tailed mass option.
+        traffic = gravity(
+            graph,
+            random.Random(2),
+            total_volume=42.0,
+            mass_dist="pareto",
+            mass_param=1.2,
+        )
+        assert sum(traffic.values()) == pytest.approx(42.0)
+        assert len(traffic) == 4 * 3
+
+    def test_pareto_masses_skew_flows(self, graph):
+        uniform = gravity(graph, random.Random(6))
+        skewed = gravity(
+            graph, random.Random(6), mass_dist="pareto", mass_param=1.05
+        )
+        spread = lambda t: max(t.values()) / min(t.values())
+        assert spread(skewed) > spread(uniform)
+
+    def test_negative_total_rejected(self, graph):
+        with pytest.raises(MechanismError):
+            gravity(graph, random.Random(0), total_volume=-1.0)
+
+    def test_unknown_mass_dist_rejected(self, graph):
+        with pytest.raises(MechanismError):
+            gravity(graph, random.Random(0), mass_dist="zipf")
+
+    def test_bad_mass_param_rejected(self, graph):
+        with pytest.raises(MechanismError):
+            gravity(
+                graph, random.Random(0), mass_dist="pareto", mass_param=-2.0
+            )
