@@ -1,31 +1,92 @@
 """E8 — Construction-phase convergence (Griffin-Wilfong premise).
 
 FPSS assumes the static abstract-BGP model, under which both
-construction phases converge.  Measures events/messages to quiescence
-for growing random biconnected graphs and verifies the converged
-tables against the centralized oracle on each instance.  Expected
-shape: always converges; work grows polynomially with n.
+construction phases converge.  These benchmarks measure the protocol
+engine's convergence work on sparse AS-like random biconnected graphs
+(constant expected extra degree, matching real interdomain topologies,
+instead of the default quadratic chord densification) and verify every
+converged fixed point against the centralized oracle.
+
+Two engines are measured:
+
+* **incremental** (the default): batched delivery plus delta
+  recomputation — one relaxation per node per flooding round, work
+  proportional to actual table churn;
+* **legacy**: per-message delivery with a full-table rescan per update
+  (:class:`~repro.routing.fpss.FullRecomputeFPSSNode`,
+  ``batch_delivery=False``) — the engine this repository shipped
+  before the incremental rework, kept as the "before" leg of the
+  curve.
+
+The incremental curve runs 16/32/64 in the default tier — with the
+64-node acceptance bound of five seconds asserted — and extends to 96
+nodes behind the ``slow`` marker.  The legacy engine leaves the
+default tier at 16 nodes (~60 s at 32 already), which is exactly the
+scaling wall the incremental engine removes.
 """
 
+import os
 import random
+import time
+
+import pytest
 
 from repro.analysis import render_table
-from repro.routing import run_plain_fpss, verify_against_oracle
+from repro.routing import (
+    FullRecomputeFPSSNode,
+    run_plain_fpss,
+    verify_against_oracle,
+)
 from repro.workloads import random_biconnected_graph
 
-SIZES = (4, 6, 8, 10)
+#: Incremental-engine curve (default tier) and its slow-tier extension.
+SIZES = (16, 32, 64)
+SLOW_SIZES = (96,)
+#: Sizes small enough for the legacy engine's before/after comparison.
+LEGACY_SIZES = (8, 12, 16)
+
+#: Acceptance bound for the 64-node incremental run (seconds), on the
+#: development machine.  CI sets REPRO_BENCH_TIME_SCALE to widen the
+#: bound for slower shared runners without losing the regression gate.
+BOUND_64 = 5.0 * float(os.environ.get("REPRO_BENCH_TIME_SCALE", "1"))
 
 
-def measure_convergence(sizes=SIZES, seed=5):
+def sparse_graph(size, seed=5):
+    """AS-like sparse biconnected graph: Hamiltonian cycle + ~2 extra
+    chords per node (expected degree ~6) regardless of size."""
+    rng = random.Random(seed * 100 + size)
+    return random_biconnected_graph(
+        size, rng, extra_edge_prob=4.0 / (size - 1)
+    )
+
+
+def run_engine(graph, legacy=False):
+    """One timed convergence run; returns (wall seconds, stats, nodes)."""
+    kwargs = {}
+    if legacy:
+        kwargs = {
+            "node_factory": lambda node_id, cost: FullRecomputeFPSSNode(
+                node_id, cost
+            ),
+            "batch_delivery": False,
+        }
+    started = time.perf_counter()
+    _, nodes, stats = run_plain_fpss(graph, **kwargs)
+    elapsed = time.perf_counter() - started
+    return elapsed, stats, nodes
+
+
+def measure_curve(sizes, legacy=False, seed=5):
     rows = []
     for size in sizes:
-        rng = random.Random(seed * 100 + size)
-        graph = random_biconnected_graph(size, rng)
-        _, nodes, stats = run_plain_fpss(graph)
+        graph = sparse_graph(size, seed=seed)
+        elapsed, stats, nodes = run_engine(graph, legacy=legacy)
         verify_against_oracle(graph, nodes)
         rows.append(
             {
                 "size": size,
+                "edges": len(graph.edges),
+                "seconds": elapsed,
                 "phase1_events": stats.phase1_events,
                 "phase2_events": stats.phase2_events,
                 "messages": stats.total_messages,
@@ -35,29 +96,102 @@ def measure_convergence(sizes=SIZES, seed=5):
     return rows
 
 
-def test_bench_convergence(benchmark):
-    rows = benchmark.pedantic(measure_convergence, rounds=1, iterations=1)
+def print_curve(rows, title):
     print()
     print(
         render_table(
-            ["n", "phase-1 events", "phase-2 events", "messages", "computations"],
+            ["n", "edges", "seconds", "phase-1 ev", "phase-2 ev",
+             "messages", "computations"],
             [
-                [r["size"], r["phase1_events"], r["phase2_events"],
+                [r["size"], r["edges"], round(r["seconds"], 3),
+                 r["phase1_events"], r["phase2_events"],
                  r["messages"], r["computations"]]
                 for r in rows
             ],
-            title="E8: events to quiescence (oracle-verified each run)",
+            title=title,
         )
     )
 
-    # Convergence always happened (verify_against_oracle would raise)
-    # and work grows with n but stays polynomial: crude super-linearity
-    # guard comparing growth against n^4.
+
+def test_bench_convergence(benchmark):
+    """Incremental engine at 16/32/64 (oracle-verified, 64 < 5 s)."""
+    rows = benchmark.pedantic(
+        lambda: measure_curve(SIZES), rounds=1, iterations=1
+    )
+    print_curve(rows, "E8: incremental engine, events to quiescence")
+
+    # Work grows with n (messages are a batching-independent measure),
+    # convergence always happened (verify_against_oracle would raise),
+    # and the 64-node run meets the default-tier latency acceptance.
     for smaller, larger in zip(rows, rows[1:]):
-        assert larger["phase2_events"] > smaller["phase2_events"]
-        ratio = larger["phase2_events"] / smaller["phase2_events"]
-        size_ratio = larger["size"] / smaller["size"]
-        assert ratio < size_ratio ** 4
+        assert larger["messages"] > smaller["messages"]
+    by_size = {r["size"]: r for r in rows}
+    assert by_size[64]["seconds"] < BOUND_64
+
+
+def test_bench_convergence_before_after(benchmark):
+    """Legacy (per-message full rescan) vs incremental, same graphs.
+
+    Both engines converge to the identical oracle-verified fixed
+    point; the incremental engine does so with strictly fewer
+    mechanism computations, and the gap widens with n — the before /
+    after curve of the engine rework.
+    """
+
+    def run():
+        results = []
+        for size in LEGACY_SIZES:
+            graph = sparse_graph(size)
+            legacy_s, legacy_stats, legacy_nodes = run_engine(
+                graph, legacy=True
+            )
+            incr_s, incr_stats, incr_nodes = run_engine(graph)
+            verify_against_oracle(graph, legacy_nodes)
+            verify_against_oracle(graph, incr_nodes)
+            for source in graph.nodes:
+                assert (
+                    legacy_nodes[source].routing_table().as_dict()
+                    == incr_nodes[source].routing_table().as_dict()
+                )
+            results.append(
+                {
+                    "size": size,
+                    "legacy_s": legacy_s,
+                    "incr_s": incr_s,
+                    "legacy_comps": legacy_stats.total_computations,
+                    "incr_comps": incr_stats.total_computations,
+                }
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["n", "legacy s", "incremental s", "speedup",
+             "legacy comps", "incremental comps"],
+            [
+                [r["size"], round(r["legacy_s"], 3), round(r["incr_s"], 3),
+                 round(r["legacy_s"] / max(r["incr_s"], 1e-9), 1),
+                 r["legacy_comps"], r["incr_comps"]]
+                for r in results
+            ],
+            title="E8: legacy vs incremental engine (identical fixed points)",
+        )
+    )
+    for r in results:
+        assert r["incr_comps"] < r["legacy_comps"]
+    # The gap widens with size: the engines' computation ratio grows.
+    ratios = [r["legacy_comps"] / r["incr_comps"] for r in results]
+    assert ratios == sorted(ratios)
+
+
+@pytest.mark.slow
+def test_bench_convergence_96():
+    """Slow-tier extension of the incremental curve."""
+    rows = measure_curve(SLOW_SIZES)
+    print_curve(rows, "E8: incremental engine, slow tier")
+    assert rows[0]["messages"] > 0
 
 
 def test_bench_figure1_convergence(benchmark, fig1):

@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Interdomain routing: Example 1 and the manipulation economy.
 
+Reproduces: Example 1 / Figure 1 (node C's cost misdeclaration) and
+the Section 4.3 claim that VCG strategyproofness stops the cost lie
+while only the faithful extension stops protocol-level manipulation.
+
 Reproduces the paper's Example 1 — node C misdeclares its transit cost
 (1 -> 5) — under three regimes:
 

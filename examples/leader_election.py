@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Leader election: the paper's Section 3 motivating example.
 
+Reproduces: the Section 3 leader-election story — the naive
+specification is manipulable, the VCG (second-price) repair makes
+truthful reporting faithful.
+
 A designer wants the network to elect the node that can serve most
 cheaply as a shared computation server.  The naive specification —
 report, pick, serve uncompensated — collapses under rational play:

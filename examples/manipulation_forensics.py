@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Manipulation forensics: watch the checkers and the bank at work.
 
+Reproduces: the Section 4.3 manipulation catalogue and the Section
+4.2 claim that checkers plus bank checkpoints detect every
+construction-phase manipulation (the detection half of Proposition 1).
+
 Installs each construction-phase manipulation from Section 4.3 on one
 node of the Figure 1 network, runs the faithful protocol, and prints
 the forensic trail: which checkers raised which flags, what the bank

@@ -1,6 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: run the faithful FPSS mechanism on the paper's network.
 
+Reproduces: Figure 1's network and the Section 4.2 extended
+specification end to end — construction, certification, execution,
+settlement — with the claim that an obedient run certifies without
+flags and settles exact VCG payments.
+
 Builds the Figure 1 AS graph, runs the complete extended specification
 (two construction phases with bank checkpoints, then the execution
 phase with settlement), and prints the converged routing economics.

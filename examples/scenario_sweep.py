@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Scenario sweeps: the paper's claims as distributions, not anecdotes.
 
+Reproduces: the paper's headline claims (VCG overpayment, protocol
+convergence, manipulation detection) as per-cell distributions over
+scenario grids rather than single Figure-1 anecdotes.
+
 Single runs show *that* VCG overpays and *that* the faithful extension
 detects manipulation; sweeps show *how much, how often, and where*.
 This example builds three grids with the declarative spec layer:

@@ -71,6 +71,7 @@ def resolve_graph(spec: str) -> ASGraph:
 
 
 def cmd_lcp(args: argparse.Namespace) -> int:
+    """Print the centralized LCP (or LCP_{-k}) tree of one source."""
     graph = resolve_graph(args.graph)
     source = args.source or graph.nodes[0]
     if source not in graph:
@@ -92,6 +93,7 @@ def cmd_lcp(args: argparse.Namespace) -> int:
 
 
 def cmd_payments(args: argparse.Namespace) -> int:
+    """Print per-node all-pairs VCG payment totals."""
     graph = resolve_graph(args.graph)
     payments = all_pairs_payments(graph)
     received = {node: 0.0 for node in graph.nodes}
@@ -120,6 +122,7 @@ def cmd_payments(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """Run the faithful (or plain) mechanism and print the economics."""
     graph = resolve_graph(args.graph)
     traffic = uniform_all_pairs(graph, volume=args.volume)
     if args.plain:
@@ -152,6 +155,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_deviate(args: argparse.Namespace) -> int:
+    """Compare one manipulation's gain/detection across protocols."""
     graph = resolve_graph(args.graph)
     if args.node not in graph:
         raise ReproError(f"unknown node {args.node!r}")
@@ -205,6 +209,7 @@ def cmd_deviate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand and execute a scenario grid; print per-cell summaries."""
     if args.spec is not None:
         try:
             with open(args.spec) as handle:
@@ -262,6 +267,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_catalogue(_args: argparse.Namespace) -> int:
+    """List the manipulation catalogue with classifications."""
     rows = [
         [
             spec.name,
@@ -282,13 +288,37 @@ def cmd_catalogue(_args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser with per-command epilogs."""
+    raw = argparse.RawDescriptionHelpFormatter
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Faithful distributed mechanisms (Shneidman & Parkes, PODC 2004)",
+        formatter_class=raw,
+        epilog=(
+            "examples:\n"
+            "  python -m repro lcp --graph random:16:1 --source n00\n"
+            "  python -m repro deviate false-route-announce C\n"
+            "  python -m repro sweep --workers 0 --metric overpayment_ratio\n"
+            "Topologies: 'figure1' (the paper's example) or "
+            "'random:<n>:<seed>'."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    lcp = sub.add_parser("lcp", help="print an LCP tree")
+    lcp = sub.add_parser(
+        "lcp",
+        help="print an LCP tree",
+        formatter_class=raw,
+        epilog=(
+            "Computes the centralized lowest-cost-path tree from one "
+            "source\n(the oracle the distributed FPSS fixed point is "
+            "verified against).\n\n"
+            "examples:\n"
+            "  python -m repro lcp                      # Figure 1, first node\n"
+            "  python -m repro lcp --source C --avoiding B\n"
+            "  python -m repro lcp --graph random:32:7 --source n00"
+        ),
+    )
     lcp.add_argument("--graph", default="figure1")
     lcp.add_argument("--source", default=None)
     lcp.add_argument(
@@ -299,28 +329,89 @@ def build_parser() -> argparse.ArgumentParser:
     lcp.set_defaults(func=cmd_lcp)
 
     payments = sub.add_parser(
-        "payments", help="print all-pairs VCG payment totals"
+        "payments",
+        help="print all-pairs VCG payment totals",
+        formatter_class=raw,
+        epilog=(
+            "Per-node totals of the VCG transit payments "
+            "p_k = c_k + d^-k - d\nover every source/destination pair "
+            "(the overpayment story of the paper).\n\n"
+            "examples:\n"
+            "  python -m repro payments\n"
+            "  python -m repro payments --graph random:64:1"
+        ),
     )
     payments.add_argument("--graph", default="figure1")
     payments.set_defaults(func=cmd_payments)
 
-    run = sub.add_parser("run", help="run a full mechanism")
+    run = sub.add_parser(
+        "run",
+        help="run a full mechanism",
+        formatter_class=raw,
+        epilog=(
+            "Drives both construction phases to quiescence (batched "
+            "incremental\nengine), certifies at the bank checkpoints, "
+            "sends the traffic matrix,\nand prints the settled "
+            "economics.  --plain runs the original trusting\nFPSS "
+            "instead of the faithful extension.\n\n"
+            "examples:\n"
+            "  python -m repro run\n"
+            "  python -m repro run --plain --graph random:16:3 --volume 2.0"
+        ),
+    )
     run.add_argument("--graph", default="figure1")
     run.add_argument("--volume", type=float, default=1.0)
     run.add_argument("--plain", action="store_true")
     run.set_defaults(func=cmd_run)
 
-    deviate = sub.add_parser("deviate", help="evaluate one manipulation")
+    deviate = sub.add_parser(
+        "deviate",
+        help="evaluate one manipulation",
+        formatter_class=raw,
+        epilog=(
+            "Installs one catalogued manipulation on one node and "
+            "compares the\ndeviator's gain in plain FPSS (where it may "
+            "profit) against the\nfaithful extension (where it is "
+            "caught).  See 'catalogue' for names.\n\n"
+            "examples:\n"
+            "  python -m repro deviate cost-lie C\n"
+            "  python -m repro deviate packet-drop n03 --graph random:10:2"
+        ),
+    )
     deviate.add_argument("deviation")
     deviate.add_argument("node")
     deviate.add_argument("--graph", default="figure1")
     deviate.add_argument("--volume", type=float, default=1.0)
     deviate.set_defaults(func=cmd_deviate)
 
-    catalogue = sub.add_parser("catalogue", help="list manipulations")
+    catalogue = sub.add_parser(
+        "catalogue",
+        help="list manipulations",
+        formatter_class=raw,
+        epilog=(
+            "The Section-4.3 manipulation catalogue with action-class "
+            "labels\n(information revelation / message passing / "
+            "computation), the stage\nthe deviation acts in, and "
+            "whether plain FPSS can express it."
+        ),
+    )
     catalogue.set_defaults(func=cmd_catalogue)
 
-    sweep = sub.add_parser("sweep", help="run a scenario grid")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario grid",
+        formatter_class=raw,
+        epilog=(
+            "Expands a declarative scenario grid and runs its probe per "
+            "cell\n(payments, convergence, detection, faithfulness), "
+            "serially or over a\nmultiprocessing pool, then writes "
+            "results.csv / summary.csv /\nsweep.json artifacts.\n\n"
+            "examples:\n"
+            "  python -m repro sweep                      # stock 56-scenario grid\n"
+            "  python -m repro sweep --workers 0 --out /tmp/artifacts\n"
+            "  python -m repro sweep --spec my_grid.json --group-by probe,size"
+        ),
+    )
     sweep.add_argument(
         "--spec",
         default=None,

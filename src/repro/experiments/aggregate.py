@@ -38,6 +38,7 @@ class SummaryStats:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "SummaryStats":
+        """Summarise one metric series (count/mean/std/min/max)."""
         if not values:
             raise ExperimentError("cannot summarise an empty series")
         n = len(values)
@@ -62,6 +63,7 @@ class CellSummary:
     stats: Mapping[str, SummaryStats]
 
     def label(self) -> str:
+        """Human-readable cell key, e.g. ``probe=payments, size=16``."""
         return ", ".join(f"{name}={value}" for name, value in self.key)
 
 

@@ -44,6 +44,7 @@ class ComplicitCheckerMixin:
     protected: NodeId = None
 
     def on_rt_update(self, message: Message) -> None:
+        """Skip the mirror comparison for the protected principal."""
         if message.src == self.protected and self.phase == "phase2":
             # Swallow the broadcast-vs-mirror comparison, then let the
             # principal-role processing proceed normally.
@@ -61,6 +62,7 @@ class ComplicitCheckerMixin:
         super().on_rt_update(message)
 
     def on_price_update(self, message: Message) -> None:
+        """Skip the mirror comparison for the protected principal."""
         if message.src == self.protected and self.phase == "phase2":
             mirror = self.mirrors.get(message.src)
             if mirror is not None and mirror.comp is not None:

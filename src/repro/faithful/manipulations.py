@@ -65,6 +65,7 @@ class CostLieMixin(DeviationMixin):
     """
 
     def declared_cost(self) -> Cost:
+        """Announce the configured lie instead of the true cost."""
         declared = self.param("declared")
         if declared is not None:
             return float(declared)
@@ -90,6 +91,7 @@ class FalseRouteAnnouncerMixin(DeviationMixin):
     """
 
     def make_route_broadcast(self):
+        """Scale every announced path cost by the shade factor."""
         honest = super().make_route_broadcast()
         shade = float(self.param("shade", 0.5))
         return {
@@ -107,6 +109,7 @@ class RouteSuppressMixin(DeviationMixin):
     """
 
     def announce_routes(self) -> None:
+        """Suppress the announcement entirely."""
         return None
 
 
@@ -121,6 +124,7 @@ class FalsePriceAnnouncerMixin(DeviationMixin):
     """
 
     def make_price_broadcast(self):
+        """Scale every announced avoidance cost by the inflate factor."""
         honest = super().make_price_broadcast()
         inflate = float(self.param("inflate", 2.0))
         return {
@@ -143,6 +147,7 @@ class CopyDropMixin(DeviationMixin):
     """
 
     def forward_copy_to_checkers(self, orig_kind, orig_src, vector) -> None:
+        """Drop the checker copies of the configured kinds."""
         kinds = self.param("kinds")
         if kinds is None or orig_kind in kinds:
             return None
@@ -158,6 +163,7 @@ class CopyAlterMixin(DeviationMixin):
     """
 
     def forward_copy_to_checkers(self, orig_kind, orig_src, vector) -> None:
+        """Forward copies with every row's cost scaled."""
         scale = float(self.param("scale", 2.0))
         altered = tuple(
             row[:-2] + (row[-2] * scale, row[-1]) for row in vector
@@ -176,6 +182,7 @@ class CopySpoofMixin(DeviationMixin):
     """
 
     def forward_copy_to_checkers(self, orig_kind, orig_src, vector) -> None:
+        """Forward honestly, then fabricate one copy in a victim's name."""
         super().forward_copy_to_checkers(orig_kind, orig_src, vector)
         if getattr(self, "_spoofed_once", False):
             return
@@ -198,6 +205,7 @@ class RoutingDigestLieMixin(DeviationMixin):
     """Report a fabricated DATA2 digest at BANK1."""
 
     def report_routing_digest(self) -> str:
+        """Report a fabricated digest."""
         return "0" * 64
 
 
@@ -205,6 +213,7 @@ class PricingDigestLieMixin(DeviationMixin):
     """Report a fabricated DATA3* digest at BANK2."""
 
     def report_pricing_digest(self) -> str:
+        """Report a fabricated digest."""
         return "f" * 64
 
 
@@ -218,6 +227,7 @@ class LazyCheckerMixin(DeviationMixin):
     """
 
     def on_checker_copy(self, message) -> None:
+        """Ignore the copy (skip the redundant computation)."""
         return None
 
 
@@ -236,6 +246,7 @@ class ChargeUnderstateMixin(DeviationMixin):
     """
 
     def compute_charges(self, destination, volume):
+        """Charge DATA4 a scaled-down fraction of the honest prices."""
         honest = super().compute_charges(destination, volume)
         factor = float(self.param("factor", 0.25))
         return {payee: amount * factor for payee, amount in honest.items()}
@@ -245,6 +256,7 @@ class PaymentUnderreportMixin(DeviationMixin):
     """Report a scaled-down DATA4 to the bank."""
 
     def report_payments(self):
+        """Report a scaled-down DATA4 to the bank."""
         factor = float(self.param("factor", 0.5))
         return {
             payee: amount * factor
@@ -256,6 +268,7 @@ class PacketDropMixin(DeviationMixin):
     """Silently drop transiting packets, pocketing the saved effort."""
 
     def should_forward(self, origin, destination, volume) -> bool:
+        """Never forward transiting packets."""
         return False
 
 
@@ -263,6 +276,7 @@ class MisrouteMixin(DeviationMixin):
     """Forward own traffic off the certified lowest-cost path."""
 
     def choose_first_hop(self, destination):
+        """Send own traffic to any neighbour off the certified LCP."""
         honest = super().choose_first_hop(destination)
         for neighbor in self.neighbors:
             if neighbor != honest:
@@ -281,6 +295,7 @@ class TransitMisrouteMixin(DeviationMixin):
     """
 
     def choose_next_hop(self, origin, destination):
+        """Divert transiting traffic off the certified path."""
         honest = super().choose_next_hop(origin, destination)
         for neighbor in self.neighbors:
             if neighbor != honest and neighbor != origin:

@@ -31,10 +31,6 @@ from ..routing.fpss import (
     FPSSComputation,
     KIND_PRICE_UPDATE,
     KIND_RT_UPDATE,
-    decode_avoid_vector,
-    decode_route_vector,
-    encode_avoid_vector,
-    encode_route_vector,
 )
 from ..routing.graph import Cost
 from ..sim.messages import NodeId
@@ -64,6 +60,8 @@ class PrincipalMirror:
         #: Ground-truth ledger of updates this checker sent to the
         #: principal, awaiting copy-return.
         self._awaiting_copy: Deque[Tuple[str, Tuple]] = deque()
+        #: Copies ingested but not yet replayed (batched delivery).
+        self._replay_pending = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -90,14 +88,16 @@ class PrincipalMirror:
         self._expected_route.clear()
         self._expected_price.clear()
         self._awaiting_copy.clear()
+        self._replay_pending = False
         # Replicate the principal's start_phase2: reset tables, run the
-        # relaxations once, and announce both vectors unconditionally.
+        # full relaxations once, and announce both vectors
+        # unconditionally (a delta against the empty baseline).
         self.comp.reset_phase2()
         self.comp.recompute_routes()
         self.comp.recompute_avoidance()
         self.comp.derive_pricing()
-        self._expected_route.append(self._current_route_vector())
-        self._expected_price.append(self._current_price_vector())
+        self._expected_route.append(self._next_expected_route())
+        self._expected_price.append(self._next_expected_price())
 
     def _flag(self, kind: FlagKind, **detail) -> None:
         self.flags.append(
@@ -110,18 +110,21 @@ class PrincipalMirror:
             )
         )
 
-    def _current_route_vector(self) -> Tuple:
-        assert self.comp is not None
-        vector = {
-            dest: entry
-            for dest in self.comp.routing.destinations
-            if (entry := self.comp.routing.entry(dest)) is not None
-        }
-        return encode_route_vector(vector)
+    def _next_expected_route(self) -> Tuple:
+        """Predicted routing delta (the principal's suggested one).
 
-    def _current_price_vector(self) -> Tuple:
+        Mirrors always replay the *suggested* specification, so the
+        prediction is the same ``consume_route_delta`` encoding an
+        obedient principal broadcasts from — one shared implementation,
+        which is what keeps the streams bit-identical.
+        """
         assert self.comp is not None
-        return encode_avoid_vector(self.comp.avoid)
+        return self.comp.consume_route_delta()
+
+    def _next_expected_price(self) -> Tuple:
+        """Predicted avoidance delta of the suggested specification."""
+        assert self.comp is not None
+        return self.comp.consume_avoid_delta()
 
     # ------------------------------------------------------------------
     # ledger of the checker's own messages to the principal
@@ -148,7 +151,11 @@ class PrincipalMirror:
     # ------------------------------------------------------------------
 
     def apply_copy(
-        self, orig_kind: str, orig_src: NodeId, encoded_vector: Tuple
+        self,
+        orig_kind: str,
+        orig_src: NodeId,
+        encoded_vector: Tuple,
+        defer: bool = False,
     ) -> None:
         """Replay one input the principal claims to have received.
 
@@ -157,6 +164,12 @@ class PrincipalMirror:
         own copy-returns are validated against the ledger; everything
         else is applied to the replayed computation exactly as the
         principal's handler would.
+
+        ``defer=True`` (batched delivery) only ingests the copy; the
+        relaxation runs once per batch via :meth:`flush_pending`,
+        mirroring the principal's own batch boundary — copies of one
+        principal batch share an arrival instant on the FIFO link, so
+        the checker's batch boundary coincides with the principal's.
         """
         if self.comp is None:
             return
@@ -167,23 +180,38 @@ class PrincipalMirror:
             self._match_returned_copy(orig_kind, encoded_vector)
 
         if orig_kind == KIND_RT_UPDATE:
-            self.comp.apply_route_update(
-                orig_src, decode_route_vector(encoded_vector)
-            )
-            if self.comp.recompute_routes():
-                self._expected_route.append(self._current_route_vector())
-            if self.comp.recompute_avoidance():
-                self._expected_price.append(self._current_price_vector())
-            self.comp.derive_pricing()
+            self.comp.apply_route_delta(orig_src, tuple(encoded_vector))
         elif orig_kind == KIND_PRICE_UPDATE:
-            self.comp.apply_avoid_update(
-                orig_src, decode_avoid_vector(encoded_vector)
-            )
-            if self.comp.recompute_avoidance():
-                self._expected_price.append(self._current_price_vector())
-            self.comp.derive_pricing()
+            self.comp.apply_avoid_delta(orig_src, tuple(encoded_vector))
         else:
             self._flag(FlagKind.SPOOFED_COPY, claimed_message_kind=orig_kind)
+            return
+        if defer:
+            self._replay_pending = True
+        else:
+            self._replay()
+
+    def _replay(self) -> None:
+        """Relax the mirrored tables once; queue expected broadcasts."""
+        assert self.comp is not None
+        if self.comp.recompute_routes_incremental():
+            self._expected_route.append(self._next_expected_route())
+        if self.comp.recompute_avoidance_incremental():
+            self._expected_price.append(self._next_expected_price())
+        self.comp.derive_pricing_incremental()
+
+    def flush_pending(self) -> bool:
+        """Run a deferred replay, if any; True if one ran.
+
+        Called by the checker before observing a broadcast from the
+        principal and at every batch boundary, so the expected-
+        broadcast queues are always current when compared.
+        """
+        if not self._replay_pending:
+            return False
+        self._replay_pending = False
+        self._replay()
+        return True
 
     # ------------------------------------------------------------------
     # observations: the principal's actual broadcasts

@@ -32,8 +32,7 @@ from ..routing.fpss import (
     KIND_PRICE_UPDATE,
     KIND_RT_UPDATE,
     FPSSNode,
-    encode_avoid_vector,
-    encode_route_vector,
+    delta_size,
 )
 from ..routing.graph import Cost
 from ..sim.crypto import SigningAuthority
@@ -136,31 +135,45 @@ class FaithfulRoutingNode(FPSSNode):
     # --- announcements are ledgered per principal ---------------------
 
     def announce_routes(self) -> None:
-        """Broadcast the routing vector, ledgering a copy-return per
+        """Broadcast the routing delta, ledgering a copy-return per
         neighbour so dropped/altered checker copies are detectable."""
-        vector = encode_route_vector(self.make_route_broadcast())
+        vector = self._next_route_announcement()
         for neighbor in self.neighbors:
             mirror = self.mirrors.get(neighbor)
             if mirror is not None and mirror.comp is not None:
                 mirror.record_sent(KIND_RT_UPDATE, vector)
-            self.send(neighbor, KIND_RT_UPDATE, vector=vector)
+        self.multicast(
+            self.neighbors, KIND_RT_UPDATE, size_hint=delta_size(vector), vector=vector
+        )
 
     def announce_prices(self) -> None:
-        """Broadcast the pricing vector with the same ledgering."""
-        vector = encode_avoid_vector(self.make_price_broadcast())
+        """Broadcast the pricing delta with the same ledgering."""
+        vector = self._next_price_announcement()
         for neighbor in self.neighbors:
             mirror = self.mirrors.get(neighbor)
             if mirror is not None and mirror.comp is not None:
                 mirror.record_sent(KIND_PRICE_UPDATE, vector)
-            self.send(neighbor, KIND_PRICE_UPDATE, vector=vector)
+        self.multicast(
+            self.neighbors,
+            KIND_PRICE_UPDATE,
+            size_hint=delta_size(vector),
+            vector=vector,
+        )
 
     # --- checker observation of the sender's broadcasts ---------------
 
     def on_rt_update(self, message: Message) -> None:
-        """Check the broadcast against the sender's mirror, then act."""
+        """Check the broadcast against the sender's mirror, then act.
+
+        Any copies of the sender's batch still awaiting replay are
+        flushed first: on the FIFO link they precede the broadcast they
+        triggered, so the expected-broadcast queue is current by the
+        time the comparison runs.
+        """
         if self.phase == "phase2":
             mirror = self.mirrors.get(message.src)
             if mirror is not None and mirror.comp is not None:
+                self._flush_mirror(mirror)
                 mirror.observe_route_broadcast(message.payload["vector"])
         super().on_rt_update(message)
 
@@ -169,8 +182,23 @@ class FaithfulRoutingNode(FPSSNode):
         if self.phase == "phase2":
             mirror = self.mirrors.get(message.src)
             if mirror is not None and mirror.comp is not None:
+                self._flush_mirror(mirror)
                 mirror.observe_price_broadcast(message.payload["vector"])
         super().on_price_update(message)
+
+    def _flush_mirror(self, mirror: PrincipalMirror) -> None:
+        """Run a mirror's deferred replay, accounting the computation."""
+        if mirror.flush_pending():
+            self.sim.metrics.record_computation(self.node_id, as_checker=True)
+
+    def _flush_batch(self) -> None:
+        """Batch boundary: replay every mirror with pending copies,
+        then run the own (principal-role) recomputation."""
+        for principal in self.neighbors:
+            mirror = self.mirrors.get(principal)
+            if mirror is not None and mirror.comp is not None:
+                self._flush_mirror(mirror)
+        super()._flush_batch()
 
     # --- principal duty: forward copies before recomputing ------------
 
@@ -194,23 +222,35 @@ class FaithfulRoutingNode(FPSSNode):
         Deviation seam: drop/alter/spoof variants override this (the
         message-passing manipulations 1 and 3 of Section 4.3).
         """
-        for neighbor in self.neighbors:
-            self.send(
-                neighbor,
-                KIND_CHECKER_COPY,
-                orig_kind=orig_kind,
-                orig_src=orig_src,
-                vector=vector,
-            )
+        self.multicast(
+            self.neighbors,
+            KIND_CHECKER_COPY,
+            orig_kind=orig_kind,
+            orig_src=orig_src,
+            vector=vector,
+        )
 
     # --- checker duty: replay copies -----------------------------------
 
     def on_checker_copy(self, message: Message) -> None:
-        """[CHECK1]/[CHECK2]: replay the principal's claimed input."""
+        """[CHECK1]/[CHECK2]: replay the principal's claimed input.
+
+        In a delivery batch the copy is only ingested; the mirror
+        relaxation runs once per batch (before any broadcast of the
+        same principal is observed, or at the batch boundary).
+        """
         if self.phase != "phase2":
             return
         mirror = self.mirrors.get(message.src)
         if mirror is None or mirror.comp is None:
+            return
+        if self._in_batch:
+            mirror.apply_copy(
+                message.payload["orig_kind"],
+                message.payload["orig_src"],
+                message.payload["vector"],
+                defer=True,
+            )
             return
         self.sim.metrics.record_computation(self.node_id, as_checker=True)
         mirror.apply_copy(

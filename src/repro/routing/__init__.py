@@ -21,6 +21,7 @@ from .fpss import (
     KIND_RT_UPDATE,
     FPSSComputation,
     FPSSNode,
+    FullRecomputeFPSSNode,
     decode_avoid_vector,
     decode_route_vector,
     encode_avoid_vector,
@@ -75,6 +76,7 @@ __all__ = [
     "ConvergenceStats",
     "FPSSComputation",
     "FPSSNode",
+    "FullRecomputeFPSSNode",
     "INFINITY",
     "KIND_COST_DECL",
     "KIND_PRICE_UPDATE",

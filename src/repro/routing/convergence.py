@@ -1,8 +1,14 @@
 """Helpers to run the plain FPSS protocol to convergence.
 
-Builds a simulator from an :class:`~repro.routing.graph.ASGraph`,
-drives the two construction phases to quiescence, and cross-checks the
-distributed fixed point against the centralized oracle.
+Builds a simulator from an :class:`~repro.routing.graph.ASGraph` —
+with homogeneous or per-link (``link_delays``) delays, and batched or
+per-message delivery — drives the two construction phases to
+quiescence, and cross-checks the distributed fixed point against the
+centralized oracle.  The default configuration (batched delivery plus
+the incremental relaxations of :mod:`repro.routing.fpss`) is what the
+convergence sweep probe and the benchmarks measure; the knobs exist so
+the equivalence tests can run the same graph in every mode and compare
+fixed points.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ def build_plain_network(
     node_factory: Optional[Callable[[NodeId, Cost], FPSSNode]] = None,
     trace_enabled: bool = False,
     link_delays=1.0,
+    batch_delivery: bool = True,
 ) -> Tuple[Simulator, Dict[NodeId, FPSSNode]]:
     """A simulator populated with (possibly customised) FPSS nodes.
 
@@ -57,11 +64,15 @@ def build_plain_network(
     for chosen nodes; the default builds obedient :class:`FPSSNode`.
     ``link_delays`` is forwarded to :func:`topology_from_graph`, so
     heterogeneous (per-link) delays model asynchrony.
+    ``batch_delivery=False`` turns off the simulator's same-instant
+    delivery coalescing (one recomputation per message instead of one
+    per batch; same fixed point either way).
     """
     factory = node_factory or (lambda node_id, cost: FPSSNode(node_id, cost))
     simulator = Simulator(
         topology_from_graph(graph, delay=link_delays),
         trace_enabled=trace_enabled,
+        batch_delivery=batch_delivery,
     )
     nodes: Dict[NodeId, FPSSNode] = {}
     for node_id in graph.nodes:
@@ -118,13 +129,41 @@ def run_plain_fpss(
     trace_enabled: bool = False,
     link_delays=1.0,
     max_events: int = 2_000_000,
+    batch_delivery: bool = True,
 ) -> Tuple[Simulator, Dict[NodeId, FPSSNode], ConvergenceStats]:
-    """Build, run, and return a converged plain-FPSS network."""
+    """Build, run, and return a converged plain-FPSS network.
+
+    Parameters
+    ----------
+    graph:
+        The AS graph (true transit costs; biconnected for pricing).
+    node_factory:
+        Optional ``(node_id, cost) -> FPSSNode`` substitution hook for
+        manipulation subclasses; obedient :class:`FPSSNode` otherwise.
+    trace_enabled:
+        Record a full simulator trace (off by default — large runs).
+    link_delays:
+        Constant, ``frozenset({a, b}) -> delay`` mapping, or callable
+        ``delay(a, b)`` giving per-link delays; heterogeneous values
+        make the run asynchronous across links.
+    max_events:
+        Event budget per construction phase before a
+        :class:`~repro.errors.ConvergenceError` is raised.
+    batch_delivery:
+        Coalesce same-instant deliveries (the incremental engine's
+        default); ``False`` restores per-message delivery events.
+
+    Returns
+    -------
+    ``(simulator, nodes, stats)`` — the quiesced simulator, the node
+    map, and the per-phase :class:`ConvergenceStats` work counters.
+    """
     simulator, nodes = build_plain_network(
         graph,
         node_factory=node_factory,
         trace_enabled=trace_enabled,
         link_delays=link_delays,
+        batch_delivery=batch_delivery,
     )
     stats = run_construction_phases(simulator, nodes, max_events=max_events)
     return simulator, nodes, stats
@@ -136,17 +175,25 @@ def measure_convergence(
     verify: bool = True,
     check_prices: bool = False,
     max_events: int = 2_000_000,
+    batch_delivery: bool = True,
 ) -> ConvergenceStats:
     """One self-contained convergence measurement for a scenario.
 
     Builds a fresh simulator, drives both construction phases to
-    quiescence, optionally cross-checks the fixed point against the
-    centralized oracle, and returns the work counters.  Nothing is
-    shared between calls, so this is safe to invoke from sweep workers
-    (one process may run many scenarios back to back).
+    quiescence (under ``link_delays``, forwarded to
+    :func:`run_plain_fpss` together with ``max_events`` and
+    ``batch_delivery``), optionally cross-checks the fixed point
+    against the centralized oracle (``verify`` — routes always,
+    ``check_prices`` adds the VCG pricing tables), and returns the
+    work counters.  Nothing is shared between calls, so this is safe
+    to invoke from sweep workers (one process may run many scenarios
+    back to back).
     """
     _, nodes, stats = run_plain_fpss(
-        graph, link_delays=link_delays, max_events=max_events
+        graph,
+        link_delays=link_delays,
+        max_events=max_events,
+        batch_delivery=batch_delivery,
     )
     if verify:
         verify_against_oracle(graph, nodes, check_prices=check_prices)

@@ -48,8 +48,17 @@ class RouteEntry:
         return self.sort_key() < other.sort_key()
 
     def sort_key(self) -> Tuple:
-        """Total order consistent with the oracle's tie-breaking."""
-        return (self.cost, len(self.path), tuple(repr(n) for n in self.path))
+        """Total order consistent with the oracle's tie-breaking.
+
+        Cached per (frozen) instance: the incremental FPSS relaxation
+        compares candidate keys millions of times per run, and entries
+        are long-lived table rows.
+        """
+        key = self.__dict__.get("_sort_key_cache")
+        if key is None:
+            key = (self.cost, len(self.path), tuple(repr(n) for n in self.path))
+            object.__setattr__(self, "_sort_key_cache", key)
+        return key
 
 
 class TransitCostTable:
@@ -73,6 +82,10 @@ class TransitCostTable:
             return self._costs[node]
         except KeyError:
             raise RoutingError(f"no declared cost known for {node!r}") from None
+
+    def get(self, node: NodeId, default: Optional[Cost] = None) -> Optional[Cost]:
+        """The declared cost of a node, or ``default`` if unknown."""
+        return self._costs.get(node, default)
 
     def knows(self, node: NodeId) -> bool:
         """True if a declaration for the node has been recorded."""

@@ -1,8 +1,15 @@
-"""Event queue for the discrete-event simulator.
+"""Event queue and delivery batching for the discrete-event simulator.
 
 Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
 increasing tie-breaker, making every simulation fully deterministic for
 a given schedule of insertions.
+
+:class:`DeliveryInbox` is the coalescing structure behind the
+simulator's batched delivery mode: all messages arriving at one node at
+one simulated instant are accumulated under a single ``(time, node)``
+key and dispatched as one event, so a flooding round costs each
+receiver one recomputation instead of one per message (see
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -10,7 +17,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from ..errors import SimulationError
 
@@ -78,3 +85,48 @@ class EventQueue:
         """Pop events until the queue is empty (used in tests)."""
         while self._heap:
             yield self.pop()
+
+
+#: One pending-delivery slot: simulated arrival instant plus receiver.
+InboxKey = Tuple[float, Hashable]
+
+
+class DeliveryInbox:
+    """Same-instant deliveries to one node, coalesced into one batch.
+
+    The simulator's batched delivery mode appends every in-flight
+    message to the inbox keyed by ``(arrival time, destination)``.  The
+    first message of a slot schedules exactly one queue event; when that
+    event fires, :meth:`collect` removes and returns the whole batch in
+    send (``seq``) order, preserving per-link FIFO within the batch.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[InboxKey, List[Any]] = {}
+
+    def add(self, time: float, dst: Hashable, message: Any) -> bool:
+        """File a message; True if this opened a new (unscheduled) slot."""
+        key = (time, dst)
+        slot = self._slots.get(key)
+        if slot is None:
+            self._slots[key] = [message]
+            return True
+        slot.append(message)
+        return False
+
+    def collect(self, time: float, dst: Hashable) -> Tuple[Any, ...]:
+        """Remove and return one slot's batch (raises if absent)."""
+        try:
+            return tuple(self._slots.pop((time, dst)))
+        except KeyError:
+            raise SimulationError(
+                f"no pending delivery batch for {dst!r} at t={time}"
+            ) from None
+
+    @property
+    def pending(self) -> int:
+        """Messages filed but not yet collected."""
+        return sum(len(slot) for slot in self._slots.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._slots)

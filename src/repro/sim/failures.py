@@ -82,11 +82,13 @@ class FailstopAdapter(FailureAdapter):
         return self.node.sim.now >= self.fail_time
 
     def outbound(self, message: Message) -> Optional[Message]:
+        """Silence all sends once the node has halted."""
         if self.failed:
             return None
         return self._wrapped_outbound(message)
 
     def inbound(self, message: Message) -> Optional[Message]:
+        """Drop all deliveries once the node has halted."""
         if self.failed:
             return None
         return self._wrapped_inbound(message)
@@ -124,11 +126,13 @@ class OmissionAdapter(FailureAdapter):
         self.receive_drop_prob = receive_drop_prob
 
     def outbound(self, message: Message) -> Optional[Message]:
+        """Drop each send independently with the configured probability."""
         if self.rng.random() < self.send_drop_prob:
             return None
         return self._wrapped_outbound(message)
 
     def inbound(self, message: Message) -> Optional[Message]:
+        """Drop each delivery independently with the configured probability."""
         if self.rng.random() < self.receive_drop_prob:
             return None
         return self._wrapped_inbound(message)
@@ -153,6 +157,7 @@ class ByzantineAdapter(FailureAdapter):
         self.mutator = mutator
 
     def outbound(self, message: Message) -> Optional[Message]:
+        """Apply the arbitrary mutator to every send."""
         mutated = self.mutator(message)
         if mutated is None:
             return None

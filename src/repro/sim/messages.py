@@ -95,16 +95,44 @@ class Message:
 
     @property
     def size(self) -> int:
-        """Crude size proxy: number of scalar entries in the payload."""
+        """Crude size proxy: number of scalar entries in the payload.
 
-        def count(value: Any) -> int:
-            if isinstance(value, dict):
-                return sum(count(v) for v in value.values()) or 1
+        The count is cached per message instance: broadcast vectors can
+        hold thousands of rows, and the metrics layer reads ``size`` on
+        every transmission.  Derived messages (``altered``,
+        ``forwarded``, ...) are new instances, so they never inherit a
+        stale cache.  :meth:`seed_size` shares one computed size across
+        the identical copies of a broadcast.
+        """
+        cached = self.__dict__.get("_size_cache")
+        if cached is not None:
+            return cached
+        # Iterative count: broadcast vectors nest thousands of rows and
+        # recursion overhead dominated the send path.  Empty containers
+        # count as one scalar, as before.
+        size = 0
+        stack = list(self.payload.values())
+        while stack:
+            value = stack.pop()
             if isinstance(value, (list, tuple, set, frozenset)):
-                return sum(count(v) for v in value) or 1
-            return 1
+                if value:
+                    stack.extend(value)
+                else:
+                    size += 1
+            elif isinstance(value, dict):
+                if value:
+                    stack.extend(value.values())
+                else:
+                    size += 1
+            else:
+                size += 1
+        size = max(1, size)
+        object.__setattr__(self, "_size_cache", size)
+        return size
 
-        return max(1, count(dict(self.payload)))
+    def seed_size(self, size: int) -> None:
+        """Pre-populate the :attr:`size` cache (same-payload broadcasts)."""
+        object.__setattr__(self, "_size_cache", size)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{self.kind} {self.src}->{self.dst} #{self.msg_id}>"

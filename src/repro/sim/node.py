@@ -100,8 +100,27 @@ class ProtocolNode:
 
     def broadcast(self, kind: str, **payload: Any) -> None:
         """Send the same fresh message to every neighbour."""
-        for neighbor in self.neighbors:
-            self.send(neighbor, kind, **payload)
+        self.multicast(self.neighbors, kind, **payload)
+
+    def multicast(
+        self, targets, kind: str, size_hint: Optional[int] = None, **payload: Any
+    ) -> None:
+        """Send one payload to several nodes, sizing it only once.
+
+        The copies share one payload dict and one computed
+        :attr:`Message.size` — broadcast vectors can hold thousands of
+        rows, so per-copy re-counting would dominate the send path.
+        ``size_hint`` lets a caller that already knows the payload's
+        scalar count (e.g. from encoding it) skip the counting walk.
+        """
+        size = size_hint
+        for dst in targets:
+            message = Message(src=self.node_id, dst=dst, kind=kind, payload=payload)
+            if size is not None:
+                message.seed_size(size)
+            self.send_message(message)
+            if size is None:
+                size = message.size
 
     # ------------------------------------------------------------------
     # receiving
@@ -114,6 +133,19 @@ class ProtocolNode:
             self.sim.note_drop(self.node_id, message, reason="inbound-filter")
             return
         self.dispatch(filtered)
+
+    def deliver_batch(self, messages: Tuple[Message, ...]) -> None:
+        """Process all messages arriving at one simulated instant.
+
+        Invoked by the simulator in batched-delivery mode with the
+        batch in send order.  The base implementation simply replays
+        the per-message path (metrics, trace, inbound filter, dispatch,
+        in that order per message), so plain nodes behave identically
+        in both modes.  Protocol nodes that maintain derived state
+        override this to defer recomputation to the batch boundary.
+        """
+        for message in messages:
+            self.sim.deliver_now(message)
 
     def dispatch(self, message: Message) -> None:
         """Route a message to its ``on_<kind>`` handler."""

@@ -5,6 +5,20 @@ Couples a :class:`~repro.sim.network.NetworkTopology`, a set of
 trace, and a metrics registry.  ``run_until_quiescent`` drives the
 system to a fixed point — the "network quiescence point" at which the
 paper's bank performs its BANK1/BANK2 checks.
+
+Batched delivery
+----------------
+By default the simulator coalesces every message arriving at one node
+at one simulated instant into a single delivery event
+(:class:`~repro.sim.events.DeliveryInbox`).  Messages are still handed
+to the node one by one in send order — per-link FIFO is preserved — but
+the node learns the batch boundary through
+:meth:`~repro.sim.node.ProtocolNode.deliver_batch`, which protocol
+implementations exploit to recompute derived state once per batch
+instead of once per message (see :mod:`repro.routing.fpss`).  Passing
+``batch_delivery=False`` restores the seed's one-event-per-message
+behaviour; both modes are deterministic and converge to the same fixed
+point.
 """
 
 from __future__ import annotations
@@ -12,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from ..errors import ConvergenceError, SimulationError
-from .events import EventQueue
+from .events import DeliveryInbox, EventQueue
 from .messages import Message, NodeId
 from .metrics import MetricsRegistry
 from .network import NetworkTopology
@@ -32,13 +46,23 @@ class Simulator:
         out-of-band bank channel.
     trace_enabled:
         Record a full event trace (disable for large sweeps).
+    batch_delivery:
+        Coalesce same-instant deliveries to one node into one event
+        (the default).  ``False`` restores per-message delivery events.
     """
 
-    def __init__(self, topology: NetworkTopology, trace_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        trace_enabled: bool = True,
+        batch_delivery: bool = True,
+    ) -> None:
         self.topology = topology
         self.queue = EventQueue()
         self.trace = Trace(enabled=trace_enabled)
         self.metrics = MetricsRegistry()
+        self.batch_delivery = batch_delivery
+        self._inbox = DeliveryInbox()
         self._nodes: Dict[NodeId, ProtocolNode] = {}
         self._well_known: set = set()
         self._now: float = 0.0
@@ -101,23 +125,52 @@ class Simulator:
             )
 
     def transmit(self, message: Message) -> None:
-        """Accept a message from a node and schedule its delivery."""
+        """Accept a message from a node and schedule its delivery.
+
+        In batched mode the message joins the receiver's inbox slot for
+        its arrival instant; only the slot's first message costs a
+        queue event.
+        """
         self._check_reachable(message.src, message.dst)
         if message.dst not in self._nodes:
             raise SimulationError(f"message to unknown node {message.dst!r}")
         self.metrics.record_send(message.src, payload_units=message.size)
         self.trace.record(self._now, TraceKind.SEND, message.src, message)
         delay = self._link_delay(message.src, message.dst)
-        self.queue.schedule(
-            self._now + delay,
-            lambda: self._deliver(message),
-            label=f"deliver:{message.kind}:{message.src}->{message.dst}",
-        )
+        arrival = self._now + delay
+        if self.batch_delivery:
+            if self._inbox.add(arrival, message.dst, message):
+                self.queue.schedule(
+                    arrival,
+                    lambda time=arrival, dst=message.dst: self._deliver_batch(
+                        time, dst
+                    ),
+                    label=f"deliver-batch:->{message.dst}",
+                )
+        else:
+            self.queue.schedule(
+                arrival,
+                lambda: self._deliver(message),
+                label=f"deliver:{message.kind}:{message.src}->{message.dst}",
+            )
 
     def _deliver(self, message: Message) -> None:
         self.metrics.record_receive(message.dst)
         self.trace.record(self._now, TraceKind.DELIVER, message.dst, message)
         self._nodes[message.dst].deliver(message)
+
+    def _deliver_batch(self, time: float, dst: NodeId) -> None:
+        messages = self._inbox.collect(time, dst)
+        self._nodes[dst].deliver_batch(messages)
+
+    def deliver_now(self, message: Message) -> None:
+        """Account for and process one message of a delivery batch.
+
+        Called back by :meth:`ProtocolNode.deliver_batch` loops so that
+        per-message metrics and trace entries interleave with handler
+        effects exactly as they do in unbatched mode.
+        """
+        self._deliver(message)
 
     def note_drop(self, node_id: NodeId, message: Message, reason: str) -> None:
         """Record that a filter suppressed a message."""
