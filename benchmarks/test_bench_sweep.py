@@ -19,7 +19,10 @@ from repro.experiments import (
     SweepRunner,
     default_sweep,
     expand_grid,
+    merge_artifacts,
+    shard_grid,
     summarize,
+    write_artifacts,
 )
 
 def once(benchmark, fn):
@@ -27,8 +30,10 @@ def once(benchmark, fn):
 
 
 def test_bench_sweep_payments_throughput(benchmark):
-    """The stock grid must clear hundreds of scenarios per second."""
-    sweep = default_sweep(seeds=3)
+    """The stock payments block must clear tens of scenarios per second."""
+    # protocol_seeds=0 drops the 16/64-node convergence block: this
+    # benchmark gates the cheap engine-bound payments probe only.
+    sweep = default_sweep(seeds=3, protocol_seeds=0)
     results = once(benchmark, lambda: SweepRunner(sweep, workers=1).run())
 
     assert len(results) == 24
@@ -156,3 +161,98 @@ def test_bench_sweep_detection_grid(benchmark):
             title="Detection sweep on Figure 1",
         )
     )
+
+
+def test_bench_shard_merge_overhead(benchmark, tmp_path):
+    """Orchestration must be free: sharding a grid 4 ways and merging
+    the artifacts adds only file I/O on top of the scenario work, and
+    the merged artifacts are byte-identical to the serial run's."""
+    sweep = default_sweep(seeds=2, protocol_seeds=0)
+    specs = sweep.scenarios
+
+    started = time.perf_counter()
+    serial = write_artifacts(
+        SweepRunner(specs, workers=1).run(store_dir=str(tmp_path / "serial")),
+        None,
+        str(tmp_path / "serial"),
+        name="bench",
+    )
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    shard_dirs = []
+    for index in range(4):
+        directory = str(tmp_path / f"shard{index}")
+        results = SweepRunner(
+            shard_grid(specs, index, 4), workers=1, allow_empty=True
+        ).run(store_dir=directory)
+        write_artifacts(results, None, directory, name="bench")
+        shard_dirs.append(directory)
+    sharded_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    report = once(
+        benchmark,
+        lambda: merge_artifacts(
+            shard_dirs, str(tmp_path / "merged"), name="bench"
+        ),
+    )
+    merge_wall = time.perf_counter() - started
+
+    assert len(report.results) == len(specs)
+    for kind in ("results", "summary", "json"):
+        with open(serial[kind]) as a, open(report.paths[kind]) as b:
+            assert a.read() == b.read()
+
+    rows = [
+        ["cells", len(specs)],
+        ["serial wall (s)", round(serial_wall, 3)],
+        ["4-shard wall (s)", round(sharded_wall, 3)],
+        ["merge wall (s)", round(merge_wall, 3)],
+        ["merge / serial", round(merge_wall / serial_wall, 3)],
+    ]
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title="Shard/merge orchestration overhead (stock payments grid)",
+        )
+    )
+    # Merging re-reads records and rewrites artifacts; it must stay a
+    # small fraction of actually running the scenarios.
+    assert merge_wall < max(serial_wall, 0.5)
+
+
+@pytest.mark.slow
+def test_bench_default_protocol_block(benchmark):
+    """The stock grid's 16/64-node convergence block: each scenario
+    reaches the oracle-verified fixed point in seconds on the
+    incremental engine (the reason the stock grid now carries it)."""
+    sweep = default_sweep(seeds=1, protocol_seeds=1)
+    protocol = [s for s in sweep.scenarios if s.probe == "convergence"]
+    assert [s.size for s in protocol] == [16, 64]
+
+    results = once(
+        benchmark, lambda: SweepRunner(protocol, workers=1).run()
+    )
+    assert all(r.ok for r in results)
+    rows = [
+        [
+            r.spec.size,
+            r.values["convergence_events"],
+            r.values["messages"],
+            round(r.wall_time, 2),
+        ]
+        for r in results
+    ]
+    print()
+    print(
+        render_table(
+            ["nodes", "events", "messages", "wall (s)"],
+            rows,
+            title="Stock-grid protocol block (convergence probe)",
+        )
+    )
+    by_size = {r.spec.size: r for r in results}
+    assert by_size[64].wall_time < 30.0

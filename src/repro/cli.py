@@ -18,7 +18,12 @@ Commands
 ``sweep``
     Expand a scenario grid (a JSON spec file or the stock grid), run
     it serially or across a worker pool, print per-cell summaries, and
-    write CSV/JSON artifacts.
+    write CSV/JSON artifacts.  ``--shard I/N`` runs one deterministic
+    shard of the grid; ``--resume DIR`` skips cells already recorded
+    in a prior artifact directory.
+``sweep-merge``
+    Merge shard (or partial-run) artifact directories into one
+    combined artifact set, recomputing summaries from raw rows.
 
 Topologies are selected with ``--graph``: ``figure1`` (the paper's
 example) or ``random:<n>:<seed>`` (a random biconnected graph).
@@ -36,8 +41,11 @@ from .analysis import render_table
 from .errors import ExperimentError, ReproError
 from .experiments import (
     SweepRunner,
+    canonical_results,
     default_sweep,
+    merge_artifacts,
     parse_sweep,
+    shard_grid,
     summarize,
     validate_group_by,
     write_artifacts,
@@ -208,6 +216,48 @@ def cmd_deviate(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_shard(text: str) -> tuple:
+    """Parse ``--shard I/N`` (1-based) into a 0-based (index, count)."""
+    parts = text.split("/")
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except (IndexError, ValueError):
+        raise ExperimentError(
+            f"bad shard {text!r}; expected I/N, e.g. --shard 2/4"
+        )
+    if len(parts) != 2 or not 1 <= index <= count:
+        raise ExperimentError(
+            f"bad shard {text!r}; need 1 <= I <= N, e.g. --shard 2/4"
+        )
+    return index - 1, count
+
+
+def _print_cell_table(summaries, metric: str) -> None:
+    """The per-cell table both sweep commands print."""
+    rows = []
+    for summary in summaries:
+        stats = summary.stats.get(metric)
+        rows.append(
+            [
+                summary.label(),
+                summary.scenarios,
+                summary.failures,
+                stats.mean if stats else float("nan"),
+                stats.std if stats else float("nan"),
+                stats.minimum if stats else float("nan"),
+                stats.maximum if stats else float("nan"),
+            ]
+        )
+    print(
+        render_table(
+            ["cell", "n", "fail", "mean", "std", "min", "max"],
+            rows,
+            float_digits=3,
+            title=f"Per-cell {metric}",
+        )
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Expand and execute a scenario grid; print per-cell summaries."""
     if args.spec is not None:
@@ -226,42 +276,60 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if args.group_by
         else sweep.group_by
     )
-    runner = SweepRunner(sweep, workers=args.workers)
-    results = runner.run()
+    scenarios = sweep.scenarios
+    shard_note = ""
+    if args.shard is not None:
+        index, count = parse_shard(args.shard)
+        scenarios = shard_grid(scenarios, index, count)
+        shard_note = (
+            f" [shard {index + 1}/{count}: "
+            f"{len(scenarios)}/{len(sweep.scenarios)} cells]"
+        )
+    runner = SweepRunner(
+        scenarios,
+        workers=args.workers,
+        resume_dir=args.resume,
+        retry_errors=args.retry_errors,
+        allow_empty=args.shard is not None,
+    )
+    results = canonical_results(runner.run(store_dir=args.out))
     summaries = summarize(results, group_by=group_by)
-    paths = write_artifacts(results, summaries, args.out, name=sweep.name)
+    paths = write_artifacts(
+        results, summaries, args.out, name=sweep.name, group_by=group_by
+    )
 
     failures = sum(1 for r in results if not r.ok)
     wall = sum(r.wall_time for r in results)
+    resume_note = f", {runner.reused} reused" if args.resume else ""
     print(
-        f"sweep '{sweep.name}': {len(results)} scenarios, "
-        f"{len(summaries)} cells, {failures} failures, "
+        f"sweep '{sweep.name}'{shard_note}: {len(results)} scenarios"
+        f"{resume_note}, {len(summaries)} cells, {failures} failures, "
         f"{runner.workers} worker(s), {wall:.2f}s scenario time"
     )
-    headline = args.metric
-    rows = []
-    for summary in summaries:
-        stats = summary.stats.get(headline)
-        rows.append(
-            [
-                summary.label(),
-                summary.scenarios,
-                summary.failures,
-                stats.mean if stats else float("nan"),
-                stats.std if stats else float("nan"),
-                stats.minimum if stats else float("nan"),
-                stats.maximum if stats else float("nan"),
-            ]
-        )
-    print(
-        render_table(
-            ["cell", "n", "fail", "mean", "std", "min", "max"],
-            rows,
-            float_digits=3,
-            title=f"Per-cell {headline}",
-        )
-    )
+    _print_cell_table(summaries, args.metric)
     for kind, path in sorted(paths.items()):
+        print(f"artifact [{kind}]: {path}")
+    return 1 if failures else 0
+
+
+def cmd_sweep_merge(args: argparse.Namespace) -> int:
+    """Merge shard artifact directories into one combined artifact set."""
+    group_by = (
+        validate_group_by(part for part in args.group_by.split(",") if part)
+        if args.group_by
+        else None  # recovered from the inputs' own sweep.json
+    )
+    report = merge_artifacts(
+        args.dirs, args.out, name=args.name, group_by=group_by
+    )
+    failures = sum(1 for r in report.results if not r.ok)
+    print(
+        f"merged '{report.name}': {len(report.results)} cells from "
+        f"{report.sources} artifact dir(s), {report.overlaps} "
+        f"overlapping, {failures} failures"
+    )
+    _print_cell_table(report.summaries, args.metric)
+    for kind, path in sorted(report.paths.items()):
         print(f"artifact [{kind}]: {path}")
     return 1 if failures else 0
 
@@ -399,23 +467,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
-        help="run a scenario grid",
+        help="run a scenario grid (optionally one shard, resumable)",
         formatter_class=raw,
         epilog=(
             "Expands a declarative scenario grid and runs its probe per "
             "cell\n(payments, convergence, detection, faithfulness), "
             "serially or over a\nmultiprocessing pool, then writes "
-            "results.csv / summary.csv /\nsweep.json artifacts.\n\n"
+            "results.csv / summary.csv /\nsweep.json / cells.jsonl "
+            "artifacts.\n\n"
+            "--shard I/N runs the I-th of N deterministic shards of the "
+            "grid\n(merge the shard artifacts with 'sweep-merge').  "
+            "--resume DIR skips\ncells already recorded in DIR's "
+            "cells.jsonl, so a killed sweep\ncontinues where it stopped; "
+            "artifacts are byte-identical either way.\n\n"
             "examples:\n"
-            "  python -m repro sweep                      # stock 56-scenario grid\n"
+            "  python -m repro sweep                      # stock 60-scenario grid\n"
             "  python -m repro sweep --workers 0 --out /tmp/artifacts\n"
-            "  python -m repro sweep --spec my_grid.json --group-by probe,size"
+            "  python -m repro sweep --spec my_grid.json --group-by probe,size\n"
+            "  python -m repro sweep --shard 2/4 --out shard2\n"
+            "  python -m repro sweep --resume shard2 --shard 2/4 --out shard2"
         ),
     )
     sweep.add_argument(
         "--spec",
         default=None,
-        help="JSON sweep document (default: the stock 56-scenario grid)",
+        help="JSON sweep document (default: the stock 60-scenario grid)",
     )
     sweep.add_argument(
         "--workers",
@@ -426,7 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--out",
         default="sweep-artifacts",
-        help="directory for results.csv / summary.csv / sweep.json",
+        help="directory for results/summary/sweep/cells artifacts",
     )
     sweep.add_argument(
         "--group-by",
@@ -438,7 +514,72 @@ def build_parser() -> argparse.ArgumentParser:
         default="overpayment_ratio",
         help="metric shown in the printed per-cell table",
     )
+    sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run the I-th of N deterministic grid shards (1-based)",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="skip cells already recorded in DIR's cells.jsonl",
+    )
+    sweep.add_argument(
+        "--retry-errors",
+        action="store_true",
+        help="with --resume, re-run cells whose prior record is an error",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    merge = sub.add_parser(
+        "sweep-merge",
+        help="merge sweep artifact directories",
+        formatter_class=raw,
+        epilog=(
+            "Joins the cells.jsonl stores of shard (or partial-run) "
+            "artifact\ndirectories on their content keys, refuses "
+            "conflicting duplicates,\nrecomputes summaries from the raw "
+            "rows, and writes one combined\nartifact set — byte-identical "
+            "to the same grid swept in a single\nprocess.\n\n"
+            "examples:\n"
+            "  python -m repro sweep-merge shard1 shard2 --out merged\n"
+            "  python -m repro sweep-merge s1 s2 s3 --out all --group-by probe"
+        ),
+    )
+    merge.add_argument(
+        "dirs",
+        nargs="+",
+        help="artifact directories to merge (each holds a cells.jsonl)",
+    )
+    merge.add_argument(
+        "--out",
+        default="sweep-merged",
+        help="directory for the combined artifact set",
+    )
+    merge.add_argument(
+        "--name",
+        default=None,
+        help=(
+            "sweep name for the combined sweep.json "
+            "(default: recovered from the inputs)"
+        ),
+    )
+    merge.add_argument(
+        "--group-by",
+        default=None,
+        help=(
+            "comma-separated spec fields forming the summary cells "
+            "(default: recovered from the inputs)"
+        ),
+    )
+    merge.add_argument(
+        "--metric",
+        default="overpayment_ratio",
+        help="metric shown in the printed per-cell table",
+    )
+    merge.set_defaults(func=cmd_sweep_merge)
     return parser
 
 

@@ -4,19 +4,32 @@ The paper's headline results are claims about *distributions over
 scenarios*; this package turns one spec template into hundreds of
 concrete scenarios, executes them (serially or across a worker pool),
 and reduces the results to per-cell summary statistics plus CSV/JSON
-artifacts.  Every future scaling PR (sharding, async backends, bigger
-topologies) plugs into this layer.
+artifacts.
+
+The orchestration layer (``spec.shard_grid`` + ``artifacts``) scales
+this across machines and failures: every cell is named by a content
+key (hash of its frozen spec), runs append completed cells to a
+durable ``cells.jsonl`` store, ``SweepRunner(resume_dir=...)`` skips
+cells a prior run already recorded, and ``merge_artifacts`` joins
+shard stores into one artifact set.  Artifacts are byte-deterministic,
+so a sharded+merged or killed+resumed sweep is indistinguishable from
+a single serial run (see docs/architecture.md § 8).
 
 Typical use::
 
     from repro.experiments import (
-        SweepRunner, default_sweep, summarize, write_artifacts,
+        SweepRunner, default_sweep, shard_grid, summarize,
+        write_artifacts, merge_artifacts,
     )
 
     sweep = default_sweep()
-    results = SweepRunner(sweep, workers=4).run()
+    shard = shard_grid(sweep.scenarios, 0, 4)          # this machine's quarter
+    runner = SweepRunner(shard, workers=4, allow_empty=True)
+    results = runner.run(store_dir="out/shard0")       # resumable store
     summaries = summarize(results, group_by=sweep.group_by)
-    write_artifacts(results, summaries, "out/", name=sweep.name)
+    write_artifacts(results, summaries, "out/shard0", name=sweep.name)
+    # later, on one machine:
+    merge_artifacts(["out/shard0", ...], "out/merged", name=sweep.name)
 """
 
 from .aggregate import (
@@ -24,9 +37,18 @@ from .aggregate import (
     SummaryStats,
     summarize,
     write_artifacts,
+    write_cells_jsonl,
     write_results_csv,
     write_summary_csv,
     write_sweep_json,
+)
+from .artifacts import (
+    CELLS_FILENAME,
+    CellStore,
+    MergeReport,
+    canonical_results,
+    load_artifact_results,
+    merge_artifacts,
 )
 from .runner import ScenarioResult, SweepRunner, run_scenario, run_sweep
 from .spec import (
@@ -38,11 +60,15 @@ from .spec import (
     default_sweep,
     expand_grid,
     parse_sweep,
+    shard_grid,
     validate_group_by,
 )
 
 __all__ = [
+    "CELLS_FILENAME",
+    "CellStore",
     "CellSummary",
+    "MergeReport",
     "PROBES",
     "ScenarioResult",
     "ScenarioSpec",
@@ -51,14 +77,19 @@ __all__ = [
     "SweepSpec",
     "TOPOLOGY_FAMILIES",
     "TRAFFIC_MODELS",
+    "canonical_results",
     "default_sweep",
     "expand_grid",
+    "load_artifact_results",
+    "merge_artifacts",
     "parse_sweep",
     "run_scenario",
     "run_sweep",
+    "shard_grid",
     "summarize",
     "validate_group_by",
     "write_artifacts",
+    "write_cells_jsonl",
     "write_results_csv",
     "write_summary_csv",
     "write_sweep_json",

@@ -6,8 +6,15 @@ A *cell* is one combination of the sweep's ``group_by`` fields
 ``(count, mean, std, min, max)``, which is what the paper-style claims
 ("overpayment averages X on family Y") need.
 
-Artifacts are plain ``csv``/``json`` files with deterministic column
-order, so repeated runs of the same grid diff cleanly.
+Artifacts are plain ``csv``/``json`` files, and :func:`write_artifacts`
+is *fully deterministic*: rows are sorted by content key, columns
+follow the spec schema plus the sorted union of metric names, and JSON
+keys are sorted.  Two runs of the same grid — serial, sharded+merged,
+or killed+resumed — therefore produce byte-identical
+``results.csv`` / ``summary.csv`` / ``sweep.json``; the only volatile
+field (per-cell ``wall_time``) lives in ``cells.jsonl`` records only.
+Every file is written to a temporary sibling and atomically renamed,
+so a kill mid-finalise never leaves a half artifact behind.
 """
 
 from __future__ import annotations
@@ -16,11 +23,12 @@ import csv
 import json
 import math
 import os
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from .runner import ScenarioResult
+from .spec import ScenarioSpec
 
 #: ((field, value), ...) — hashable, sorted by the group_by order.
 CellKey = Tuple[Tuple[str, Any], ...]
@@ -113,12 +121,40 @@ def summarize(
 
 
 def _result_columns(results: Sequence[ScenarioResult]) -> List[str]:
-    columns: List[str] = []
-    for result in results:
-        for name in result.to_row():
-            if name not in columns:
-                columns.append(name)
-    return columns
+    """Deterministic column order, independent of row order.
+
+    Fixed prefix (key, id, spec schema fields, structural metrics),
+    then the *sorted* union of probe metric names, then ``error`` —
+    so shards with different probes merge into the same header.
+    """
+    spec_fields = [
+        f.name
+        for f in fields(ScenarioSpec)
+        if f.name != "faithfulness_deviations"  # not CSV-representable
+    ]
+    fixed = (
+        ["cell_key", "scenario_id"]
+        + spec_fields
+        + list(ScenarioResult.STRUCTURAL_METRICS)
+    )
+    probe_metrics = sorted(
+        {
+            name
+            for result in results
+            for name in result.values
+            if name not in fixed
+        }
+    )
+    return fixed + probe_metrics + ["error"]
+
+
+def _atomic_replace(path: str, write_body) -> str:
+    """Write via a temporary sibling and rename into place."""
+    temporary = path + ".tmp"
+    with open(temporary, "w", newline="") as handle:
+        write_body(handle)
+    os.replace(temporary, path)
+    return path
 
 
 def write_results_csv(
@@ -126,12 +162,14 @@ def write_results_csv(
 ) -> str:
     """One row per scenario; the union of all row keys as columns."""
     columns = _result_columns(results)
-    with open(path, "w", newline="") as handle:
+
+    def body(handle) -> None:
         writer = csv.DictWriter(handle, fieldnames=columns, restval="")
         writer.writeheader()
         for result in results:
             writer.writerow(result.to_row())
-    return path
+
+    return _atomic_replace(path, body)
 
 
 def write_summary_csv(
@@ -153,7 +191,8 @@ def write_summary_csv(
         "scenarios",
         "failures",
     ]
-    with open(path, "w", newline="") as handle:
+
+    def body(handle) -> None:
         writer = csv.DictWriter(handle, fieldnames=columns, restval="")
         writer.writeheader()
         for summary in summaries:
@@ -171,7 +210,8 @@ def write_summary_csv(
                     failures=summary.failures,
                 )
                 writer.writerow(row)
-    return path
+
+    return _atomic_replace(path, body)
 
 
 def write_sweep_json(
@@ -179,10 +219,17 @@ def write_sweep_json(
     summaries: Sequence[CellSummary],
     path: str,
     name: str = "sweep",
+    group_by: Sequence[str] = ("topology", "size", "traffic"),
 ) -> str:
-    """The whole sweep — rows and summaries — as one JSON document."""
+    """The whole sweep — rows and summaries — as one JSON document.
+
+    ``name`` and ``group_by`` are recorded in the document, so a later
+    ``sweep-merge`` can reproduce the run's own aggregation (and hence
+    byte-identical artifacts) without the flags being repeated.
+    """
     document = {
         "name": name,
+        "group_by": list(group_by),
         "scenarios": [result.to_row() for result in results],
         "summaries": [
             {
@@ -203,24 +250,66 @@ def write_sweep_json(
             for summary in summaries
         ],
     }
-    with open(path, "w") as handle:
+
+    def body(handle) -> None:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    return path
+
+    return _atomic_replace(path, body)
+
+
+def write_cells_jsonl(
+    results: Sequence[ScenarioResult], path: str
+) -> str:
+    """Rewrite the per-cell record store canonically (one JSON line each).
+
+    The runner streams append-order records during a run; finalising
+    rewrites them in the given (canonical) order, deduplicated, which
+    is also what makes a finished artifact directory a clean resume
+    source.  Records keep ``wall_time``, so this is the one artifact
+    that is *not* byte-stable across runs.
+    """
+
+    def body(handle) -> None:
+        for result in results:
+            handle.write(
+                json.dumps(
+                    result.to_record(),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+
+    return _atomic_replace(path, body)
 
 
 def write_artifacts(
     results: Sequence[ScenarioResult],
-    summaries: Sequence[CellSummary],
-    out_dir: str,
+    summaries: Optional[Sequence[CellSummary]] = None,
+    out_dir: str = "sweep-artifacts",
     name: str = "sweep",
+    group_by: Sequence[str] = ("topology", "size", "traffic"),
 ) -> Dict[str, str]:
     """Write the standard artifact set into ``out_dir``.
 
-    Returns the mapping of artifact kind to path:
-    ``results.csv`` (per-scenario rows), ``summary.csv`` (per-cell
-    statistics), and ``sweep.json`` (everything).
+    Rows are first put into canonical order (sorted by content key),
+    which is what makes the output a pure function of the *set* of
+    results: serial, sharded+merged, and killed+resumed runs of one
+    grid write byte-identical ``results.csv`` / ``summary.csv`` /
+    ``sweep.json``.  When ``summaries`` is ``None`` they are computed
+    here from the canonically ordered rows with ``group_by`` (pass
+    precomputed summaries only if they came from canonically ordered
+    results, or summary bytes will depend on input order).
+
+    Returns the mapping of artifact kind to path: ``results.csv``
+    (per-scenario rows), ``summary.csv`` (per-cell statistics),
+    ``sweep.json`` (everything), and ``cells.jsonl`` (resumable
+    per-cell records).
     """
+    results = sorted(results, key=lambda r: r.spec.content_key())
+    if summaries is None:
+        summaries = summarize(results, group_by=group_by)
     os.makedirs(out_dir, exist_ok=True)
     return {
         "results": write_results_csv(
@@ -230,6 +319,13 @@ def write_artifacts(
             summaries, os.path.join(out_dir, "summary.csv")
         ),
         "json": write_sweep_json(
-            results, summaries, os.path.join(out_dir, "sweep.json"), name=name
+            results,
+            summaries,
+            os.path.join(out_dir, "sweep.json"),
+            name=name,
+            group_by=group_by,
+        ),
+        "cells": write_cells_jsonl(
+            results, os.path.join(out_dir, "cells.jsonl")
         ),
     }

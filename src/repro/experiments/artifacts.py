@@ -1,0 +1,267 @@
+"""Durable sweep artifacts: the cell store, resume, and merging.
+
+Orchestration identity is the *content key*
+(:meth:`~repro.experiments.spec.ScenarioSpec.content_key`): a hash of
+the frozen spec's canonical JSON, identical in every process that
+touches the same scenario.  Three mechanisms build on it:
+
+``cells.jsonl`` (the :class:`CellStore`)
+    An append-only record store inside every artifact directory.  The
+    runner appends one JSON line per *completed* cell, atomically, so a
+    killed sweep leaves a loadable prefix behind — at most the
+    in-flight cells are lost.  Loading tolerates a truncated final
+    line (the kill may land mid-write) but refuses corruption anywhere
+    else.  Duplicate keys resolve last-wins, which is what lets
+    ``--retry-errors`` append a corrected record over an error row.
+
+Resume
+    :class:`~repro.experiments.runner.SweepRunner` loads a prior
+    store, reuses every cell of the current grid whose key it finds,
+    and runs only the rest.
+
+:func:`merge_artifacts`
+    Joins shard (or partial-run) stores on content keys, refusing
+    *conflicting* duplicates (same key, different payload) while
+    deduplicating identical overlap, and recomputes every summary from
+    the raw rows — never by averaging shard averages.
+
+Because probes are deterministic functions of the frozen spec, a grid
+run in N shards and merged, or killed and resumed, reproduces the
+byte-identical ``results.csv`` / ``summary.csv`` / ``sweep.json`` of a
+single serial run; ``tests/experiments/`` pins this equivalence down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .aggregate import summarize, write_artifacts
+from .runner import ScenarioResult
+
+#: The append-only per-cell record file inside an artifact directory.
+CELLS_FILENAME = "cells.jsonl"
+
+
+class CellStore:
+    """The append-only ``cells.jsonl`` record store of one artifact dir.
+
+    Appends are single ``write()`` calls of one newline-terminated JSON
+    document followed by an fsync, so concurrent completions never
+    interleave records and a kill truncates at most the final line.
+    """
+
+    def __init__(self, directory: str) -> None:
+        """Bind the store to ``directory`` (not created until needed)."""
+        self.directory = directory
+        self.path = os.path.join(directory, CELLS_FILENAME)
+
+    def exists(self) -> bool:
+        """Whether the record file is present on disk."""
+        return os.path.exists(self.path)
+
+    def ensure(self) -> None:
+        """Create the directory and an empty record file if missing."""
+        os.makedirs(self.directory, exist_ok=True)
+        if not self.exists():
+            open(self.path, "a").close()
+
+    def append(self, result: ScenarioResult) -> None:
+        """Durably append one completed cell's record.
+
+        A prior kill may have left a torn final line.  Writing straight
+        after it would glue the new record onto the partial one,
+        turning a tolerated end-of-file truncation into fatal mid-file
+        corruption.  So the torn tail (if any) is truncated back to the
+        last newline first — its cell simply re-runs, exactly as it
+        would on load.
+        """
+        self.ensure()
+        with open(self.path, "rb+") as tail:
+            tail.seek(0, os.SEEK_END)
+            size = tail.tell()
+            if size:
+                tail.seek(size - 1)
+                if tail.read(1) != b"\n":
+                    # Torn tail from a killed append: drop the fragment
+                    # (its cell re-runs) so the store stays line-clean.
+                    tail.seek(0)
+                    keep = tail.read().rfind(b"\n") + 1
+                    tail.truncate(keep)
+        line = (
+            json.dumps(
+                result.to_record(), sort_keys=True, separators=(",", ":")
+            )
+            + "\n"
+        )
+        with open(self.path, "a") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> Dict[str, ScenarioResult]:
+        """All stored cells, keyed by content key, in append order.
+
+        A missing file is an empty store.  A final line that does not
+        parse is the footprint of a killed append and is dropped; a
+        bad line anywhere else means corruption and raises.  Duplicate
+        keys resolve last-wins (a retried cell supersedes its error
+        row).
+        """
+        if not self.exists():
+            return {}
+        cells: Dict[str, ScenarioResult] = {}
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    break  # truncated in-flight append; resume re-runs it
+                raise ExperimentError(
+                    f"{self.path}:{number}: corrupt cell record"
+                )
+            result = ScenarioResult.from_record(record)
+            key = result.spec.content_key()
+            cells.pop(key, None)  # last-wins, preserving append order
+            cells[key] = result
+        return cells
+
+
+def canonical_results(
+    results,
+) -> List[ScenarioResult]:
+    """Results in canonical artifact order: sorted by content key.
+
+    Grid order is a property of one process's iteration; content-key
+    order is a property of the grid itself, so it is what serial,
+    sharded, and resumed runs can all agree on byte-for-byte.
+    """
+    return sorted(results, key=lambda result: result.spec.content_key())
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What :func:`merge_artifacts` combined and where it wrote it."""
+
+    #: Merged cells in canonical (content-key) order.
+    results: Tuple[ScenarioResult, ...]
+    #: Per-cell summaries, as written to the merged summary.csv.
+    summaries: Tuple
+    #: Artifact kind -> written path (same shape as write_artifacts).
+    paths: Mapping[str, str]
+    #: Resolved sweep name (explicit, or recovered from the inputs).
+    name: str
+    #: Resolved aggregation key (explicit, or recovered from the inputs).
+    group_by: Tuple[str, ...]
+    #: Number of input directories merged.
+    sources: int
+    #: Duplicate cells that were identical across inputs and deduped.
+    overlaps: int
+
+
+def _artifact_metadata(directory: str) -> Dict[str, object]:
+    """Recover ``name``/``group_by`` from a dir's sweep.json, if any."""
+    path = os.path.join(directory, "sweep.json")
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    metadata: Dict[str, object] = {}
+    if isinstance(document.get("name"), str):
+        metadata["name"] = document["name"]
+    group_by = document.get("group_by")
+    if isinstance(group_by, list) and all(
+        isinstance(field, str) for field in group_by
+    ):
+        metadata["group_by"] = tuple(group_by)
+    return metadata
+
+
+def merge_artifacts(
+    in_dirs: Sequence[str],
+    out_dir: str,
+    name: Optional[str] = None,
+    group_by: Optional[Sequence[str]] = None,
+) -> MergeReport:
+    """Merge shard (or partial-run) artifact directories into one.
+
+    Cells join on their content key.  The same key appearing in
+    several inputs is fine when the payloads are identical (shards may
+    overlap; a resumed store repeats its prefix) and fatal when they
+    differ — conflicting results mean the inputs did not come from the
+    same grid definition, and averaging them would fabricate data.
+    Summaries are recomputed from the merged raw rows, never by
+    combining per-shard aggregates.
+
+    ``name`` and ``group_by`` default to what the input directories'
+    own ``sweep.json`` recorded (first input that has them), so merging
+    shards of any grid — the stock grid's probe-keyed one included —
+    reproduces the serial run's artifacts without repeating flags.
+    """
+    if not in_dirs:
+        raise ExperimentError("nothing to merge: no artifact directories")
+    for directory in in_dirs:
+        if name is not None and group_by is not None:
+            break
+        metadata = _artifact_metadata(directory)
+        if name is None and "name" in metadata:
+            name = metadata["name"]
+        if group_by is None and "group_by" in metadata:
+            group_by = metadata["group_by"]
+    if name is None:
+        name = "merged"
+    if group_by is None:
+        group_by = ("topology", "size", "traffic")
+    merged: Dict[str, ScenarioResult] = {}
+    origin: Dict[str, str] = {}
+    overlaps = 0
+    for directory in in_dirs:
+        for key, result in _load_store(directory).items():
+            if key in merged:
+                if result.comparable() != merged[key].comparable():
+                    raise ExperimentError(
+                        f"conflicting results for cell {key} "
+                        f"({result.scenario_id}) in {origin[key]!r} "
+                        f"and {directory!r}"
+                    )
+                overlaps += 1
+            else:
+                merged[key] = result
+                origin[key] = directory
+    results = canonical_results(merged.values())
+    summaries = summarize(results, group_by=group_by)
+    paths = write_artifacts(
+        results, summaries, out_dir, name=name, group_by=group_by
+    )
+    return MergeReport(
+        results=tuple(results),
+        summaries=tuple(summaries),
+        paths=paths,
+        name=name,
+        group_by=tuple(group_by),
+        sources=len(in_dirs),
+        overlaps=overlaps,
+    )
+
+
+def load_artifact_results(directory: str) -> List[ScenarioResult]:
+    """The cells of one artifact directory, in canonical order."""
+    return canonical_results(_load_store(directory).values())
+
+
+def _load_store(directory: str) -> Dict[str, ScenarioResult]:
+    store = CellStore(directory)
+    if not store.exists():
+        raise ExperimentError(
+            f"no {CELLS_FILENAME} in {directory!r}; "
+            f"not a sweep artifact directory"
+        )
+    return store.load()

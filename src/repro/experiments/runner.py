@@ -73,8 +73,18 @@ class ScenarioResult:
         """Whether the scenario ran to completion."""
         return self.error is None
 
+    #: Structural metrics every probe reports, in artifact column order.
+    STRUCTURAL_METRICS = ("nodes", "edges", "flows", "traffic_volume")
+
     def metrics(self) -> Dict[str, float]:
-        """All numeric metrics, including the structural ones."""
+        """All numeric metrics, including the structural ones.
+
+        ``wall_time`` is deliberately *not* a metric: it is the one
+        volatile field on a result, and keeping it out of rows and
+        summaries is what makes artifacts byte-identical across
+        sharded, resumed, and serial runs of the same grid.  Timing
+        lives on the result object (and in ``cells.jsonl`` records).
+        """
         row = {
             "nodes": float(self.nodes),
             "edges": float(self.edges),
@@ -82,19 +92,95 @@ class ScenarioResult:
             # Not "total_volume": that name is a gravity *input* knob on
             # the spec, and artifact rows carry both side by side.
             "traffic_volume": self.total_volume,
-            "wall_time": self.wall_time,
         }
         row.update(self.values)
         return row
 
     def to_row(self) -> Dict[str, Any]:
-        """One flat artifact row: spec fields + metrics + status."""
-        row: Dict[str, Any] = {"scenario_id": self.scenario_id}
+        """One flat artifact row: key + spec fields + metrics + status."""
+        row: Dict[str, Any] = {
+            "cell_key": self.spec.content_key(),
+            "scenario_id": self.scenario_id,
+        }
         row.update(self.spec.to_dict())
         row.pop("faithfulness_deviations", None)
         row.update(self.metrics())
         row["error"] = self.error or ""
         return row
+
+    def to_record(self) -> Dict[str, Any]:
+        """A lossless JSON-ready record (one ``cells.jsonl`` line).
+
+        Unlike the flat CSV row, the record keeps the full structured
+        spec (so the result is exactly reconstructible) and the
+        volatile ``wall_time`` (which stays out of the canonical
+        artifacts).
+        """
+        return {
+            "key": self.spec.content_key(),
+            "spec": self.spec.to_dict(),
+            "scenario_id": self.scenario_id,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "flows": self.flows,
+            "total_volume": self.total_volume,
+            "wall_time": self.wall_time,
+            "values": dict(self.values),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from a stored record.
+
+        The stored key is checked against the reconstructed spec's own
+        content key, so records written by an incompatible schema
+        version fail loudly instead of silently matching wrong cells.
+        """
+        try:
+            spec = ScenarioSpec.from_dict(record["spec"])
+            result = cls(
+                spec=spec,
+                scenario_id=str(record["scenario_id"]),
+                nodes=int(record["nodes"]),
+                edges=int(record["edges"]),
+                flows=int(record["flows"]),
+                total_volume=float(record["total_volume"]),
+                wall_time=float(record["wall_time"]),
+                values={
+                    str(k): float(v) for k, v in record["values"].items()
+                },
+                error=record["error"],
+            )
+        except ExperimentError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ExperimentError(f"malformed cell record: {exc}")
+        if record["key"] != spec.content_key():
+            raise ExperimentError(
+                f"cell record key {record['key']!r} does not match its "
+                f"spec (expected {spec.content_key()!r}); the artifact "
+                f"was written by an incompatible version"
+            )
+        return result
+
+    def comparable(self) -> Tuple:
+        """The identity-relevant payload, timing excluded.
+
+        Two runs of one deterministic cell agree on everything except
+        ``wall_time``; this is the equality merge conflict detection
+        uses.
+        """
+        return (
+            self.spec,
+            self.scenario_id,
+            self.nodes,
+            self.edges,
+            self.flows,
+            self.total_volume,
+            tuple(sorted(self.values.items())),
+            self.error,
+        )
 
 
 def _payments_probe(
@@ -218,23 +304,42 @@ class SweepRunner:
     Parameters
     ----------
     scenarios:
-        The concrete grid (a :class:`SweepSpec` or a plain sequence).
+        The concrete grid (a :class:`SweepSpec` or a plain sequence) —
+        possibly one shard of a larger grid, see
+        :func:`~repro.experiments.spec.shard_grid`.
     workers:
         ``1`` (the default) runs in-process.  Larger values fan out
         over a ``multiprocessing`` pool; results come back in grid
         order regardless of completion order.  ``0`` means "one worker
         per available CPU".
+    resume_dir:
+        A prior artifact directory.  Cells whose content key appears in
+        its ``cells.jsonl`` with a result are *reused*, not re-run; the
+        store tolerates a truncated final record, so resuming from a
+        killed sweep loses at most the cells that were in flight.
+    retry_errors:
+        With ``resume_dir``, re-run cells whose prior record captured
+        an error instead of reusing the error row.
+    allow_empty:
+        Accept an empty grid (a shard of a grid smaller than the shard
+        count) and return no results instead of raising.
+
+    After :meth:`run`, ``self.reused`` counts the cells satisfied from
+    ``resume_dir`` rather than executed.
     """
 
     def __init__(
         self,
         scenarios,
         workers: int = 1,
+        resume_dir: Optional[str] = None,
+        retry_errors: bool = False,
+        allow_empty: bool = False,
     ) -> None:
         if isinstance(scenarios, SweepSpec):
             scenarios = scenarios.scenarios
         self.scenarios: Tuple[ScenarioSpec, ...] = tuple(scenarios)
-        if not self.scenarios:
+        if not self.scenarios and not allow_empty:
             raise ExperimentError("nothing to sweep")
         for spec in self.scenarios:
             spec.validate()
@@ -243,14 +348,71 @@ class SweepRunner:
         if workers == 0:
             workers = multiprocessing.cpu_count()
         self.workers = workers
+        self.resume_dir = resume_dir
+        self.retry_errors = retry_errors
+        self.reused = 0
 
-    def run(self) -> List[ScenarioResult]:
-        """All results, in the same order as ``self.scenarios``."""
-        if self.workers == 1:
-            return [run_scenario(spec) for spec in self.scenarios]
-        return self._run_pooled()
+    def run(self, store_dir: Optional[str] = None) -> List[ScenarioResult]:
+        """All results, in the same order as ``self.scenarios``.
 
-    def _run_pooled(self) -> List[ScenarioResult]:
+        With ``store_dir``, every completed cell is appended to that
+        directory's ``cells.jsonl`` as it finishes (one atomic line per
+        cell), so a killed run leaves a resumable prefix behind.  Cells
+        reused from ``resume_dir`` are copied into the store as well,
+        making the store self-contained even when it is a fresh
+        directory.
+        """
+        # Imported lazily: artifacts.py needs ScenarioResult from this
+        # module at import time.
+        from .artifacts import CellStore
+
+        prior: Dict[str, ScenarioResult] = {}
+        if self.resume_dir is not None:
+            resume_store = CellStore(self.resume_dir)
+            if not resume_store.exists():
+                # A typo'd --resume silently re-running the whole grid
+                # would discard hours of prior compute; fail loudly.
+                raise ExperimentError(
+                    f"cannot resume: no cells.jsonl in "
+                    f"{self.resume_dir!r} (not a sweep artifact "
+                    f"directory)"
+                )
+            prior = resume_store.load()
+        store: Optional[CellStore] = None
+        stored_keys: set = set()
+        if store_dir is not None:
+            store = CellStore(store_dir)
+            stored_keys = set(store.load())
+            store.ensure()
+
+        results: List[Optional[ScenarioResult]] = [None] * len(self.scenarios)
+        pending: List[Tuple[int, ScenarioSpec]] = []
+        self.reused = 0
+        for index, spec in enumerate(self.scenarios):
+            key = spec.content_key()
+            hit = prior.get(key)
+            if hit is not None and (hit.ok or not self.retry_errors):
+                results[index] = hit
+                self.reused += 1
+                if store is not None and key not in stored_keys:
+                    store.append(hit)
+                    stored_keys.add(key)
+            else:
+                pending.append((index, spec))
+
+        def record(index: int, result: ScenarioResult) -> None:
+            results[index] = result
+            if store is not None:
+                store.append(result)
+
+        if self.workers == 1 or len(pending) <= 1:
+            for index, spec in pending:
+                record(index, run_scenario(spec))
+        else:
+            self._run_pooled(pending, record)
+        return [r for r in results if r is not None]
+
+    def _run_pooled(self, pending, record) -> None:
         # fork shares the imported library with the children for free;
         # platforms without it (Windows, macOS spawn default) fall back
         # to the default start method, which re-imports repro.
@@ -258,14 +420,11 @@ class SweepRunner:
         context = multiprocessing.get_context(
             "fork" if "fork" in methods and sys.platform != "win32" else None
         )
-        indexed = list(enumerate(self.scenarios))
-        results: List[Optional[ScenarioResult]] = [None] * len(indexed)
         with context.Pool(processes=self.workers) as pool:
             for index, result in pool.imap_unordered(
-                _run_indexed, indexed, chunksize=1
+                _run_indexed, pending, chunksize=1
             ):
-                results[index] = result
-        return [r for r in results if r is not None]
+                record(index, result)
 
 
 def run_sweep(

@@ -16,7 +16,9 @@ not about any single topology.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import random
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -215,6 +217,36 @@ class ScenarioSpec:
     # construction
     # ------------------------------------------------------------------
 
+    def canonical_json(self) -> str:
+        """The spec as canonical JSON: sorted keys, compact separators.
+
+        This is the *identity* serialisation: two specs are the same
+        scenario iff their canonical JSON is equal, regardless of how
+        a sweep document ordered its keys.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_key(self) -> str:
+        """A stable content hash naming this scenario across processes.
+
+        The key is a SHA-256 prefix of :meth:`canonical_json`, so it is
+        invariant under JSON key reordering and identical in every
+        shard, resume, and merge that touches the same frozen spec.
+        Artifact rows carry it as ``cell_key``; resumable runs and
+        :func:`~repro.experiments.artifacts.merge_artifacts` use it to
+        recognise already-computed cells.  The digest is memoized on
+        the (frozen) instance: rows, stores, and canonical sorts all
+        re-ask for it.
+        """
+        key = self.__dict__.get("_content_key")
+        if key is None:
+            digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+            key = digest.hexdigest()[:16]
+            object.__setattr__(self, "_content_key", key)
+        return key
+
     def scenario_id(self) -> str:
         """A compact, unique-within-a-grid label for artifacts."""
         parts = [self.topology]
@@ -401,6 +433,32 @@ def expand_grid(
     return scenarios
 
 
+def shard_grid(
+    specs: Sequence[ScenarioSpec],
+    shard_index: int,
+    shard_count: int,
+) -> Tuple[ScenarioSpec, ...]:
+    """Deterministically slice a grid into one of ``shard_count`` shards.
+
+    Sharding is round-robin (``specs[shard_index::shard_count]``), so
+    the axes that vary fastest — seeds, usually — spread evenly across
+    shards and a mixed-cost grid balances without any cost model.  The
+    shards of one grid are disjoint, cover it, and preserve grid order
+    within each shard; ``shard_count`` larger than the grid simply
+    yields empty shards.  Identity, not position, links the shards back
+    together: every cell carries its :meth:`ScenarioSpec.content_key`,
+    which is what :func:`~repro.experiments.artifacts.merge_artifacts`
+    joins on.
+    """
+    if shard_count < 1:
+        raise ExperimentError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ExperimentError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return tuple(specs[shard_index::shard_count])
+
+
 def parse_sweep(document: Mapping[str, Any]) -> SweepSpec:
     """Parse a JSON sweep document.
 
@@ -440,15 +498,28 @@ def parse_sweep(document: Mapping[str, Any]) -> SweepSpec:
     )
 
 
-def default_sweep(seeds: int = 7) -> SweepSpec:
+def default_sweep(
+    seeds: int = 7,
+    protocol_seeds: int = 2,
+    protocol_sizes: Sequence[int] = (16, 64),
+) -> SweepSpec:
     """The stock grid behind ``python -m repro sweep``.
 
-    Two topology families x two traffic models x two sizes x ``seeds``
-    seeds, all on the cheap payments probe: 8 cells, ``8 * seeds``
-    scenarios (56 at the default), each summarising VCG overpayment.
+    Two blocks.  The *payments* block is two topology families x two
+    traffic models x two sizes x ``seeds`` seeds on the cheap payments
+    probe (56 scenarios at the default), summarising VCG overpayment.
+    The *protocol* block runs the convergence probe on random
+    biconnected graphs at ``protocol_sizes`` — 64-node protocol
+    scenarios run in seconds on the incremental engine, so the stock
+    grid now exercises them — with ``protocol_seeds`` seeds each
+    (``protocol_seeds=0`` drops the block, restoring the payments-only
+    grid).  Cells are keyed by probe as well as topology/size/traffic
+    so the two blocks never share a summary cell.
     """
     if seeds < 1:
         raise ExperimentError("seeds must be positive")
+    if protocol_seeds < 0:
+        raise ExperimentError("protocol_seeds must be non-negative")
     scenarios = expand_grid(
         base={"probe": "payments"},
         axes={
@@ -458,4 +529,18 @@ def default_sweep(seeds: int = 7) -> SweepSpec:
             "seed": list(range(seeds)),
         },
     )
-    return SweepSpec(name="default", scenarios=tuple(scenarios))
+    if protocol_seeds and protocol_sizes:
+        scenarios.extend(
+            expand_grid(
+                base={"probe": "convergence", "topology": "random"},
+                axes={
+                    "size": list(protocol_sizes),
+                    "seed": list(range(protocol_seeds)),
+                },
+            )
+        )
+    return SweepSpec(
+        name="default",
+        scenarios=tuple(scenarios),
+        group_by=("probe", "topology", "size", "traffic"),
+    )

@@ -82,26 +82,34 @@ class TestSummarize:
 
 
 class TestArtifacts:
-    def test_writes_all_three(self, results, tmp_path):
+    def test_writes_all_four(self, results, tmp_path):
         summaries = summarize(results, group_by=("topology",))
         paths = write_artifacts(
             results, summaries, str(tmp_path / "out"), name="unit"
         )
-        assert set(paths) == {"results", "summary", "json"}
+        assert set(paths) == {"results", "summary", "json", "cells"}
 
         with open(paths["results"]) as handle:
             rows = list(csv.DictReader(handle))
         assert len(rows) == len(results)
-        assert rows[0]["scenario_id"] == results[0].scenario_id
+        # Rows are written in canonical (content-key) order.
+        by_id = {r.scenario_id: r for r in results}
+        assert {row["scenario_id"] for row in rows} == set(by_id)
+        assert [row["cell_key"] for row in rows] == sorted(
+            r.spec.content_key() for r in results
+        )
+        first = by_id[rows[0]["scenario_id"]]
         assert float(rows[0]["overpayment_ratio"]) == pytest.approx(
-            results[0].values["overpayment_ratio"]
+            first.values["overpayment_ratio"]
         )
 
         with open(paths["summary"]) as handle:
             summary_rows = list(csv.DictReader(handle))
         metrics = {row["metric"] for row in summary_rows}
         assert "overpayment_ratio" in metrics
-        assert "wall_time" in metrics
+        # wall_time is volatile and must stay out of byte-stable
+        # artifacts; it lives only in cells.jsonl records.
+        assert "wall_time" not in metrics
 
         with open(paths["json"]) as handle:
             document = json.load(handle)
@@ -109,9 +117,26 @@ class TestArtifacts:
         assert len(document["scenarios"]) == len(results)
         assert len(document["summaries"]) == 2
 
+        with open(paths["cells"]) as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == len(results)
+        assert all("wall_time" in record for record in records)
+
     def test_results_csv_deterministic(self, results, tmp_path):
         summaries = summarize(results, group_by=("topology",))
         one = write_artifacts(results, summaries, str(tmp_path / "a"))
         two = write_artifacts(results, summaries, str(tmp_path / "b"))
         with open(one["summary"]) as f_a, open(two["summary"]) as f_b:
             assert f_a.read() == f_b.read()
+
+    def test_artifacts_independent_of_input_order(self, results, tmp_path):
+        # Byte-stability is over the *set* of results: reversing the
+        # input order must not change a single byte of the canonical
+        # artifacts (summaries recomputed internally from sorted rows).
+        one = write_artifacts(results, None, str(tmp_path / "a"))
+        two = write_artifacts(
+            list(reversed(results)), None, str(tmp_path / "b")
+        )
+        for kind in ("results", "summary", "json", "cells"):
+            with open(one[kind]) as f_a, open(two[kind]) as f_b:
+                assert f_a.read() == f_b.read()

@@ -1,0 +1,268 @@
+"""Tests for the cell store, record round-trips, and artifact merging."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    CELLS_FILENAME,
+    CellStore,
+    ScenarioResult,
+    ScenarioSpec,
+    SweepRunner,
+    canonical_results,
+    expand_grid,
+    load_artifact_results,
+    merge_artifacts,
+    write_artifacts,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenarios = expand_grid(
+        base={"size": 6, "cost_dist": "pareto"},
+        axes={"topology": ["random", "ring"], "cost_low": [0.0, 1.0]},
+    )
+    # cost_low=0.0 cells fail at build time (pareto needs a positive
+    # anchor), so the fixture carries both ok rows and error rows.
+    return SweepRunner(scenarios, workers=1).run()
+
+
+class TestRecords:
+    def test_round_trip_exact(self, results):
+        for result in results:
+            clone = ScenarioResult.from_record(result.to_record())
+            assert clone.comparable() == result.comparable()
+            assert clone.wall_time == result.wall_time
+
+    def test_error_rows_round_trip(self, results):
+        errors = [r for r in results if not r.ok]
+        assert errors  # the fixture must include failures
+        for result in errors:
+            clone = ScenarioResult.from_record(result.to_record())
+            assert clone.error == result.error
+            assert not clone.ok
+
+    def test_record_is_json_ready(self, results):
+        for result in results:
+            encoded = json.dumps(result.to_record(), sort_keys=True)
+            clone = ScenarioResult.from_record(json.loads(encoded))
+            assert clone.comparable() == result.comparable()
+
+    def test_key_mismatch_rejected(self, results):
+        record = results[0].to_record()
+        record["key"] = "0" * 16
+        with pytest.raises(ExperimentError, match="does not match"):
+            ScenarioResult.from_record(record)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ExperimentError, match="malformed"):
+            ScenarioResult.from_record({"key": "x"})
+
+
+class TestCellStore:
+    def test_append_then_load(self, results, tmp_path):
+        store = CellStore(str(tmp_path / "art"))
+        assert store.load() == {}  # missing file is an empty store
+        for result in results:
+            store.append(result)
+        loaded = store.load()
+        assert set(loaded) == {r.spec.content_key() for r in results}
+        for result in results:
+            assert (
+                loaded[result.spec.content_key()].comparable()
+                == result.comparable()
+            )
+
+    def test_truncated_final_line_tolerated(self, results, tmp_path):
+        store = CellStore(str(tmp_path))
+        for result in results:
+            store.append(result)
+        text = open(store.path).read()
+        # Cut the last record in half, as a kill mid-append would.
+        open(store.path, "w").write(text[: len(text) - 40])
+        loaded = store.load()
+        assert len(loaded) == len(results) - 1
+
+    def test_mid_file_corruption_raises(self, results, tmp_path):
+        store = CellStore(str(tmp_path))
+        for result in results[:2]:
+            store.append(result)
+        lines = open(store.path).read().splitlines(True)
+        open(store.path, "w").writelines([lines[0][:30] + "\n", lines[1]])
+        with pytest.raises(ExperimentError, match="corrupt"):
+            store.load()
+
+    def test_append_after_torn_tail_stays_line_clean(
+        self, results, tmp_path
+    ):
+        # A resumed run appending into the same (torn) store must not
+        # glue its record onto the fragment: that would turn tolerated
+        # end-of-file truncation into fatal mid-file corruption.
+        store = CellStore(str(tmp_path))
+        for result in results[:2]:
+            store.append(result)
+        text = open(store.path).read()
+        open(store.path, "w").write(text[: len(text) - 40])  # torn tail
+        store.append(results[2])
+        loaded = store.load()  # no corruption error
+        assert results[2].spec.content_key() in loaded
+        assert results[1].spec.content_key() not in loaded  # fragment dropped
+        assert len(loaded) == 2
+
+    def test_duplicate_keys_last_wins(self, results, tmp_path):
+        store = CellStore(str(tmp_path))
+        first = results[0]
+        import dataclasses
+
+        retried = dataclasses.replace(first, wall_time=first.wall_time + 1)
+        store.append(first)
+        store.append(results[1])
+        store.append(retried)
+        loaded = store.load()
+        assert len(loaded) == 2
+        assert (
+            loaded[first.spec.content_key()].wall_time == retried.wall_time
+        )
+
+
+class TestMerge:
+    def _write(self, results, directory):
+        return write_artifacts(
+            canonical_results(results), None, str(directory), name="unit"
+        )
+
+    def test_disjoint_merge_equals_whole(self, results, tmp_path):
+        self._write(results[:2], tmp_path / "a")
+        self._write(results[2:], tmp_path / "b")
+        whole = self._write(results, tmp_path / "whole")
+        report = merge_artifacts(
+            [str(tmp_path / "a"), str(tmp_path / "b")],
+            str(tmp_path / "merged"),
+            name="unit",
+        )
+        assert report.sources == 2
+        assert report.overlaps == 0
+        assert len(report.results) == len(results)
+        for kind in ("results", "summary", "json"):
+            assert (
+                open(report.paths[kind]).read() == open(whole[kind]).read()
+            )
+
+    def test_identical_overlap_deduplicated(self, results, tmp_path):
+        self._write(results, tmp_path / "a")  # full copy
+        self._write(results[1:], tmp_path / "b")  # overlapping copy
+        report = merge_artifacts(
+            [str(tmp_path / "a"), str(tmp_path / "b")],
+            str(tmp_path / "merged"),
+        )
+        assert len(report.results) == len(results)
+        assert report.overlaps == len(results) - 1
+
+    def test_conflicting_cell_rejected(self, results, tmp_path):
+        self._write(results, tmp_path / "a")
+        conflicted = list(results)
+        import dataclasses
+
+        index = next(i for i, r in enumerate(conflicted) if r.ok)
+        conflicted[index] = dataclasses.replace(
+            conflicted[index],
+            values={
+                k: v + 1.0 for k, v in conflicted[index].values.items()
+            },
+        )
+        self._write(conflicted, tmp_path / "b")
+        with pytest.raises(ExperimentError, match="conflicting results"):
+            merge_artifacts(
+                [str(tmp_path / "a"), str(tmp_path / "b")],
+                str(tmp_path / "merged"),
+            )
+
+    def test_wall_time_difference_is_not_a_conflict(self, results, tmp_path):
+        import dataclasses
+
+        self._write(results, tmp_path / "a")
+        rerun = [
+            dataclasses.replace(r, wall_time=r.wall_time * 3 + 1)
+            for r in results
+        ]
+        self._write(rerun, tmp_path / "b")
+        report = merge_artifacts(
+            [str(tmp_path / "a"), str(tmp_path / "b")],
+            str(tmp_path / "merged"),
+        )
+        assert report.overlaps == len(results)
+
+    def test_non_artifact_dir_rejected(self, tmp_path):
+        os.makedirs(tmp_path / "empty")
+        with pytest.raises(ExperimentError, match=CELLS_FILENAME):
+            merge_artifacts(
+                [str(tmp_path / "empty")], str(tmp_path / "merged")
+            )
+
+    def test_no_inputs_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="nothing to merge"):
+            merge_artifacts([], str(tmp_path / "merged"))
+
+    def test_merge_recovers_name_and_group_by_from_inputs(
+        self, results, tmp_path
+    ):
+        # Shards of a probe-keyed grid (like the stock one) must merge
+        # back byte-identically with *no* flags: name and group_by are
+        # recovered from the inputs' own sweep.json.
+        group_by = ("probe", "topology")
+        whole = write_artifacts(
+            canonical_results(results),
+            None,
+            str(tmp_path / "whole"),
+            name="stockish",
+            group_by=group_by,
+        )
+        for index in range(2):
+            write_artifacts(
+                results[index::2],
+                None,
+                str(tmp_path / f"s{index}"),
+                name="stockish",
+                group_by=group_by,
+            )
+        report = merge_artifacts(
+            [str(tmp_path / "s0"), str(tmp_path / "s1")],
+            str(tmp_path / "merged"),
+        )
+        assert report.name == "stockish"
+        assert report.group_by == group_by
+        for kind in ("results", "summary", "json"):
+            assert (
+                open(report.paths[kind]).read() == open(whole[kind]).read()
+            )
+
+    def test_load_artifact_results(self, results, tmp_path):
+        self._write(results, tmp_path / "a")
+        loaded = load_artifact_results(str(tmp_path / "a"))
+        assert [r.comparable() for r in loaded] == [
+            r.comparable() for r in canonical_results(results)
+        ]
+
+
+class TestEmptyArtifacts:
+    def test_empty_shard_writes_loadable_artifacts(self, tmp_path):
+        paths = write_artifacts([], None, str(tmp_path / "empty"))
+        assert open(paths["results"]).read().startswith("cell_key,")
+        assert load_artifact_results(str(tmp_path / "empty")) == []
+
+    def test_empty_runner_requires_allow_empty(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner([], workers=1)
+        runner = SweepRunner([], workers=1, allow_empty=True)
+        assert runner.run() == []
+
+    def test_content_key_stamped_in_rows(self, tmp_path):
+        spec = ScenarioSpec(size=6, seed=3)
+        results = SweepRunner([spec], workers=1).run()
+        row = results[0].to_row()
+        assert row["cell_key"] == spec.content_key()
+        assert "wall_time" not in row

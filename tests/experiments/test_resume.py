@@ -1,0 +1,206 @@
+"""Kill-and-resume equivalence: a resumed sweep == an uninterrupted one.
+
+The runner appends one record per completed cell; a kill leaves a
+prefix (possibly ending in a torn line).  Resuming from any such
+prefix — including the empty one — must reproduce the exact artifacts
+of a run that was never interrupted, error rows included, while only
+re-running the missing cells.
+"""
+
+import pytest
+
+from repro.experiments import (
+    CellStore,
+    SweepRunner,
+    expand_grid,
+    write_artifacts,
+)
+from repro.experiments import runner as runner_module
+
+
+def _grid():
+    # 6 cells, one of which (cost_low=0.0, pareto) fails at build time,
+    # so captured errors ride through kill/resume as well.
+    return expand_grid(
+        base={"size": 6},
+        axes={
+            "cost_dist": ["uniform", "pareto"],
+            "cost_low": [0.0, 1.0],
+        },
+    ) + expand_grid(base={"size": 6, "topology": "ring"}, axes={"seed": [0, 1]})
+
+
+def _artifacts(results, directory):
+    return write_artifacts(results, None, str(directory), name="grid")
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("baseline")
+    specs = _grid()
+    results = SweepRunner(specs, workers=1).run(store_dir=str(directory))
+    paths = _artifacts(results, directory)
+    return specs, results, directory, paths
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("kept_cells", [0, 1, 3, 5, 6])
+    def test_resume_from_prefix_reproduces_artifacts(
+        self, kept_cells, baseline, tmp_path
+    ):
+        specs, _, base_dir, base_paths = baseline
+        # Simulate the kill: keep only a prefix of the cell store.
+        lines = open(CellStore(str(base_dir)).path).read().splitlines(True)
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        open(partial / "cells.jsonl", "w").writelines(lines[:kept_cells])
+
+        resumed_dir = tmp_path / "resumed"
+        runner = SweepRunner(specs, workers=1, resume_dir=str(partial))
+        results = runner.run(store_dir=str(resumed_dir))
+        assert runner.reused == kept_cells
+        paths = _artifacts(results, resumed_dir)
+        for kind in ("results", "summary", "json"):
+            assert (
+                open(paths[kind]).read() == open(base_paths[kind]).read()
+            ), f"{kind} differs after resuming from {kept_cells} cells"
+
+    def test_torn_final_line_resumes_cleanly(self, baseline, tmp_path):
+        specs, _, base_dir, base_paths = baseline
+        text = open(CellStore(str(base_dir)).path).read()
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        # Keep two full records plus half of the third.
+        lines = text.splitlines(True)
+        open(partial / "cells.jsonl", "w").write(
+            "".join(lines[:2]) + lines[2][: len(lines[2]) // 2]
+        )
+
+        runner = SweepRunner(specs, workers=1, resume_dir=str(partial))
+        results = runner.run(store_dir=str(tmp_path / "resumed"))
+        assert runner.reused == 2  # the torn record is re-run
+        paths = _artifacts(results, tmp_path / "resumed")
+        for kind in ("results", "summary", "json"):
+            assert open(paths[kind]).read() == open(base_paths[kind]).read()
+
+    def test_error_rows_are_reused_not_rerun(self, baseline, monkeypatch):
+        specs, _, base_dir, _ = baseline
+        calls = []
+        original = runner_module.run_scenario
+
+        def counting(spec):
+            calls.append(spec)
+            return original(spec)
+
+        monkeypatch.setattr(runner_module, "run_scenario", counting)
+        runner = SweepRunner(specs, workers=1, resume_dir=str(base_dir))
+        results = runner.run()
+        assert calls == []  # every cell, error rows included, reused
+        assert runner.reused == len(specs)
+        assert sum(1 for r in results if not r.ok) == 1
+
+    def test_resume_store_is_self_contained(self, baseline, tmp_path):
+        # Resuming into a fresh directory copies the reused cells, so
+        # the new artifact dir can itself be resumed or merged.
+        specs, _, base_dir, _ = baseline
+        fresh = tmp_path / "fresh"
+        SweepRunner(specs, workers=1, resume_dir=str(base_dir)).run(
+            store_dir=str(fresh)
+        )
+        assert len(CellStore(str(fresh)).load()) == len(specs)
+
+    def test_resume_from_non_artifact_dir_fails_loudly(self, tmp_path):
+        # A typo'd --resume must not silently re-run the whole grid.
+        from repro.errors import ExperimentError
+
+        specs = expand_grid(base={"size": 6}, axes={"seed": [0]})
+        runner = SweepRunner(
+            specs, workers=1, resume_dir=str(tmp_path / "typo")
+        )
+        with pytest.raises(ExperimentError, match="cannot resume"):
+            runner.run()
+
+    def test_extra_prior_cells_are_ignored(self, baseline, tmp_path):
+        # A full-grid artifact can seed a shard run: keys outside the
+        # shard are simply not looked up.
+        specs, _, base_dir, _ = baseline
+        shard = specs[:2]
+        runner = SweepRunner(shard, workers=1, resume_dir=str(base_dir))
+        results = runner.run(store_dir=str(tmp_path / "shard"))
+        assert runner.reused == 2
+        assert len(results) == 2
+
+
+class TestRetryErrors:
+    def _failing_grid(self):
+        return expand_grid(
+            base={"size": 6, "cost_dist": "pareto"},
+            axes={"cost_low": [0.0, 1.0], "seed": [0]},
+        )
+
+    def test_errors_kept_without_flag(self, tmp_path):
+        specs = self._failing_grid()
+        prior = tmp_path / "prior"
+        SweepRunner(specs, workers=1).run(store_dir=str(prior))
+
+        runner = SweepRunner(specs, workers=1, resume_dir=str(prior))
+        results = runner.run()
+        assert runner.reused == len(specs)
+        assert sum(1 for r in results if not r.ok) == 1
+
+    def test_retry_errors_reruns_only_error_cells(
+        self, tmp_path, monkeypatch
+    ):
+        specs = self._failing_grid()
+        prior = tmp_path / "prior"
+
+        # First pass: the payments probe itself is broken, so *every*
+        # cell lands as an error row.
+        from repro.errors import ConvergenceError
+
+        def explode(spec, graph, traffic):
+            raise ConvergenceError("transient outage")
+
+        with monkeypatch.context() as patched:
+            patched.setitem(runner_module._PROBES, "payments", explode)
+            first = SweepRunner(specs, workers=1).run(store_dir=str(prior))
+        assert all(not r.ok for r in first)
+
+        # Second pass, probe healthy again: --retry-errors re-runs the
+        # error cells; the genuine generator failure stays an error,
+        # the transient ones heal.
+        runner = SweepRunner(
+            specs, workers=1, resume_dir=str(prior), retry_errors=True
+        )
+        results = runner.run(store_dir=str(prior))
+        assert runner.reused == 0
+        assert sum(1 for r in results if not r.ok) == 1
+        assert "positive anchor" in [r for r in results if not r.ok][0].error
+
+        # The store healed too (last-wins): a further resume reuses all.
+        runner = SweepRunner(specs, workers=1, resume_dir=str(prior))
+        runner.run()
+        assert runner.reused == len(specs)
+
+    def test_retried_artifacts_match_clean_run(self, tmp_path, monkeypatch):
+        specs = self._failing_grid()
+        clean = _artifacts(
+            SweepRunner(specs, workers=1).run(), tmp_path / "clean"
+        )
+
+        prior = tmp_path / "prior"
+        from repro.errors import ConvergenceError
+
+        def explode(spec, graph, traffic):
+            raise ConvergenceError("transient outage")
+
+        with monkeypatch.context() as patched:
+            patched.setitem(runner_module._PROBES, "payments", explode)
+            SweepRunner(specs, workers=1).run(store_dir=str(prior))
+
+        results = SweepRunner(
+            specs, workers=1, resume_dir=str(prior), retry_errors=True
+        ).run(store_dir=str(prior))
+        retried = _artifacts(results, prior)
+        for kind in ("results", "summary", "json"):
+            assert open(retried[kind]).read() == open(clean[kind]).read()

@@ -1,0 +1,141 @@
+"""Shard-and-merge equivalence: N shards merged == one serial run.
+
+The property fenced here is the whole point of the orchestration
+layer: running a grid in N shards (any N, including N larger than the
+grid) and merging the shard artifacts is indistinguishable — row for
+row and byte for byte — from running the grid serially in one
+process.  The grids deliberately include error cells, so captured
+per-cell failures survive sharding and merging too.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ScenarioSpec,
+    SweepRunner,
+    canonical_results,
+    expand_grid,
+    merge_artifacts,
+    shard_grid,
+    write_artifacts,
+)
+
+
+def _grid():
+    # 6 cells; the cost_low=0.0 half fails at build time (pareto needs
+    # a positive anchor), so error capture rides through every shard.
+    return expand_grid(
+        base={"size": 6, "cost_dist": "pareto"},
+        axes={"cost_low": [0.0, 1.0], "seed": [0, 1, 2]},
+    )
+
+
+class TestShardGrid:
+    def test_partition_disjoint_and_covering(self):
+        specs = _grid()
+        for count in (1, 2, 3, 7):
+            shards = [
+                shard_grid(specs, index, count) for index in range(count)
+            ]
+            merged = [spec for shard in shards for spec in shard]
+            assert sorted(merged, key=repr) == sorted(specs, key=repr)
+            assert len(merged) == len(specs)  # disjoint
+
+    def test_round_robin_order(self):
+        specs = _grid()
+        assert shard_grid(specs, 0, 2) == tuple(specs[0::2])
+        assert shard_grid(specs, 1, 2) == tuple(specs[1::2])
+
+    def test_oversized_shard_count_yields_empty_shards(self):
+        specs = _grid()
+        shards = [shard_grid(specs, index, 7) for index in range(7)]
+        assert sum(len(s) for s in shards) == len(specs)
+        assert any(len(s) == 0 for s in shards)  # 7 > 6 cells
+
+    def test_deterministic(self):
+        specs = _grid()
+        assert shard_grid(specs, 1, 3) == shard_grid(specs, 1, 3)
+
+    def test_bad_indices_rejected(self):
+        specs = _grid()
+        with pytest.raises(ExperimentError):
+            shard_grid(specs, 0, 0)
+        with pytest.raises(ExperimentError):
+            shard_grid(specs, 3, 3)
+        with pytest.raises(ExperimentError):
+            shard_grid(specs, -1, 3)
+
+
+class TestShardMergeEquivalence:
+    @pytest.mark.parametrize("count", [2, 3, 7])
+    def test_sharded_and_merged_equals_serial(self, count, tmp_path):
+        specs = _grid()
+        serial_results = SweepRunner(specs, workers=1).run(
+            store_dir=str(tmp_path / "serial")
+        )
+        serial = write_artifacts(
+            serial_results, None, str(tmp_path / "serial"), name="grid"
+        )
+
+        shard_dirs = []
+        for index in range(count):
+            shard = shard_grid(specs, index, count)
+            directory = tmp_path / f"shard{index}"
+            runner = SweepRunner(shard, workers=1, allow_empty=True)
+            results = runner.run(store_dir=str(directory))
+            write_artifacts(results, None, str(directory), name="grid")
+            shard_dirs.append(str(directory))
+
+        report = merge_artifacts(
+            shard_dirs, str(tmp_path / "merged"), name="grid"
+        )
+
+        # Row-for-row: merged results equal the key-sorted serial run,
+        # including the captured error rows.
+        assert [r.comparable() for r in report.results] == [
+            r.comparable() for r in canonical_results(serial_results)
+        ]
+        assert any(not r.ok for r in report.results)
+
+        # Byte-for-byte: every canonical artifact is identical.
+        for kind in ("results", "summary", "json"):
+            assert (
+                open(report.paths[kind]).read() == open(serial[kind]).read()
+            ), f"{kind} differs for {count} shards"
+
+    def test_pooled_shard_matches_serial_shard(self, tmp_path):
+        # Worker pools change completion order, never artifact bytes.
+        specs = expand_grid(
+            base={"size": 6}, axes={"seed": [0, 1, 2, 3]}
+        )
+        serial = write_artifacts(
+            SweepRunner(specs, workers=1).run(),
+            None,
+            str(tmp_path / "serial"),
+        )
+        pooled = write_artifacts(
+            SweepRunner(specs, workers=2).run(),
+            None,
+            str(tmp_path / "pooled"),
+        )
+        for kind in ("results", "summary", "json"):
+            assert (
+                open(serial[kind]).read() == open(pooled[kind]).read()
+            )
+
+    def test_shard_keys_are_grid_keys(self):
+        # The content key is the only join identity: sharding must not
+        # touch it.
+        specs = _grid()
+        keys = {s.content_key() for s in specs}
+        shard_keys = {
+            s.content_key()
+            for index in range(3)
+            for s in shard_grid(specs, index, 3)
+        }
+        assert shard_keys == keys
+
+    def test_single_shard_is_whole_grid(self, tmp_path):
+        specs = [ScenarioSpec(size=6, seed=s) for s in range(3)]
+        assert shard_grid(specs, 0, 1) == tuple(specs)

@@ -1,0 +1,155 @@
+"""Round-trip fuzzing for specs, sweep documents, and content keys.
+
+Two invariants are load-bearing for the orchestration layer:
+
+* parse -> serialize -> parse is a *fixed point* — a spec (or a whole
+  sweep document) that travels through JSON, across a process
+  boundary, or through ``cells.jsonl`` is the same spec; and
+* the content key depends on the spec's *content only* — never on the
+  order a JSON document happened to list its keys in — because the
+  key is the join identity for sharding, resume, and merging.
+"""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ScenarioSpec, parse_sweep
+from repro.faithful import DEVIATION_CATALOGUE
+from repro.workloads import (
+    COST_DISTRIBUTIONS,
+    MASS_DISTRIBUTIONS,
+    VOLUME_DISTRIBUTIONS,
+)
+
+_DEVIATIONS = sorted(DEVIATION_CATALOGUE)
+
+# Finite floats that survive JSON exactly (every finite float does:
+# dumps emits the shortest repr and loads reads it back bit-identical).
+_positive = st.floats(
+    min_value=0.5, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def scenario_specs(draw):
+    """Valid, fully fuzzed scenario specs."""
+    probe = draw(st.sampled_from(("payments", "convergence", "detection",
+                                  "faithfulness")))
+    kwargs = {
+        "topology": draw(
+            st.sampled_from(("figure1", "ring", "wheel", "complete", "random"))
+        ),
+        "size": draw(st.integers(min_value=4, max_value=24)),
+        "seed": draw(st.integers(min_value=0, max_value=2**31)),
+        "extra_edge_prob": draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        "cost_dist": draw(st.sampled_from(sorted(COST_DISTRIBUTIONS))),
+        "cost_low": draw(_positive),
+        "cost_high": draw(_positive),
+        "cost_param": draw(_positive),
+        "traffic": draw(
+            st.sampled_from(("uniform", "random-pairs", "hotspot", "gravity"))
+        ),
+        "volume": draw(_positive),
+        "volume_high": draw(_positive),
+        "flow_count": draw(st.integers(min_value=1, max_value=64)),
+        "volume_dist": draw(st.sampled_from(sorted(VOLUME_DISTRIBUTIONS))),
+        "volume_param": draw(_positive),
+        "total_volume": draw(_positive),
+        "mass_dist": draw(st.sampled_from(sorted(MASS_DISTRIBUTIONS))),
+        "mass_param": draw(_positive),
+        "probe": probe,
+        "payment_rule": draw(st.sampled_from(("vcg", "declared-cost"))),
+        "deviant_index": draw(st.integers(min_value=0, max_value=64)),
+        "link_delay_spread": draw(
+            st.floats(min_value=0.0, max_value=3.0, allow_nan=False)
+        ),
+        "faithfulness_deviations": draw(
+            st.one_of(
+                st.none(),
+                st.lists(
+                    st.sampled_from(_DEVIATIONS), max_size=3, unique=True
+                ).map(tuple),
+            )
+        ),
+    }
+    if probe == "detection" or draw(st.booleans()):
+        kwargs["deviation"] = draw(st.sampled_from(_DEVIATIONS))
+    return ScenarioSpec(**kwargs).validate()
+
+
+class TestSpecRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(spec=scenario_specs())
+    def test_parse_serialize_parse_fixed_point(self, spec):
+        document = json.loads(json.dumps(spec.to_dict()))
+        once = ScenarioSpec.from_dict(document)
+        assert once == spec
+        twice = ScenarioSpec.from_dict(json.loads(json.dumps(once.to_dict())))
+        assert twice == once
+        assert twice.canonical_json() == spec.canonical_json()
+
+    @settings(max_examples=120, deadline=None)
+    @given(spec=scenario_specs(), reorder_seed=st.integers(0, 2**16))
+    def test_content_key_invariant_under_key_reordering(
+        self, spec, reorder_seed
+    ):
+        items = list(spec.to_dict().items())
+        random.Random(reorder_seed).shuffle(items)
+        # A JSON document listing the same fields in any order names
+        # the same cell.
+        reordered = json.loads(json.dumps(dict(items)))
+        assert ScenarioSpec.from_dict(reordered).content_key() == (
+            spec.content_key()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs(), other=scenario_specs())
+    def test_content_key_separates_distinct_specs(self, spec, other):
+        assert (spec.content_key() == other.content_key()) == (spec == other)
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs())
+    def test_content_key_format(self, spec):
+        key = spec.content_key()
+        assert len(key) == 16
+        int(key, 16)  # hex digest prefix
+
+
+class TestSweepDocumentRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=scenario_specs(), seeds=st.integers(2, 5))
+    def test_sweep_document_fixed_point(self, spec, seeds):
+        base = spec.to_dict()
+        base.pop("seed")
+        document = {
+            "name": "fuzz",
+            "base": base,
+            "axes": {"seed": list(range(seeds))},
+            "group_by": ["topology", "probe"],
+        }
+        parsed = parse_sweep(document)
+        rebounced = parse_sweep(json.loads(json.dumps(document)))
+        assert rebounced == parsed
+        assert [s.content_key() for s in rebounced.scenarios] == [
+            s.content_key() for s in parsed.scenarios
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=scenario_specs(), reorder_seed=st.integers(0, 2**16))
+    def test_grid_cell_keys_survive_document_reordering(
+        self, spec, reorder_seed
+    ):
+        base = spec.to_dict()
+        base.pop("seed")
+        shuffled = list(base.items())
+        random.Random(reorder_seed).shuffle(shuffled)
+        one = parse_sweep({"base": base, "axes": {"seed": [0, 1]}})
+        two = parse_sweep({"base": dict(shuffled), "axes": {"seed": [0, 1]}})
+        assert [s.content_key() for s in one.scenarios] == [
+            s.content_key() for s in two.scenarios
+        ]

@@ -177,6 +177,17 @@ class TestSweepCommand:
         assert main(["sweep", "--spec", str(spec)]) == 2
         assert "size must be an integer" in capsys.readouterr().err
 
+    def test_bad_shard_rejected(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "sweep.json"
+        spec.write_text(json.dumps({"axes": {"seed": [0, 1]}}))
+        for shard in ("0/2", "3/2", "x/2", "2", "1/2/3"):
+            assert (
+                main(["sweep", "--spec", str(spec), "--shard", shard]) == 2
+            )
+            assert "bad shard" in capsys.readouterr().err
+
     def test_bad_group_by_fails_before_running(self, capsys, tmp_path):
         import json
         import time
@@ -202,3 +213,202 @@ class TestSweepCommand:
         # Fail-fast: no scenario ran, no artifact dir appeared.
         assert time.perf_counter() - started < 5.0
         assert not (tmp_path / "o").exists()
+
+
+class TestShardMergeCLI:
+    """End-to-end orchestration through the CLI: shard, resume, merge."""
+
+    def _spec_file(self, tmp_path):
+        import json
+
+        spec = tmp_path / "grid.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "cli-grid",
+                    "base": {"size": 6},
+                    "axes": {
+                        "topology": ["random", "ring"],
+                        "seed": [0, 1, 2],
+                    },
+                }
+            )
+        )
+        return str(spec)
+
+    def _read(self, directory, kind):
+        return (directory / kind).read_text()
+
+    def test_shard_resume_merge_round_trip(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        assert (
+            main(["sweep", "--spec", spec, "--out", str(tmp_path / "serial")])
+            == 0
+        )
+
+        # Run 4 shards (more shards than worth it, on purpose).
+        shard_dirs = []
+        for index in range(1, 5):
+            out = tmp_path / f"shard{index}"
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "--spec",
+                        spec,
+                        "--shard",
+                        f"{index}/4",
+                        "--out",
+                        str(out),
+                    ]
+                )
+                == 0
+            )
+            shard_dirs.append(str(out))
+        assert "[shard 4/4:" in capsys.readouterr().out
+
+        # Kill-and-resume one shard: truncate its cell store, resume.
+        cells = tmp_path / "shard2" / "cells.jsonl"
+        lines = cells.read_text().splitlines(True)
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        (partial / "cells.jsonl").write_text("".join(lines[:1]))
+        resumed = tmp_path / "shard2-resumed"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    spec,
+                    "--shard",
+                    "2/4",
+                    "--resume",
+                    str(partial),
+                    "--out",
+                    str(resumed),
+                ]
+            )
+            == 0
+        )
+        assert "1 reused" in capsys.readouterr().out
+        for kind in ("results.csv", "summary.csv", "sweep.json"):
+            assert self._read(resumed, kind) == self._read(
+                tmp_path / "shard2", kind
+            )
+        shard_dirs[1] = str(resumed)
+
+        # Merge the shards; artifacts must equal the serial run's.
+        assert (
+            main(
+                [
+                    "sweep-merge",
+                    *shard_dirs,
+                    "--out",
+                    str(tmp_path / "merged"),
+                    "--name",
+                    "cli-grid",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "6 cells from 4 artifact dir(s)" in out
+        for kind in ("results.csv", "summary.csv", "sweep.json"):
+            assert self._read(tmp_path / "merged", kind) == self._read(
+                tmp_path / "serial", kind
+            )
+
+    def test_empty_shard_succeeds(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "grid.json"
+        spec.write_text(json.dumps({"axes": {"seed": [0, 1]}}))
+        out = tmp_path / "empty"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec),
+                    "--shard",
+                    "3/3",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "0 scenarios" in capsys.readouterr().out
+        assert (out / "cells.jsonl").exists()
+        assert (out / "results.csv").read_text().startswith("cell_key,")
+
+    def test_merge_rejects_non_artifact_dir(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus"
+        bogus.mkdir()
+        assert (
+            main(
+                ["sweep-merge", str(bogus), "--out", str(tmp_path / "m")]
+            )
+            == 2
+        )
+        assert "cells.jsonl" in capsys.readouterr().err
+
+    def test_merge_rejects_conflicting_cells(self, capsys, tmp_path):
+        import json
+
+        spec = self._spec_file(tmp_path)
+        for name in ("a", "b"):
+            assert (
+                main(
+                    ["sweep", "--spec", spec, "--out", str(tmp_path / name)]
+                )
+                == 0
+            )
+        # Corrupt one copy's payload (keep the spec, change a metric).
+        cells = tmp_path / "b" / "cells.jsonl"
+        records = [
+            json.loads(line) for line in cells.read_text().splitlines()
+        ]
+        records[0]["values"]["overpayment_ratio"] += 1.0
+        cells.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "sweep-merge",
+                    str(tmp_path / "a"),
+                    str(tmp_path / "b"),
+                    "--out",
+                    str(tmp_path / "m"),
+                ]
+            )
+            == 2
+        )
+        assert "conflicting results" in capsys.readouterr().err
+
+    def test_merge_custom_group_by(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        assert (
+            main(["sweep", "--spec", spec, "--out", str(tmp_path / "a")])
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "sweep-merge",
+                    str(tmp_path / "a"),
+                    "--out",
+                    str(tmp_path / "m"),
+                    "--group-by",
+                    "topology,seed",
+                    "--metric",
+                    "total_payment",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Per-cell total_payment" in out
+        assert "seed=0" in out
