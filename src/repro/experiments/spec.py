@@ -502,10 +502,12 @@ def default_sweep(
     seeds: int = 7,
     protocol_seeds: int = 2,
     protocol_sizes: Sequence[int] = (16, 64),
+    checked_seeds: int = 1,
+    checked_sizes: Sequence[int] = (16, 64),
 ) -> SweepSpec:
     """The stock grid behind ``python -m repro sweep``.
 
-    Two blocks.  The *payments* block is two topology families x two
+    Three blocks.  The *payments* block is two topology families x two
     traffic models x two sizes x ``seeds`` seeds on the cheap payments
     probe (56 scenarios at the default), summarising VCG overpayment.
     The *protocol* block runs the convergence probe on random
@@ -513,13 +515,23 @@ def default_sweep(
     scenarios run in seconds on the incremental engine, so the stock
     grid now exercises them — with ``protocol_seeds`` seeds each
     (``protocol_seeds=0`` drops the block, restoring the payments-only
-    grid).  Cells are keyed by probe as well as topology/size/traffic
-    so the two blocks never share a summary cell.
+    grid).  The *checked* block exercises the fully mirrored faithful
+    network, which the shared replay kernel brought within reach of the
+    protocol sizes: detection cells (one catalogued construction
+    manipulation per cell, light random-pairs traffic) at every
+    ``checked_sizes`` rung and faithfulness cells at the smallest rung
+    only (the Proposition-1 verifier runs several complete mechanism
+    runs per cell); ``checked_seeds=0`` drops the block.  Blocks only
+    ever *append* scenarios, so the content keys of existing cells are
+    unchanged by the knobs; cells are keyed by probe as well as
+    topology/size/traffic so no two blocks share a summary cell.
     """
     if seeds < 1:
         raise ExperimentError("seeds must be positive")
     if protocol_seeds < 0:
         raise ExperimentError("protocol_seeds must be non-negative")
+    if checked_seeds < 0:
+        raise ExperimentError("checked_seeds must be non-negative")
     scenarios = expand_grid(
         base={"probe": "payments"},
         axes={
@@ -536,6 +548,36 @@ def default_sweep(
                 axes={
                     "size": list(protocol_sizes),
                     "seed": list(range(protocol_seeds)),
+                },
+            )
+        )
+    if checked_seeds and checked_sizes:
+        scenarios.extend(
+            expand_grid(
+                base={
+                    "probe": "detection",
+                    "topology": "random",
+                    "traffic": "random-pairs",
+                    "flow_count": 8,
+                    "deviation": "false-route-announce",
+                },
+                axes={
+                    "size": list(checked_sizes),
+                    "seed": list(range(checked_seeds)),
+                },
+            )
+        )
+        scenarios.extend(
+            expand_grid(
+                base={
+                    "probe": "faithfulness",
+                    "topology": "random",
+                    "traffic": "random-pairs",
+                    "flow_count": 8,
+                },
+                axes={
+                    "size": [min(checked_sizes)],
+                    "seed": list(range(checked_seeds)),
                 },
             )
         )

@@ -49,17 +49,25 @@ from .node import (
     encode_flag,
 )
 from .protocol import (
+    CheckedConstruction,
     FaithfulFPSSProtocol,
     PlainFPSSProtocol,
     RunResult,
     TrafficMatrix,
+    collect_construction_flags,
+    run_checked_construction,
+    verify_checked_network,
 )
 
 __all__ = [
     "BANK_ID",
     "BankNode",
     "ChargeUnderstateMixin",
+    "CheckedConstruction",
     "CheckpointDecision",
+    "collect_construction_flags",
+    "run_checked_construction",
+    "verify_checked_network",
     "ComplicitCheckerMixin",
     "coalition_factory",
     "CopyAlterMixin",

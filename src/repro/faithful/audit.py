@@ -73,6 +73,22 @@ class Flag:
         """Detail pairs as a dict."""
         return dict(self.detail)
 
+    def sort_key(self) -> Tuple[str, ...]:
+        """Canonical ordering key, stable across processes and runs.
+
+        Two runs of one scenario must produce *comparable* flag
+        multisets regardless of mirror iteration order — the parity
+        the shared-replay equivalence tests assert — so ordering uses
+        only repr-stable fields.
+        """
+        return (
+            self.kind.value,
+            repr(self.principal),
+            repr(self.checker),
+            self.phase,
+            repr(self.detail),
+        )
+
 
 @dataclass
 class CheckpointDecision:

@@ -1,12 +1,14 @@
 """Checker-side mirrors of a principal's computation (Figure 2).
 
-"The checker nodes execute a redundant computation that mirrors what
-the principal is computing, and must receive a complete set of the
+Reproduces: Section 4.2/4.3 of Shneidman & Parkes (PODC'04) — "the
+checker nodes execute a redundant computation that mirrors what the
+principal is computing, and must receive a complete set of the
 messages received by the principal."  A :class:`PrincipalMirror` is one
-checker's clone of one neighbouring principal: it replays the exact
-:class:`~repro.routing.fpss.FPSSComputation` on the copies the
-principal forwards, predicts every broadcast the principal should make,
-and accumulates :class:`~repro.faithful.audit.Flag` observations when
+checker's clone of one neighbouring principal: it replays the
+principal's :class:`~repro.routing.kernel.ReplayKernel` on the copies
+the principal forwards, predicts every broadcast the principal should
+make (as the *delta* an obedient principal would encode), and
+accumulates :class:`~repro.faithful.audit.Flag` observations when
 reality and replay disagree.
 
 Why replay is exact
@@ -15,11 +17,32 @@ The principal's suggested specification processes inputs in arrival
 order and, per [PRINC1]/[PRINC2], *first* forwards a copy of each input
 to all checkers and *then* recomputes and broadcasts.  On a FIFO link,
 each checker therefore sees the copy of input ``m`` before any
-broadcast that ``m`` triggered, so applying copies in arrival order
-reconstructs the principal's state at every broadcast instant.  The
-checker's own messages to the principal are also copy-returned (the
-checker verifies them against a ground-truth ledger), keeping the
-replay ordered identically to the principal's receive order.
+broadcast that ``m`` triggered, so applying copies in arrival order —
+with the relaxation deferred to the same batch boundaries the
+principal used — reconstructs the principal's state at every broadcast
+instant.  The checker's own messages to the principal are also
+copy-returned (the checker verifies them against a ground-truth
+ledger), keeping the replay ordered identically to the principal's
+receive order.
+
+Shared vs. per-neighbour replay
+-------------------------------
+Because a principal's copies reach all of its checkers identically, a
+mirror may be started with a :class:`~repro.routing.kernel.
+SharedKernel` (``shared=``): the expensive replayed kernel is then one
+instance per principal per simulated host, advanced by whichever
+mirror reaches the op-log frontier first, while every other mirror
+*verifies* its own ops against the log and reuses the recorded
+predictions.  Per-mirror state shrinks to the own-sent ledger, the
+expected-broadcast queues, the deferred-flush flag, and a log cursor.
+The first op that diverges from the log — different copies to
+different checkers, selectively dropped copies, a lazy checker — forks
+the mirror onto a private kernel replaying its *own* verified prefix,
+so the flags and digests each mirror produces are bit-identical to the
+per-neighbour replay in every case (property-tested in
+``tests/faithful/test_shared_mirror.py``).  A mirror started without
+``shared`` runs the per-neighbour replay directly — the retained
+reference path.
 """
 
 from __future__ import annotations
@@ -33,6 +56,12 @@ from ..routing.fpss import (
     KIND_RT_UPDATE,
 )
 from ..routing.graph import Cost
+from ..routing.kernel import (
+    OP_DIVERGED,
+    OP_EXTENDED,
+    ReplayKernel,
+    SharedKernel,
+)
 from ..sim.messages import NodeId
 from .audit import Flag, FlagKind
 
@@ -51,7 +80,13 @@ class PrincipalMirror:
     def __init__(self, checker_id: NodeId, principal_id: NodeId) -> None:
         self.checker_id = checker_id
         self.principal_id = principal_id
-        self.comp: Optional[FPSSComputation] = None
+        #: Private replayed kernel (per-neighbour mode, or a fork off a
+        #: shared kernel after divergence).
+        self._private: Optional[ReplayKernel] = None
+        #: Shared kernel this mirror follows, if any.
+        self._shared: Optional[SharedKernel] = None
+        #: This mirror's position in the shared op log.
+        self._cursor = 0
         self.flags: List[Flag] = []
         #: Broadcast vectors the replay says the principal must emit
         #: next, in order (separate queues per message kind).
@@ -63,6 +98,42 @@ class PrincipalMirror:
         #: Copies ingested but not yet replayed (batched delivery).
         self._replay_pending = False
 
+    @property
+    def comp(self) -> Optional[ReplayKernel]:
+        """The effective replayed computation, or None before phase 2.
+
+        Non-materialising: while following a shared kernel the returned
+        object may be *ahead* of this mirror's cursor (another checker
+        advanced it).  Use it for identity/None checks and static
+        attributes (``neighbors``); read table state through
+        :meth:`computation`, which settles the mirror to its own
+        position first.
+        """
+        if self._private is not None:
+            return self._private
+        if self._shared is not None:
+            return self._shared.kernel
+        return None
+
+    def computation(self) -> ReplayKernel:
+        """The replayed kernel *at this mirror's own position*.
+
+        At the frontier (the common case — every quiescence point) this
+        is the shared kernel itself; behind the frontier (e.g. a lazy
+        checker that stopped replaying) the mirror forks onto a private
+        kernel replaying its own verified prefix, so the state it
+        exposes is exactly what its per-neighbour replay would hold.
+        """
+        if self._private is not None:
+            return self._private
+        shared = self._shared
+        assert shared is not None, "mirror has not started phase 2"
+        if self._cursor == shared.frontier:
+            return shared.kernel
+        self._fork()
+        assert self._private is not None
+        return self._private
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -72,32 +143,50 @@ class PrincipalMirror:
         principal_neighbors: Sequence[NodeId],
         declared_cost: Cost,
         known_costs: Dict[NodeId, Cost],
+        shared: Optional[SharedKernel] = None,
     ) -> None:
         """Initialise the replay for the second construction phase.
 
         ``known_costs`` is the converged DATA1 from phase 1 (common to
         all nodes once the phase-1 checkpoint green-lights), which the
-        principal's computation reads during relaxation.
+        principal's computation reads during relaxation.  With
+        ``shared`` the mirror follows that kernel's op log instead of
+        replaying privately; the caller (see
+        :meth:`~repro.routing.kernel.MirrorKernelPool.acquire`) is
+        responsible for only passing a kernel whose seed matches these
+        arguments — the sharing invariant.
         """
-        self.comp = FPSSComputation(
-            self.principal_id, principal_neighbors, declared_cost
-        )
-        for node, cost in known_costs.items():
-            self.comp.note_cost_declaration(node, cost)
         self.flags = []
         self._expected_route.clear()
         self._expected_price.clear()
         self._awaiting_copy.clear()
         self._replay_pending = False
+        self._cursor = 0
+        if shared is not None:
+            self._shared = shared
+            self._private = None
+            # The shared kernel already replicated the principal's
+            # start_phase2 (reset, full relaxations, unconditional
+            # initial announcements); queue the recorded predictions.
+            self._expected_route.append(shared.initial_route)
+            self._expected_price.append(shared.initial_price)
+            return
+        self._shared = None
+        comp = FPSSComputation(
+            self.principal_id, principal_neighbors, declared_cost
+        )
+        for node, cost in known_costs.items():
+            comp.note_cost_declaration(node, cost)
         # Replicate the principal's start_phase2: reset tables, run the
         # full relaxations once, and announce both vectors
         # unconditionally (a delta against the empty baseline).
-        self.comp.reset_phase2()
-        self.comp.recompute_routes()
-        self.comp.recompute_avoidance()
-        self.comp.derive_pricing()
-        self._expected_route.append(self._next_expected_route())
-        self._expected_price.append(self._next_expected_price())
+        comp.reset_phase2()
+        comp.recompute_routes()
+        comp.recompute_avoidance()
+        comp.derive_pricing()
+        self._private = comp
+        self._expected_route.append(comp.consume_route_delta())
+        self._expected_price.append(comp.consume_avoid_delta())
 
     def _flag(self, kind: FlagKind, **detail) -> None:
         self.flags.append(
@@ -110,21 +199,12 @@ class PrincipalMirror:
             )
         )
 
-    def _next_expected_route(self) -> Tuple:
-        """Predicted routing delta (the principal's suggested one).
-
-        Mirrors always replay the *suggested* specification, so the
-        prediction is the same ``consume_route_delta`` encoding an
-        obedient principal broadcasts from — one shared implementation,
-        which is what keeps the streams bit-identical.
-        """
-        assert self.comp is not None
-        return self.comp.consume_route_delta()
-
-    def _next_expected_price(self) -> Tuple:
-        """Predicted avoidance delta of the suggested specification."""
-        assert self.comp is not None
-        return self.comp.consume_avoid_delta()
+    def _fork(self) -> None:
+        """Leave the shared log for a private kernel at this cursor."""
+        shared = self._shared
+        assert shared is not None
+        self._private = shared.fork_at(self._cursor)
+        self._shared = None
 
     # ------------------------------------------------------------------
     # ledger of the checker's own messages to the principal
@@ -156,7 +236,7 @@ class PrincipalMirror:
         orig_src: NodeId,
         encoded_vector: Tuple,
         defer: bool = False,
-    ) -> None:
+    ) -> bool:
         """Replay one input the principal claims to have received.
 
         Implements [CHECK1]/[CHECK2]: copies from non-checkers of the
@@ -170,48 +250,96 @@ class PrincipalMirror:
         mirroring the principal's own batch boundary — copies of one
         principal batch share an arrival instant on the FIFO link, so
         the checker's batch boundary coincides with the principal's.
+
+        Returns True when this call executed kernel work itself
+        (ingestion at the shared frontier, or any private replay) and
+        False when it was satisfied from the shared op log — the
+        metrics-relevant distinction.
         """
-        if self.comp is None:
-            return
-        if orig_src not in self.comp.neighbors:
+        comp = self.comp
+        if comp is None:
+            return False
+        if orig_src not in comp.neighbors:
             self._flag(FlagKind.SPOOFED_COPY, claimed_author=orig_src)
-            return
+            return False
         if orig_src == self.checker_id:
             self._match_returned_copy(orig_kind, encoded_vector)
-
-        if orig_kind == KIND_RT_UPDATE:
-            self.comp.apply_route_delta(orig_src, tuple(encoded_vector))
-        elif orig_kind == KIND_PRICE_UPDATE:
-            self.comp.apply_avoid_delta(orig_src, tuple(encoded_vector))
-        else:
+        if orig_kind not in (KIND_RT_UPDATE, KIND_PRICE_UPDATE):
             self._flag(FlagKind.SPOOFED_COPY, claimed_message_kind=orig_kind)
-            return
+            return False
+
+        # ``tuple`` of a tuple is the identical object, so honest
+        # multicast payloads keep their identity and the shared-log
+        # verification below stays an ``is`` check on the hot path.
+        rows = tuple(encoded_vector)
+        ran = self._ingest(orig_kind, orig_src, rows)
         if defer:
             self._replay_pending = True
-        else:
-            self._replay()
+            return ran
+        return self._replay() or ran
 
-    def _replay(self) -> None:
-        """Relax the mirrored tables once; queue expected broadcasts."""
-        assert self.comp is not None
-        if self.comp.recompute_routes_incremental():
-            self._expected_route.append(self._next_expected_route())
-        if self.comp.recompute_avoidance_incremental():
-            self._expected_price.append(self._next_expected_price())
-        self.comp.derive_pricing_incremental()
+    def _ingest(self, orig_kind: str, orig_src: NodeId, rows: Tuple) -> bool:
+        """Apply one copy to the private kernel or the shared log."""
+        private = self._private
+        if private is None and self._shared is not None:
+            outcome = self._shared.ingest(self._cursor, orig_kind, orig_src, rows)
+            if outcome is not OP_DIVERGED:
+                self._cursor += 1
+                return outcome is OP_EXTENDED
+            # This checker's stream differs from the logged one (a
+            # deviant principal treats its checkers unequally): fork
+            # onto the verified prefix and continue privately.
+            self._fork()
+            private = self._private
+        assert private is not None
+        if orig_kind == KIND_RT_UPDATE:
+            private.apply_route_delta(orig_src, rows)
+        else:
+            private.apply_avoid_delta(orig_src, rows)
+        return True
+
+    def _replay(self) -> bool:
+        """Relax the mirrored tables once; queue expected broadcasts.
+
+        Returns True when the relaxation actually ran here (False when
+        the shared log already held this flush and its predictions).
+        """
+        private = self._private
+        if private is None and self._shared is not None:
+            result = self._shared.flush(self._cursor)
+            if result is not None:
+                self._cursor, route_delta, price_delta, ran = result
+                if route_delta is not None:
+                    self._expected_route.append(route_delta)
+                if price_delta is not None:
+                    self._expected_price.append(price_delta)
+                return ran
+            # The log holds an *apply* where this mirror flushes: its
+            # batch boundaries diverged from the leader's stream.
+            self._fork()
+            private = self._private
+        assert private is not None
+        route_delta, price_delta = private.settle()
+        if route_delta is not None:
+            self._expected_route.append(route_delta)
+        if price_delta is not None:
+            self._expected_price.append(price_delta)
+        return True
 
     def flush_pending(self) -> bool:
-        """Run a deferred replay, if any; True if one ran.
+        """Run a deferred replay, if any; True if one actually ran here.
 
         Called by the checker before observing a broadcast from the
         principal and at every batch boundary, so the expected-
-        broadcast queues are always current when compared.
+        broadcast queues are always current when compared.  Returns
+        False both when nothing was pending and when the pending flush
+        was satisfied from the shared log (no kernel work executed by
+        this mirror) — callers use the result for work accounting.
         """
         if not self._replay_pending:
             return False
         self._replay_pending = False
-        self._replay()
-        return True
+        return self._replay()
 
     # ------------------------------------------------------------------
     # observations: the principal's actual broadcasts
@@ -272,12 +400,21 @@ class PrincipalMirror:
     # bank material
     # ------------------------------------------------------------------
 
+    def private_kernel_stats(self):
+        """Counters of this mirror's private kernel, if it has one.
+
+        Non-``None`` exactly when the mirror replays per neighbour —
+        started without sharing (seed mismatch, reference mode) or
+        forked off a shared log.  Shared mirrors return ``None``: their
+        work is accounted on the pooled :class:`~repro.routing.kernel.
+        SharedKernel`, and per-mirror collection would multiply it.
+        """
+        return self._private.stats if self._private is not None else None
+
     def routing_digest(self) -> str:
         """Hash of the mirrored DATA2 (BANK1 material)."""
-        assert self.comp is not None
-        return self.comp.routing_digest()
+        return self.computation().routing_digest()
 
     def pricing_digest(self) -> str:
         """Hash of the mirrored DATA3* (BANK2 material)."""
-        assert self.comp is not None
-        return self.comp.pricing_digest()
+        return self.computation().pricing_digest()

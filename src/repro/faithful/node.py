@@ -1,8 +1,9 @@
 """The faithful FPSS participant: principal + checker in one node.
 
-"Every node in the biconnected network plays the role of both a
-principal node and a checker node for all of its neighbors" (Section
-4.2).  A :class:`FaithfulRoutingNode` therefore extends the plain
+Reproduces: Section 4.2/4.3 of Shneidman & Parkes (PODC'04), "every
+node in the biconnected network plays the role of both a principal
+node and a checker node for all of its neighbors".  A
+:class:`FaithfulRoutingNode` therefore extends the plain
 :class:`~repro.routing.fpss.FPSSNode` with
 
 * [PRINC1]/[PRINC2] message-passing duties: every received routing or
@@ -10,7 +11,10 @@ principal node and a checker node for all of its neighbors" (Section
   (i.e. all neighbours) before the node recomputes and re-announces;
 * [CHECK1]/[CHECK2] checker duties: a
   :class:`~repro.faithful.mirror.PrincipalMirror` per neighbour replays
-  that neighbour's computation and accumulates flags;
+  that neighbour's computation incrementally — through one
+  :class:`~repro.routing.kernel.SharedKernel` per principal when a
+  :class:`~repro.routing.kernel.MirrorKernelPool` is installed on
+  :attr:`FaithfulRoutingNode.mirror_pool` — and accumulates flags;
 * signed bank reporting for the BANK1/BANK2 checkpoints and the
   execution-phase settlement;
 * execution-phase observation: each packet received from a neighbour
@@ -35,6 +39,7 @@ from ..routing.fpss import (
     delta_size,
 )
 from ..routing.graph import Cost
+from ..routing.kernel import MirrorKernelPool
 from ..sim.crypto import SigningAuthority
 from ..sim.messages import Message, NodeId
 from .audit import Flag, FlagKind
@@ -79,6 +84,11 @@ class FaithfulRoutingNode(FPSSNode):
         self.signing = signing
         #: One mirror per neighbour-principal.
         self.mirrors: Dict[NodeId, PrincipalMirror] = {}
+        #: Host-level shared-replay pool (one per simulator process),
+        #: installed by the protocol driver.  ``None`` keeps every
+        #: mirror on its private per-neighbour replay — the reference
+        #: path standalone nodes and the equivalence tests use.
+        self.mirror_pool: Optional[MirrorKernelPool] = None
         #: neighbour -> that neighbour's own neighbour set, provided by
         #: the checker-setup handshake before phase 2.
         self._neighbor_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = {}
@@ -110,10 +120,18 @@ class FaithfulRoutingNode(FPSSNode):
     # ------------------------------------------------------------------
 
     def start_phase2(self) -> None:
-        """Reset mirrors, then start the principal-role computation."""
+        """Reset mirrors, then start the principal-role computation.
+
+        With a :attr:`mirror_pool` installed, each mirror is attached
+        to the pool's shared kernel for its principal — but only when
+        the pool confirms this checker's independently derived seed
+        (principal neighbours, declared cost, converged DATA1) matches
+        the kernel's; on a seed mismatch the mirror replays privately.
+        """
         if self.comp is None:
             raise ProtocolError(f"{self.node_id!r} cannot enter phase 2 before 1")
         known_costs = self.comp.costs.as_dict()
+        pool = self.mirror_pool
         for principal in self.neighbors:
             mirror = self.mirrors.get(principal)
             if mirror is None:
@@ -125,10 +143,17 @@ class FaithfulRoutingNode(FPSSNode):
                     f"{self.node_id!r} has no connectivity info for "
                     f"principal {principal!r}; call prepare_checking first"
                 )
+            declared = self.comp.costs.cost(principal)
+            shared = None
+            if pool is not None:
+                shared = pool.acquire(
+                    principal, principal_neighbors, declared, known_costs
+                )
             mirror.start_phase2(
                 principal_neighbors,
-                declared_cost=self.comp.costs.cost(principal),
+                declared_cost=declared,
                 known_costs=known_costs,
+                shared=shared,
             )
         super().start_phase2()
 
@@ -187,29 +212,39 @@ class FaithfulRoutingNode(FPSSNode):
         super().on_price_update(message)
 
     def _flush_mirror(self, mirror: PrincipalMirror) -> None:
-        """Run a mirror's deferred replay, accounting the computation."""
+        """Run a mirror's deferred replay, accounting the computation.
+
+        A checker computation is recorded only when the mirror actually
+        executed the relaxation here — replays satisfied from a shared
+        kernel's op log cost a cursor advance, not a computation, which
+        is exactly the dedup the overhead metrics should show.
+        """
         if mirror.flush_pending():
             self.sim.metrics.record_computation(self.node_id, as_checker=True)
 
-    def _flush_batch(self) -> None:
+    def flush_batch(self) -> None:
         """Batch boundary: replay every mirror with pending copies,
         then run the own (principal-role) recomputation."""
         for principal in self.neighbors:
             mirror = self.mirrors.get(principal)
             if mirror is not None and mirror.comp is not None:
                 self._flush_mirror(mirror)
-        super()._flush_batch()
+        super().flush_batch()
 
     # --- principal duty: forward copies before recomputing ------------
 
     def after_route_input(self, message: Message) -> None:
         """[PRINC1] message passing: copy the input to all checkers."""
+        # The delivered message's size is already cached from its own
+        # transmission; a copy adds two scalars (orig_kind, orig_src).
+        self._copy_size_hint = message.size + 2
         self.forward_copy_to_checkers(
             KIND_RT_UPDATE, message.src, message.payload["vector"]
         )
 
     def after_price_input(self, message: Message) -> None:
         """[PRINC2] message passing: copy the input to all checkers."""
+        self._copy_size_hint = message.size + 2
         self.forward_copy_to_checkers(
             KIND_PRICE_UPDATE, message.src, message.payload["vector"]
         )
@@ -222,9 +257,18 @@ class FaithfulRoutingNode(FPSSNode):
         Deviation seam: drop/alter/spoof variants override this (the
         message-passing manipulations 1 and 3 of Section 4.3).
         """
+        # Copies dominate checked-network traffic; the input handler
+        # stashes the delivered message's cached size so the forward
+        # path never re-walks the payload.  Deviant overrides that
+        # substitute a vector keep the row shape (scaled costs), so the
+        # per-row delta formula covers any path without a stash.
+        size_hint = self.__dict__.pop("_copy_size_hint", None)
+        if size_hint is None:
+            size_hint = delta_size(vector) + 2
         self.multicast(
             self.neighbors,
             KIND_CHECKER_COPY,
+            size_hint=size_hint,
             orig_kind=orig_kind,
             orig_src=orig_src,
             vector=vector,
@@ -252,12 +296,12 @@ class FaithfulRoutingNode(FPSSNode):
                 defer=True,
             )
             return
-        self.sim.metrics.record_computation(self.node_id, as_checker=True)
-        mirror.apply_copy(
+        if mirror.apply_copy(
             message.payload["orig_kind"],
             message.payload["orig_src"],
             message.payload["vector"],
-        )
+        ):
+            self.sim.metrics.record_computation(self.node_id, as_checker=True)
 
     # ------------------------------------------------------------------
     # execution phase observation
@@ -277,7 +321,10 @@ class FaithfulRoutingNode(FPSSNode):
             self.observed_originations[flow] = (
                 self.observed_originations.get(flow, 0.0) + volume
             )
-        entry = mirror.comp.routing.entry(destination)
+        # computation() settles the mirror to its own replay position
+        # (a shared kernel may sit ahead of a mirror that stopped
+        # replaying), so validation uses exactly this checker's state.
+        entry = mirror.computation().routing.entry(destination)
         expected_next = entry.path[1] if entry is not None and len(entry.path) >= 2 else None
         if expected_next != self.node_id:
             self.execution_flags.append(
@@ -374,11 +421,12 @@ class FaithfulRoutingNode(FPSSNode):
             mirror = self.mirrors.get(origin)
             if mirror is None or mirror.comp is None:
                 continue
-            entry = mirror.comp.routing.entry(destination)
+            replayed = mirror.computation()
+            entry = replayed.routing.entry(destination)
             if entry is None:
                 continue
             charges = [
-                (transit, mirror.comp.pricing.price(destination, transit) * volume)
+                (transit, replayed.pricing.price(destination, transit) * volume)
                 for transit in entry.path[1:-1]
             ]
             observations.append(

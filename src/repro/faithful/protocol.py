@@ -1,12 +1,18 @@
 """Protocol orchestration: faithful and plain FPSS mechanism runs.
 
+Reproduces: Section 4 of Shneidman & Parkes (PODC'04).
 :class:`FaithfulFPSSProtocol` drives the complete extended
-specification of Section 4: the two construction phases separated by
-bank checkpoints (with restart semantics), then the execution phase
-with settlement.  :class:`PlainFPSSProtocol` runs the original,
-trusting FPSS — no checkers, no bank examination, reported payments
-taken at face value — providing the baseline that shows *why* the
-extension is needed (experiment E5).
+specification: the two construction phases separated by bank
+checkpoints (with restart semantics), then the execution phase with
+settlement; checker mirrors replay principals through one shared
+replay kernel per principal (:mod:`repro.routing.kernel`) unless
+``shared_checking=False`` selects the per-neighbour reference path.
+:class:`PlainFPSSProtocol` runs the original, trusting FPSS — no
+checkers, no bank examination, reported payments taken at face value —
+providing the baseline that shows *why* the extension is needed
+(experiment E5).  :func:`run_checked_construction` isolates the fully
+mirrored construction (no bank, no traffic) for the checker-scaling
+benchmarks and parity tests.
 
 Utility model (Section 4.3 assumptions):
 
@@ -23,12 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
+from ..errors import ConvergenceError
 from ..routing.fpss import FPSSNode
 from ..routing.graph import ASGraph, Cost, NodeId
+from ..routing.kernel import KernelStats, MirrorKernelPool
 from ..sim.crypto import SigningAuthority
 from ..sim.simulator import Simulator
-from ..routing.convergence import topology_from_graph
-from .audit import DetectionReport
+from ..routing.convergence import topology_from_graph, verify_against_oracle
+from .audit import DetectionReport, Flag
 from .bank import BankNode
 from .node import BANK_ID, FaithfulRoutingNode
 
@@ -81,6 +89,14 @@ class FaithfulFPSSProtocol:
     no_progress_utility:
         Utility assigned to every node when construction never
         certifies.
+    shared_checking:
+        Share one replay kernel per principal across all of its
+        checkers within this (single-process) run — the
+        :class:`~repro.routing.kernel.MirrorKernelPool` dedup; flags
+        and digests are bit-identical either way (the sharing
+        invariant is verified per mirror, never assumed).  ``False``
+        keeps every mirror on its private per-neighbour replay, the
+        retained reference path.
     """
 
     def __init__(
@@ -96,6 +112,7 @@ class FaithfulFPSSProtocol:
         link_delays=1.0,
         bank_honors_flags: bool = True,
         node_adapters: Optional[Callable[[FaithfulRoutingNode], None]] = None,
+        shared_checking: bool = True,
     ) -> None:
         graph.require_biconnected()
         self.graph = graph
@@ -120,6 +137,10 @@ class FaithfulFPSSProtocol:
         #: e.g. installing failure adapters for the Section 5
         #: experiments (omission faults on obedient nodes).
         self.node_adapters = node_adapters
+        self.shared_checking = shared_checking
+        #: The run's shared-replay pool (None until :meth:`run`, or
+        #: with ``shared_checking=False``); exposes dedup counters.
+        self.mirror_pool: Optional[MirrorKernelPool] = None
 
     # ------------------------------------------------------------------
     # setup
@@ -132,11 +153,13 @@ class FaithfulFPSSProtocol:
             trace_enabled=self.trace_enabled,
         )
         nodes: Dict[NodeId, FaithfulRoutingNode] = {}
+        self.mirror_pool = MirrorKernelPool() if self.shared_checking else None
         for node_id in self.graph.nodes:
             signing.register(node_id)
             node = self.node_factory(node_id, self.graph.cost(node_id), signing)
             if self.node_adapters is not None:
                 self.node_adapters(node)
+            node.mirror_pool = self.mirror_pool
             nodes[node_id] = node
             simulator.add_node(node)
         signing.register(BANK_ID)
@@ -195,6 +218,10 @@ class FaithfulFPSSProtocol:
         # ---------------- second construction phase ------------------
         phase2_certified = False
         for _attempt in range(self.max_restarts + 1):
+            if self.mirror_pool is not None:
+                # A restart replays the phase from scratch; restarted
+                # mirrors must never attach to a consumed op log.
+                self.mirror_pool.new_epoch()
             for node_id in node_ids:
                 simulator.schedule_local(
                     node_id, 0.0, nodes[node_id].start_phase2, label="phase2"
@@ -387,3 +414,174 @@ class PlainFPSSProtocol:
             metrics=simulator.metrics.summary(),
             construction_events=construction_events,
         )
+
+
+@dataclass
+class CheckedConstruction:
+    """Result of a fully mirrored construction run (no bank, no traffic).
+
+    The unit the checker-scaling benchmarks measure: every node both
+    computes and checks all neighbours, and the run ends at phase-2
+    quiescence with the quiescence-time mirror flags collected.
+    """
+
+    simulator: Simulator
+    nodes: Dict[NodeId, FaithfulRoutingNode]
+    phase1_events: int
+    phase2_events: int
+    flags: list
+    #: Aggregated shared-replay counters (zeroed when sharing is off).
+    kernel_stats: KernelStats
+
+    @property
+    def metrics(self) -> Dict[str, int]:
+        """The simulator's aggregate work counters."""
+        return self.simulator.metrics.summary()
+
+
+def run_checked_construction(
+    graph: ASGraph,
+    link_delays=1.0,
+    batch_delivery: bool = True,
+    shared_checking: bool = True,
+    max_events: int = 8_000_000,
+    node_factory: Optional[FaithfulNodeFactory] = None,
+) -> CheckedConstruction:
+    """Drive both construction phases on a fully mirrored network.
+
+    Every node is a :class:`FaithfulRoutingNode` checking all of its
+    neighbours; there is no bank and no execution phase, so the result
+    isolates exactly the checked-construction cost the shared replay
+    kernel deduplicates.  ``shared_checking`` toggles the
+    :class:`~repro.routing.kernel.MirrorKernelPool` (True) against the
+    per-neighbour reference replay (False); both produce bit-identical
+    flags and digests.  Returns the quiesced network plus the
+    quiescence-time checkpoint flags of every mirror (empty for an
+    obedient network).
+    """
+    graph.require_biconnected()
+    simulator = Simulator(
+        topology_from_graph(graph, delay=link_delays),
+        trace_enabled=False,
+        batch_delivery=batch_delivery,
+    )
+    pool = MirrorKernelPool() if shared_checking else None
+    factory = node_factory or (
+        lambda node_id, cost, signing: FaithfulRoutingNode(node_id, cost, signing)
+    )
+    nodes: Dict[NodeId, FaithfulRoutingNode] = {}
+    for node_id in graph.nodes:
+        node = factory(node_id, graph.cost(node_id), None)
+        node.mirror_pool = pool
+        nodes[node_id] = node
+        simulator.add_node(node)
+    node_ids = tuple(sorted(nodes, key=repr))
+
+    for node_id in node_ids:
+        simulator.schedule_local(
+            node_id, 0.0, nodes[node_id].start_phase1, label="phase1"
+        )
+    phase1_events = simulator.run_until_quiescent(max_events=max_events)
+
+    for node_id in node_ids:
+        nodes[node_id].prepare_checking(
+            {
+                neighbor: graph.neighbors(neighbor)
+                for neighbor in graph.neighbors(node_id)
+            }
+        )
+    if pool is not None:
+        pool.new_epoch()
+    for node_id in node_ids:
+        simulator.schedule_local(
+            node_id, 0.0, nodes[node_id].start_phase2, label="phase2"
+        )
+    phase2_events = simulator.run_until_quiescent(max_events=max_events)
+
+    flags: list = []
+    kernel_stats = pool.collected_stats() if pool is not None else KernelStats()
+    for node_id in node_ids:
+        for _principal, mirror in sorted(
+            nodes[node_id].mirrors.items(), key=lambda kv: repr(kv[0])
+        ):
+            if mirror.comp is None:
+                continue
+            flags.extend(mirror.checkpoint_flags())
+            # Forked and seed-mismatched mirrors replay privately;
+            # their work lives on their own kernels, not the pool.
+            private = mirror.private_kernel_stats()
+            if private is not None:
+                kernel_stats.merge(private)
+    return CheckedConstruction(
+        simulator=simulator,
+        nodes=dict(nodes),
+        phase1_events=phase1_events,
+        phase2_events=phase2_events,
+        flags=flags,
+        kernel_stats=kernel_stats,
+    )
+
+
+def verify_checked_network(
+    graph: ASGraph, checked: CheckedConstruction, check_oracle: bool = True
+) -> None:
+    """Assert a checked run converged correctly and consistently.
+
+    Three layers: no mirror raised a flag at quiescence, every mirror's
+    replayed digests equal its principal's own table digests (the
+    BANK1/BANK2 comparison, without the bank), and — with
+    ``check_oracle`` — every node's tables equal the centralized
+    routing oracle.
+
+    Raises
+    ------
+    ConvergenceError
+        On the first flag, digest disagreement, or oracle mismatch.
+    """
+    if checked.flags:
+        raise ConvergenceError(
+            f"checked run raised {len(checked.flags)} flag(s): "
+            f"{checked.flags[:3]!r}"
+        )
+    nodes = checked.nodes
+    for node_id, node in nodes.items():
+        for principal, mirror in node.mirrors.items():
+            if mirror.comp is None:
+                continue
+            principal_comp = nodes[principal].comp
+            assert principal_comp is not None
+            if (
+                mirror.routing_digest() != principal_comp.routing_digest()
+                or mirror.pricing_digest() != principal_comp.pricing_digest()
+            ):
+                raise ConvergenceError(
+                    f"mirror of {principal!r} at {node_id!r} disagrees "
+                    f"with the principal's own tables"
+                )
+    if check_oracle:
+        verify_against_oracle(graph, nodes)
+
+
+def collect_construction_flags(
+    nodes: Dict[NodeId, FaithfulRoutingNode]
+) -> list:
+    """Quiescence-time mirror flags across a network, stably ordered.
+
+    Encodes each :class:`~repro.faithful.audit.Flag` via
+    ``encode_flag`` after sorting by :meth:`~repro.faithful.audit.
+    Flag.sort_key`, so two runs of one scenario can be compared for
+    bit-identical detection output regardless of mirror iteration
+    order.
+    """
+    from .node import encode_flag
+
+    flags: list = []
+    for node_id in sorted(nodes, key=repr):
+        node = nodes[node_id]
+        flags.extend(node.execution_flags)
+        for _principal, mirror in sorted(
+            node.mirrors.items(), key=lambda kv: repr(kv[0])
+        ):
+            flags.extend(mirror.flags)
+    flags.sort(key=Flag.sort_key)
+    return [encode_flag(f) for f in flags]

@@ -13,7 +13,16 @@ from .convergence import (
     run_construction_phases,
     run_plain_fpss,
     topology_from_graph,
+    verify_against_kernel,
     verify_against_oracle,
+)
+from .kernel import (
+    KernelSnapshot,
+    KernelStats,
+    MirrorKernelPool,
+    ReplayKernel,
+    SharedKernel,
+    kernel_fixed_point,
 )
 from .fpss import (
     KIND_COST_DECL,
@@ -78,6 +87,13 @@ __all__ = [
     "FPSSNode",
     "FullRecomputeFPSSNode",
     "INFINITY",
+    "KernelSnapshot",
+    "KernelStats",
+    "MirrorKernelPool",
+    "ReplayKernel",
+    "SharedKernel",
+    "kernel_fixed_point",
+    "verify_against_kernel",
     "KIND_COST_DECL",
     "KIND_PRICE_UPDATE",
     "KIND_RT_UPDATE",

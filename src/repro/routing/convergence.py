@@ -22,6 +22,7 @@ from ..sim.simulator import Simulator
 from .engine import engine_for
 from .fpss import FPSSNode
 from .graph import ASGraph, Cost, NodeId
+from .kernel import kernel_fixed_point
 from .vcg_payments import route_payments
 
 
@@ -244,3 +245,36 @@ def verify_against_oracle(
                         f"price {source!r}->{destination!r} via {transit!r}: "
                         f"protocol said {actual}, oracle said {expected}"
                     )
+
+
+def verify_against_kernel(graph: ASGraph, nodes: Mapping[NodeId, FPSSNode]) -> None:
+    """Assert the converged tables equal the pure-kernel fixed point.
+
+    The second, protocol-independent oracle: :func:`~repro.routing.
+    kernel.kernel_fixed_point` iterates the same replay kernel in
+    synchronous rounds with no simulator, so agreement here checks the
+    *distribution* machinery (batching, delta wire format, delivery
+    order) against the bare state machine — digest-exact, DATA3* tags
+    included, which the Dijkstra oracle of :func:`verify_against_oracle`
+    cannot see.
+
+    Raises
+    ------
+    ConvergenceError
+        On the first digest disagreement.
+    """
+    kernels = kernel_fixed_point(graph)
+    for node_id, kernel in kernels.items():
+        comp = nodes[node_id].comp
+        if comp is None:
+            raise ConvergenceError(f"{node_id!r} never started construction")
+        if comp.routing_digest() != kernel.routing_digest():
+            raise ConvergenceError(
+                f"{node_id!r}: protocol DATA2 digest differs from the "
+                f"kernel fixed point"
+            )
+        if comp.pricing_digest() != kernel.pricing_digest():
+            raise ConvergenceError(
+                f"{node_id!r}: protocol DATA3* digest differs from the "
+                f"kernel fixed point"
+            )

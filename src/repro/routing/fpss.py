@@ -3,15 +3,18 @@
 FPSS computes lowest-cost paths and VCG pricing tables "by each node
 using information from neighbors in an iterative calculation",
 following the Griffin-Wilfong abstract model of BGP.  This module
-implements that computation in two layers:
+implements the *protocol* layers on top of the pure replay kernel of
+:mod:`repro.routing.kernel`:
 
 :class:`FPSSComputation`
-    A *pure, deterministic* state container holding DATA1-DATA3* and
-    the neighbour vectors, with explicit apply/recompute methods and no
-    I/O.  Determinism matters beyond tidiness: the faithful extension's
-    checker nodes replay a principal's computation on copies of its
-    messages, and replay only works if the computation is a pure
-    function of (identity, neighbour set, message sequence).
+    The principal-facing name for one :class:`~repro.routing.kernel.
+    ReplayKernel` instance: a pure, deterministic state machine holding
+    DATA1-DATA3* and the neighbour vectors, with explicit apply /
+    recompute methods and no I/O.  Determinism matters beyond
+    tidiness: the faithful extension's checker nodes replay a
+    principal's computation on copies of its messages, and replay only
+    works if the computation is a pure function of (identity,
+    neighbour set, message sequence).
 
 :class:`FPSSNode`
     A :class:`~repro.sim.node.ProtocolNode` driving one computation
@@ -19,35 +22,14 @@ implements that computation in two layers:
     and exchanges routing/pricing updates (second construction phase),
     broadcasting whenever its own tables change.
 
-Incremental recomputation
--------------------------
-The relaxations are evaluated *incrementally*: applying a neighbour
-vector diffs it against the previously stored one and marks only the
-destinations (routing) or ``(destination, avoided)`` keys (pricing)
-whose inputs actually changed; ``recompute_routes_incremental`` /
-``recompute_avoidance_incremental`` / ``derive_pricing_incremental``
-then relax exactly those dirty entries.  Because a destination's
-candidate set depends only on that destination's rows in the neighbour
-vectors (plus the phase-frozen DATA1), the incremental pass is
-observably identical — same tables, digests, and change flags — to the
-full-table rescan, which is retained (``recompute_routes``,
-``recompute_avoidance``, ``derive_pricing``) as the property-tested
-reference oracle (``tests/routing/test_incremental_property.py``) and
-for phase starts.  If DATA1 *does* change mid-phase (never in an
-honest run), the dirty bookkeeping degrades gracefully by marking
-everything dirty.
+This module also owns the *wire layer*: full-vector and delta
+encodings of routing/avoidance announcements (withdrawal rows carry
+``cost=None``) plus their payload sizing.
 
-Batched delivery
-----------------
-Under the simulator's batched delivery mode (the default), all updates
-arriving at one node at one instant are applied first — each still
-forwarded to checkers per [PRINC1]/[PRINC2] before any recomputation —
-and the relaxation plus at most one broadcast per kind runs once at
-the batch boundary.  One flooding round then costs each node one
-recomputation instead of one per neighbour.  Checker mirrors replay
-with the same batch boundaries (copies of one batch share an arrival
-instant on the FIFO link), so replay remains exact; see
-``docs/architecture.md`` for the invariant.
+Incremental recomputation, batching, and the relaxation internals are
+documented on the kernel (:mod:`repro.routing.kernel`); the full-table
+rescans are retained there as the property-tested reference oracle
+(``tests/routing/test_incremental_property.py``).
 
 Distributed pricing
 -------------------
@@ -65,8 +47,8 @@ admits the same Bellman-Ford style relaxation:
 Identity tags (DATA3*)
 ----------------------
 Each pricing entry carries the set of neighbours that *triggered* its
-current value — the argmin suppliers in the relaxation above, with
-ties unioned — exactly the DATA3* extension of Section 4.3 ("this tag
+current value — the argmin suppliers in the relaxation, with ties
+unioned — exactly the DATA3* extension of Section 4.3 ("this tag
 identifies the node that triggered the most recent FPSS pricing table
 update; in the case of a pricing tie, this tag field actually contains
 the union of the nodes that suggested the same pricing entry").
@@ -74,96 +56,52 @@ the union of the nodes that suggested the same pricing entry").
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError, RoutingError
-from ..sim.crypto import stable_hash
 from ..sim.messages import Message, NodeId
 from ..sim.node import ProtocolNode
 from .graph import Cost
+from .kernel import (
+    KIND_PRICE_UPDATE,
+    KIND_RT_UPDATE,
+    AvoidKey,
+    AvoidVector,
+    ReplayKernel,
+    RouteVector,
+    _sort_key,
+)
 from .tables import (
     PaymentList,
     PricingTable,
     RouteEntry,
     RoutingTable,
-    TransitCostTable,
 )
 
-#: Message kinds used by the two construction phases.
+#: Message kind used by the first construction phase.
 KIND_COST_DECL = "cost-decl"
-KIND_RT_UPDATE = "rt-update"
-KIND_PRICE_UPDATE = "price-update"
 #: Message kind used by the execution phase.
 KIND_PACKET = "packet"
 
-RouteVector = Dict[NodeId, RouteEntry]
-AvoidKey = Tuple[NodeId, NodeId]  # (destination, avoided node)
-AvoidVector = Dict[AvoidKey, RouteEntry]
-
-#: Memoized ``repr`` sort keys for vector encoding.  Vector keys are
-#: node ids or (destination, avoided) pairs drawn from a small universe
-#: that recurs across every broadcast of a run, while ``repr`` itself
-#: builds a fresh string per call — measurable on n^2-row vectors.
-_SORT_KEY_MEMO: Dict = {}
-
-
-def _sort_key(value) -> str:
-    key = _SORT_KEY_MEMO.get(value)
-    if key is None:
-        key = _SORT_KEY_MEMO[value] = repr(value)
-    return key
-
-
-#: Relaxation sentinels: the argmin supplier for the directly-connected
-#: base case (whose candidate never changes), and the relax-internal
-#: marker for "the current entry is still the winner".
-_BASE = object()
-_KEEP = object()
-
-
-@lru_cache(maxsize=65536)
-def _lex_key(path: Tuple) -> Tuple[str, ...]:
-    """Memoized lexicographic tie-break key of a path.
-
-    Only consulted when two candidates tie on cost *and* hop count,
-    which keeps the common relaxation path free of repr calls.
-    """
-    return tuple(_sort_key(node) for node in path)
-
-
-def _stripped_worse(cand: Tuple, state: Tuple) -> bool:
-    """True if candidate ``cand`` orders strictly after ``state``.
-
-    Both are ``(supplier, cost, hops, path)`` stripped candidates; the
-    lexicographic component is materialised only on full ties.
-    """
-    if cand[1] != state[1]:
-        return cand[1] > state[1]
-    if cand[2] != state[2]:
-        return cand[2] > state[2]
-    if cand[3] is state[3]:
-        return False
-    return _lex_key(cand[3]) > _lex_key(state[3])
-
-
-def _stripped_equal(cand: Tuple, state: Tuple) -> bool:
-    """True if two stripped candidates denote the same table entry."""
-    return (
-        cand[1] == state[1]
-        and cand[2] == state[2]
-        and (cand[3] is state[3] or _lex_key(cand[3]) == _lex_key(state[3]))
-    )
-
-
-def _stripped_beats_base(destination, best: Tuple) -> bool:
-    """True if the base candidate ``(0.0, 1, (destination,))`` beats
-    the current ``best`` stripped candidate."""
-    if best[1] != 0.0:
-        return best[1] > 0.0
-    if best[2] != 1:
-        return best[2] > 1
-    return (_sort_key(destination),) < _lex_key(best[3])
+__all__ = [
+    "KIND_COST_DECL",
+    "KIND_RT_UPDATE",
+    "KIND_PRICE_UPDATE",
+    "KIND_PACKET",
+    "AvoidKey",
+    "AvoidVector",
+    "RouteVector",
+    "FPSSComputation",
+    "FPSSNode",
+    "FullRecomputeFPSSNode",
+    "delta_size",
+    "encode_route_vector",
+    "decode_route_vector",
+    "encode_avoid_vector",
+    "decode_avoid_vector",
+    "encode_route_delta",
+    "encode_avoid_delta",
+]
 
 
 def delta_size(delta: Sequence[Tuple]) -> int:
@@ -259,8 +197,14 @@ def encode_avoid_delta(current: Mapping[AvoidKey, RouteEntry],
     return tuple(rows)
 
 
-class FPSSComputation:
+class FPSSComputation(ReplayKernel):
     """Pure FPSS mechanism state for one node (or one mirror of one).
+
+    The protocol-facing name of the replay kernel — see
+    :class:`~repro.routing.kernel.ReplayKernel` for the state machine
+    (ingestion, fused relaxation, changed-key sets, digests, snapshot).
+    Kept as a distinct class so protocol code and the manipulation
+    catalogue keep reading in the paper's vocabulary.
 
     Parameters
     ----------
@@ -273,901 +217,6 @@ class FPSSComputation:
         The transit cost the owner *declares* (truthful for obedient
         nodes; a lie is an information-revelation deviation).
     """
-
-    def __init__(
-        self, owner: NodeId, neighbors: Sequence[NodeId], own_cost: Cost
-    ) -> None:
-        self.owner = owner
-        self.neighbors: Tuple[NodeId, ...] = tuple(sorted(neighbors, key=repr))
-        self._neighbor_set: FrozenSet[NodeId] = frozenset(self.neighbors)
-        self.own_cost = float(own_cost)
-
-        self.costs = TransitCostTable()  # DATA1
-        self.costs.declare(owner, own_cost)
-        self.routing = RoutingTable(owner)  # DATA2
-        self.pricing = PricingTable(owner)  # DATA3*
-        self.avoid: AvoidVector = {}
-        #: Last routing/avoid vector received from each neighbour.
-        self.neighbor_routes: Dict[NodeId, RouteVector] = {}
-        self.neighbor_avoid: Dict[NodeId, AvoidVector] = {}
-        self.computation_count = 0
-        self._reset_incremental_state()
-
-    def _reset_incremental_state(self) -> None:
-        """(Re)initialise the delta-recomputation bookkeeping."""
-        #: Reference counts for the destination universe: +1 per
-        #: neighbour vector currently announcing the destination, +1 if
-        #: it is a neighbour (the base case of the relaxation).  A
-        #: destination is relaxed only while its count is positive —
-        #: the same universe the full rescans derive on every call.
-        self._dest_refs: Dict[NodeId, int] = {
-            n: 1 for n in self.neighbors if n != self.owner
-        }
-        #: Routing dirty map: destination -> the set of neighbours
-        #: whose input changed since the last relaxation, or ``None``
-        #: for "rescan every candidate" (universe (re)entry, DATA1
-        #: change).
-        self._dirty_routes: Dict[NodeId, Optional[Set[NodeId]]] = {}
-        #: Avoidance keys whose reigning argmin was invalidated and
-        #: that need a full candidate rescan.  Improvements never land
-        #: here — they are adopted directly during ingestion (the
-        #: common, monotone case), with :attr:`_avoid_changed`
-        #: accumulating whether any entry moved since the last
-        #: recompute call.
-        self._avoid_rescan: Set[AvoidKey] = set()
-        self._avoid_changed = False
-        self._dirty_pricing: Set[NodeId] = set()
-        #: Destinations that (re)entered the universe and whose
-        #: avoidance keys still need a rescan sweep.  Expanded lazily
-        #: at the next recompute — and only for destinations that have
-        #: stored offers at all — instead of eagerly marking n keys.
-        self._avoid_dest_pending: Set[NodeId] = set()
-        #: How many stored avoidance offers (across neighbours) exist
-        #: per destination; gates the pending-destination expansion.
-        self._avoid_offers_by_dest: Dict[NodeId, int] = {}
-        #: Keys whose DATA2/avoidance entries changed since the last
-        #: announcement was encoded — the O(|changes|) source for delta
-        #: broadcasts of the unmodified (suggested) specification.
-        self._route_changes: Set[NodeId] = set()
-        self._avoid_changes: Set[AvoidKey] = set()
-        #: Last relaxation result per key: ``(supplier, stripped key)``
-        #: where the supplier is the neighbour whose candidate won (or
-        #: ``_BASE`` for the directly-connected base case) and the
-        #: stripped key orders candidates without materialising them.
-        #: Tracking the argmin makes a relaxation O(|changed inputs|)
-        #: unless the winning input itself worsened.
-        self._route_state: Dict[NodeId, Tuple] = {}
-        self._avoid_state: Dict[AvoidKey, Tuple] = {}
-
-    # ------------------------------------------------------------------
-    # phase 1: transit cost dissemination
-    # ------------------------------------------------------------------
-
-    def note_cost_declaration(self, node: NodeId, cost: Cost) -> bool:
-        """Record a flooded declaration; True if DATA1 changed.
-
-        DATA1 is frozen before phase 2 in any honest run; if it does
-        change while phase-2 state exists, every derived entry is
-        conservatively marked dirty so the incremental relaxations stay
-        equivalent to the full rescans.
-        """
-        changed = self.costs.declare(node, cost)
-        if changed and (
-            self.neighbor_routes or self.neighbor_avoid or self.routing.destinations
-        ):
-            self._mark_all_dirty()
-        return changed
-
-    def _mark_all_dirty(self) -> None:
-        """Schedule a full re-relaxation through the incremental path."""
-        known = [n for n in self.costs.as_dict() if n != self.owner]
-        for dest in self._dest_refs:
-            self._dirty_routes[dest] = None
-            self._dirty_pricing.add(dest)
-            for avoided in known:
-                if avoided != dest:
-                    self._avoid_rescan.add((dest, avoided))
-        # Rows for routed destinations that dropped out of the universe
-        # are still re-derived by the full derive_pricing; match it.
-        self._dirty_pricing.update(self.routing.destinations)
-
-    def known_nodes(self) -> Tuple[NodeId, ...]:
-        """Every node with a DATA1 entry, repr-sorted."""
-        return tuple(sorted(self.costs.as_dict(), key=repr))
-
-    # ------------------------------------------------------------------
-    # phase 2: routing and pricing
-    # ------------------------------------------------------------------
-
-    def reset_phase2(self) -> None:
-        """Clear DATA2/DATA3* state for a phase restart."""
-        self.routing = RoutingTable(self.owner)
-        self.pricing = PricingTable(self.owner)
-        self.avoid = {}
-        self.neighbor_routes = {}
-        self.neighbor_avoid = {}
-        self._reset_incremental_state()
-
-    # --- destination-universe reference counting ----------------------
-
-    def _universe_add(self, dest: NodeId) -> None:
-        count = self._dest_refs.get(dest, 0)
-        self._dest_refs[dest] = count + 1
-        if count == 0:
-            # The destination just (re)entered the universe: avoidance
-            # inputs stored for it while it was outside become
-            # relaxable, exactly as the full rescan would now see them.
-            self._dirty_routes[dest] = None
-            self._dirty_pricing.add(dest)
-            self._avoid_dest_pending.add(dest)
-
-    def _universe_discard(self, dest: NodeId) -> None:
-        count = self._dest_refs.get(dest, 0)
-        if count <= 1:
-            self._dest_refs.pop(dest, None)
-        else:
-            self._dest_refs[dest] = count - 1
-
-    @staticmethod
-    def _mark_dirty(dirty: Dict, key, supplier: NodeId) -> None:
-        """Note that ``supplier``'s input for ``key`` changed."""
-        current = dirty.get(key)
-        if current is not None:
-            current.add(supplier)
-        elif key not in dirty:
-            dirty[key] = {supplier}
-        # an existing None sentinel already demands a full rescan
-
-    def _avoid_offer_added(self, dest: NodeId) -> None:
-        """Count one newly stored avoidance offer for ``dest``."""
-        offers = self._avoid_offers_by_dest
-        offers[dest] = offers.get(dest, 0) + 1
-
-    def _avoid_offer_removed(self, dest: NodeId) -> None:
-        """Drop one stored avoidance offer for ``dest``."""
-        offers = self._avoid_offers_by_dest
-        count = offers.get(dest, 0)
-        if count <= 1:
-            offers.pop(dest, None)
-        else:
-            offers[dest] = count - 1
-
-    def consume_route_changes(self) -> Set[NodeId]:
-        """Destinations whose DATA2 entry changed since last consumed."""
-        changes = self._route_changes
-        self._route_changes = set()
-        return changes
-
-    def consume_avoid_changes(self) -> Set[AvoidKey]:
-        """Avoidance keys whose entry changed since last consumed."""
-        changes = self._avoid_changes
-        self._avoid_changes = set()
-        return changes
-
-    def consume_route_delta(self) -> Tuple:
-        """The next suggested-specification routing delta broadcast.
-
-        Reads the changed-key set in O(|changes|) and consumes it.
-        Principals with an unmodified broadcast hook and checker
-        mirrors both encode from here, which is what keeps actual and
-        predicted broadcast streams bit-identical.
-        """
-        routing = self.routing
-        rows = [
-            (dest, entry.cost, entry.path)
-            for dest in self.consume_route_changes()
-            if (entry := routing.entry(dest)) is not None
-        ]
-        rows.sort(key=lambda row: _sort_key(row[0]))
-        return tuple(rows)
-
-    def consume_avoid_delta(self) -> Tuple:
-        """The next suggested-specification avoidance delta broadcast."""
-        avoid = self.avoid
-        rows = [
-            (key[0], key[1], entry.cost, entry.path)
-            for key in self.consume_avoid_changes()
-            if (entry := avoid.get(key)) is not None
-        ]
-        rows.sort(key=lambda row: (_sort_key(row[0]), _sort_key(row[1])))
-        return tuple(rows)
-
-    # --- neighbour vector ingestion -----------------------------------
-    #
-    # Offers are stored *raw* as ``(cost, path)`` tuples straight off
-    # the wire: with broadcast fan-out every announcement is ingested
-    # by every neighbour, so per-row materialisation (entry objects,
-    # sort keys) would dominate the hot path.  Entries are only
-    # materialised for adopted winners.
-
-    def apply_route_update(self, neighbor: NodeId, vector: RouteVector) -> None:
-        """Store a neighbour's *full* routing vector (dict form).
-
-        Diffs against the previously stored vector and marks only the
-        destinations whose rows changed as dirty.  The protocol's wire
-        path uses :meth:`apply_route_delta`; this entry point serves
-        replay tests and any caller holding a whole table.
-        """
-        if neighbor not in self.neighbors:
-            raise ProtocolError(
-                f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
-            )
-        raw = {
-            dest: (dest, entry.cost, entry.path) for dest, entry in vector.items()
-        }
-        stored = self.neighbor_routes.get(neighbor)
-        if stored is None:
-            stored = self.neighbor_routes[neighbor] = {}
-        owner = self.owner
-        dirty = self._dirty_routes
-        for dest in stored.keys() | raw.keys():
-            offer = raw.get(dest)
-            if stored.get(dest) == offer:
-                continue
-            if offer is None:
-                del stored[dest]
-                if dest != owner:
-                    self._universe_discard(dest)
-            else:
-                if dest != owner and dest not in stored:
-                    self._universe_add(dest)
-                stored[dest] = offer
-            if dest != owner:
-                self._mark_dirty(dirty, dest, neighbor)
-
-    def apply_route_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
-        """Ingest a wire delta produced by :func:`encode_route_delta`.
-
-        Upserts ``(dest, cost, path)`` rows, removes withdrawal rows
-        (``cost is None``), and marks each touched destination dirty
-        with this neighbour as the changed supplier.
-        """
-        if neighbor not in self.neighbors:
-            raise ProtocolError(
-                f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
-            )
-        stored = self.neighbor_routes.get(neighbor)
-        if stored is None:
-            stored = self.neighbor_routes[neighbor] = {}
-        owner = self.owner
-        dirty = self._dirty_routes
-        for row in rows:
-            dest = row[0]
-            if row[1] is None:  # withdrawal
-                if dest in stored:
-                    del stored[dest]
-                    if dest != owner:
-                        self._universe_discard(dest)
-            else:
-                if dest != owner and dest not in stored:
-                    self._universe_add(dest)
-                stored[dest] = row  # rows are shared across receivers
-            if dest != owner:
-                suppliers = dirty.get(dest)
-                if suppliers is not None:
-                    suppliers.add(neighbor)
-                elif dest not in dirty:
-                    dirty[dest] = {neighbor}
-
-    def apply_avoid_update(self, neighbor: NodeId, vector: AvoidVector) -> None:
-        """Store a neighbour's *full* avoidance vector (dict form).
-
-        Marks changed ``(destination, avoided)`` keys dirty, and their
-        destinations' pricing rows with them: even a value-preserving
-        tie change can alter a DATA3* identity tag.
-        """
-        if neighbor not in self.neighbors:
-            raise ProtocolError(
-                f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
-            )
-        raw = {
-            key: (key[0], key[1], entry.cost, entry.path)
-            for key, entry in vector.items()
-        }
-        stored = self.neighbor_avoid.get(neighbor)
-        if stored is None:
-            stored = self.neighbor_avoid[neighbor] = {}
-        rescan = self._avoid_rescan
-        for key in stored.keys() | raw.keys():
-            offer = raw.get(key)
-            if stored.get(key) == offer:
-                continue
-            if offer is None:
-                del stored[key]
-                self._avoid_offer_removed(key[0])
-            else:
-                if key not in stored:
-                    self._avoid_offer_added(key[0])
-                stored[key] = offer
-            rescan.add(key)
-            self._dirty_pricing.add(key[0])
-
-    def apply_avoid_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
-        """Ingest a wire delta, fusing the monotone relaxation step.
-
-        Every ``(dest, avoided, cost, path)`` row is stored as a raw
-        offer; rows that *improve* on the reigning argmin are adopted
-        immediately (a running min over the batch — confluent, so the
-        batch-boundary result equals a batch-end relaxation), rows that
-        worsen or withdraw the reigning argmin schedule a full rescan
-        of the key, and strictly dominated rows — the overwhelming
-        majority under broadcast fan-in — cost one comparison.
-        Pricing rows are marked dirty only when a row can join, leave,
-        or move the argmin tie, since DATA3* tags depend on exactly
-        that set.
-        """
-        if neighbor not in self.neighbors:
-            raise ProtocolError(
-                f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
-            )
-        stored = self.neighbor_avoid.get(neighbor)
-        if stored is None:
-            stored = self.neighbor_avoid[neighbor] = {}
-        ncost = self.costs.get(neighbor)
-        owner = self.owner
-        refs = self._dest_refs
-        state = self._avoid_state
-        rescan = self._avoid_rescan
-        pricing = self._dirty_pricing
-        changes = self._avoid_changes
-        knows = self.costs.knows
-        avoid = self.avoid
-        for row in rows:
-            dest, avoided, cost, path = row
-            key = (dest, avoided)
-            old = stored.get(key)
-            if cost is None:  # withdrawal
-                if old is None:
-                    continue
-                del stored[key]
-                self._avoid_offer_removed(dest)
-                st = state.get(key)
-                if st is not None and ncost is not None:
-                    if st[0] == neighbor:
-                        rescan.add(key)
-                        pricing.add(dest)
-                    elif ncost + old[2] <= st[1]:
-                        pricing.add(dest)  # an argmin tie may shrink
-                continue
-            stored[key] = row  # rows are shared across receivers
-            if old is None:
-                self._avoid_offer_added(dest)
-            if ncost is None:
-                continue  # unusable offers, exactly as in a full scan
-            if dest not in refs:
-                # Entries freeze outside the destination universe (the
-                # full rescan skips them too); re-entry rescans.
-                pricing.add(dest)
-                continue
-            total = ncost + cost
-            st = state.get(key)
-            if st is None:
-                # First valid candidate for this key (any earlier offer
-                # would have been relaxed into a state entry).
-                if (
-                    avoided != owner
-                    and avoided != dest
-                    and knows(avoided)
-                    and owner not in path
-                    and avoided not in path
-                ):
-                    state[key] = (neighbor, total, len(path), path)
-                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-                    changes.add(key)
-                    self._avoid_changed = True
-                    pricing.add(dest)
-                continue
-            st_cost = st[1]
-            if st[0] == neighbor:
-                # The reigning supplier re-announced: improved offers
-                # stay adopted, worsened or invalid ones force a rescan.
-                if owner in path or avoided in path:
-                    rescan.add(key)
-                    pricing.add(dest)
-                    continue
-                hops = len(path)
-                if total < st_cost or (
-                    total == st_cost
-                    and (
-                        hops < st[2]
-                        or (hops == st[2] and _lex_key(path) < _lex_key(st[3]))
-                    )
-                ):
-                    state[key] = (neighbor, total, hops, path)
-                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-                    changes.add(key)
-                    self._avoid_changed = True
-                    pricing.add(dest)
-                elif total == st_cost and hops == st[2] and path == st[3]:
-                    pricing.add(dest)  # value-identical re-announce
-                else:
-                    rescan.add(key)
-                    pricing.add(dest)
-                continue
-            if total > st_cost:
-                # Dominated row — the hot path.  It still displaces the
-                # neighbour's previous offer, which may have been tied
-                # with the argmin.
-                if old is not None and ncost + old[2] <= st_cost:
-                    pricing.add(dest)
-                continue
-            if owner in path or avoided in path:
-                if old is not None and ncost + old[2] <= st_cost:
-                    pricing.add(dest)
-                continue
-            if total == st_cost:
-                hops = len(path)
-                if hops < st[2] or (
-                    hops == st[2] and _lex_key(path) < _lex_key(st[3])
-                ):
-                    state[key] = (neighbor, total, hops, path)
-                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-                    changes.add(key)
-                    self._avoid_changed = True
-                pricing.add(dest)  # joins or reshapes the tie either way
-                continue
-            state[key] = (neighbor, total, len(path), path)
-            avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-            changes.add(key)
-            self._avoid_changed = True
-            pricing.add(dest)
-
-    # --- routing relaxation -------------------------------------------
-    #
-    # Candidates are compared through *stripped* keys ``(cost, hops,
-    # lex)``: the actual candidate sort key is ``(cost, hops + 1,
-    # (repr(owner),) + lex)`` with the owner prefix shared by every
-    # candidate of a node, so dropping it is a monotone transformation
-    # that preserves the argmin and every tie.  Cost is compared first
-    # and the lexicographic component is built only on full ties, so
-    # the common case never touches repr.  The per-key relaxation state
-    # ``(supplier, cost, hops, path)`` remembers the reigning argmin:
-    # as long as the winner's own input did not worsen, a relaxation
-    # only scans the suppliers whose input changed.
-
-    def recompute_routes(self) -> bool:
-        """Re-derive DATA2 by rescanning every destination; True if changed.
-
-        The relaxation is the path-vector Bellman-Ford of the
-        Griffin-Wilfong model with the deterministic (cost, hops,
-        lexicographic) tie-break shared with the centralized oracle.
-        This full rescan is the reference the incremental variant is
-        property-tested against; the hot path uses
-        :meth:`recompute_routes_incremental`.
-        """
-        self.computation_count += 1
-        changed = False
-        destinations: Set[NodeId] = set()
-        for vector in self.neighbor_routes.values():
-            destinations.update(vector)
-        destinations.update(self.neighbors)
-        destinations.discard(self.owner)
-        for destination in sorted(destinations, key=repr):
-            if self._relax_route(destination):
-                changed = True
-        self._dirty_routes = {}
-        return changed
-
-    def recompute_routes_incremental(self) -> bool:
-        """Relax only the dirty destinations; True if DATA2 changed.
-
-        Observably identical to :meth:`recompute_routes` because a
-        destination's candidate set depends only on its own rows in the
-        neighbour vectors (diffed on ingestion) and on DATA1 (frozen in
-        phase 2, conservatively handled otherwise).
-        """
-        self.computation_count += 1
-        dirty = self._dirty_routes
-        if not dirty:
-            return False
-        self._dirty_routes = {}
-        refs = self._dest_refs
-        changed = False
-        for destination, suppliers in dirty.items():
-            # Outside the universe the full rescan finds no candidates
-            # either; rejoining re-marks the destination dirty.
-            if destination in refs and self._relax_route(destination, suppliers):
-                changed = True
-        return changed
-
-    def _relax_route(self, destination: NodeId, suppliers=None) -> bool:
-        """Relax one destination; True if its DATA2 entry changed.
-
-        ``suppliers`` limits the scan to the neighbours whose input
-        changed (``None`` rescans everything): if the previous winner
-        is not among them it still bounds the minimum, and if it is but
-        improved, it still wins against the unchanged rest — only a
-        worsened winner forces the full rescan.
-        """
-        owner = self.owner
-        state = self._route_state.get(destination)
-        cur = self.routing.entry(destination)
-        full = suppliers is None
-        if cur is not None and state is None:
-            # The entry lost its supporting candidate in an earlier
-            # no-candidate rescan; only a full rescan may touch it.
-            full = True
-        # best: (supplier, cost, hops, offer path) stripped candidate.
-        best = None
-        keep = False
-        if not full and state is not None:
-            sup = state[0]
-            if sup is not _BASE and sup in suppliers:
-                offer = self.neighbor_routes.get(sup, {}).get(destination)
-                cand = None
-                if offer is not None:
-                    cost = self.costs.get(sup)
-                    opath = offer[2]
-                    if cost is not None and owner not in opath:
-                        cand = (sup, cost + offer[1], len(opath), opath)
-                if cand is None or _stripped_worse(cand, state):
-                    full = True  # the reigning input worsened: rescan
-                else:
-                    best = cand
-            else:
-                best = state
-                keep = True
-        costs_get = self.costs.get
-        routes_get = self.neighbor_routes.get
-        for neighbor in (self.neighbors if full else suppliers):
-            if neighbor == destination:
-                if state is None or full:
-                    if best is None or _stripped_beats_base(destination, best):
-                        best = (_BASE, 0.0, 1, (destination,))
-                        keep = False
-                continue
-            if best is not None and neighbor == best[0]:
-                continue
-            vec = routes_get(neighbor)
-            offer = vec.get(destination) if vec else None
-            if offer is None:
-                continue
-            ncost = costs_get(neighbor)
-            if ncost is None:
-                continue
-            total = ncost + offer[1]
-            opath = offer[2]
-            if best is not None:
-                bcost = best[1]
-                if total > bcost:
-                    continue
-                hops = len(opath)
-                if total == bcost:
-                    bhops = best[2]
-                    if hops > bhops:
-                        continue
-                    if hops == bhops and _lex_key(opath) >= _lex_key(best[3]):
-                        continue
-            if owner in opath:
-                continue
-            best = (neighbor, total, len(opath), opath)
-            keep = False
-        if best is None:
-            if state is not None:
-                # No candidate supports the (retained) entry any more;
-                # drop the argmin so future candidates force a rescan
-                # instead of losing against stale state.
-                del self._route_state[destination]
-            return False
-        if keep:
-            return False
-        if state is not None:
-            if _stripped_equal(best, state):
-                self._route_state[destination] = best
-                return False
-        elif cur is not None and (
-            best[1] == cur.cost
-            and best[2] == len(cur.path) - 1
-            and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
-        ):
-            # The rescan re-derived the previously unsupported entry.
-            self._route_state[destination] = best
-            return False
-        self._route_state[destination] = best
-        sup, total, _hops, opath = best
-        if sup is _BASE:
-            entry = RouteEntry(cost=0.0, path=(owner, destination))
-        else:
-            entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
-        self.routing.update(destination, entry)
-        self._route_changes.add(destination)
-        self._dirty_pricing.add(destination)
-        return True
-
-    # --- avoidance relaxation -----------------------------------------
-
-    def recompute_avoidance(self) -> bool:
-        """Re-derive the avoidance table by full rescan; True if changed.
-
-        Reference counterpart of
-        :meth:`recompute_avoidance_incremental`, retained for phase
-        starts and the equivalence property tests.  The returned flag
-        also covers entries already moved by the fused ingestion since
-        the previous recompute call, so "did anything change since the
-        last recomputation" keeps its meaning in every mode.
-        """
-        self.computation_count += 1
-        changed = self._avoid_changed
-        self._avoid_changed = False
-        all_nodes = set(self.known_nodes())
-        destinations: Set[NodeId] = set()
-        for vector in self.neighbor_routes.values():
-            destinations.update(vector)
-        destinations.update(self.neighbors)
-        destinations.discard(self.owner)
-        if not any(self.neighbor_avoid.values()):
-            # Without avoidance inputs only the base case can supply a
-            # candidate, so only directly-connected destinations matter
-            # (typical at a phase start).
-            destinations &= set(self.neighbors)
-        for destination in sorted(destinations, key=repr):
-            for avoided in sorted(all_nodes, key=repr):
-                if avoided in (self.owner, destination):
-                    continue
-                if self._relax_avoid(destination, avoided):
-                    changed = True
-        self._avoid_rescan = set()
-        self._avoid_dest_pending = set()
-        return changed
-
-    def recompute_avoidance_incremental(self) -> bool:
-        """Settle the avoidance table; True if it changed.
-
-        Improvements were already adopted during ingestion (the
-        :attr:`_avoid_changed` flag); what remains is rescanning the
-        keys whose reigning argmin was invalidated — worsened,
-        withdrawn, or whose destination (re)entered the universe.
-        """
-        self.computation_count += 1
-        changed = self._avoid_changed
-        self._avoid_changed = False
-        rescan = self._avoid_rescan
-        pending = self._avoid_dest_pending
-        if pending:
-            self._avoid_dest_pending = set()
-            refs = self._dest_refs
-            offers_by_dest = self._avoid_offers_by_dest
-            neighbor_set = self._neighbor_set
-            owner = self.owner
-            for dest in pending:
-                if dest not in refs:
-                    continue  # left the universe again; re-entry re-pends
-                if dest not in offers_by_dest and dest not in neighbor_set:
-                    continue  # no stored inputs: nothing a rescan could find
-                for avoided in self.costs.as_dict():
-                    if avoided != owner and avoided != dest:
-                        rescan.add((dest, avoided))
-        if rescan:
-            self._avoid_rescan = set()
-            refs = self._dest_refs
-            costs = self.costs
-            owner = self.owner
-            for key in rescan:
-                destination, avoided = key
-                if destination not in refs:
-                    continue  # rejoining the universe re-marks the key
-                if avoided == owner or avoided == destination:
-                    continue
-                if not costs.knows(avoided):
-                    continue  # DATA1 changes mark everything dirty
-                if self._relax_avoid(destination, avoided):
-                    changed = True
-        return changed
-
-    def _relax_avoid(self, destination: NodeId, avoided: NodeId) -> bool:
-        """Fully rescan one avoidance key; True if its entry changed.
-
-        Same stripped-candidate scan as :meth:`_relax_route`, with the
-        avoided node excluded both as a neighbour and inside paths.
-        """
-        owner = self.owner
-        key = (destination, avoided)
-        state = self._avoid_state.get(key)
-        cur = self.avoid.get(key)
-        best = None
-        costs_get = self.costs.get
-        avoid_get = self.neighbor_avoid.get
-        for neighbor in self.neighbors:
-            if neighbor == avoided:
-                continue
-            if neighbor == destination:
-                if best is None or _stripped_beats_base(destination, best):
-                    best = (_BASE, 0.0, 1, (destination,))
-                continue
-            vec = avoid_get(neighbor)
-            offer = vec.get(key) if vec else None
-            if offer is None:
-                continue
-            ncost = costs_get(neighbor)
-            if ncost is None:
-                continue
-            total = ncost + offer[2]
-            opath = offer[3]
-            if best is not None:
-                bcost = best[1]
-                if total > bcost:
-                    continue
-                hops = len(opath)
-                if total == bcost:
-                    bhops = best[2]
-                    if hops > bhops:
-                        continue
-                    if hops == bhops and _lex_key(opath) >= _lex_key(best[3]):
-                        continue
-            if owner in opath or avoided in opath:
-                continue
-            best = (neighbor, total, len(opath), opath)
-        if best is None:
-            if state is not None:
-                # The (retained) entry lost its last supporting
-                # candidate; drop the argmin so future candidates
-                # force a rescan instead of losing to stale state.
-                del self._avoid_state[key]
-            return False
-        if state is not None:
-            if _stripped_equal(best, state):
-                self._avoid_state[key] = best
-                return False
-        elif cur is not None and (
-            best[1] == cur.cost
-            and best[2] == len(cur.path) - 1
-            and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
-        ):
-            # The rescan re-derived the previously unsupported entry.
-            self._avoid_state[key] = best
-            return False
-        self._avoid_state[key] = best
-        sup, total, _hops, opath = best
-        if sup is _BASE:
-            entry = RouteEntry(cost=0.0, path=(owner, destination))
-        else:
-            entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
-        self.avoid[key] = entry
-        self._avoid_changes.add(key)
-        self._dirty_pricing.add(destination)
-        return True
-
-    # --- pricing derivation -------------------------------------------
-
-    def derive_pricing(self) -> bool:
-        """Recompute DATA3* from DATA2 and the avoidance table.
-
-        For every destination ``j`` with a route, and every transit
-        node ``k`` interior to that route, install
-
-            price = c_k + d^{-k}(owner, j) - d(owner, j)
-
-        with the identity tag set to the argmin suppliers of the
-        avoidance entry.  Returns True if any cell changed.  Full-table
-        reference counterpart of :meth:`derive_pricing_incremental`.
-        """
-        self.computation_count += 1
-        changed = False
-        for destination in self.routing.destinations:
-            if self._derive_pricing_row(destination):
-                changed = True
-        self._dirty_pricing = set()
-        return changed
-
-    def derive_pricing_incremental(self) -> bool:
-        """Re-derive only the dirty pricing rows; True if changed.
-
-        A row depends on its destination's DATA2 entry, the avoidance
-        entries along that path, and the supplier tags (which read the
-        avoidance *inputs* directly — a tie union can change a tag
-        without changing any avoidance entry, which is why vector
-        ingestion marks rows dirty by input key, not by entry change).
-        """
-        self.computation_count += 1
-        dirty = self._dirty_pricing
-        if not dirty:
-            return False
-        self._dirty_pricing = set()
-        changed = False
-        for destination in dirty:
-            if self.routing.entry(destination) is None:
-                continue  # a route arriving later re-marks the row
-            if self._derive_pricing_row(destination):
-                changed = True
-        return changed
-
-    def _derive_pricing_row(self, destination: NodeId) -> bool:
-        """Re-derive one destination's DATA3* row; True if it changed."""
-        entry = self.routing.entry(destination)
-        assert entry is not None
-        desired: Dict[NodeId, PricingEntryLike] = {}
-        for transit in entry.path[1:-1]:
-            avoid_entry = self.avoid.get((destination, transit))
-            if avoid_entry is None or not self.costs.knows(transit):
-                continue
-            price = self.costs.cost(transit) + avoid_entry.cost - entry.cost
-            tag = self._supplier_tag(destination, transit)
-            desired[transit] = (price, tag)
-        current_row = self.pricing.row(destination)
-        current_view = {
-            transit: (cell.price, cell.tag) for transit, cell in current_row.items()
-        }
-        if current_view == desired:
-            return False
-        self.pricing.clear_destination(destination)
-        for transit, (price, tag) in desired.items():
-            self.pricing.set_price(destination, transit, price, tag)
-        return True
-
-    def _supplier_tag(self, destination: NodeId, avoided: NodeId) -> FrozenSet[NodeId]:
-        """Argmin suppliers of one avoidance entry (union on ties)."""
-        owner = self.owner
-        key = (destination, avoided)
-        best = None  # (cost, hops, path)
-        tag: List[NodeId] = []
-        costs_get = self.costs.get
-        avoid_get = self.neighbor_avoid.get
-        for neighbor in self.neighbors:
-            if neighbor == avoided:
-                continue
-            if neighbor == destination:
-                cand = (0.0, 1, (destination,))
-            else:
-                vec = avoid_get(neighbor)
-                offer = vec.get(key) if vec else None
-                if offer is None:
-                    continue
-                ncost = costs_get(neighbor)
-                if ncost is None:
-                    continue
-                opath = offer[3]
-                if owner in opath or avoided in opath:
-                    continue
-                cand = (ncost + offer[2], len(opath), opath)
-            if best is None:
-                best = cand
-                tag = [neighbor]
-                continue
-            if cand[0] != best[0]:
-                if cand[0] < best[0]:
-                    best = cand
-                    tag = [neighbor]
-                continue
-            if cand[1] != best[1]:
-                if cand[1] < best[1]:
-                    best = cand
-                    tag = [neighbor]
-                continue
-            if cand[2] is best[2]:
-                tag.append(neighbor)
-                continue
-            lex_c, lex_b = _lex_key(cand[2]), _lex_key(best[2])
-            if lex_c < lex_b:
-                best = cand
-                tag = [neighbor]
-            elif lex_c == lex_b:
-                tag.append(neighbor)
-        return frozenset(tag)
-
-    # ------------------------------------------------------------------
-    # digests for bank comparison
-    # ------------------------------------------------------------------
-
-    def routing_digest(self) -> str:
-        """Hash of DATA2 (BANK1 material)."""
-        return self.routing.stable_digest()
-
-    def pricing_digest(self) -> str:
-        """Hash of DATA3* including tags (BANK2 material)."""
-        return self.pricing.stable_digest()
-
-    def cost_digest(self) -> str:
-        """Hash of DATA1 (first-construction-phase checkpoint)."""
-        return self.costs.stable_digest()
-
-    def full_digest(self) -> str:
-        """Combined digest over all construction state."""
-        return stable_hash(
-            (self.cost_digest(), self.routing_digest(), self.pricing_digest())
-        )
-
-
-PricingEntryLike = Tuple[Cost, FrozenSet[NodeId]]
 
 
 class FPSSNode(ProtocolNode):
@@ -1191,8 +240,7 @@ class FPSSNode(ProtocolNode):
         #: Batched-delivery state: while a batch is being applied the
         #: phase-2 handlers only ingest inputs and set the pending
         #: flag; the relaxation and broadcasts run once at the batch
-        #: boundary (:meth:`deliver_batch`).
-        self._in_batch = False
+        #: boundary (:meth:`flush_batch`).
         self._batch_recompute_pending = False
         #: Last announced (hook-transformed) vectors, the baseline each
         #: delta broadcast is encoded against.
@@ -1314,25 +362,15 @@ class FPSSNode(ProtocolNode):
     # batched delivery
     # ------------------------------------------------------------------
 
-    def deliver_batch(self, messages) -> None:
-        """Apply a same-instant batch, then recompute/broadcast once.
+    def flush_batch(self) -> None:
+        """Batch boundary: run the deferred recomputation, if any.
 
-        Every message still passes the inbound filter and its handler
-        individually (checker copies are forwarded per input, per
-        [PRINC1]/[PRINC2]); only the relaxation and the resulting
-        broadcasts are deferred to the batch boundary, so a flooding
-        round costs one recomputation instead of one per neighbour.
+        Every message of the batch has already passed the inbound
+        filter and its handler individually (checker copies forwarded
+        per input, per [PRINC1]/[PRINC2]); only the relaxation and the
+        resulting broadcasts were deferred here, so a flooding round
+        costs one recomputation instead of one per neighbour.
         """
-        self._in_batch = True
-        try:
-            for message in messages:
-                self.sim.deliver_now(message)
-        finally:
-            self._in_batch = False
-        self._flush_batch()
-
-    def _flush_batch(self) -> None:
-        """Run the deferred batch-boundary recomputation, if any."""
         if not self._batch_recompute_pending:
             return
         self._batch_recompute_pending = False

@@ -1,0 +1,1490 @@
+"""The shared FPSS replay kernel: one incremental computation, many clients.
+
+Reproduces: the iterative FPSS calculation of Shneidman & Parkes,
+"Specification Faithfulness in Networks with Rational Nodes" (PODC'04),
+Section 4 — DATA1-DATA3* and the checker replay of Section 4.2/4.3.
+
+:class:`ReplayKernel` is the *pure, message-driven state machine* at the
+centre of every FPSS computation in this repository: ingest wire deltas,
+run the fused monotone relaxation, expose changed-key sets, hash the
+tables.  It has no I/O and no simulator coupling, so it is consumed by
+three very different clients:
+
+* the principal's own :class:`~repro.routing.fpss.FPSSComputation`
+  (a thin subclass, kept for the protocol-facing name);
+* a checker's :class:`~repro.faithful.mirror.PrincipalMirror`, which
+  replays a neighbouring principal on forwarded copies; and
+* the pure-kernel convergence oracle (:func:`kernel_fixed_point`),
+  which iterates synchronous rounds of the same state machine with no
+  simulator at all and cross-checks the distributed fixed point.
+
+Shared checker replay
+---------------------
+A principal's broadcast reaches all of its k checkers identically, so k
+independent mirrors replay the *identical* op stream — the ~O(deg²)
+redundancy that made checked networks lag plain ones by two size rungs.
+:class:`SharedKernel` deduplicates that work within one simulated host
+(one OS process running the whole network): it pairs one
+:class:`ReplayKernel` with an append-only *op log*.  The first mirror to
+reach the log frontier executes the op (ingest or flush) and records it
+together with its observable results (the predicted broadcast deltas);
+every other mirror *verifies* that its own op is bit-identical to the
+logged one and reuses the recorded result for the cost of a tuple
+compare.  Per-checker state shrinks to the cheap parts: the own-sent
+ledger, expected-broadcast queues, and a cursor into the log.
+
+Sharing invariant
+-----------------
+Mirrors of one principal may share a kernel **iff** they replay the
+same op stream from the same seed.  Both conditions are checked, never
+assumed:
+
+* *seed*: :meth:`MirrorKernelPool.acquire` compares the principal's
+  neighbour set, declared cost, and the checker's converged DATA1
+  against the shared kernel's seed; any mismatch (possible off the
+  honest path, e.g. divergent phase-1 state) refuses sharing and the
+  mirror falls back to its private per-neighbour replay.
+* *stream*: every op a follower submits is compared against the log.
+  The first divergence — a deviant principal sending different copies
+  to different checkers, dropping copies selectively, or a lazy checker
+  that stopped replaying — **forks** the mirror:
+  :meth:`SharedKernel.fork_at` rebuilds a private kernel by replaying
+  the *agreed* log prefix (exactly the ops this mirror already
+  verified), and the mirror continues on it independently.  Fork cost
+  is one per-neighbour replay of the prefix, paid only on divergence —
+  i.e. only in deviant runs, where detection work is the point.
+
+The per-neighbour path (a mirror with ``shared=None``) is retained
+unchanged as the reference semantics and property-tested bit-identical
+to the shared path (``tests/faithful/test_shared_mirror.py``).
+
+Snapshot semantics
+------------------
+:meth:`ReplayKernel.snapshot` captures the digest-level state (DATA1 /
+DATA2 / DATA3* hashes plus work counters) — the checkpoint material the
+bank compares — without copying tables; :meth:`SharedKernel.fork_at`
+is the state fork (replay of a verified log prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ConvergenceError, ProtocolError
+from ..sim.crypto import stable_hash
+from ..sim.messages import NodeId
+from .graph import Cost
+from .tables import PricingTable, RouteEntry, RoutingTable, TransitCostTable
+
+#: Message kinds of the second construction phase (also re-exported by
+#: :mod:`repro.routing.fpss`, which owns the protocol nodes).
+KIND_RT_UPDATE = "rt-update"
+KIND_PRICE_UPDATE = "price-update"
+
+RouteVector = Dict[NodeId, RouteEntry]
+AvoidKey = Tuple[NodeId, NodeId]  # (destination, avoided node)
+AvoidVector = Dict[AvoidKey, RouteEntry]
+
+#: Memoized ``repr`` sort keys for vector encoding.  Vector keys are
+#: node ids or (destination, avoided) pairs drawn from a small universe
+#: that recurs across every broadcast of a run, while ``repr`` itself
+#: builds a fresh string per call — measurable on n^2-row vectors.
+_SORT_KEY_MEMO: Dict = {}
+
+
+def _sort_key(value) -> str:
+    key = _SORT_KEY_MEMO.get(value)
+    if key is None:
+        key = _SORT_KEY_MEMO[value] = repr(value)
+    return key
+
+
+#: Relaxation sentinel: the argmin supplier for the directly-connected
+#: base case (whose candidate never changes).
+_BASE = object()
+
+
+@lru_cache(maxsize=65536)
+def _lex_key(path: Tuple) -> Tuple[str, ...]:
+    """Memoized lexicographic tie-break key of a path.
+
+    Only consulted when two candidates tie on cost *and* hop count,
+    which keeps the common relaxation path free of repr calls.
+    """
+    return tuple(_sort_key(node) for node in path)
+
+
+def _stripped_worse(cand: Tuple, state: Tuple) -> bool:
+    """True if candidate ``cand`` orders strictly after ``state``.
+
+    Both are ``(supplier, cost, hops, path)`` stripped candidates; the
+    lexicographic component is materialised only on full ties.
+    """
+    if cand[1] != state[1]:
+        return cand[1] > state[1]
+    if cand[2] != state[2]:
+        return cand[2] > state[2]
+    if cand[3] is state[3]:
+        return False
+    return _lex_key(cand[3]) > _lex_key(state[3])
+
+
+def _stripped_equal(cand: Tuple, state: Tuple) -> bool:
+    """True if two stripped candidates denote the same table entry."""
+    return (
+        cand[1] == state[1]
+        and cand[2] == state[2]
+        and (cand[3] is state[3] or _lex_key(cand[3]) == _lex_key(state[3]))
+    )
+
+
+def _stripped_beats_base(destination, best: Tuple) -> bool:
+    """True if the base candidate ``(0.0, 1, (destination,))`` beats
+    the current ``best`` stripped candidate."""
+    if best[1] != 0.0:
+        return best[1] > 0.0
+    if best[2] != 1:
+        return best[2] > 1
+    return (_sort_key(destination),) < _lex_key(best[3])
+
+
+@dataclass
+class KernelStats:
+    """Work counters of one :class:`ReplayKernel` (or a shared pool).
+
+    ``rows_ingested`` counts wire rows entering the fused relaxation
+    (the per-row ingestion constant ROADMAP flags), ``route_rescans`` /
+    ``avoid_rescans`` count full candidate scans (the expensive,
+    argmin-invalidated path), and ``shared_hits`` / ``forks`` count the
+    checker-side dedup (ops satisfied from a shared log, and mirrors
+    that diverged off it).
+    """
+
+    rows_ingested: int = 0
+    route_relaxations: int = 0
+    route_rescans: int = 0
+    avoid_rescans: int = 0
+    shared_hits: int = 0
+    forks: int = 0
+    seed_mismatches: int = 0
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another counter set into this one."""
+        self.rows_ingested += other.rows_ingested
+        self.route_relaxations += other.route_relaxations
+        self.route_rescans += other.route_rescans
+        self.avoid_rescans += other.avoid_rescans
+        self.shared_hits += other.shared_hits
+        self.forks += other.forks
+        self.seed_mismatches += other.seed_mismatches
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain dict view for benchmark tables."""
+        return {
+            "rows_ingested": self.rows_ingested,
+            "route_relaxations": self.route_relaxations,
+            "route_rescans": self.route_rescans,
+            "avoid_rescans": self.avoid_rescans,
+            "shared_hits": self.shared_hits,
+            "forks": self.forks,
+            "seed_mismatches": self.seed_mismatches,
+        }
+
+
+@dataclass(frozen=True)
+class KernelSnapshot:
+    """Digest-level checkpoint of a kernel (bank comparison material)."""
+
+    owner: NodeId
+    cost_digest: str
+    routing_digest: str
+    pricing_digest: str
+    computation_count: int
+
+    def full_digest(self) -> str:
+        """Combined digest over all construction state."""
+        return stable_hash(
+            (self.cost_digest, self.routing_digest, self.pricing_digest)
+        )
+
+
+class ReplayKernel:
+    """Pure FPSS mechanism state for one node (or one replay of one).
+
+    A message-driven state machine: :meth:`apply_route_delta` /
+    :meth:`apply_avoid_delta` ingest wire rows (fusing the monotone
+    avoidance relaxation into ingestion), the ``recompute_*`` methods
+    settle the dirty keys, :meth:`consume_route_delta` /
+    :meth:`consume_avoid_delta` read the changed-key sets off as the
+    next suggested-specification broadcasts, and the digest methods
+    hash the tables for bank comparison.  Determinism matters beyond
+    tidiness: checker mirrors replay a principal's kernel on copies of
+    its messages, and replay only works because the kernel is a pure
+    function of (identity, neighbour set, op sequence).
+
+    Parameters
+    ----------
+    owner:
+        The node whose computation this is.
+    neighbors:
+        The owner's neighbour set (semi-private connectivity
+        information; common knowledge between link endpoints).
+    own_cost:
+        The transit cost the owner *declares* (truthful for obedient
+        nodes; a lie is an information-revelation deviation).
+    """
+
+    def __init__(
+        self, owner: NodeId, neighbors: Sequence[NodeId], own_cost: Cost
+    ) -> None:
+        self.owner = owner
+        self.neighbors: Tuple[NodeId, ...] = tuple(sorted(neighbors, key=repr))
+        self._neighbor_set: FrozenSet[NodeId] = frozenset(self.neighbors)
+        self.own_cost = float(own_cost)
+
+        self.costs = TransitCostTable()  # DATA1
+        self.costs.declare(owner, own_cost)
+        self.routing = RoutingTable(owner)  # DATA2
+        self.pricing = PricingTable(owner)  # DATA3*
+        self.avoid: AvoidVector = {}
+        #: Last routing/avoid vector received from each neighbour.
+        self.neighbor_routes: Dict[NodeId, RouteVector] = {}
+        self.neighbor_avoid: Dict[NodeId, AvoidVector] = {}
+        self.computation_count = 0
+        self.stats = KernelStats()
+        self._reset_incremental_state()
+
+    def _reset_incremental_state(self) -> None:
+        """(Re)initialise the delta-recomputation bookkeeping."""
+        #: Reference counts for the destination universe: +1 per
+        #: neighbour vector currently announcing the destination, +1 if
+        #: it is a neighbour (the base case of the relaxation).  A
+        #: destination is relaxed only while its count is positive —
+        #: the same universe the full rescans derive on every call.
+        self._dest_refs: Dict[NodeId, int] = {
+            n: 1 for n in self.neighbors if n != self.owner
+        }
+        #: Routing dirty map: destination -> the set of neighbours
+        #: whose input changed since the last relaxation, or ``None``
+        #: for "rescan every candidate" (universe (re)entry, DATA1
+        #: change).
+        self._dirty_routes: Dict[NodeId, Optional[Set[NodeId]]] = {}
+        #: Avoidance keys whose reigning argmin was invalidated and
+        #: that need a full candidate rescan.  Improvements never land
+        #: here — they are adopted directly during ingestion (the
+        #: common, monotone case), with :attr:`_avoid_changed`
+        #: accumulating whether any entry moved since the last
+        #: recompute call.
+        self._avoid_rescan: Set[AvoidKey] = set()
+        self._avoid_changed = False
+        self._dirty_pricing: Set[NodeId] = set()
+        #: Destinations that (re)entered the universe and whose
+        #: avoidance keys still need a rescan sweep.  Expanded lazily
+        #: at the next recompute — and only over the keys that ever
+        #: stored an offer — instead of eagerly marking n keys.
+        self._avoid_dest_pending: Set[NodeId] = set()
+        #: Per destination, the avoided ids that ever had a stored
+        #: offer (grow-only, conservative).  The re-entry sweep scans
+        #: exactly these keys: a key with no offer history and no base
+        #: case (non-neighbour destination) is a no-op in
+        #: :meth:`_relax_avoid`, so skipping it matches the full
+        #: rescan; neighbour destinations keep the all-keys sweep for
+        #: the base case.  Keys with replay state but no offer history
+        #: cannot exist for non-neighbour destinations (the base case
+        #: is their only supplier-free candidate source).
+        self._avoid_keys_by_dest: Dict[NodeId, Set[NodeId]] = {}
+        #: Keys whose DATA2/avoidance entries changed since the last
+        #: announcement was encoded — the O(|changes|) source for delta
+        #: broadcasts of the unmodified (suggested) specification.
+        self._route_changes: Set[NodeId] = set()
+        self._avoid_changes: Set[AvoidKey] = set()
+        #: Last relaxation result per key: ``(supplier, stripped key)``
+        #: where the supplier is the neighbour whose candidate won (or
+        #: ``_BASE`` for the directly-connected base case) and the
+        #: stripped key orders candidates without materialising them.
+        #: Tracking the argmin makes a relaxation O(|changed inputs|)
+        #: unless the winning input itself worsened.
+        self._route_state: Dict[NodeId, Tuple] = {}
+        self._avoid_state: Dict[AvoidKey, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # phase 1: transit cost dissemination
+    # ------------------------------------------------------------------
+
+    def note_cost_declaration(self, node: NodeId, cost: Cost) -> bool:
+        """Record a flooded declaration; True if DATA1 changed.
+
+        DATA1 is frozen before phase 2 in any honest run; if it does
+        change while phase-2 state exists, every derived entry is
+        conservatively marked dirty so the incremental relaxations stay
+        equivalent to the full rescans.
+        """
+        changed = self.costs.declare(node, cost)
+        if changed and (
+            self.neighbor_routes or self.neighbor_avoid or self.routing.destinations
+        ):
+            self._mark_all_dirty()
+        return changed
+
+    def _mark_all_dirty(self) -> None:
+        """Schedule a full re-relaxation through the incremental path."""
+        known = [n for n in self.costs.as_dict() if n != self.owner]
+        for dest in self._dest_refs:
+            self._dirty_routes[dest] = None
+            self._dirty_pricing.add(dest)
+            for avoided in known:
+                if avoided != dest:
+                    self._avoid_rescan.add((dest, avoided))
+        # Rows for routed destinations that dropped out of the universe
+        # are still re-derived by the full derive_pricing; match it.
+        self._dirty_pricing.update(self.routing.destinations)
+
+    def known_nodes(self) -> Tuple[NodeId, ...]:
+        """Every node with a DATA1 entry, repr-sorted."""
+        return tuple(sorted(self.costs.as_dict(), key=repr))
+
+    # ------------------------------------------------------------------
+    # phase 2: routing and pricing
+    # ------------------------------------------------------------------
+
+    def reset_phase2(self) -> None:
+        """Clear DATA2/DATA3* state for a phase restart."""
+        self.routing = RoutingTable(self.owner)
+        self.pricing = PricingTable(self.owner)
+        self.avoid = {}
+        self.neighbor_routes = {}
+        self.neighbor_avoid = {}
+        self._reset_incremental_state()
+
+    # --- destination-universe reference counting ----------------------
+
+    def _universe_add(self, dest: NodeId) -> None:
+        count = self._dest_refs.get(dest, 0)
+        self._dest_refs[dest] = count + 1
+        if count == 0:
+            # The destination just (re)entered the universe: avoidance
+            # inputs stored for it while it was outside become
+            # relaxable, exactly as the full rescan would now see them.
+            self._dirty_routes[dest] = None
+            self._dirty_pricing.add(dest)
+            self._avoid_dest_pending.add(dest)
+
+    def _universe_discard(self, dest: NodeId) -> None:
+        count = self._dest_refs.get(dest, 0)
+        if count <= 1:
+            self._dest_refs.pop(dest, None)
+        else:
+            self._dest_refs[dest] = count - 1
+
+    @staticmethod
+    def _mark_dirty(dirty: Dict, key, supplier: NodeId) -> None:
+        """Note that ``supplier``'s input for ``key`` changed."""
+        current = dirty.get(key)
+        if current is not None:
+            current.add(supplier)
+        elif key not in dirty:
+            dirty[key] = {supplier}
+        # an existing None sentinel already demands a full rescan
+
+    def _note_offer(self, dest: NodeId, avoided: NodeId) -> None:
+        """Record offer history for one key (grow-only, sweep input).
+
+        Every site that stores a previously absent offer must call
+        this: the re-entry rescan sweep trusts the history to cover
+        all keys a full rescan could act on.
+        """
+        offered = self._avoid_keys_by_dest
+        keys = offered.get(dest)
+        if keys is None:
+            offered[dest] = {avoided}
+        else:
+            keys.add(avoided)
+
+    def consume_route_changes(self) -> Set[NodeId]:
+        """Destinations whose DATA2 entry changed since last consumed."""
+        changes = self._route_changes
+        self._route_changes = set()
+        return changes
+
+    def consume_avoid_changes(self) -> Set[AvoidKey]:
+        """Avoidance keys whose entry changed since last consumed."""
+        changes = self._avoid_changes
+        self._avoid_changes = set()
+        return changes
+
+    def consume_route_delta(self) -> Tuple:
+        """The next suggested-specification routing delta broadcast.
+
+        Reads the changed-key set in O(|changes|) and consumes it.
+        Principals with an unmodified broadcast hook and checker
+        mirrors both encode from here, which is what keeps actual and
+        predicted broadcast streams bit-identical.
+        """
+        routing = self.routing
+        rows = [
+            (dest, entry.cost, entry.path)
+            for dest in self.consume_route_changes()
+            if (entry := routing.entry(dest)) is not None
+        ]
+        rows.sort(key=lambda row: _sort_key(row[0]))
+        return tuple(rows)
+
+    def consume_avoid_delta(self) -> Tuple:
+        """The next suggested-specification avoidance delta broadcast."""
+        avoid = self.avoid
+        rows = [
+            (key[0], key[1], entry.cost, entry.path)
+            for key in self.consume_avoid_changes()
+            if (entry := avoid.get(key)) is not None
+        ]
+        rows.sort(key=lambda row: (_sort_key(row[0]), _sort_key(row[1])))
+        return tuple(rows)
+
+    # --- neighbour vector ingestion -----------------------------------
+    #
+    # Offers are stored *raw* as ``(cost, path)`` tuples straight off
+    # the wire: with broadcast fan-out every announcement is ingested
+    # by every neighbour, so per-row materialisation (entry objects,
+    # sort keys) would dominate the hot path.  Entries are only
+    # materialised for adopted winners.
+
+    def apply_route_update(self, neighbor: NodeId, vector: RouteVector) -> None:
+        """Store a neighbour's *full* routing vector (dict form).
+
+        Diffs against the previously stored vector and marks only the
+        destinations whose rows changed as dirty.  The protocol's wire
+        path uses :meth:`apply_route_delta`; this entry point serves
+        replay tests and any caller holding a whole table.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
+            )
+        raw = {
+            dest: (dest, entry.cost, entry.path) for dest, entry in vector.items()
+        }
+        stored = self.neighbor_routes.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_routes[neighbor] = {}
+        owner = self.owner
+        dirty = self._dirty_routes
+        for dest in stored.keys() | raw.keys():
+            offer = raw.get(dest)
+            if stored.get(dest) == offer:
+                continue
+            if offer is None:
+                del stored[dest]
+                if dest != owner:
+                    self._universe_discard(dest)
+            else:
+                if dest != owner and dest not in stored:
+                    self._universe_add(dest)
+                stored[dest] = offer
+            if dest != owner:
+                self._mark_dirty(dirty, dest, neighbor)
+
+    def apply_route_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
+        """Ingest a wire delta produced by ``encode_route_delta``.
+
+        Upserts ``(dest, cost, path)`` rows, removes withdrawal rows
+        (``cost is None``), and marks each touched destination dirty
+        with this neighbour as the changed supplier.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
+            )
+        stored = self.neighbor_routes.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_routes[neighbor] = {}
+        owner = self.owner
+        dirty = self._dirty_routes
+        self.stats.rows_ingested += len(rows)
+        for row in rows:
+            dest = row[0]
+            if row[1] is None:  # withdrawal
+                if dest in stored:
+                    del stored[dest]
+                    if dest != owner:
+                        self._universe_discard(dest)
+            else:
+                if dest != owner and dest not in stored:
+                    self._universe_add(dest)
+                stored[dest] = row  # rows are shared across receivers
+            if dest != owner:
+                suppliers = dirty.get(dest)
+                if suppliers is not None:
+                    suppliers.add(neighbor)
+                elif dest not in dirty:
+                    dirty[dest] = {neighbor}
+
+    def apply_avoid_update(self, neighbor: NodeId, vector: AvoidVector) -> None:
+        """Store a neighbour's *full* avoidance vector (dict form).
+
+        Marks changed ``(destination, avoided)`` keys dirty, and their
+        destinations' pricing rows with them: even a value-preserving
+        tie change can alter a DATA3* identity tag.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
+            )
+        raw = {
+            key: (key[0], key[1], entry.cost, entry.path)
+            for key, entry in vector.items()
+        }
+        stored = self.neighbor_avoid.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_avoid[neighbor] = {}
+        rescan = self._avoid_rescan
+        for key in stored.keys() | raw.keys():
+            offer = raw.get(key)
+            if stored.get(key) == offer:
+                continue
+            if offer is None:
+                del stored[key]
+            else:
+                if key not in stored:
+                    self._note_offer(key[0], key[1])
+                stored[key] = offer
+            rescan.add(key)
+            self._dirty_pricing.add(key[0])
+
+    def apply_avoid_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
+        """Ingest a wire delta, fusing the monotone relaxation step.
+
+        Every ``(dest, avoided, cost, path)`` row is stored as a raw
+        offer; rows that *improve* on the reigning argmin are adopted
+        immediately (a running min over the batch — confluent, so the
+        batch-boundary result equals a batch-end relaxation), rows that
+        worsen or withdraw the reigning argmin schedule a full rescan
+        of the key, and strictly dominated rows — the overwhelming
+        majority under broadcast fan-in — cost one comparison.
+        Pricing rows are marked dirty only when a row can join, leave,
+        or move the argmin tie, since DATA3* tags depend on exactly
+        that set.  Every per-row invariant (neighbour cost, table
+        references, the offer counter) is hoisted out of the loop.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
+            )
+        stored = self.neighbor_avoid.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_avoid[neighbor] = {}
+        ncost = self.costs.get(neighbor)
+        owner = self.owner
+        refs = self._dest_refs
+        state = self._avoid_state
+        rescan_add = self._avoid_rescan.add
+        pricing_add = self._dirty_pricing.add
+        changes_add = self._avoid_changes.add
+        note_offer = self._note_offer
+        knows = self.costs.knows
+        avoid = self.avoid
+        stored_get = stored.get
+        state_get = state.get
+        avoid_changed = self._avoid_changed
+        self.stats.rows_ingested += len(rows)
+        if ncost is None:
+            # Unusable offers (neighbour cost unknown), exactly as in a
+            # full scan: store rows for later rescans, nothing to relax.
+            for row in rows:
+                dest, avoided, cost, path = row
+                key = (dest, avoided)
+                old = stored_get(key)
+                if cost is None:
+                    if old is not None:
+                        del stored[key]
+                    continue
+                stored[key] = row
+                if old is None:
+                    note_offer(dest, avoided)
+            return
+        for row in rows:
+            dest, avoided, cost, path = row
+            key = (dest, avoided)
+            old = stored_get(key)
+            if cost is None:  # withdrawal
+                if old is None:
+                    continue
+                del stored[key]
+                st = state_get(key)
+                if st is not None:
+                    if st[0] == neighbor:
+                        rescan_add(key)
+                        pricing_add(dest)
+                    elif ncost + old[2] <= st[1]:
+                        pricing_add(dest)  # an argmin tie may shrink
+                continue
+            stored[key] = row  # rows are shared across receivers
+            if old is None:
+                note_offer(dest, avoided)
+            if dest not in refs:
+                # Entries freeze outside the destination universe (the
+                # full rescan skips them too); re-entry rescans.
+                pricing_add(dest)
+                continue
+            total = ncost + cost
+            st = state_get(key)
+            if st is None:
+                # First valid candidate for this key (any earlier offer
+                # would have been relaxed into a state entry).
+                if (
+                    avoided != owner
+                    and avoided != dest
+                    and knows(avoided)
+                    and owner not in path
+                    and avoided not in path
+                ):
+                    state[key] = (neighbor, total, len(path), path)
+                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+                    changes_add(key)
+                    avoid_changed = True
+                    pricing_add(dest)
+                continue
+            st_cost = st[1]
+            if st[0] == neighbor:
+                # The reigning supplier re-announced: improved offers
+                # stay adopted, worsened or invalid ones force a rescan.
+                if owner in path or avoided in path:
+                    rescan_add(key)
+                    pricing_add(dest)
+                    continue
+                hops = len(path)
+                if total < st_cost or (
+                    total == st_cost
+                    and (
+                        hops < st[2]
+                        or (hops == st[2] and _lex_key(path) < _lex_key(st[3]))
+                    )
+                ):
+                    state[key] = (neighbor, total, hops, path)
+                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+                    changes_add(key)
+                    avoid_changed = True
+                    pricing_add(dest)
+                elif total == st_cost and hops == st[2] and path == st[3]:
+                    pricing_add(dest)  # value-identical re-announce
+                else:
+                    rescan_add(key)
+                    pricing_add(dest)
+                continue
+            if total > st_cost:
+                # Dominated row — the hot path.  It still displaces the
+                # neighbour's previous offer, which may have been tied
+                # with the argmin.
+                if old is not None and ncost + old[2] <= st_cost:
+                    pricing_add(dest)
+                continue
+            if owner in path or avoided in path:
+                if old is not None and ncost + old[2] <= st_cost:
+                    pricing_add(dest)
+                continue
+            if total == st_cost:
+                hops = len(path)
+                if hops < st[2] or (
+                    hops == st[2] and _lex_key(path) < _lex_key(st[3])
+                ):
+                    state[key] = (neighbor, total, hops, path)
+                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+                    changes_add(key)
+                    avoid_changed = True
+                pricing_add(dest)  # joins or reshapes the tie either way
+                continue
+            state[key] = (neighbor, total, len(path), path)
+            avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+            changes_add(key)
+            avoid_changed = True
+            pricing_add(dest)
+        self._avoid_changed = avoid_changed
+
+    # --- routing relaxation -------------------------------------------
+    #
+    # Candidates are compared through *stripped* keys ``(cost, hops,
+    # lex)``: the actual candidate sort key is ``(cost, hops + 1,
+    # (repr(owner),) + lex)`` with the owner prefix shared by every
+    # candidate of a node, so dropping it is a monotone transformation
+    # that preserves the argmin and every tie.  Cost is compared first
+    # and the lexicographic component is built only on full ties, so
+    # the common case never touches repr.  The per-key relaxation state
+    # ``(supplier, cost, hops, path)`` remembers the reigning argmin:
+    # as long as the winner's own input did not worsen, a relaxation
+    # only scans the suppliers whose input changed.
+
+    def recompute_routes(self) -> bool:
+        """Re-derive DATA2 by rescanning every destination; True if changed.
+
+        The relaxation is the path-vector Bellman-Ford of the
+        Griffin-Wilfong model with the deterministic (cost, hops,
+        lexicographic) tie-break shared with the centralized oracle.
+        This full rescan is the reference the incremental variant is
+        property-tested against; the hot path uses
+        :meth:`recompute_routes_incremental`.
+        """
+        self.computation_count += 1
+        changed = False
+        destinations: Set[NodeId] = set()
+        for vector in self.neighbor_routes.values():
+            destinations.update(vector)
+        destinations.update(self.neighbors)
+        destinations.discard(self.owner)
+        for destination in sorted(destinations, key=repr):
+            if self._relax_route(destination):
+                changed = True
+        self._dirty_routes = {}
+        return changed
+
+    def recompute_routes_incremental(self) -> bool:
+        """Relax only the dirty destinations; True if DATA2 changed.
+
+        Observably identical to :meth:`recompute_routes` because a
+        destination's candidate set depends only on its own rows in the
+        neighbour vectors (diffed on ingestion) and on DATA1 (frozen in
+        phase 2, conservatively handled otherwise).
+        """
+        self.computation_count += 1
+        dirty = self._dirty_routes
+        if not dirty:
+            return False
+        self._dirty_routes = {}
+        refs = self._dest_refs
+        changed = False
+        for destination, suppliers in dirty.items():
+            # Outside the universe the full rescan finds no candidates
+            # either; rejoining re-marks the destination dirty.
+            if destination in refs and self._relax_route(destination, suppliers):
+                changed = True
+        return changed
+
+    def _relax_route(self, destination: NodeId, suppliers=None) -> bool:
+        """Relax one destination; True if its DATA2 entry changed.
+
+        ``suppliers`` limits the scan to the neighbours whose input
+        changed (``None`` rescans everything): if the previous winner
+        is not among them it still bounds the minimum, and if it is but
+        improved, it still wins against the unchanged rest — only a
+        worsened winner forces the full rescan.
+        """
+        owner = self.owner
+        state = self._route_state.get(destination)
+        cur = self.routing.entry(destination)
+        full = suppliers is None
+        self.stats.route_relaxations += 1
+        if cur is not None and state is None:
+            # The entry lost its supporting candidate in an earlier
+            # no-candidate rescan; only a full rescan may touch it.
+            full = True
+        # best: (supplier, cost, hops, offer path) stripped candidate.
+        best = None
+        keep = False
+        if not full and state is not None:
+            sup = state[0]
+            if sup is not _BASE and sup in suppliers:
+                offer = self.neighbor_routes.get(sup, {}).get(destination)
+                cand = None
+                if offer is not None:
+                    cost = self.costs.get(sup)
+                    opath = offer[2]
+                    if cost is not None and owner not in opath:
+                        cand = (sup, cost + offer[1], len(opath), opath)
+                if cand is None or _stripped_worse(cand, state):
+                    full = True  # the reigning input worsened: rescan
+                else:
+                    best = cand
+            else:
+                best = state
+                keep = True
+        if full:
+            self.stats.route_rescans += 1
+        costs_get = self.costs.get
+        routes_get = self.neighbor_routes.get
+        for neighbor in (self.neighbors if full else suppliers):
+            if neighbor == destination:
+                if state is None or full:
+                    if best is None or _stripped_beats_base(destination, best):
+                        best = (_BASE, 0.0, 1, (destination,))
+                        keep = False
+                continue
+            if best is not None and neighbor == best[0]:
+                continue
+            vec = routes_get(neighbor)
+            offer = vec.get(destination) if vec else None
+            if offer is None:
+                continue
+            ncost = costs_get(neighbor)
+            if ncost is None:
+                continue
+            total = ncost + offer[1]
+            opath = offer[2]
+            if best is not None:
+                bcost = best[1]
+                if total > bcost:
+                    continue
+                hops = len(opath)
+                if total == bcost:
+                    bhops = best[2]
+                    if hops > bhops:
+                        continue
+                    if hops == bhops and _lex_key(opath) >= _lex_key(best[3]):
+                        continue
+            if owner in opath:
+                continue
+            best = (neighbor, total, len(opath), opath)
+            keep = False
+        if best is None:
+            if state is not None:
+                # No candidate supports the (retained) entry any more;
+                # drop the argmin so future candidates force a rescan
+                # instead of losing against stale state.
+                del self._route_state[destination]
+            return False
+        if keep:
+            return False
+        if state is not None:
+            if _stripped_equal(best, state):
+                self._route_state[destination] = best
+                return False
+        elif cur is not None and (
+            best[1] == cur.cost
+            and best[2] == len(cur.path) - 1
+            and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
+        ):
+            # The rescan re-derived the previously unsupported entry.
+            self._route_state[destination] = best
+            return False
+        self._route_state[destination] = best
+        sup, total, _hops, opath = best
+        if sup is _BASE:
+            entry = RouteEntry(cost=0.0, path=(owner, destination))
+        else:
+            entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
+        self.routing.update(destination, entry)
+        self._route_changes.add(destination)
+        self._dirty_pricing.add(destination)
+        return True
+
+    # --- avoidance relaxation -----------------------------------------
+
+    def recompute_avoidance(self) -> bool:
+        """Re-derive the avoidance table by full rescan; True if changed.
+
+        Reference counterpart of
+        :meth:`recompute_avoidance_incremental`, retained for phase
+        starts and the equivalence property tests.  The returned flag
+        also covers entries already moved by the fused ingestion since
+        the previous recompute call, so "did anything change since the
+        last recomputation" keeps its meaning in every mode.
+        """
+        self.computation_count += 1
+        changed = self._avoid_changed
+        self._avoid_changed = False
+        all_nodes = set(self.known_nodes())
+        destinations: Set[NodeId] = set()
+        for vector in self.neighbor_routes.values():
+            destinations.update(vector)
+        destinations.update(self.neighbors)
+        destinations.discard(self.owner)
+        if not any(self.neighbor_avoid.values()):
+            # Without avoidance inputs only the base case can supply a
+            # candidate, so only directly-connected destinations matter
+            # (typical at a phase start).
+            destinations &= set(self.neighbors)
+        for destination in sorted(destinations, key=repr):
+            for avoided in sorted(all_nodes, key=repr):
+                if avoided in (self.owner, destination):
+                    continue
+                if self._relax_avoid(destination, avoided):
+                    changed = True
+        self._avoid_rescan = set()
+        self._avoid_dest_pending = set()
+        return changed
+
+    def recompute_avoidance_incremental(self) -> bool:
+        """Settle the avoidance table; True if it changed.
+
+        Improvements were already adopted during ingestion (the
+        :attr:`_avoid_changed` flag); what remains is rescanning the
+        keys whose reigning argmin was invalidated — worsened,
+        withdrawn, or whose destination (re)entered the universe.
+        """
+        self.computation_count += 1
+        changed = self._avoid_changed
+        self._avoid_changed = False
+        rescan = self._avoid_rescan
+        pending = self._avoid_dest_pending
+        if pending:
+            self._avoid_dest_pending = set()
+            refs = self._dest_refs
+            offered = self._avoid_keys_by_dest
+            neighbor_set = self._neighbor_set
+            owner = self.owner
+            for dest in pending:
+                if dest not in refs:
+                    continue  # left the universe again; re-entry re-pends
+                if dest in neighbor_set:
+                    # The base case supplies a candidate for every
+                    # avoided id, so neighbour destinations sweep the
+                    # whole key row.
+                    for avoided in self.costs.as_dict():
+                        if avoided != owner and avoided != dest:
+                            rescan.add((dest, avoided))
+                    continue
+                # Non-neighbour destination: only keys that ever stored
+                # an offer can yield or invalidate anything; the rest
+                # are no-ops in the full rescan too.
+                for avoided in offered.get(dest, ()):
+                    if avoided != owner and avoided != dest:
+                        rescan.add((dest, avoided))
+        if rescan:
+            self._avoid_rescan = set()
+            refs = self._dest_refs
+            costs = self.costs
+            owner = self.owner
+            for key in rescan:
+                destination, avoided = key
+                if destination not in refs:
+                    continue  # rejoining the universe re-marks the key
+                if avoided == owner or avoided == destination:
+                    continue
+                if not costs.knows(avoided):
+                    continue  # DATA1 changes mark everything dirty
+                if self._relax_avoid(destination, avoided):
+                    changed = True
+        return changed
+
+    def _relax_avoid(self, destination: NodeId, avoided: NodeId) -> bool:
+        """Fully rescan one avoidance key; True if its entry changed.
+
+        Same stripped-candidate scan as :meth:`_relax_route`, with the
+        avoided node excluded both as a neighbour and inside paths.
+        """
+        owner = self.owner
+        key = (destination, avoided)
+        state = self._avoid_state.get(key)
+        cur = self.avoid.get(key)
+        best = None
+        self.stats.avoid_rescans += 1
+        costs_get = self.costs.get
+        avoid_get = self.neighbor_avoid.get
+        for neighbor in self.neighbors:
+            if neighbor == avoided:
+                continue
+            if neighbor == destination:
+                if best is None or _stripped_beats_base(destination, best):
+                    best = (_BASE, 0.0, 1, (destination,))
+                continue
+            vec = avoid_get(neighbor)
+            offer = vec.get(key) if vec else None
+            if offer is None:
+                continue
+            ncost = costs_get(neighbor)
+            if ncost is None:
+                continue
+            total = ncost + offer[2]
+            opath = offer[3]
+            if best is not None:
+                bcost = best[1]
+                if total > bcost:
+                    continue
+                hops = len(opath)
+                if total == bcost:
+                    bhops = best[2]
+                    if hops > bhops:
+                        continue
+                    if hops == bhops and _lex_key(opath) >= _lex_key(best[3]):
+                        continue
+            if owner in opath or avoided in opath:
+                continue
+            best = (neighbor, total, len(opath), opath)
+        if best is None:
+            if state is not None:
+                # The (retained) entry lost its last supporting
+                # candidate; drop the argmin so future candidates
+                # force a rescan instead of losing to stale state.
+                del self._avoid_state[key]
+            return False
+        if state is not None:
+            if _stripped_equal(best, state):
+                self._avoid_state[key] = best
+                return False
+        elif cur is not None and (
+            best[1] == cur.cost
+            and best[2] == len(cur.path) - 1
+            and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
+        ):
+            # The rescan re-derived the previously unsupported entry.
+            self._avoid_state[key] = best
+            return False
+        self._avoid_state[key] = best
+        sup, total, _hops, opath = best
+        if sup is _BASE:
+            entry = RouteEntry(cost=0.0, path=(owner, destination))
+        else:
+            entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
+        self.avoid[key] = entry
+        self._avoid_changes.add(key)
+        self._dirty_pricing.add(destination)
+        return True
+
+    # --- pricing derivation -------------------------------------------
+
+    def derive_pricing(self) -> bool:
+        """Recompute DATA3* from DATA2 and the avoidance table.
+
+        For every destination ``j`` with a route, and every transit
+        node ``k`` interior to that route, install
+
+            price = c_k + d^{-k}(owner, j) - d(owner, j)
+
+        with the identity tag set to the argmin suppliers of the
+        avoidance entry.  Returns True if any cell changed.  Full-table
+        reference counterpart of :meth:`derive_pricing_incremental`.
+        """
+        self.computation_count += 1
+        changed = False
+        for destination in self.routing.destinations:
+            if self._derive_pricing_row(destination):
+                changed = True
+        self._dirty_pricing = set()
+        return changed
+
+    def derive_pricing_incremental(self) -> bool:
+        """Re-derive only the dirty pricing rows; True if changed.
+
+        A row depends on its destination's DATA2 entry, the avoidance
+        entries along that path, and the supplier tags (which read the
+        avoidance *inputs* directly — a tie union can change a tag
+        without changing any avoidance entry, which is why vector
+        ingestion marks rows dirty by input key, not by entry change).
+        """
+        self.computation_count += 1
+        dirty = self._dirty_pricing
+        if not dirty:
+            return False
+        self._dirty_pricing = set()
+        changed = False
+        for destination in dirty:
+            if self.routing.entry(destination) is None:
+                continue  # a route arriving later re-marks the row
+            if self._derive_pricing_row(destination):
+                changed = True
+        return changed
+
+    def _derive_pricing_row(self, destination: NodeId) -> bool:
+        """Re-derive one destination's DATA3* row; True if it changed."""
+        entry = self.routing.entry(destination)
+        assert entry is not None
+        desired: Dict[NodeId, Tuple[Cost, FrozenSet[NodeId]]] = {}
+        for transit in entry.path[1:-1]:
+            avoid_entry = self.avoid.get((destination, transit))
+            if avoid_entry is None or not self.costs.knows(transit):
+                continue
+            price = self.costs.cost(transit) + avoid_entry.cost - entry.cost
+            tag = self._supplier_tag(destination, transit)
+            desired[transit] = (price, tag)
+        current_row = self.pricing.row(destination)
+        current_view = {
+            transit: (cell.price, cell.tag) for transit, cell in current_row.items()
+        }
+        if current_view == desired:
+            return False
+        self.pricing.clear_destination(destination)
+        for transit, (price, tag) in desired.items():
+            self.pricing.set_price(destination, transit, price, tag)
+        return True
+
+    def _supplier_tag(self, destination: NodeId, avoided: NodeId) -> FrozenSet[NodeId]:
+        """Argmin suppliers of one avoidance entry (union on ties)."""
+        owner = self.owner
+        key = (destination, avoided)
+        best = None  # (cost, hops, path)
+        tag: List[NodeId] = []
+        costs_get = self.costs.get
+        avoid_get = self.neighbor_avoid.get
+        for neighbor in self.neighbors:
+            if neighbor == avoided:
+                continue
+            if neighbor == destination:
+                cand = (0.0, 1, (destination,))
+            else:
+                vec = avoid_get(neighbor)
+                offer = vec.get(key) if vec else None
+                if offer is None:
+                    continue
+                ncost = costs_get(neighbor)
+                if ncost is None:
+                    continue
+                opath = offer[3]
+                if owner in opath or avoided in opath:
+                    continue
+                cand = (ncost + offer[2], len(opath), opath)
+            if best is None:
+                best = cand
+                tag = [neighbor]
+                continue
+            if cand[0] != best[0]:
+                if cand[0] < best[0]:
+                    best = cand
+                    tag = [neighbor]
+                continue
+            if cand[1] != best[1]:
+                if cand[1] < best[1]:
+                    best = cand
+                    tag = [neighbor]
+                continue
+            if cand[2] is best[2]:
+                tag.append(neighbor)
+                continue
+            lex_c, lex_b = _lex_key(cand[2]), _lex_key(best[2])
+            if lex_c < lex_b:
+                best = cand
+                tag = [neighbor]
+            elif lex_c == lex_b:
+                tag.append(neighbor)
+        return frozenset(tag)
+
+    # ------------------------------------------------------------------
+    # digests for bank comparison, snapshots
+    # ------------------------------------------------------------------
+
+    def routing_digest(self) -> str:
+        """Hash of DATA2 (BANK1 material)."""
+        return self.routing.stable_digest()
+
+    def pricing_digest(self) -> str:
+        """Hash of DATA3* including tags (BANK2 material)."""
+        return self.pricing.stable_digest()
+
+    def cost_digest(self) -> str:
+        """Hash of DATA1 (first-construction-phase checkpoint)."""
+        return self.costs.stable_digest()
+
+    def full_digest(self) -> str:
+        """Combined digest over all construction state."""
+        return stable_hash(
+            (self.cost_digest(), self.routing_digest(), self.pricing_digest())
+        )
+
+    def settle(self) -> Tuple[Optional[Tuple], Optional[Tuple]]:
+        """Run one incremental settle step; returns the emitted deltas.
+
+        Relaxes routes, settles the avoidance table, re-derives dirty
+        pricing rows, and consumes the changed-key sets into the
+        suggested-specification broadcast deltas — ``(route_delta,
+        avoid_delta)``, each ``None`` when that table did not change.
+        This ordering *is* the replay-exactness contract: principals,
+        shared kernels, forked mirrors, and the synchronous oracle all
+        settle through this one implementation, which is what keeps
+        their broadcast streams bit-identical; callers only differ in
+        what they do with the deltas (announce, record, queue, post,
+        or discard).
+        """
+        route_delta = (
+            self.consume_route_delta()
+            if self.recompute_routes_incremental()
+            else None
+        )
+        avoid_delta = (
+            self.consume_avoid_delta()
+            if self.recompute_avoidance_incremental()
+            else None
+        )
+        self.derive_pricing_incremental()
+        return route_delta, avoid_delta
+
+    def snapshot(self) -> KernelSnapshot:
+        """Digest-level checkpoint of the current construction state.
+
+        The bank-comparable view of the kernel at this instant; cheap
+        (no table copies), immutable, and sufficient to compare two
+        replays for observational equality.
+        """
+        return KernelSnapshot(
+            owner=self.owner,
+            cost_digest=self.cost_digest(),
+            routing_digest=self.routing_digest(),
+            pricing_digest=self.pricing_digest(),
+            computation_count=self.computation_count,
+        )
+
+
+# ----------------------------------------------------------------------
+# shared checker replay
+# ----------------------------------------------------------------------
+
+#: Outcomes of submitting an op against a shared log position — the
+#: return vocabulary of :meth:`SharedKernel.ingest`; compare by
+#: identity against these constants.
+OP_HIT = "hit"  # op matched the log; result reused
+OP_EXTENDED = "extended"  # op appended at the frontier; kernel ran it
+OP_DIVERGED = "diverged"  # op conflicts with the log; caller must fork
+
+
+@dataclass
+class SharedKernel:
+    """One principal's replayed kernel plus the verified op log.
+
+    Built from the *seed* every checker derives independently (the
+    principal's neighbour set from the checker-setup handshake, its
+    declared cost, and the converged DATA1), then advanced op by op by
+    whichever mirror reaches the log frontier first.  See the module
+    docstring for the sharing invariant and fork semantics.
+    """
+
+    owner: NodeId
+    seed_neighbors: Tuple[NodeId, ...]
+    seed_cost: Cost
+    seed_known_costs: Dict[NodeId, Cost]
+    kernel: ReplayKernel = field(init=False)
+    #: Verified op log: ``("apply", kind, src, rows)`` for ingested
+    #: copies, ``("flush", route_delta|None, price_delta|None)`` for
+    #: relaxation boundaries with their recorded broadcast predictions.
+    ops: List[Tuple] = field(default_factory=list)
+    initial_route: Tuple = field(init=False)
+    initial_price: Tuple = field(init=False)
+    stats: KernelStats = field(default_factory=KernelStats)
+
+    def __post_init__(self) -> None:
+        """Replicate the principal's ``start_phase2`` exactly once."""
+        self.kernel = self._fresh_kernel()
+        self.initial_route = self.kernel.consume_route_delta()
+        self.initial_price = self.kernel.consume_avoid_delta()
+
+    def _fresh_kernel(self) -> ReplayKernel:
+        """A kernel in the state every mirror starts phase 2 from."""
+        kernel = ReplayKernel(self.owner, self.seed_neighbors, self.seed_cost)
+        for node, cost in self.seed_known_costs.items():
+            kernel.note_cost_declaration(node, cost)
+        kernel.reset_phase2()
+        kernel.recompute_routes()
+        kernel.recompute_avoidance()
+        kernel.derive_pricing()
+        return kernel
+
+    def matches_seed(
+        self,
+        neighbors: Sequence[NodeId],
+        declared_cost: Cost,
+        known_costs: Mapping[NodeId, Cost],
+    ) -> bool:
+        """Whether a mirror seeded like this may share the kernel."""
+        return (
+            tuple(sorted(neighbors, key=repr)) == self.seed_neighbors
+            and float(declared_cost) == self.seed_cost
+            and dict(known_costs) == self.seed_known_costs
+        )
+
+    @property
+    def frontier(self) -> int:
+        """The log position the kernel state corresponds to."""
+        return len(self.ops)
+
+    def ingest(self, pos: int, kind: str, src: NodeId, rows: Tuple) -> str:
+        """Submit one copy-apply op at log position ``pos``.
+
+        Returns ``"hit"`` (op matched the log; nothing ran),
+        ``"extended"`` (op appended at the frontier; the kernel ingested
+        it), or ``"diverged"`` (op conflicts with the log; the caller
+        must fork).  Honest multicast shares one rows tuple across all
+        receivers, so the verification compare is an identity check on
+        the hot path.
+        """
+        ops = self.ops
+        if pos < len(ops):
+            logged = ops[pos]
+            if (
+                logged[0] == "apply"
+                and logged[1] == kind
+                and logged[2] == src
+                and (logged[3] is rows or logged[3] == rows)
+            ):
+                self.stats.shared_hits += 1
+                return OP_HIT
+            return OP_DIVERGED
+        ops.append(("apply", kind, src, rows))
+        if kind == KIND_RT_UPDATE:
+            self.kernel.apply_route_delta(src, rows)
+        else:
+            self.kernel.apply_avoid_delta(src, rows)
+        return OP_EXTENDED
+
+    def flush(self, pos: int) -> Optional[Tuple[int, Optional[Tuple], Optional[Tuple], bool]]:
+        """Submit one relaxation-boundary op at log position ``pos``.
+
+        Returns ``(new_pos, route_delta, price_delta, ran)`` where the
+        deltas are the predicted broadcasts (``None`` when that table
+        did not change) and ``ran`` says whether this call executed the
+        relaxation (False on a log hit).  Returns ``None`` when the log
+        holds a conflicting op at ``pos`` — the caller must fork.
+        """
+        ops = self.ops
+        if pos < len(ops):
+            logged = ops[pos]
+            if logged[0] != "flush":
+                return None
+            self.stats.shared_hits += 1
+            return (pos + 1, logged[1], logged[2], False)
+        route_delta, price_delta = self.kernel.settle()
+        ops.append(("flush", route_delta, price_delta))
+        return (pos + 1, route_delta, price_delta, True)
+
+    def fork_at(self, pos: int) -> ReplayKernel:
+        """A private kernel replaying the verified log prefix ``[:pos]``.
+
+        This is the state fork of the sharing design: the prefix is
+        exactly the ops the forking mirror already verified as its own,
+        so the result is bit-identical to the per-neighbour replay of
+        that mirror's stream.  Paid only on divergence (deviant runs)
+        or when a straggler mirror needs state behind the frontier.
+        """
+        self.stats.forks += 1
+        kernel = self._fresh_kernel()
+        # The seed recompute's changed keys were consumed into the
+        # initial announcement; replicate that consumption.
+        kernel.consume_route_delta()
+        kernel.consume_avoid_delta()
+        for op in self.ops[:pos]:
+            if op[0] == "apply":
+                if op[1] == KIND_RT_UPDATE:
+                    kernel.apply_route_delta(op[2], op[3])
+                else:
+                    kernel.apply_avoid_delta(op[2], op[3])
+            else:
+                kernel.settle()  # deltas already queued at this position
+        return kernel
+
+
+class MirrorKernelPool:
+    """Per-host registry of :class:`SharedKernel` keyed by principal.
+
+    One pool serves one simulated host (one process running the whole
+    network); :meth:`new_epoch` must be called before every phase-2
+    (re)start so restarted mirrors never attach to a consumed log.
+    """
+
+    def __init__(self) -> None:
+        self._kernels: Dict[NodeId, SharedKernel] = {}
+        self.epoch = 0
+        #: Seed-mismatch refusals across all epochs (sharing declined).
+        self.stats = KernelStats()
+
+    def new_epoch(self) -> None:
+        """Drop every shared kernel (a phase-2 restart begins)."""
+        self._collect_stats()
+        self._kernels = {}
+        self.epoch += 1
+
+    def acquire(
+        self,
+        principal: NodeId,
+        neighbors: Sequence[NodeId],
+        declared_cost: Cost,
+        known_costs: Mapping[NodeId, Cost],
+    ) -> Optional[SharedKernel]:
+        """The shared kernel for a principal, or None if seeds differ.
+
+        The first checker to ask creates the kernel from its own seed;
+        later checkers share only if their independently derived seed
+        is identical (the sharing invariant) — otherwise they get None
+        and must replay privately.
+        """
+        entry = self._kernels.get(principal)
+        if entry is None:
+            entry = SharedKernel(
+                owner=principal,
+                seed_neighbors=tuple(sorted(neighbors, key=repr)),
+                seed_cost=float(declared_cost),
+                seed_known_costs=dict(known_costs),
+            )
+            self._kernels[principal] = entry
+            return entry
+        if not entry.matches_seed(neighbors, declared_cost, known_costs):
+            self.stats.seed_mismatches += 1
+            return None
+        return entry
+
+    def _collect_stats(self) -> None:
+        for entry in self._kernels.values():
+            self.stats.merge(entry.stats)
+            self.stats.merge(entry.kernel.stats)
+
+    def collected_stats(self) -> KernelStats:
+        """Aggregated counters over all epochs (live kernels included)."""
+        total = KernelStats()
+        total.merge(self.stats)
+        for entry in self._kernels.values():
+            total.merge(entry.stats)
+            total.merge(entry.kernel.stats)
+        return total
+
+
+# ----------------------------------------------------------------------
+# pure-kernel convergence oracle
+# ----------------------------------------------------------------------
+
+
+def kernel_fixed_point(graph, max_rounds: int = 100_000) -> Dict[NodeId, ReplayKernel]:
+    """Run the FPSS relaxation to its fixed point with no simulator.
+
+    The third kernel client: one :class:`ReplayKernel` per vertex,
+    iterated in synchronous rounds (every kernel ingests all deltas
+    addressed to it, relaxes once, and emits its changed-key deltas)
+    until no kernel changes.  Because the fixed point of the monotone
+    relaxation is unique and the tie-breaks deterministic, the
+    resulting tables — and hence digests — are identical to any
+    asynchronous protocol execution on the same graph, which is what
+    :func:`~repro.routing.convergence.verify_against_kernel` exploits.
+
+    Raises
+    ------
+    ConvergenceError
+        If ``max_rounds`` synchronous rounds do not reach quiescence
+        (impossible for a static graph unless the kernel is buggy).
+    """
+    order = sorted(graph.nodes, key=repr)
+    kernels = {
+        node: ReplayKernel(node, graph.neighbors(node), graph.cost(node))
+        for node in order
+    }
+    for kernel in kernels.values():
+        for node in order:
+            kernel.note_cost_declaration(node, graph.cost(node))
+    # receiver -> [(kind, src, rows)] queued for the next round.
+    mailbox: Dict[NodeId, List[Tuple[str, NodeId, Tuple]]] = {n: [] for n in order}
+
+    def post(src: NodeId, kind: str, rows: Tuple) -> None:
+        if rows:
+            for neighbor in kernels[src].neighbors:
+                mailbox[neighbor].append((kind, src, rows))
+
+    for node in order:
+        kernel = kernels[node]
+        kernel.reset_phase2()
+        kernel.recompute_routes()
+        kernel.recompute_avoidance()
+        kernel.derive_pricing()
+        post(node, KIND_RT_UPDATE, kernel.consume_route_delta())
+        post(node, KIND_PRICE_UPDATE, kernel.consume_avoid_delta())
+
+    for _round in range(max_rounds):
+        if not any(mailbox.values()):
+            return kernels
+        inbox, mailbox = mailbox, {n: [] for n in order}
+        for node in order:
+            kernel = kernels[node]
+            for kind, src, rows in inbox[node]:
+                if kind == KIND_RT_UPDATE:
+                    kernel.apply_route_delta(src, rows)
+                else:
+                    kernel.apply_avoid_delta(src, rows)
+            route_delta, price_delta = kernel.settle()
+            if route_delta is not None:
+                post(node, KIND_RT_UPDATE, route_delta)
+            if price_delta is not None:
+                post(node, KIND_PRICE_UPDATE, price_delta)
+    raise ConvergenceError(
+        f"kernel fixed point not reached within {max_rounds} rounds"
+    )

@@ -7,8 +7,11 @@ a given schedule of insertions.
 :class:`DeliveryInbox` is the coalescing structure behind the
 simulator's batched delivery mode: all messages arriving at one node at
 one simulated instant are accumulated under a single ``(time, node)``
-key and dispatched as one event, so a flooding round costs each
-receiver one recomputation instead of one per message (see
+key and dispatched as one event.  The receiving node's
+:meth:`~repro.sim.node.ProtocolNode.flush_batch` hook then runs exactly
+once per batch, so a flooding round costs each receiver one
+recomputation instead of one per message — and, in the faithful
+extension, one shared mirror replay per principal batch (see
 ``docs/architecture.md``).
 """
 

@@ -29,6 +29,10 @@ class ProtocolNode:
         self.node_id = node_id
         self._sim: Optional["Simulator"] = None
         self._handlers: Dict[str, Callable[[Message], None]] = {}
+        #: True while a delivery batch is being applied; handlers that
+        #: maintain derived state read this to defer recomputation to
+        #: the :meth:`flush_batch` boundary.
+        self._in_batch = False
 
     # ------------------------------------------------------------------
     # simulator wiring
@@ -138,14 +142,30 @@ class ProtocolNode:
         """Process all messages arriving at one simulated instant.
 
         Invoked by the simulator in batched-delivery mode with the
-        batch in send order.  The base implementation simply replays
-        the per-message path (metrics, trace, inbound filter, dispatch,
-        in that order per message), so plain nodes behave identically
-        in both modes.  Protocol nodes that maintain derived state
-        override this to defer recomputation to the batch boundary.
+        batch in send order.  Each message replays the per-message path
+        (metrics, trace, inbound filter, dispatch, in that order per
+        message) with :attr:`_in_batch` set, so plain nodes behave
+        identically in both modes; the :meth:`flush_batch` hook then
+        runs exactly once at the batch boundary.  Protocol nodes that
+        maintain derived state override *the hook*, not this method:
+        their handlers only ingest while ``_in_batch`` is set and the
+        hook settles the deferred recomputation.
         """
-        for message in messages:
-            self.sim.deliver_now(message)
+        self._in_batch = True
+        try:
+            for message in messages:
+                self.sim.deliver_now(message)
+        finally:
+            self._in_batch = False
+        self.flush_batch()
+
+    def flush_batch(self) -> None:
+        """Batch-boundary hook; the base implementation does nothing.
+
+        Runs once after every delivery batch (and never in unbatched
+        mode, where each message is its own event).  Override to settle
+        state whose recomputation the handlers deferred.
+        """
 
     def dispatch(self, message: Message) -> None:
         """Route a message to its ``on_<kind>`` handler."""

@@ -196,3 +196,29 @@ class TestParseSweep:
         assert len({s.topology for s in sweep.scenarios}) >= 2
         assert len({s.traffic for s in sweep.scenarios}) >= 2
         assert len({s.seed for s in sweep.scenarios}) >= 3
+
+    def test_default_sweep_checked_block(self):
+        """The checked-network block: detection cells at every rung,
+        faithfulness at the smallest, all validated at expansion."""
+        sweep = default_sweep()
+        detection = [s for s in sweep.scenarios if s.probe == "detection"]
+        faithfulness = [
+            s for s in sweep.scenarios if s.probe == "faithfulness"
+        ]
+        assert sorted(s.size for s in detection) == [16, 64]
+        assert all(s.deviation == "false-route-announce" for s in detection)
+        assert all(s.traffic == "random-pairs" for s in detection)
+        assert [s.size for s in faithfulness] == [16]
+        # The knob drops the block without touching other cells.
+        without = default_sweep(checked_seeds=0)
+        assert not [
+            s for s in without.scenarios if s.probe in ("detection", "faithfulness")
+        ]
+
+    def test_default_sweep_checked_block_appends_only(self):
+        """Existing cells keep their content keys when blocks grow."""
+        base = default_sweep(checked_seeds=0)
+        grown = default_sweep()
+        base_keys = [s.content_key() for s in base.scenarios]
+        grown_keys = [s.content_key() for s in grown.scenarios]
+        assert grown_keys[: len(base_keys)] == base_keys

@@ -74,3 +74,28 @@ class TestDetectionReport:
             )
         )
         assert report.suspects() == ["p", "q"]
+
+
+class TestFlagOrdering:
+    def test_sort_key_is_repr_stable(self):
+        flags = [
+            Flag.make(
+                FlagKind.BROADCAST_MISMATCH,
+                checker=c,
+                principal=p,
+                phase="construction-2",
+            )
+            for c, p in [("b", "a"), ("a", "b"), ("a", "a")]
+        ]
+        ordered = sorted(flags, key=Flag.sort_key)
+        assert ordered == sorted(ordered, key=Flag.sort_key)
+        # Principal orders before checker in the key.
+        assert [f.principal for f in ordered] == ["a", "a", "b"]
+
+    def test_sort_key_distinguishes_detail(self):
+        base = dict(
+            checker="c", principal="p", phase="execution"
+        )
+        one = Flag.make(FlagKind.MISROUTE, origin="x", **base)
+        two = Flag.make(FlagKind.MISROUTE, origin="y", **base)
+        assert one.sort_key() != two.sort_key()

@@ -1,0 +1,351 @@
+"""Shared-kernel mirrors are bit-identical to per-neighbour replay.
+
+Reproduces: the checker redundancy of Section 4.2/4.3 (PODC'04).  The
+shared replay kernel deduplicates the k-fold mirror computation, but
+detection is only sound if it changes *nothing observable*: these
+tests pin that shared-kernel mirrors emit bit-identical flags and
+digests to the retained per-neighbour replay across delivery modes,
+heterogeneous link delays, withdrawal-carrying streams, and every
+catalogued manipulation — including the deviations that force mirrors
+to fork off the shared log (unequal copies, lazy checkers).
+"""
+
+import random
+
+import pytest
+
+from repro.faithful import (
+    DEVIATION_CATALOGUE,
+    FaithfulFPSSProtocol,
+    PrincipalMirror,
+    construction_deviations,
+    faithful_deviant_factory,
+    run_checked_construction,
+    verify_checked_network,
+)
+from repro.faithful.node import encode_flag
+from repro.routing import MirrorKernelPool, figure1_graph
+from repro.routing.kernel import KIND_PRICE_UPDATE, KIND_RT_UPDATE
+from repro.workloads import random_biconnected_graph, uniform_all_pairs
+
+
+def sorted_flags(detection):
+    """Stable, comparable encoding of a run's full flag multiset."""
+    return sorted((encode_flag(f) for f in detection.all_flags), key=repr)
+
+
+def run_protocol(graph, traffic, shared, batch=True, node_factory=None,
+                 link_delays=1.0):
+    protocol = FaithfulFPSSProtocol(
+        graph,
+        traffic,
+        node_factory=node_factory,
+        link_delays=link_delays,
+        shared_checking=shared,
+    )
+    original_build = protocol._build
+
+    def build():
+        simulator, nodes, bank = original_build()
+        simulator.batch_delivery = batch
+        return simulator, nodes, bank
+
+    protocol._build = build
+    return protocol.run()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure1_graph()
+
+
+@pytest.fixture(scope="module")
+def traffic(graph):
+    return uniform_all_pairs(graph, volume=1.0)
+
+
+class TestObedientParity:
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_clean_run_identical(self, graph, traffic, batch):
+        """Obedient networks: same progress, no flags, same money."""
+        shared = run_protocol(graph, traffic, shared=True, batch=batch)
+        private = run_protocol(graph, traffic, shared=False, batch=batch)
+        assert shared.progressed and private.progressed
+        assert not shared.detection.detected_any
+        assert not private.detection.detected_any
+        assert sorted_flags(shared.detection) == sorted_flags(private.detection)
+        for node in shared.utilities:
+            assert shared.utilities[node] == pytest.approx(
+                private.utilities[node]
+            )
+
+    def test_checked_construction_digest_parity(self):
+        """Every mirror digest matches in both modes, bit for bit."""
+        rng = random.Random(7)
+        g = random_biconnected_graph(10, rng)
+        runs = {
+            mode: run_checked_construction(g, shared_checking=mode)
+            for mode in (True, False)
+        }
+        for mode, checked in runs.items():
+            verify_checked_network(g, checked)
+        shared_nodes = runs[True].nodes
+        private_nodes = runs[False].nodes
+        for node_id in shared_nodes:
+            for principal in shared_nodes[node_id].mirrors:
+                sm = shared_nodes[node_id].mirrors[principal]
+                pm = private_nodes[node_id].mirrors[principal]
+                assert sm.routing_digest() == pm.routing_digest()
+                assert sm.pricing_digest() == pm.pricing_digest()
+        # The dedup actually happened: strictly fewer checker-side
+        # relaxations, positive shared-hit count, zero forks.
+        assert runs[True].kernel_stats.shared_hits > 0
+        assert runs[True].kernel_stats.forks == 0
+        # Per-neighbour mirrors account their work too (private
+        # kernels are collected, not just the pool).
+        assert runs[False].kernel_stats.rows_ingested > 0
+        assert runs[False].kernel_stats.shared_hits == 0
+        assert (
+            runs[True].metrics["total_checker_computations"]
+            < runs[False].metrics["total_checker_computations"]
+        )
+
+    def test_heterogeneous_delays_parity(self):
+        """Per-link asynchrony: sharing stays exact (batches shift but
+        the per-principal op streams do not)."""
+        rng = random.Random(11)
+        g = random_biconnected_graph(8, rng)
+
+        def delays(a, b, _rng=random.Random(13)):
+            return _rng.uniform(1.0, 2.5)
+
+        shared = run_checked_construction(g, link_delays=delays)
+        private = run_checked_construction(
+            g, link_delays=delays, shared_checking=False
+        )
+        assert shared.flags == [] and private.flags == []
+        for node_id in shared.nodes:
+            assert (
+                shared.nodes[node_id].comp.full_digest()
+                == private.nodes[node_id].comp.full_digest()
+            )
+        assert shared.kernel_stats.forks == 0
+
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_unbatched_mode_shares_too(self, batch):
+        rng = random.Random(3)
+        g = random_biconnected_graph(6, rng)
+        checked = run_checked_construction(g, batch_delivery=batch)
+        verify_checked_network(g, checked)
+        assert checked.kernel_stats.shared_hits > 0
+
+    def test_collected_flags_identical_across_modes(self):
+        """The canonical flag collection (Flag.sort_key ordering) is
+        bit-identical between shared and per-neighbour runs."""
+        from repro.faithful import collect_construction_flags
+
+        rng = random.Random(17)
+        g = random_biconnected_graph(8, rng)
+        shared = run_checked_construction(g, shared_checking=True)
+        private = run_checked_construction(g, shared_checking=False)
+        assert collect_construction_flags(shared.nodes) == (
+            collect_construction_flags(private.nodes)
+        )
+
+
+class TestDeviantParity:
+    """Every catalogued manipulation: identical detection verdict and
+    flag multiset whether mirrors share or replay per neighbour."""
+
+    @pytest.mark.parametrize(
+        "deviation", sorted(DEVIATION_CATALOGUE)
+    )
+    def test_detection_verdict_and_flags_identical(
+        self, graph, traffic, deviation
+    ):
+        spec = DEVIATION_CATALOGUE[deviation]
+        results = {
+            mode: run_protocol(
+                graph,
+                traffic,
+                shared=mode,
+                node_factory=faithful_deviant_factory(spec, "C"),
+            )
+            for mode in (True, False)
+        }
+        assert (
+            results[True].detection.detected_any
+            == results[False].detection.detected_any
+        )
+        assert results[True].progressed == results[False].progressed
+        assert sorted_flags(results[True].detection) == sorted_flags(
+            results[False].detection
+        )
+
+    @pytest.mark.parametrize(
+        "deviation",
+        [s.name for s in construction_deviations() if s.name != "cost-lie"],
+    )
+    def test_construction_deviations_detected_with_sharing(
+        self, graph, traffic, deviation
+    ):
+        """No detection regressions: everything the per-neighbour path
+        catches, the shared path catches."""
+        spec = DEVIATION_CATALOGUE[deviation]
+        result = run_protocol(
+            graph,
+            traffic,
+            shared=True,
+            node_factory=faithful_deviant_factory(spec, "C"),
+        )
+        assert result.detection.detected_any
+
+    def test_copy_alter_forces_forks_not_misses(self, graph, traffic):
+        """Altered copies reach every checker identically, so mirrors
+        replay the altered stream in lockstep — detection comes from
+        ledger checks and broadcast mismatches, not forks — while a
+        *spoofed* one-off copy still detects under sharing."""
+        spec = DEVIATION_CATALOGUE["copy-alter"]
+        result = run_protocol(
+            graph,
+            traffic,
+            shared=True,
+            node_factory=faithful_deviant_factory(spec, "C"),
+        )
+        assert result.detection.detected_any
+
+
+class TestMirrorLevelStream:
+    """Direct mirror-level parity on randomized delta streams, with
+    withdrawals, driven without any simulator."""
+
+    def _mirrors(self, shared_pool=True):
+        graph = figure1_graph()
+        principal = "C"
+        checkers = [n for n in graph.neighbors(principal)]
+        known = {n: graph.cost(n) for n in graph.nodes}
+        pool = MirrorKernelPool()
+        mirrors = {}
+        reference = {}
+        for checker in checkers:
+            m = PrincipalMirror(checker, principal)
+            kwargs = dict(
+                principal_neighbors=graph.neighbors(principal),
+                declared_cost=graph.cost(principal),
+                known_costs=known,
+            )
+            shared = pool.acquire(principal, graph.neighbors(principal),
+                                  graph.cost(principal), known)
+            m.start_phase2(shared=shared if shared_pool else None, **kwargs)
+            mirrors[checker] = m
+            r = PrincipalMirror(checker, principal)
+            r.start_phase2(**kwargs)
+            reference[checker] = r
+        return graph, principal, mirrors, reference
+
+    def _random_stream(self, graph, principal, rng, steps=40):
+        """A plausible op stream with upserts and withdrawals."""
+        neighbors = graph.neighbors(principal)
+        others = [n for n in graph.nodes if n != principal]
+        stream = []
+        announced = set()
+        for _ in range(steps):
+            src = rng.choice(neighbors)
+            if rng.random() < 0.5:
+                dest = rng.choice(others)
+                if announced and rng.random() < 0.25:
+                    dest = rng.choice(sorted(announced, key=repr))
+                    rows = ((dest, None, ()),)  # withdrawal
+                    announced.discard(dest)
+                else:
+                    announced.add(dest)
+                    rows = ((dest, rng.randint(0, 9) * 1.0, (src, dest)),)
+                stream.append((KIND_RT_UPDATE, src, rows))
+            else:
+                dest = rng.choice(others)
+                avoided = rng.choice(
+                    [n for n in graph.nodes if n not in (principal, dest)]
+                )
+                if rng.random() < 0.2:
+                    rows = ((dest, avoided, None, ()),)  # withdrawal
+                else:
+                    rows = (
+                        (dest, avoided, rng.randint(0, 9) * 1.0, (src, dest)),
+                    )
+                stream.append((KIND_PRICE_UPDATE, src, rows))
+        return stream
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_streams_with_withdrawals_bit_identical(self, seed):
+        graph, principal, mirrors, reference = self._mirrors()
+        rng = random.Random(seed)
+        stream = self._random_stream(graph, principal, rng)
+        for kind, src, rows in stream:
+            defer = rng.random() < 0.5
+            for checker in mirrors:
+                mirrors[checker].apply_copy(kind, src, rows, defer=defer)
+                reference[checker].apply_copy(kind, src, rows, defer=defer)
+            if defer:
+                for checker in mirrors:
+                    mirrors[checker].flush_pending()
+                    reference[checker].flush_pending()
+        for checker in mirrors:
+            shared_m, ref = mirrors[checker], reference[checker]
+            assert list(shared_m._expected_route) == list(ref._expected_route)
+            assert list(shared_m._expected_price) == list(ref._expected_price)
+            assert shared_m.routing_digest() == ref.routing_digest()
+            assert shared_m.pricing_digest() == ref.pricing_digest()
+            assert [f.kind for f in shared_m.flags] == [
+                f.kind for f in ref.flags
+            ]
+
+    def test_divergent_stream_forks_and_stays_exact(self):
+        """One checker fed a different copy forks off the log and ends
+        bit-identical to a private mirror fed its own stream."""
+        graph, principal, mirrors, reference = self._mirrors()
+        checkers = sorted(mirrors, key=repr)
+        leader, victim = checkers[0], checkers[1]
+        src = graph.neighbors(principal)[0]
+        common = ((("x"), 1.0, (src, "x")),)
+        altered = ((("x"), 7.0, (src, "x")),)
+        # Everyone agrees on op 0.
+        for checker in checkers:
+            mirrors[checker].apply_copy(KIND_RT_UPDATE, src, common)
+            reference[checker].apply_copy(KIND_RT_UPDATE, src, common)
+        # Op 1 differs for the victim (deviant principal behaviour).
+        for checker in checkers:
+            rows = altered if checker == victim else common
+            mirrors[checker].apply_copy(KIND_RT_UPDATE, src, rows)
+            reference[checker].apply_copy(KIND_RT_UPDATE, src, rows)
+        victim_mirror = mirrors[victim]
+        assert victim_mirror._private is not None  # forked
+        assert mirrors[leader]._private is None  # still sharing
+        for checker in checkers:
+            assert (
+                mirrors[checker].routing_digest()
+                == reference[checker].routing_digest()
+            )
+            assert list(mirrors[checker]._expected_route) == list(
+                reference[checker]._expected_route
+            )
+
+    def test_straggler_digest_forks_to_own_position(self):
+        """A mirror that stopped replaying (lazy checker) must report
+        its own stale digest, not the shared frontier's."""
+        graph, principal, mirrors, reference = self._mirrors()
+        checkers = sorted(mirrors, key=repr)
+        lazy, diligent = checkers[0], checkers[1]
+        src = graph.neighbors(principal)[0]
+        rows = ((("x"), 1.0, (src, "x")),)
+        # Only the diligent checkers replay the copy.
+        for checker in checkers:
+            if checker != lazy:
+                mirrors[checker].apply_copy(KIND_RT_UPDATE, src, rows)
+                reference[checker].apply_copy(KIND_RT_UPDATE, src, rows)
+        assert (
+            mirrors[lazy].routing_digest() == reference[lazy].routing_digest()
+        )
+        assert (
+            mirrors[diligent].routing_digest()
+            != mirrors[lazy].routing_digest()
+        )
