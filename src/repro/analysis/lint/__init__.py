@@ -1,0 +1,58 @@
+"""Determinism and replay-safety static analysis for the repro library.
+
+The paper's entire checking story (Proposition 1, checker mirrors)
+rests on deterministic replay: a mirror re-executing a principal's
+computation must produce bit-identical digests, and the orchestration
+layer extends that contract to byte-identical sweep artifacts.  Node
+ids are arbitrary ``Hashable`` values, so under CPython hash
+randomization any bare ``set``/``dict``-view iteration order or
+``hash()``-dependent tie-break that escapes into wire payloads,
+digests, or emitted rows silently breaks replay/resume/merge
+equivalence.  This package makes that contract machine-checked.
+
+Rules
+-----
+``unordered-iter`` (R1)
+    Iterating a set-typed expression (or a dict keyed from one) in a
+    *canonical-path module* without draining it through
+    ``sorted(..., key=repr)``.
+``hash-escape`` (R2)
+    ``hash()`` / ``id()`` calls anywhere, and ``list``/``tuple``
+    materialisation of set-typed expressions in canonical-path
+    modules — unordered order escaping into sequences, digests, or
+    wire rows.
+``unseeded-random`` / ``wall-clock`` (R3)
+    Ambient ``random`` module functions, unseeded ``random.Random()``,
+    and wall-clock reads (``time.time``, ``perf_counter``, ...)
+    outside the configured instrumentation allowlist.
+``float-eq`` (R4)
+    ``==`` / ``!=`` against float literals in cost/payment code.
+``kernel-purity`` (R5)
+    Purity-contract violations in modules declaring ``# purity:
+    <contract>`` — I/O, banned imports, module-global mutation,
+    argument mutation.
+
+Suppressions are inline comments of the form ``# lint:
+allow[rule-id] reason`` on the flagged line or the line above; the
+engine requires every suppression to carry a reason and reports the
+unused ones, so the suppression inventory cannot silently rot.  See
+``docs/determinism.md`` for the full contract and policy.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_CONFIG, LintConfig, ModuleContext, module_rel
+from .engine import lint_paths, lint_source
+from .findings import Finding, LintReport, Suppression
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ModuleContext",
+    "Suppression",
+    "lint_paths",
+    "lint_source",
+    "module_rel",
+]

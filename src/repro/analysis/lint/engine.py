@@ -1,0 +1,200 @@
+"""Rule engine: parse, scan comments, dispatch rules, apply suppressions.
+
+The engine is a pure function from source text to a
+:class:`~repro.analysis.lint.findings.LintReport`; :func:`lint_paths`
+layers a deterministic (sorted) file walk on top.  Suppression
+semantics:
+
+* ``# lint: allow[rule-id] reason`` silences matching findings on its
+  own line or the line directly below.
+* A suppression without a reason is itself a ``lint-meta`` finding —
+  the policy is that every exemption documents *why* order/entropy
+  cannot escape.
+* A suppression that matched nothing is a ``lint-meta`` finding, so
+  stale exemptions surface when the code they covered is fixed.
+* Per-(module, rule) allowlist entries from the config are applied
+  before suppressions and reported separately.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from typing import Dict, Iterable, List, Tuple
+
+from .config import DEFAULT_CONFIG, LintConfig, ModuleContext, module_rel
+from .entropy import check_entropy
+from .findings import Finding, LintReport, Suppression
+from .ordering import check_ordering
+from .purity import check_purity
+
+RULE_LINT_META = "lint-meta"
+RULE_PARSE_ERROR = "parse-error"
+
+_SUPPRESSION_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9-]+)\]\s*(.*)$")
+_PURITY_RE = re.compile(r"#\s*purity:\s*([a-z0-9-]+)")
+
+
+def _scan_comments(
+    source: str, path: str
+) -> Tuple[List[Suppression], List[str], List[Finding]]:
+    """Extract suppressions and purity markers from comment tokens."""
+    suppressions: List[Suppression] = []
+    contracts: List[str] = []
+    problems: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError) as exc:
+        problems.append(
+            Finding(
+                path=path,
+                line=1,
+                rule=RULE_PARSE_ERROR,
+                message=f"tokenize failed: {exc}",
+            )
+        )
+        return suppressions, contracts, problems
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(tok.string)
+        if match:
+            suppressions.append(
+                Suppression(
+                    path=path,
+                    line=tok.start[0],
+                    rule=match.group(1),
+                    reason=match.group(2).strip(),
+                )
+            )
+            continue
+        match = _PURITY_RE.search(tok.string)
+        if match:
+            contracts.append(match.group(1))
+    return suppressions, contracts, problems
+
+
+def lint_source(
+    source: str, path: str, config: LintConfig = DEFAULT_CONFIG
+) -> LintReport:
+    """Lint one module's source text and return its report."""
+    report = LintReport(files_checked=1)
+    ctx = ModuleContext(path=path, rel=module_rel(path), config=config)
+
+    suppressions, contracts, comment_problems = _scan_comments(source, path)
+    report.active.extend(comment_problems)
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        if not comment_problems:  # tokenize already reported the break
+            report.active.append(
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    rule=RULE_PARSE_ERROR,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+        report.finalize()
+        return report
+
+    raw: List[Finding] = []
+    raw.extend(check_ordering(tree, ctx))
+    raw.extend(check_entropy(tree, ctx))
+    raw.extend(check_purity(tree, ctx, contracts))
+
+    # Index suppressions by (rule, covered line).  Line L covers
+    # findings on L and L+1 so the comment can sit above a statement.
+    by_key: Dict[Tuple[str, int], List[int]] = {}
+    for i, supp in enumerate(suppressions):
+        for covered in (supp.line, supp.line + 1):
+            by_key.setdefault((supp.rule, covered), []).append(i)
+    used = [False] * len(suppressions)
+
+    for finding in raw:
+        allow_reason = config.allow_reason(ctx.rel, finding.rule)
+        if allow_reason is not None:
+            report.allowlisted.append((finding, allow_reason))
+            continue
+        indices = by_key.get((finding.rule, finding.line), [])
+        if indices:
+            idx = indices[0]
+            used[idx] = True
+            report.suppressed.append((finding, suppressions[idx]))
+        else:
+            report.active.append(finding)
+
+    for i, supp in enumerate(suppressions):
+        if not supp.reason:
+            report.active.append(
+                Finding(
+                    path=path,
+                    line=supp.line,
+                    rule=RULE_LINT_META,
+                    message=(
+                        f"suppression allow[{supp.rule}] has no reason; "
+                        "every exemption must say why order/entropy "
+                        "cannot escape"
+                    ),
+                )
+            )
+        if not used[i]:
+            report.active.append(
+                Finding(
+                    path=path,
+                    line=supp.line,
+                    rule=RULE_LINT_META,
+                    message=(
+                        f"unused suppression allow[{supp.rule}]; "
+                        "remove it or move it to the offending line"
+                    ),
+                )
+            )
+
+    report.finalize()
+    return report
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        out.append(os.path.join(dirpath, filename))
+        else:
+            out.append(path)
+    return sorted(dict.fromkeys(out))
+
+
+def lint_paths(
+    paths: Iterable[str], config: LintConfig = DEFAULT_CONFIG
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (deterministic order)."""
+    total = LintReport()
+    for filepath in _iter_python_files(paths):
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            total.active.append(
+                Finding(
+                    path=filepath,
+                    line=1,
+                    rule=RULE_PARSE_ERROR,
+                    message=f"unreadable: {exc}",
+                )
+            )
+            total.files_checked += 1
+            continue
+        total.extend(lint_source(source, filepath, config))
+    total.finalize()
+    return total

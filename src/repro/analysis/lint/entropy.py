@@ -1,0 +1,209 @@
+"""R3/R4: ambient entropy, wall-clock reads, and float-equality.
+
+R3 polices the two nondeterminism sources that survive a fixed
+``PYTHONHASHSEED``: the module-level ``random`` functions (shared
+ambient state no replay can reconstruct) and wall-clock reads.  Code
+must thread an explicitly seeded ``random.Random(seed)`` instead; the
+only sanctioned clock reads are the instrumentation sites named in the
+config allowlist, whose output is evicted from comparable artifacts.
+
+R4 flags ``==`` / ``!=`` against float literals (or ``float(...)``
+calls) in cost/payment modules, where accumulated path costs make
+exact comparison a replay-divergence hazard across summation orders.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .config import ModuleContext
+from .findings import Finding
+
+RULE_UNSEEDED_RANDOM = "unseeded-random"
+RULE_WALL_CLOCK = "wall-clock"
+RULE_FLOAT_EQ = "float-eq"
+
+#: Ambient-state functions of the ``random`` module.
+_RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Wall-clock reading attributes of the ``time`` module.
+_TIME_CLOCK_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Wall-clock class methods of ``datetime`` / ``date``.
+_DATETIME_CLOCK_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+def _root_name(node: ast.expr) -> str:
+    """The base identifier of a dotted expression ("time.perf_counter" -> "time")."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class _EntropyVisitor(ast.NodeVisitor):
+    """Collects R3/R4 findings for one module."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def _emit(self, line: int, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(path=self.ctx.path, line=line, rule=rule, message=message)
+        )
+
+    # -- R3: imports -----------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = sorted(
+                alias.name for alias in node.names if alias.name != "Random"
+            )
+            if bad:
+                self._emit(
+                    node.lineno,
+                    RULE_UNSEEDED_RANDOM,
+                    "importing ambient-state random function(s) "
+                    f"{', '.join(bad)}; use an explicit random.Random(seed)",
+                )
+        elif node.module == "time":
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in _TIME_CLOCK_FUNCS
+            )
+            if bad:
+                self._emit(
+                    node.lineno,
+                    RULE_WALL_CLOCK,
+                    f"importing wall-clock function(s) {', '.join(bad)}; "
+                    "clock reads are only sanctioned at allowlisted "
+                    "instrumentation sites",
+                )
+        self.generic_visit(node)
+
+    # -- R3: calls -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            root = _root_name(func.value)
+            if root == "random":
+                if func.attr in _RANDOM_MODULE_FUNCS:
+                    self._emit(
+                        node.lineno,
+                        RULE_UNSEEDED_RANDOM,
+                        f"random.{func.attr}() draws from ambient shared "
+                        "state; thread a seeded random.Random instead",
+                    )
+                elif func.attr == "Random" and not node.args and not node.keywords:
+                    self._emit(
+                        node.lineno,
+                        RULE_UNSEEDED_RANDOM,
+                        "random.Random() without a seed is "
+                        "OS-entropy-seeded; pass an explicit seed",
+                    )
+            elif root == "time" and func.attr in _TIME_CLOCK_FUNCS:
+                self._emit(
+                    node.lineno,
+                    RULE_WALL_CLOCK,
+                    f"time.{func.attr}() reads the wall clock; replayable "
+                    "code must use simulated time",
+                )
+            elif (
+                func.attr in _DATETIME_CLOCK_FUNCS
+                and _root_name(func.value) in {"datetime", "date"}
+            ):
+                self._emit(
+                    node.lineno,
+                    RULE_WALL_CLOCK,
+                    f"{ast.unparse(func)}() reads the wall clock; "
+                    "replayable code must use simulated time",
+                )
+        elif isinstance(func, ast.Name) and func.id == "Random":
+            if not node.args and not node.keywords:
+                self._emit(
+                    node.lineno,
+                    RULE_UNSEEDED_RANDOM,
+                    "Random() without a seed is OS-entropy-seeded; "
+                    "pass an explicit seed",
+                )
+        self.generic_visit(node)
+
+    # -- R4: float equality ----------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.ctx.cost_scope:
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands, operands[1:], strict=False
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(_is_float_operand(side) for side in (left, right)):
+                    self._emit(
+                        node.lineno,
+                        RULE_FLOAT_EQ,
+                        "exact ==/!= against a float in cost/payment code; "
+                        "compare with an explicit tolerance or justify "
+                        "exactness",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+def _is_float_operand(node: ast.expr) -> bool:
+    """True for float literals, ``float(...)`` calls, and float-literal arithmetic."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_operand(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id == "float"
+    return False
+
+
+def check_entropy(tree: ast.Module, ctx: ModuleContext) -> List[Finding]:
+    """Run R3 + R4 over one parsed module."""
+    visitor = _EntropyVisitor(ctx)
+    visitor.visit(tree)
+    return visitor.findings

@@ -1,0 +1,136 @@
+"""Data model for lint findings, suppressions, and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is the path as given to the engine (kept verbatim so the
+    ``file:line`` rendering is clickable from the invocation
+    directory), ``line`` is 1-based.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``file:line rule-id message`` line."""
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        """Deterministic ordering: path, line, rule, message."""
+        return (self.path, self.line, self.rule, self.message)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# lint: allow[rule-id] reason`` comment.
+
+    ``line`` is the line the comment sits on; it silences matching
+    findings on that line and the line directly below (so it can be
+    written above a long statement).
+    """
+
+    path: str
+    line: int
+    rule: str
+    reason: str
+
+    def render(self) -> str:
+        """Human-readable one-line summary."""
+        reason = self.reason if self.reason else "<no reason>"
+        return f"{self.path}:{self.line} allow[{self.rule}] {reason}"
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting a set of files.
+
+    ``active`` findings fail the run; ``suppressed`` and
+    ``allowlisted`` findings are recorded (and counted in the output)
+    but do not.  ``unused_suppressions`` are allow-comments that
+    matched nothing — surfaced as ``lint-meta`` findings by the engine
+    so the suppression inventory cannot rot silently.
+    """
+
+    active: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    allowlisted: List[Tuple[Finding, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no active findings remain."""
+        return not self.active
+
+    def extend(self, other: "LintReport") -> None:
+        """Fold another report (e.g. one file's) into this one."""
+        self.active.extend(other.active)
+        self.suppressed.extend(other.suppressed)
+        self.allowlisted.extend(other.allowlisted)
+        self.files_checked += other.files_checked
+
+    def finalize(self) -> None:
+        """Sort all sections into deterministic order."""
+        self.active.sort(key=lambda f: f.sort_key())
+        self.suppressed.sort(key=lambda pair: pair[0].sort_key())
+        self.allowlisted.sort(key=lambda pair: pair[0].sort_key())
+
+    def to_json_obj(self) -> Dict[str, object]:
+        """JSON-serialisable rendering used by ``--format json``."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "active": [
+                {"path": f.path, "line": f.line, "rule": f.rule, "message": f.message}
+                for f in self.active
+            ],
+            "suppressed": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                    "reason": s.reason,
+                }
+                for f, s in self.suppressed
+            ],
+            "allowlisted": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                    "reason": reason,
+                }
+                for f, reason in self.allowlisted
+            ],
+        }
+
+    def render_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines: List[str] = []
+        for finding in self.active:
+            lines.append(finding.render())
+        if self.suppressed:
+            lines.append(f"-- {len(self.suppressed)} suppressed finding(s):")
+            for finding, supp in self.suppressed:
+                lines.append(f"   {finding.render()} [allowed: {supp.reason}]")
+        if self.allowlisted:
+            lines.append(f"-- {len(self.allowlisted)} allowlisted finding(s):")
+            for finding, reason in self.allowlisted:
+                lines.append(f"   {finding.render()} [allowlist: {reason}]")
+        verdict = "OK" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {self.files_checked} file(s), "
+            f"{len(self.active)} active, {len(self.suppressed)} suppressed, "
+            f"{len(self.allowlisted)} allowlisted"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,339 @@
+"""R1/R2: unordered-iteration and hash-order-escape rules.
+
+Both rules hinge on knowing which expressions are *set-typed*.  The
+:class:`SetTypeIndex` makes a first pass over the module collecting
+names, ``self`` attributes, and callables that provably carry
+``set``/``frozenset`` values (literal assignments, ``set()`` /
+``frozenset()`` constructor calls, ``Set``/``FrozenSet`` annotations),
+then :func:`is_set_typed` answers the question structurally for
+arbitrary expressions: set operators (``| & - ^``) over set-typed or
+dict-view operands, ``.union()``-family calls, ``dict.fromkeys`` of a
+set, conditional expressions, and calls to set-returning functions.
+
+The inference is deliberately conservative in both directions — it
+only claims *set-typed* when the source says so, and a wrapping
+``sorted(...)`` call is never set-typed, which is exactly the
+sanctioned drain idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from .config import ModuleContext
+from .findings import Finding
+
+RULE_UNORDERED_ITER = "unordered-iter"
+RULE_HASH_ESCAPE = "hash-escape"
+
+#: Methods that return a new set when called on a set receiver.
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Dict-view accessors; views over ``|``-style combinations are
+#: unordered even though a plain dict view is insertion-ordered.
+_DICT_VIEW_METHODS = frozenset({"keys", "items", "values"})
+
+#: Annotation heads that mean "this is a set".
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """True when an annotation expression denotes a set type.
+
+    Handles ``Set[T]``, ``typing.Set[T]``, ``Optional[Set[T]]``, and
+    PEP 604 unions like ``Set[T] | None``.
+    """
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        if isinstance(head, ast.Name) and head.id == "Optional":
+            return _annotation_is_set(node.slice)
+        if isinstance(head, ast.Attribute) and head.attr == "Optional":
+            return _annotation_is_set(node.slice)
+        return _annotation_is_set(head)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_set(node.left) or _annotation_is_set(node.right)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return False
+        return _annotation_is_set(parsed.body)
+    return False
+
+
+class SetTypeIndex:
+    """Module-wide registry of provably set-typed names and callables."""
+
+    def __init__(self) -> None:
+        self.module_names: Set[str] = set()
+        self.self_attrs: Set[str] = set()
+        self.set_returning_funcs: Set[str] = set()
+
+    @classmethod
+    def build(cls, tree: ast.Module) -> "SetTypeIndex":
+        """Collect set-typed facts in a first pass over ``tree``.
+
+        Module-level *names* come only from module-level statements
+        (a function-local ``pending = set()`` must not taint every
+        other scope's ``pending``); ``self`` attributes and
+        set-returning callables are collected module-wide.
+        """
+        index = cls()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.AnnAssign) and _annotation_is_set(stmt.annotation):
+                if isinstance(stmt.target, ast.Name):
+                    index.module_names.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign) and _expr_is_set_literalish(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        index.module_names.add(target.id)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _annotation_is_set(node.returns):
+                    index.set_returning_funcs.add(node.name)
+            elif isinstance(node, ast.AnnAssign):
+                if _annotation_is_set(node.annotation):
+                    index._note_self_attr(node.target)
+            elif isinstance(node, ast.Assign):
+                if _expr_is_set_literalish(node.value):
+                    for target in node.targets:
+                        index._note_self_attr(target)
+        return index
+
+    def _note_self_attr(self, target: ast.expr) -> None:
+        """Record a ``self.attr = <set>`` target as set-typed."""
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                self.self_attrs.add(target.attr)
+
+
+def _expr_is_set_literalish(node: ast.expr) -> bool:
+    """True for syntactic set constructors, without needing an index."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+    return False
+
+
+def is_set_typed(
+    node: ast.expr, index: SetTypeIndex, local_names: Set[str]
+) -> bool:
+    """True when ``node`` provably evaluates to an unordered set."""
+    if _expr_is_set_literalish(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in local_names or node.id in index.module_names
+    if isinstance(node, ast.Attribute):
+        base = node.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            return node.attr in index.self_attrs
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        # One provably set-valued operand is enough: set | x / x & set
+        # either evaluates to a set or raises, so requiring both sides
+        # would let `unknown_param & {...}` escape the rule, while
+        # plain integer bitmask arithmetic has neither side set-typed.
+        return _set_op_operand(node.left, index, local_names) or _set_op_operand(
+            node.right, index, local_names
+        )
+    if isinstance(node, ast.IfExp):
+        return is_set_typed(node.body, index, local_names) or is_set_typed(
+            node.orelse, index, local_names
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SET_RETURNING_METHODS and is_set_typed(
+                func.value, index, local_names
+            ):
+                return True
+            if func.attr == "fromkeys" and node.args:
+                head = func.value
+                if isinstance(head, ast.Name) and head.id == "dict":
+                    return is_set_typed(node.args[0], index, local_names)
+            if func.attr in index.set_returning_funcs:
+                return True
+            return False
+        if isinstance(func, ast.Name) and func.id in index.set_returning_funcs:
+            return True
+    return False
+
+
+def _set_op_operand(
+    node: ast.expr, index: SetTypeIndex, local_names: Set[str]
+) -> bool:
+    """An operand making a ``| & - ^`` expression set-valued.
+
+    Either an outright set-typed expression or a dict view — the
+    union of two ``.keys()`` views is a set regardless of the dicts'
+    own insertion order.
+    """
+    if is_set_typed(node, index, local_names):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in _DICT_VIEW_METHODS and not node.args
+    return False
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Walks the module tracking per-function set-typed local names."""
+
+    def __init__(self, ctx: ModuleContext, index: SetTypeIndex) -> None:
+        self.ctx = ctx
+        self.index = index
+        self.findings: List[Finding] = []
+        self._local_stack: List[Set[str]] = []
+
+    # -- scope management ------------------------------------------------
+
+    @property
+    def _locals(self) -> Set[str]:
+        return self._local_stack[-1] if self._local_stack else set()
+
+    def _enter_function(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        local: Set[str] = set()
+        args = node.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            args.vararg,
+            args.kwarg,
+        ]:
+            if arg is not None and _annotation_is_set(arg.annotation):
+                local.add(arg.arg)
+        self._collect_local_assignments(node, local)
+        self._local_stack.append(local)
+
+    def _collect_local_assignments(self, func: ast.AST, local: Set[str]) -> None:
+        """Pre-scan a function body for set-typed local bindings."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                if is_set_typed(node.value, self.index, local) or _expr_is_set_literalish(
+                    node.value
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            local.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if _annotation_is_set(node.annotation) and isinstance(
+                    node.target, ast.Name
+                ):
+                    local.add(node.target.id)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._local_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._local_stack.pop()
+
+    # -- R1: unordered iteration -----------------------------------------
+
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        if not self.ctx.canonical:
+            return
+        if is_set_typed(iter_node, self.index, self._locals):
+            self.findings.append(
+                Finding(
+                    path=self.ctx.path,
+                    line=iter_node.lineno,
+                    rule=RULE_UNORDERED_ITER,
+                    message=(
+                        "iteration over unordered set-typed expression; "
+                        "drain via sorted(..., key=repr) or annotate why "
+                        "order cannot escape"
+                    ),
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp))
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+
+    # -- R2: hash-order escapes ------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in {"hash", "id"}:
+                self.findings.append(
+                    Finding(
+                        path=self.ctx.path,
+                        line=node.lineno,
+                        rule=RULE_HASH_ESCAPE,
+                        message=(
+                            f"builtin {func.id}() is seed/process-dependent; "
+                            "use a canonical key (repr / stable_hash) instead"
+                        ),
+                    )
+                )
+            elif (
+                func.id in {"list", "tuple"}
+                and self.ctx.canonical
+                and node.args
+                and is_set_typed(node.args[0], self.index, self._locals)
+            ):
+                self.findings.append(
+                    Finding(
+                        path=self.ctx.path,
+                        line=node.lineno,
+                        rule=RULE_HASH_ESCAPE,
+                        message=(
+                            f"{func.id}() materialises unordered set order "
+                            "into a sequence; sort first with key=repr"
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+
+def check_ordering(tree: ast.Module, ctx: ModuleContext) -> List[Finding]:
+    """Run R1 + R2 over one parsed module."""
+    index = SetTypeIndex.build(tree)
+    visitor = _ScopeVisitor(ctx, index)
+    visitor.visit(tree)
+    return visitor.findings

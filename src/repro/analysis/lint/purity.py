@@ -1,0 +1,262 @@
+"""R5: purity contracts declared via ``# purity: <name>`` markers.
+
+A module opts into a contract with a marker comment (conventionally
+right under the docstring); the registry below maps contract names to
+what the contract bans.  The ``kernel`` contract encodes the
+ReplayKernel bargain from ``docs/architecture.md``: a mirror must be
+able to re-run the kernel from a message log alone, so the kernel may
+not read I/O or clocks, import ambient-entropy modules, mutate module
+globals, or mutate its arguments (messages are shared between the
+principal's kernel and every checker's mirror — mutation at one would
+corrupt the other's replay).
+
+Checks are syntactic and rooted: a store or mutator-method call is
+attributed to the base name of its attribute/subscript chain, so
+``table[k].append(x)`` counts against ``table``.  Rebinding a
+parameter name is not mutation; ``self``/``cls`` are exempt (instance
+state is the kernel's own).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet, List, Mapping, Optional, Set
+
+from .config import ModuleContext
+from .findings import Finding
+
+RULE_KERNEL_PURITY = "kernel-purity"
+
+#: In-place mutator method names on builtin containers.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+@dataclass(frozen=True)
+class PurityContract:
+    """What one named contract forbids."""
+
+    name: str
+    banned_imports: FrozenSet[str]
+    banned_calls: FrozenSet[str]
+    forbid_global_mutation: bool = True
+    forbid_arg_mutation: bool = True
+
+
+#: Registry of known contracts; ``# purity: kernel`` selects "kernel".
+CONTRACTS: Mapping[str, PurityContract] = {
+    "kernel": PurityContract(
+        name="kernel",
+        banned_imports=frozenset(
+            {
+                "asyncio",
+                "datetime",
+                "io",
+                "logging",
+                "multiprocessing",
+                "os",
+                "pathlib",
+                "random",
+                "secrets",
+                "shutil",
+                "socket",
+                "subprocess",
+                "sys",
+                "tempfile",
+                "threading",
+                "time",
+                "uuid",
+            }
+        ),
+        banned_calls=frozenset(
+            {
+                "__import__",
+                "breakpoint",
+                "eval",
+                "exec",
+                "globals",
+                "input",
+                "open",
+                "print",
+            }
+        ),
+    ),
+}
+
+
+def _store_root(node: ast.expr) -> Optional[str]:
+    """Base name of an attribute/subscript chain, or None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _PurityVisitor(ast.NodeVisitor):
+    """Checks one module against one purity contract."""
+
+    def __init__(
+        self, ctx: ModuleContext, contract: PurityContract, module_names: Set[str]
+    ) -> None:
+        self.ctx = ctx
+        self.contract = contract
+        self.module_names = module_names
+        self.findings: List[Finding] = []
+        self._param_stack: List[Set[str]] = []
+
+    def _emit(self, line: int, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.ctx.path,
+                line=line,
+                rule=RULE_KERNEL_PURITY,
+                message=f"[{self.contract.name}] {message}",
+            )
+        )
+
+    # -- imports ---------------------------------------------------------
+
+    def _check_import_name(self, name: str, line: int) -> None:
+        top = name.split(".")[0]
+        if top in self.contract.banned_imports:
+            self._emit(line, f"import of {top!r} is banned by the contract")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_import_name(alias.name, node.lineno)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            self._check_import_name(node.module, node.lineno)
+        self.generic_visit(node)
+
+    # -- calls and globals -----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self.contract.banned_calls:
+            self._emit(node.lineno, f"call to {func.id}() is banned by the contract")
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            root = _store_root(func.value)
+            self._check_mutation_root(root, node.lineno, f".{func.attr}() call")
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._emit(node.lineno, "global statement (module-state mutation)")
+        self.generic_visit(node)
+
+    # -- stores ----------------------------------------------------------
+
+    def _check_mutation_root(self, root: Optional[str], line: int, what: str) -> None:
+        if root is None or root in {"self", "cls"}:
+            return
+        if self._param_stack and root in self._param_stack[-1]:
+            self._emit(line, f"argument {root!r} mutated via {what}")
+        elif root in self.module_names:
+            self._emit(line, f"module global {root!r} mutated via {what}")
+
+    def _check_store_target(self, target: ast.expr, line: int) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._check_mutation_root(_store_root(target), line, "item/attribute store")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element, line)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node.lineno)
+        self.generic_visit(node)
+
+    # -- function scopes -------------------------------------------------
+
+    def _enter_function(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        params = {
+            arg.arg
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                args.vararg,
+                args.kwarg,
+            ]
+            if arg is not None
+        }
+        self._param_stack.append(params)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._param_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._param_stack.pop()
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound by module-level assignments (mutation targets)."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    return names
+
+
+def check_purity(
+    tree: ast.Module, ctx: ModuleContext, contract_names: List[str]
+) -> List[Finding]:
+    """Run R5 for every contract the module declares."""
+    findings: List[Finding] = []
+    module_names = _module_level_names(tree)
+    for name in contract_names:
+        contract = CONTRACTS.get(name)
+        if contract is None:
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=1,
+                    rule=RULE_KERNEL_PURITY,
+                    message=f"unknown purity contract {name!r}",
+                )
+            )
+            continue
+        visitor = _PurityVisitor(ctx, contract, module_names)
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    return findings

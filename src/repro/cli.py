@@ -24,6 +24,9 @@ Commands
 ``sweep-merge``
     Merge shard (or partial-run) artifact directories into one
     combined artifact set, recomputing summaries from raw rows.
+``lint``
+    Run the determinism/replay-safety static analyzer over ``src/repro``
+    (or ``--paths``); exits nonzero on any active finding.
 
 Topologies are selected with ``--graph``: ``figure1`` (the paper's
 example) or ``random:<n>:<seed>`` (a random biconnected graph).
@@ -33,11 +36,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import List, Optional
 
 from .analysis import render_table
+from .analysis.lint import lint_paths
 from .errors import ExperimentError, ReproError
 from .experiments import (
     SweepRunner,
@@ -224,7 +229,7 @@ def parse_shard(text: str) -> tuple:
     except (IndexError, ValueError):
         raise ExperimentError(
             f"bad shard {text!r}; expected I/N, e.g. --shard 2/4"
-        )
+        ) from None
     if len(parts) != 2 or not 1 <= index <= count:
         raise ExperimentError(
             f"bad shard {text!r}; need 1 <= I <= N, e.g. --shard 2/4"
@@ -265,9 +270,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             with open(args.spec) as handle:
                 document = json.load(handle)
         except OSError as exc:
-            raise ExperimentError(f"cannot read spec file: {exc}")
+            raise ExperimentError(f"cannot read spec file: {exc}") from exc
         except json.JSONDecodeError as exc:
-            raise ExperimentError(f"spec file is not valid JSON: {exc}")
+            raise ExperimentError(f"spec file is not valid JSON: {exc}") from exc
         sweep = parse_sweep(document)
     else:
         sweep = default_sweep()
@@ -332,6 +337,17 @@ def cmd_sweep_merge(args: argparse.Namespace) -> int:
     for kind, path in sorted(report.paths.items()):
         print(f"artifact [{kind}]: {path}")
     return 1 if failures else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism analyzer; nonzero exit on active findings."""
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    report = lint_paths(paths)
+    if args.format == "json":
+        print(json.dumps(report.to_json_obj(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
 
 
 def cmd_catalogue(_args: argparse.Namespace) -> int:
@@ -580,6 +596,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="metric shown in the printed per-cell table",
     )
     merge.set_defaults(func=cmd_sweep_merge)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism/replay-safety analyzer",
+        formatter_class=raw,
+        epilog=(
+            "Static AST analysis enforcing the replay-safety contract of\n"
+            "docs/determinism.md: no unordered iteration on canonical "
+            "paths, no\nhash()/id() escapes, no ambient randomness or "
+            "wall-clock reads, no\nfloat equality in cost code, and the "
+            "'# purity: kernel' contract for\nthe replay kernel.  "
+            "Suppressions ('# lint: allow[rule] reason') are\ncounted and "
+            "printed; exits 1 on any active finding.\n\n"
+            "examples:\n"
+            "  python -m repro lint\n"
+            "  python -m repro lint --format json\n"
+            "  python -m repro lint --paths src/repro/routing tools/probe.py"
+        ),
+    )
+    lint.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

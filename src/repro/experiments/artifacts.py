@@ -126,7 +126,7 @@ class CellStore:
                     break  # truncated in-flight append; resume re-runs it
                 raise ExperimentError(
                     f"{self.path}:{number}: corrupt cell record"
-                )
+                ) from None
             result = ScenarioResult.from_record(record)
             key = result.spec.content_key()
             cells.pop(key, None)  # last-wins, preserving append order

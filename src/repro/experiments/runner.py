@@ -155,7 +155,7 @@ class ScenarioResult:
         except ExperimentError:
             raise
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
-            raise ExperimentError(f"malformed cell record: {exc}")
+            raise ExperimentError(f"malformed cell record: {exc}") from exc
         if record["key"] != spec.content_key():
             raise ExperimentError(
                 f"cell record key {record['key']!r} does not match its "

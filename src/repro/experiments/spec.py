@@ -428,7 +428,7 @@ def expand_grid(
     scenarios = []
     for combo in itertools.product(*(axes[name] for name in names)):
         scenarios.append(
-            replace(template, **dict(zip(names, combo))).validate()
+            replace(template, **dict(zip(names, combo, strict=True))).validate()
         )
     return scenarios
 

@@ -136,7 +136,7 @@ class BankNode(ProtocolNode):
         digest_groups: Dict[NodeId, Dict[NodeId, str]] = {}
 
         if honor_flags:
-            for node_id, report in reports.items():
+            for _node_id, report in reports.items():
                 for encoded in report.get("flags", ()):
                     flags.append(decode_flag(encoded))
 

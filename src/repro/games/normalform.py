@@ -121,7 +121,7 @@ class NormalFormGame:
     def is_nash(self, profile: Profile, tolerance: float = 1e-9) -> bool:
         """No player gains by a unilateral pure deviation."""
         profile = tuple(profile)
-        for index, player in enumerate(self.players):
+        for index, _player in enumerate(self.players):
             own = self.payoffs(profile)[index]
             for variant in self.unilateral_variants(profile, index):
                 if self.payoffs(variant)[index] > own + tolerance:

@@ -148,7 +148,7 @@ def check_dominant_strategy(
             others = [a for a in agents if a != agent]
             other_spaces = [mechanism.strategies_of(a) for a in others]
             for combo in itertools.product(*other_spaces):
-                opponents = dict(zip(others, combo))
+                opponents = dict(zip(others, combo, strict=True))
                 baseline = mechanism.run(
                     {**opponents, agent: mechanism.suggested_strategy(agent)}, types
                 )

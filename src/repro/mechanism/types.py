@@ -140,6 +140,7 @@ class TypeProfile(Generic[TypeT]):
         return self._assignment == other._assignment
 
     def __hash__(self) -> int:
+        # lint: allow[hash-escape] in-process dict-key protocol only; delegates to a repr-canonicalised tuple and never reaches wire payloads or digests
         return hash(tuple(sorted(self._assignment.items(), key=repr)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -172,7 +173,7 @@ def enumerate_profiles(
         if not space.is_finite:
             raise MechanismError("cannot enumerate a sampled type space")
     for combo in itertools.product(*(spaces[a].values for a in agents)):
-        yield TypeProfile(dict(zip(agents, combo)))
+        yield TypeProfile(dict(zip(agents, combo, strict=True)))
 
 
 def sample_profiles(

@@ -21,7 +21,7 @@ Truthful reporting is then a dominant strategy for quasi-linear agents.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Mapping, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from ..errors import MechanismError
 from .centralized import DirectRevelationMechanism
@@ -40,7 +40,7 @@ def _best_decision(
     agents: Sequence[AgentId],
     profile: TypeProfile,
     valuation: ReportedValuation,
-    exclude: AgentId = None,
+    exclude: Optional[AgentId] = None,
 ) -> Tuple[Decision, float]:
     """Welfare-maximising decision (optionally excluding one agent).
 

@@ -68,6 +68,8 @@ is the state fork (replay of a verified log prefix).
 
 from __future__ import annotations
 
+# purity: kernel
+
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
@@ -97,6 +99,7 @@ _SORT_KEY_MEMO: Dict = {}
 def _sort_key(value) -> str:
     key = _SORT_KEY_MEMO.get(value)
     if key is None:
+        # lint: allow[kernel-purity] value-deterministic repr memo; cached string depends only on the key, so replay cannot observe fill order
         key = _SORT_KEY_MEMO[value] = repr(value)
     return key
 
@@ -143,6 +146,7 @@ def _stripped_equal(cand: Tuple, state: Tuple) -> bool:
 def _stripped_beats_base(destination, best: Tuple) -> bool:
     """True if the base candidate ``(0.0, 1, (destination,))`` beats
     the current ``best`` stripped candidate."""
+    # lint: allow[float-eq] base-case transit cost is exactly 0.0 by construction, never a computed sum
     if best[1] != 0.0:
         return best[1] > 0.0
     if best[2] != 1:
@@ -378,16 +382,6 @@ class ReplayKernel:
         else:
             self._dest_refs[dest] = count - 1
 
-    @staticmethod
-    def _mark_dirty(dirty: Dict, key, supplier: NodeId) -> None:
-        """Note that ``supplier``'s input for ``key`` changed."""
-        current = dirty.get(key)
-        if current is not None:
-            current.add(supplier)
-        elif key not in dirty:
-            dirty[key] = {supplier}
-        # an existing None sentinel already demands a full rescan
-
     def _note_offer(self, dest: NodeId, avoided: NodeId) -> None:
         """Record offer history for one key (grow-only, sweep input).
 
@@ -423,24 +417,23 @@ class ReplayKernel:
         predicted broadcast streams bit-identical.
         """
         routing = self.routing
-        rows = [
+        return tuple(
             (dest, entry.cost, entry.path)
-            for dest in self.consume_route_changes()
+            for dest in sorted(self.consume_route_changes(), key=_sort_key)
             if (entry := routing.entry(dest)) is not None
-        ]
-        rows.sort(key=lambda row: _sort_key(row[0]))
-        return tuple(rows)
+        )
 
     def consume_avoid_delta(self) -> Tuple:
         """The next suggested-specification avoidance delta broadcast."""
         avoid = self.avoid
-        rows = [
+        return tuple(
             (key[0], key[1], entry.cost, entry.path)
-            for key in self.consume_avoid_changes()
+            for key in sorted(
+                self.consume_avoid_changes(),
+                key=lambda k: (_sort_key(k[0]), _sort_key(k[1])),
+            )
             if (entry := avoid.get(key)) is not None
-        ]
-        rows.sort(key=lambda row: (_sort_key(row[0]), _sort_key(row[1])))
-        return tuple(rows)
+        )
 
     # --- neighbour vector ingestion -----------------------------------
     #
@@ -470,7 +463,7 @@ class ReplayKernel:
             stored = self.neighbor_routes[neighbor] = {}
         owner = self.owner
         dirty = self._dirty_routes
-        for dest in stored.keys() | raw.keys():
+        for dest in sorted(stored.keys() | raw.keys(), key=_sort_key):
             offer = raw.get(dest)
             if stored.get(dest) == offer:
                 continue
@@ -483,7 +476,12 @@ class ReplayKernel:
                     self._universe_add(dest)
                 stored[dest] = offer
             if dest != owner:
-                self._mark_dirty(dirty, dest, neighbor)
+                suppliers = dirty.get(dest)
+                if suppliers is not None:
+                    suppliers.add(neighbor)
+                elif dest not in dirty:
+                    dirty[dest] = {neighbor}
+                # an existing None sentinel already demands a full rescan
 
     def apply_route_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
         """Ingest a wire delta produced by ``encode_route_delta``.
@@ -539,7 +537,9 @@ class ReplayKernel:
         if stored is None:
             stored = self.neighbor_avoid[neighbor] = {}
         rescan = self._avoid_rescan
-        for key in stored.keys() | raw.keys():
+        for key in sorted(
+            stored.keys() | raw.keys(), key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))
+        ):
             offer = raw.get(key)
             if stored.get(key) == offer:
                 continue
@@ -759,7 +759,9 @@ class ReplayKernel:
                 changed = True
         return changed
 
-    def _relax_route(self, destination: NodeId, suppliers=None) -> bool:
+    def _relax_route(
+        self, destination: NodeId, suppliers: Optional[Set[NodeId]] = None
+    ) -> bool:
         """Relax one destination; True if its DATA2 entry changed.
 
         ``suppliers`` limits the scan to the neighbours whose input
@@ -801,6 +803,7 @@ class ReplayKernel:
             self.stats.route_rescans += 1
         costs_get = self.costs.get
         routes_get = self.neighbor_routes.get
+        # lint: allow[unordered-iter] argmin over the strict total order (cost, hops, lex key) is iteration-order independent
         for neighbor in (self.neighbors if full else suppliers):
             if neighbor == destination:
                 if state is None or full:
@@ -921,7 +924,7 @@ class ReplayKernel:
             offered = self._avoid_keys_by_dest
             neighbor_set = self._neighbor_set
             owner = self.owner
-            for dest in pending:
+            for dest in sorted(pending, key=_sort_key):
                 if dest not in refs:
                     continue  # left the universe again; re-entry re-pends
                 if dest in neighbor_set:
@@ -943,7 +946,9 @@ class ReplayKernel:
             refs = self._dest_refs
             costs = self.costs
             owner = self.owner
-            for key in rescan:
+            for key in sorted(
+                rescan, key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))
+            ):
                 destination, avoided = key
                 if destination not in refs:
                     continue  # rejoining the universe re-marks the key
@@ -1066,7 +1071,7 @@ class ReplayKernel:
             return False
         self._dirty_pricing = set()
         changed = False
-        for destination in dirty:
+        for destination in sorted(dirty, key=_sort_key):
             if self.routing.entry(destination) is None:
                 continue  # a route arriving later re-marks the row
             if self._derive_pricing_row(destination):
@@ -1273,6 +1278,7 @@ class SharedKernel:
         """Whether a mirror seeded like this may share the kernel."""
         return (
             tuple(sorted(neighbors, key=repr)) == self.seed_neighbors
+            # lint: allow[float-eq] seed identity must be exact; any bit difference forbids kernel sharing
             and float(declared_cost) == self.seed_cost
             and dict(known_costs) == self.seed_known_costs
         )
