@@ -53,6 +53,17 @@ MODULE_RULE_ALLOWLIST: Mapping[Tuple[str, str], str] = {
     ("experiments/runner.py", "wall-clock"): (
         "sanctioned wall-time instrumentation; excluded from comparable artifacts"
     ),
+    # The telemetry subsystem quarantines its one wall-clock read at
+    # the JSONL sink boundary: records carry logical sim-time
+    # everywhere, and only JsonlSink stamps wall_time as a record
+    # leaves the process for the feed file.  The rest of obs/ (trace
+    # spans, in-memory capture, status reduction) stays clock-free and
+    # is NOT allowlisted, so a wall-clock read creeping into trace.py
+    # or feed.py still flags.
+    ("obs/events.py", "wall-clock"): (
+        "wall time quarantined to the JSONL feed sink boundary; "
+        "canonical artifacts never read it"
+    ),
 }
 
 

@@ -24,6 +24,12 @@ Commands
 ``sweep-merge``
     Merge shard (or partial-run) artifact directories into one
     combined artifact set, recomputing summaries from raw rows.
+``tail``
+    Print (or ``--follow``) the ``telemetry.jsonl`` feed a sweep run
+    with ``--telemetry`` publishes, human-readable or as raw JSON.
+``status``
+    Reduce a (possibly live, possibly truncated) telemetry feed to a
+    progress report: cells done, rate, ETA, error classes, counters.
 ``lint``
     Run the determinism/replay-safety static analyzer over ``src/repro``
     (or ``--paths``); exits nonzero on any active finding.
@@ -61,6 +67,15 @@ from .faithful import (
     PlainFPSSProtocol,
     faithful_deviant_factory,
     plain_deviant_factory,
+)
+from .obs import (
+    FeedFollower,
+    SweepFeed,
+    feed_path,
+    feed_status,
+    read_feed,
+    render_event,
+    render_status,
 )
 from .routing import ASGraph, all_pairs_payments, engine_for, figure1_graph
 from .workloads import random_biconnected_graph, uniform_all_pairs
@@ -296,8 +311,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         resume_dir=args.resume,
         retry_errors=args.retry_errors,
         allow_empty=args.shard is not None,
+        progress=args.progress,
     )
-    results = canonical_results(runner.run(store_dir=args.out))
+    if args.telemetry:
+        os.makedirs(args.out, exist_ok=True)
+        with SweepFeed(args.out) as feed:
+            raw = runner.run(
+                store_dir=args.out, feed=feed, feed_name=sweep.name
+            )
+    else:
+        raw = runner.run(store_dir=args.out)
+    results = canonical_results(raw)
     summaries = summarize(results, group_by=group_by)
     paths = write_artifacts(
         results, summaries, args.out, name=sweep.name, group_by=group_by
@@ -311,10 +335,63 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{resume_note}, {len(summaries)} cells, {failures} failures, "
         f"{runner.workers} worker(s), {wall:.2f}s scenario time"
     )
+    for result in results:
+        if not result.ok:
+            error = result.error or "unknown"
+            error_class = error.split(":", 1)[0]
+            print(
+                f"failed cell [{error_class}] {result.spec.content_key()} "
+                f"(probe={result.spec.probe}): {error}"
+            )
     _print_cell_table(summaries, args.metric)
     for kind, path in sorted(paths.items()):
         print(f"artifact [{kind}]: {path}")
     return 1 if failures else 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Print (or follow) a sweep's telemetry feed."""
+    path = feed_path(args.feed)
+
+    def show(event) -> None:
+        if args.format == "json":
+            print(json.dumps(event.to_json_obj(), sort_keys=True), flush=True)
+        else:
+            print(render_event(event), flush=True)
+
+    if args.follow:
+        follower = FeedFollower(path)
+        try:
+            for event in follower.follow(
+                poll_interval=args.interval, max_polls=args.max_polls
+            ):
+                show(event)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if not os.path.exists(path):
+        raise ExperimentError(
+            f"no telemetry feed at {path!r} "
+            "(run the sweep with --telemetry, or pass --follow to wait)"
+        )
+    for event in read_feed(path):
+        show(event)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Reduce a telemetry feed to a progress report."""
+    path = feed_path(args.feed)
+    if not os.path.exists(path):
+        raise ExperimentError(
+            f"no telemetry feed at {path!r} (run the sweep with --telemetry)"
+        )
+    status = feed_status(read_feed(path))
+    if args.format == "json":
+        print(json.dumps(status.to_json_obj(), indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    return 0
 
 
 def cmd_sweep_merge(args: argparse.Namespace) -> int:
@@ -547,7 +624,92 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --resume, re-run cells whose prior record is an error",
     )
+    sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "publish a live telemetry.jsonl feed into --out "
+            "(consume with 'tail' / 'status'; artifacts are unaffected)"
+        ),
+    )
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line to stderr per completed cell",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    tail = sub.add_parser(
+        "tail",
+        help="print or follow a sweep telemetry feed",
+        formatter_class=raw,
+        epilog=(
+            "Reads the telemetry.jsonl feed a sweep publishes with "
+            "--telemetry\n(pass the artifact directory or the feed file "
+            "itself).  --follow polls\nfor new records until "
+            "interrupted; a torn final line (in-flight\nappend) is "
+            "simply picked up on a later poll.\n\n"
+            "examples:\n"
+            "  python -m repro tail sweep-artifacts\n"
+            "  python -m repro tail sweep-artifacts --follow\n"
+            "  python -m repro tail sweep-artifacts --format json | jq .kind"
+        ),
+    )
+    tail.add_argument(
+        "feed",
+        help="sweep artifact directory (or the telemetry.jsonl file)",
+    )
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new records until interrupted",
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="poll interval in seconds with --follow (default: 0.5)",
+    )
+    tail.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help="with --follow, stop after this many polls (for scripting)",
+    )
+    tail.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="record rendering (default: text)",
+    )
+    tail.set_defaults(func=cmd_tail)
+
+    status = sub.add_parser(
+        "status",
+        help="progress report from a sweep telemetry feed",
+        formatter_class=raw,
+        epilog=(
+            "Reduces a telemetry feed — live, finished, or truncated by "
+            "a kill —\nto a progress report: cells done / in flight / "
+            "remaining, completion\nrate and ETA (from the wall stamps "
+            "in the records), error classes,\nerrors by probe, and the "
+            "top merged counters.\n\n"
+            "examples:\n"
+            "  python -m repro status sweep-artifacts\n"
+            "  python -m repro status sweep-artifacts --format json"
+        ),
+    )
+    status.add_argument(
+        "feed",
+        help="sweep artifact directory (or the telemetry.jsonl file)",
+    )
+    status.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    status.set_defaults(func=cmd_status)
 
     merge = sub.add_parser(
         "sweep-merge",

@@ -69,6 +69,15 @@ class ConvergenceError(ReproError):
     """A distributed computation failed to reach quiescence in budget."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry feed is corrupt or a record is malformed.
+
+    The ``telemetry.jsonl`` feed shares the cell store's crash
+    contract: a torn final line is tolerated, corruption anywhere
+    else raises this error.
+    """
+
+
 class ExperimentError(ReproError):
     """A scenario or sweep specification is malformed or unrunnable.
 

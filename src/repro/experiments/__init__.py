@@ -50,7 +50,13 @@ from .artifacts import (
     load_artifact_results,
     merge_artifacts,
 )
-from .runner import ScenarioResult, SweepRunner, run_scenario, run_sweep
+from .runner import (
+    ScenarioResult,
+    SweepRunner,
+    run_scenario,
+    run_scenario_traced,
+    run_sweep,
+)
 from .spec import (
     PROBES,
     TOPOLOGY_FAMILIES,
@@ -84,6 +90,7 @@ __all__ = [
     "merge_artifacts",
     "parse_sweep",
     "run_scenario",
+    "run_scenario_traced",
     "run_sweep",
     "shard_grid",
     "summarize",

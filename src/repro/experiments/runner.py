@@ -45,6 +45,8 @@ from ..faithful import (
 )
 from ..mechanism.faithfulness import proposition1_verdict
 from ..mechanism.types import TypeProfile
+from ..obs.events import BUS
+from ..obs.trace import NOOP_SPAN, aggregate_counters, span
 from ..routing.convergence import measure_convergence
 from ..routing.vcg_payments import economics_under_traffic
 from .spec import ScenarioSpec, SweepSpec
@@ -268,18 +270,25 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     volume = 0.0
     values: Dict[str, float] = {}
     error: Optional[str] = None
-    try:
-        # Construction stays inside the capture: generator-level
-        # failures (e.g. a heavy-tail distribution with a zero anchor)
-        # are per-cell data, not grounds to abort the grid.
-        graph = spec.build_graph()
-        traffic = spec.build_traffic(graph)
-        nodes, edges = len(graph.nodes), len(graph.edges)
-        flows = sum(1 for v in traffic.values() if v > 0)
-        volume = sum(traffic.values())
-        values = _PROBES[spec.probe](spec, graph, traffic)
-    except ReproError as exc:
-        error = f"{type(exc).__name__}: {exc}"
+    probe_span = (
+        span("cell.probe", key=spec.content_key(), probe=spec.probe)
+        if BUS.enabled
+        else NOOP_SPAN
+    )
+    with probe_span:
+        try:
+            # Construction stays inside the capture: generator-level
+            # failures (e.g. a heavy-tail distribution with a zero
+            # anchor) are per-cell data, not grounds to abort the grid.
+            graph = spec.build_graph()
+            traffic = spec.build_traffic(graph)
+            nodes, edges = len(graph.nodes), len(graph.edges)
+            flows = sum(1 for v in traffic.values() if v > 0)
+            volume = sum(traffic.values())
+            values = _PROBES[spec.probe](spec, graph, traffic)
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        probe_span.note(ok=error is None)
     return ScenarioResult(
         spec=spec,
         scenario_id=spec.scenario_id(),
@@ -293,9 +302,33 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     )
 
 
+def run_scenario_traced(
+    spec: ScenarioSpec,
+) -> Tuple[ScenarioResult, Dict[str, int]]:
+    """Run one scenario, capturing its telemetry counter totals.
+
+    The scenario's instrumentation lands in an in-memory ring on the
+    default bus (never a file) and is reduced to aggregated counter
+    totals — the "workers enqueue, the parent serializes" half that
+    lets pooled workers ship telemetry home as a plain picklable dict
+    riding alongside the result.
+    """
+    with BUS.capture() as sink:
+        result = run_scenario(spec)
+    return result, aggregate_counters(sink.events)
+
+
 def _run_indexed(item: Tuple[int, ScenarioSpec]) -> Tuple[int, ScenarioResult]:
     index, spec = item
     return index, run_scenario(spec)
+
+
+def _run_indexed_traced(
+    item: Tuple[int, ScenarioSpec],
+) -> Tuple[int, ScenarioResult, Dict[str, int]]:
+    index, spec = item
+    result, counters = run_scenario_traced(spec)
+    return index, result, counters
 
 
 class SweepRunner:
@@ -323,6 +356,10 @@ class SweepRunner:
     allow_empty:
         Accept an empty grid (a shard of a grid smaller than the shard
         count) and return no results instead of raising.
+    progress:
+        Print one line to stderr per completed cell (status, probe,
+        content key, wall time).  Off by default; stderr only, so
+        canonical stdout/artifact output is unaffected.
 
     After :meth:`run`, ``self.reused`` counts the cells satisfied from
     ``resume_dir`` rather than executed.
@@ -335,6 +372,7 @@ class SweepRunner:
         resume_dir: Optional[str] = None,
         retry_errors: bool = False,
         allow_empty: bool = False,
+        progress: bool = False,
     ) -> None:
         if isinstance(scenarios, SweepSpec):
             scenarios = scenarios.scenarios
@@ -351,8 +389,14 @@ class SweepRunner:
         self.resume_dir = resume_dir
         self.retry_errors = retry_errors
         self.reused = 0
+        self.progress = progress
 
-    def run(self, store_dir: Optional[str] = None) -> List[ScenarioResult]:
+    def run(
+        self,
+        store_dir: Optional[str] = None,
+        feed=None,
+        feed_name: str = "sweep",
+    ) -> List[ScenarioResult]:
         """All results, in the same order as ``self.scenarios``.
 
         With ``store_dir``, every completed cell is appended to that
@@ -361,6 +405,15 @@ class SweepRunner:
         reused from ``resume_dir`` are copied into the store as well,
         making the store self-contained even when it is a fresh
         directory.
+
+        With ``feed`` (a :class:`~repro.obs.feed.SweepFeed`), the run
+        publishes its lifecycle — sweep/cell start, finish, error,
+        reuse — and each executed cell additionally runs under a
+        telemetry capture whose aggregated counters ride on its
+        completion record.  Only this (parent) process writes the feed;
+        pooled workers return their counters with the result, so serial
+        and pooled runs emit record-equivalent feeds.  The feed never
+        touches the canonical artifacts.
         """
         # Imported lazily: artifacts.py needs ScenarioResult from this
         # module at import time.
@@ -400,19 +453,66 @@ class SweepRunner:
             else:
                 pending.append((index, spec))
 
-        def record(index: int, result: ScenarioResult) -> None:
+        if feed is not None:
+            feed.sweep_start(
+                name=feed_name,
+                total=len(self.scenarios),
+                pending=len(pending),
+                reused=self.reused,
+                workers=self.workers,
+            )
+            for result in results:
+                if result is not None:
+                    feed.cell_reused(result)
+
+        done = 0
+
+        def record(
+            index: int,
+            result: ScenarioResult,
+            counters: Optional[Dict[str, int]] = None,
+        ) -> None:
+            nonlocal done
+            done += 1
             results[index] = result
             if store is not None:
                 store.append(result)
+            if feed is not None:
+                feed.cell_result(result, counters)
+            if self.progress:
+                status = (
+                    "ok"
+                    if result.ok
+                    else (result.error or "error").split(":", 1)[0]
+                )
+                print(
+                    f"[{done}/{len(pending)}] {status} "
+                    f"{result.spec.probe} {result.spec.content_key()} "
+                    f"({result.wall_time:.2f}s)",
+                    file=sys.stderr,
+                    flush=True,
+                )
 
         if self.workers == 1 or len(pending) <= 1:
             for index, spec in pending:
-                record(index, run_scenario(spec))
+                if feed is not None:
+                    feed.cell_start(spec)
+                    result, counters = run_scenario_traced(spec)
+                    record(index, result, counters)
+                else:
+                    record(index, run_scenario(spec))
         else:
-            self._run_pooled(pending, record)
+            self._run_pooled(pending, record, feed)
+
+        if feed is not None:
+            final = [r for r in results if r is not None]
+            feed.sweep_finish(
+                completed=len(final),
+                failures=sum(1 for r in final if not r.ok),
+            )
         return [r for r in results if r is not None]
 
-    def _run_pooled(self, pending, record) -> None:
+    def _run_pooled(self, pending, record, feed=None) -> None:
         # fork shares the imported library with the children for free;
         # platforms without it (Windows, macOS spawn default) fall back
         # to the default start method, which re-imports repro.
@@ -420,11 +520,22 @@ class SweepRunner:
         context = multiprocessing.get_context(
             "fork" if "fork" in methods and sys.platform != "win32" else None
         )
+        if feed is not None:
+            # All dispatch records are written up front by this
+            # process; workers only ever enqueue into their own rings.
+            for _index, spec in pending:
+                feed.cell_start(spec)
         with context.Pool(processes=self.workers) as pool:
-            for index, result in pool.imap_unordered(
-                _run_indexed, pending, chunksize=1
-            ):
-                record(index, result)
+            if feed is not None:
+                for index, result, counters in pool.imap_unordered(
+                    _run_indexed_traced, pending, chunksize=1
+                ):
+                    record(index, result, counters)
+            else:
+                for index, result in pool.imap_unordered(
+                    _run_indexed, pending, chunksize=1
+                ):
+                    record(index, result)
 
 
 def run_sweep(

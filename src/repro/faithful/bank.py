@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError
+from ..obs.trace import span
 from ..sim.crypto import SigningAuthority
 from ..sim.messages import Message, NodeId
 from ..sim.node import ProtocolNode
@@ -224,6 +225,25 @@ class BankNode(ProtocolNode):
         Returns per-node settlement records (received / charged /
         penalties) and the flags raised during reconciliation.
         """
+        # The bank can settle without ever being attached to a
+        # simulator (unit-level reconciliation); sim-time is optional.
+        sim_time = self.now if self._sim is not None else None
+        with span(
+            "bank.settle", sim_time=sim_time, nodes=len(node_ids)
+        ) as settle_span:
+            records, flags = self._settle_impl(
+                node_ids, declared_costs, epsilon, tolerance
+            )
+            settle_span.note(flags=len(flags))
+        return records, flags
+
+    def _settle_impl(
+        self,
+        node_ids: Sequence[NodeId],
+        declared_costs: Mapping[NodeId, float],
+        epsilon: float,
+        tolerance: float,
+    ) -> Tuple[Dict[NodeId, SettlementRecord], List[Flag]]:
         reports = self._stage_reports("execution")
         records: Dict[NodeId, SettlementRecord] = {
             n: SettlementRecord() for n in node_ids

@@ -62,6 +62,8 @@ from ..routing.kernel import (
     ReplayKernel,
     SharedKernel,
 )
+from ..obs.events import BUS
+from ..obs.trace import emit_counters, emit_marker
 from ..sim.messages import NodeId
 from .audit import Flag, FlagKind
 
@@ -97,6 +99,11 @@ class PrincipalMirror:
         self._awaiting_copy: Deque[Tuple[str, Tuple]] = deque()
         #: Copies ingested but not yet replayed (batched delivery).
         self._replay_pending = False
+        #: Relaxations this mirror executed itself (not satisfied from
+        #: a shared log); telemetry reports the delta per checkpoint.
+        self.replays_run = 0
+        self._replays_emitted = 0
+        self._flags_emitted = 0
 
     @property
     def comp(self) -> Optional[ReplayKernel]:
@@ -162,6 +169,9 @@ class PrincipalMirror:
         self._awaiting_copy.clear()
         self._replay_pending = False
         self._cursor = 0
+        self.replays_run = 0
+        self._replays_emitted = 0
+        self._flags_emitted = 0
         if shared is not None:
             self._shared = shared
             self._private = None
@@ -205,6 +215,16 @@ class PrincipalMirror:
         assert shared is not None
         self._private = shared.fork_at(self._cursor)
         self._shared = None
+        if BUS.enabled:
+            # Forks are rare (a deviant principal treating checkers
+            # unequally, or a lazy checker behind the frontier) and
+            # worth a lifecycle marker each.
+            emit_marker(
+                "mirror.fork",
+                checker=str(self.checker_id),
+                principal=str(self.principal_id),
+                cursor=self._cursor,
+            )
 
     # ------------------------------------------------------------------
     # ledger of the checker's own messages to the principal
@@ -313,6 +333,8 @@ class PrincipalMirror:
                     self._expected_route.append(route_delta)
                 if price_delta is not None:
                     self._expected_price.append(price_delta)
+                if ran:
+                    self.replays_run += 1
                 return ran
             # The log holds an *apply* where this mirror flushes: its
             # batch boundaries diverged from the leader's stream.
@@ -324,6 +346,7 @@ class PrincipalMirror:
             self._expected_route.append(route_delta)
         if price_delta is not None:
             self._expected_price.append(price_delta)
+        self.replays_run += 1
         return True
 
     def flush_pending(self) -> bool:
@@ -394,7 +417,28 @@ class PrincipalMirror:
                 FlagKind.COPY_MISSING, pending=len(self._awaiting_copy)
             )
             self._awaiting_copy.clear()
+        if BUS.enabled:
+            self._emit_checkpoint_counters()
         return list(self.flags)
+
+    def _emit_checkpoint_counters(self) -> None:
+        """Emit one ``mirror`` counter-delta record for this checkpoint.
+
+        Per-replay emission would swamp the feed (one record per batch
+        per mirror); instead replays and flags accrue on the mirror and
+        the deltas since the previous checkpoint ride on a single
+        record, so summing records still yields exact totals.
+        """
+        delta = {
+            "checkpoints": 1,
+            "replays": self.replays_run - self._replays_emitted,
+            "flags": len(self.flags) - self._flags_emitted,
+        }
+        self._replays_emitted = self.replays_run
+        self._flags_emitted = len(self.flags)
+        emit_counters(
+            "mirror", {key: value for key, value in delta.items() if value}
+        )
 
     # ------------------------------------------------------------------
     # bank material

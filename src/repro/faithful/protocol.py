@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from ..errors import ConvergenceError
+from ..obs.trace import emit_marker
 from ..routing.fpss import FPSSNode
 from ..routing.graph import ASGraph, Cost, NodeId
 from ..routing.kernel import KernelStats, MirrorKernelPool
@@ -189,6 +190,12 @@ class FaithfulFPSSProtocol:
         # ---------------- first construction phase -------------------
         phase1_certified = False
         for _attempt in range(self.max_restarts + 1):
+            emit_marker(
+                "protocol.phase",
+                sim_time=simulator.now,
+                phase="phase1",
+                attempt=_attempt,
+            )
             for node_id in node_ids:
                 simulator.schedule_local(
                     node_id, 0.0, nodes[node_id].start_phase1, label="phase1"
@@ -218,10 +225,17 @@ class FaithfulFPSSProtocol:
         # ---------------- second construction phase ------------------
         phase2_certified = False
         for _attempt in range(self.max_restarts + 1):
+            emit_marker(
+                "protocol.phase",
+                sim_time=simulator.now,
+                phase="phase2",
+                attempt=_attempt,
+            )
             if self.mirror_pool is not None:
                 # A restart replays the phase from scratch; restarted
                 # mirrors must never attach to a consumed op log.
                 self.mirror_pool.new_epoch()
+                emit_marker("mirror.epoch", sim_time=simulator.now)
             for node_id in node_ids:
                 simulator.schedule_local(
                     node_id, 0.0, nodes[node_id].start_phase2, label="phase2"
@@ -253,6 +267,9 @@ class FaithfulFPSSProtocol:
             )
 
         # ---------------- execution phase ----------------------------
+        emit_marker(
+            "protocol.phase", sim_time=simulator.now, phase="execution"
+        )
         for node_id in node_ids:
             nodes[node_id].start_execution()
         for (source, destination), volume in sorted(self.traffic.items(), key=repr):
@@ -366,17 +383,22 @@ class PlainFPSSProtocol:
         node_ids = tuple(sorted(nodes, key=repr))
 
         construction_events = 0
+        emit_marker("protocol.phase", sim_time=simulator.now, phase="phase1")
         for node_id in node_ids:
             simulator.schedule_local(
                 node_id, 0.0, nodes[node_id].start_phase1, label="phase1"
             )
         construction_events += simulator.run_until_quiescent(self.max_events)
+        emit_marker("protocol.phase", sim_time=simulator.now, phase="phase2")
         for node_id in node_ids:
             simulator.schedule_local(
                 node_id, 0.0, nodes[node_id].start_phase2, label="phase2"
             )
         construction_events += simulator.run_until_quiescent(self.max_events)
 
+        emit_marker(
+            "protocol.phase", sim_time=simulator.now, phase="execution"
+        )
         for node_id in node_ids:
             nodes[node_id].start_execution()
         for (source, destination), volume in sorted(self.traffic.items(), key=repr):
@@ -477,6 +499,7 @@ def run_checked_construction(
         simulator.add_node(node)
     node_ids = tuple(sorted(nodes, key=repr))
 
+    emit_marker("protocol.phase", sim_time=simulator.now, phase="phase1")
     for node_id in node_ids:
         simulator.schedule_local(
             node_id, 0.0, nodes[node_id].start_phase1, label="phase1"
@@ -492,6 +515,8 @@ def run_checked_construction(
         )
     if pool is not None:
         pool.new_epoch()
+        emit_marker("mirror.epoch", sim_time=simulator.now)
+    emit_marker("protocol.phase", sim_time=simulator.now, phase="phase2")
     for node_id in node_ids:
         simulator.schedule_local(
             node_id, 0.0, nodes[node_id].start_phase2, label="phase2"

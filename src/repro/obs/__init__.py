@@ -1,0 +1,81 @@
+"""Deterministic-safe observability: events, spans, and the sweep feed.
+
+The telemetry subsystem spans the simulator, replay kernel clients,
+bank, and sweep runner without ever touching canonical outputs: sweep
+artifacts are byte-identical with telemetry on or off (CI-enforced),
+wall-clock reads are confined to the JSONL sink boundary, and every
+instrumentation site is a guarded no-op when no sink is attached.  See
+docs/observability.md for the event schema and sink contract.
+"""
+
+from .events import (
+    BUS,
+    KIND_COUNTERS,
+    KIND_MARKER,
+    KIND_SPAN_END,
+    KIND_SPAN_START,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TelemetryEvent,
+    read_feed,
+)
+from .feed import (
+    FEED_FILENAME,
+    KIND_CELL_ERROR,
+    KIND_CELL_FINISH,
+    KIND_CELL_REUSED,
+    KIND_CELL_START,
+    KIND_SWEEP_FINISH,
+    KIND_SWEEP_START,
+    FeedFollower,
+    FeedStatus,
+    SweepFeed,
+    feed_path,
+    feed_status,
+    render_event,
+    render_status,
+)
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    aggregate_counters,
+    emit_counters,
+    emit_marker,
+    span,
+)
+
+__all__ = [
+    "BUS",
+    "FEED_FILENAME",
+    "KIND_CELL_ERROR",
+    "KIND_CELL_FINISH",
+    "KIND_CELL_REUSED",
+    "KIND_CELL_START",
+    "KIND_COUNTERS",
+    "KIND_MARKER",
+    "KIND_SPAN_END",
+    "KIND_SPAN_START",
+    "KIND_SWEEP_FINISH",
+    "KIND_SWEEP_START",
+    "NOOP_SPAN",
+    "EventBus",
+    "FeedFollower",
+    "FeedStatus",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "Span",
+    "SweepFeed",
+    "TelemetryEvent",
+    "aggregate_counters",
+    "emit_counters",
+    "emit_marker",
+    "feed_path",
+    "feed_status",
+    "read_feed",
+    "render_event",
+    "render_status",
+    "span",
+]

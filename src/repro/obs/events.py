@@ -1,0 +1,318 @@
+"""Structured telemetry events, the event bus, and pluggable sinks.
+
+The observability substrate for everything the paper's overhead story
+measures live: typed :class:`TelemetryEvent` records flow through an
+:class:`EventBus` into zero or more sinks.  Three sinks cover the
+layering of probe -> broker -> consumer (the CyberPower-PDU exemplar's
+decoupling, ROADMAP "live telemetry"):
+
+:class:`NullSink`
+    Drops everything (used to measure the enabled-path floor).
+:class:`MemorySink`
+    A bounded in-memory ring; what sweep workers capture scenario
+    telemetry into before shipping it back to the parent.
+:class:`JsonlSink`
+    An append-only ``telemetry.jsonl`` feed with the same
+    crash-tolerance contract as the sweep ``cells.jsonl`` store: one
+    newline-terminated JSON document per event, a torn tail is
+    truncated before appending and tolerated (dropped) on read, and
+    mid-file corruption fails loudly.
+
+Determinism contract
+--------------------
+Telemetry must be *invisible* to canonical outputs.  Two rules enforce
+that here:
+
+* **Disabled is free(ish).**  ``BUS.enabled`` is a plain attribute;
+  every instrumentation site guards on it (or calls the no-op span of
+  :mod:`repro.obs.trace`), so with no sink attached the overhead is one
+  attribute read.
+* **Wall time is quarantined.**  Events carry logical sim-time; the
+  only wall-clock read in the subsystem is :class:`JsonlSink` stamping
+  ``wall_time`` as a record crosses the feed boundary (allowlisted in
+  the determinism lint, see docs/determinism.md).  In-memory capture is
+  wall-time-free, so worker-captured telemetry is deterministic and two
+  runs of one scenario capture identical events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from ..errors import TelemetryError
+
+# Core event kinds.  The vocabulary is open (sweep lifecycle kinds live
+# in repro.obs.feed), but these four are what the tracing layer emits.
+KIND_SPAN_START = "span_start"
+KIND_SPAN_END = "span_end"
+KIND_COUNTERS = "counters"
+KIND_MARKER = "marker"
+
+#: Default ring capacity of a :class:`MemorySink` (bounds worker-side
+#: capture of chatty instrumentation on big cells).
+DEFAULT_RING = 65536
+
+
+@dataclass
+class TelemetryEvent:
+    """One structured telemetry record.
+
+    ``sim_time`` is logical (simulated) time and may be ``None`` for
+    events outside any simulation (sweep lifecycle).  ``wall_time`` is
+    quarantined: ``None`` everywhere except records stamped by a
+    :class:`JsonlSink` at the feed boundary.  ``attrs`` is a flat
+    JSON-representable mapping; counter events hold int deltas there.
+    """
+
+    kind: str
+    name: str
+    seq: int
+    sim_time: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    wall_time: Optional[float] = None
+
+    def to_json_obj(self) -> Dict[str, object]:
+        """JSON-ready dict (one feed line)."""
+        obj: Dict[str, object] = {
+            "kind": self.kind,
+            "name": self.name,
+            "seq": self.seq,
+            "sim_time": self.sim_time,
+            "attrs": dict(self.attrs),
+        }
+        if self.wall_time is not None:
+            obj["wall_time"] = self.wall_time
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, object]) -> "TelemetryEvent":
+        """Rebuild an event from a parsed feed line."""
+        try:
+            return cls(
+                kind=str(obj["kind"]),
+                name=str(obj["name"]),
+                seq=int(obj["seq"]),  # type: ignore[arg-type]
+                sim_time=(
+                    None if obj.get("sim_time") is None
+                    else float(obj["sim_time"])  # type: ignore[arg-type]
+                ),
+                attrs=dict(obj.get("attrs") or {}),  # type: ignore[arg-type]
+                wall_time=(
+                    None if obj.get("wall_time") is None
+                    else float(obj["wall_time"])  # type: ignore[arg-type]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(f"malformed telemetry record: {exc}") from exc
+
+
+class NullSink:
+    """Swallows events (the enabled-path floor for overhead tests)."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Drop the event."""
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class MemorySink:
+    """Bounded in-memory ring of events (deterministic capture).
+
+    The ring drops the *oldest* events on overflow, so a bounded sink
+    on an unbounded run keeps the most recent window — and a worker
+    capturing one scenario never grows without bound.
+    """
+
+    def __init__(self, maxlen: Optional[int] = DEFAULT_RING) -> None:
+        """Create a ring holding at most ``maxlen`` events (None = unbounded)."""
+        self._ring: deque = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Append, evicting the oldest event when the ring is full."""
+        if self._ring.maxlen is not None and len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        """Snapshot of the retained events, oldest first."""
+        return list(self._ring)
+
+    def close(self) -> None:
+        """Nothing to release (events stay readable)."""
+
+
+class JsonlSink:
+    """Append-only JSONL feed with the ``cells.jsonl`` crash contract.
+
+    Every emit is one ``write()`` of a newline-terminated JSON document
+    followed by a flush, so a kill truncates at most the final line.
+    Opening for append first truncates a torn tail left by a previous
+    kill (gluing a record onto a fragment would turn tolerated
+    end-of-file truncation into fatal mid-file corruption).
+
+    ``stamp_wall=True`` (the default) stamps ``wall_time`` on each
+    record as it crosses into the feed — the one sanctioned wall-clock
+    read of the telemetry subsystem; see docs/observability.md.
+    """
+
+    def __init__(self, path: str, stamp_wall: bool = True) -> None:
+        """Open (creating) the feed file at ``path``."""
+        self.path = path
+        self.stamp_wall = stamp_wall
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        _truncate_torn_tail(path)
+        self._handle = open(path, "a")
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Serialize one record to the feed, stamping wall time."""
+        if self.stamp_wall:
+            event = replace(event, wall_time=time.time())
+        self._handle.write(
+            json.dumps(
+                event.to_json_obj(), sort_keys=True, separators=(",", ":")
+            )
+            + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def _truncate_torn_tail(path: str) -> None:
+    """Drop a partial (newline-less) final line left by a kill."""
+    if not os.path.exists(path):
+        return
+    with open(path, "rb+") as tail:
+        tail.seek(0, os.SEEK_END)
+        size = tail.tell()
+        if not size:
+            return
+        tail.seek(size - 1)
+        if tail.read(1) == b"\n":
+            return
+        tail.seek(0)
+        keep = tail.read().rfind(b"\n") + 1
+        tail.truncate(keep)
+
+
+def read_feed(path: str) -> List[TelemetryEvent]:
+    """Parse a (possibly live, possibly truncated) JSONL feed.
+
+    A missing file is an empty feed.  A final line that does not parse
+    is the footprint of an in-flight append (or a kill mid-write) and
+    is dropped; a bad line anywhere else means corruption and raises
+    :class:`~repro.errors.TelemetryError`.
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    events: List[TelemetryEvent] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break  # torn in-flight append; the record is not lost, just late
+            raise TelemetryError(
+                f"{path}:{number}: corrupt telemetry record"
+            ) from None
+        events.append(TelemetryEvent.from_json_obj(obj))
+    return events
+
+
+class EventBus:
+    """Fans events out to attached sinks; a no-op with none attached.
+
+    ``enabled`` is a plain bool attribute kept in sync with the sink
+    list, so hot instrumentation sites pay one attribute read when
+    telemetry is off.  ``verbose`` additionally gates per-simulator-
+    event dispatch spans (off even when a sink is attached — they are
+    voluminous and most consumers only need batch/phase granularity).
+    """
+
+    __slots__ = ("_sinks", "enabled", "verbose", "_seq")
+
+    def __init__(self) -> None:
+        """Start disabled, with no sinks and sequence zero."""
+        self._sinks: List = []
+        self.enabled = False
+        self.verbose = False
+        self._seq = 0
+
+    def attach(self, sink) -> object:
+        """Attach a sink (enabling the bus) and return it."""
+        self._sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    def detach(self, sink) -> None:
+        """Remove a sink; the bus disables when none remain."""
+        self._sinks.remove(sink)
+        self.enabled = bool(self._sinks)
+
+    @property
+    def sinks(self) -> List:
+        """Snapshot of the attached sinks."""
+        return list(self._sinks)
+
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        sim_time: Optional[float] = None,
+        attrs: Optional[Mapping[str, object]] = None,
+    ) -> Optional[TelemetryEvent]:
+        """Build and fan out one event; returns it (None when disabled)."""
+        if not self.enabled:
+            return None
+        self._seq += 1
+        event = TelemetryEvent(
+            kind=kind,
+            name=name,
+            seq=self._seq,
+            sim_time=sim_time,
+            attrs=dict(attrs) if attrs else {},
+        )
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
+    @contextmanager
+    def capture(
+        self, maxlen: Optional[int] = DEFAULT_RING
+    ) -> Iterator[MemorySink]:
+        """Attach a :class:`MemorySink` for the duration of a block.
+
+        Nested captures compose (each sees the events emitted while it
+        is attached); the sink is always detached on exit, restoring
+        the previous enabled state.
+        """
+        sink = MemorySink(maxlen=maxlen)
+        self.attach(sink)
+        try:
+            yield sink
+        finally:
+            self.detach(sink)
+
+
+#: The process-wide default bus instrumented library code emits into.
+#: Disabled (sink-less) unless a caller attaches a sink, so importing
+#: the library never starts recording anything.
+BUS = EventBus()

@@ -1,0 +1,164 @@
+"""Tracing spans and counter emission over the telemetry bus.
+
+The span API is built for hot paths that are almost always *not* being
+observed: ``span(...)`` returns a shared no-op context manager when the
+bus has no sinks, so the disabled cost is one function call, one
+attribute read, and the ``with`` protocol on a singleton — measured in
+``benchmarks/test_bench_overhead.py`` and required to be within noise
+on a 64-node convergence run.
+
+A live span emits a ``span_start`` record on entry and a ``span_end``
+on exit; the end record's ``attrs["span"]`` holds the start record's
+sequence number so consumers can pair them, and attrs added with
+:meth:`Span.note` during the block ride on the end record.  Spans carry
+logical sim-time only; wall time enters solely at the JSONL feed
+boundary (see :mod:`repro.obs.events`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .events import (
+    BUS,
+    KIND_COUNTERS,
+    KIND_MARKER,
+    KIND_SPAN_END,
+    KIND_SPAN_START,
+    EventBus,
+)
+
+
+class _NoopSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        """Enter without emitting."""
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        """Exit without emitting (exceptions propagate)."""
+
+    def note(self, **_attrs: object) -> None:
+        """Discard attrs."""
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span bound to a bus; use via :func:`span`."""
+
+    __slots__ = ("_bus", "name", "sim_time", "_attrs", "start_seq")
+
+    def __init__(
+        self,
+        bus: EventBus,
+        name: str,
+        sim_time: Optional[float],
+        attrs: Mapping[str, object],
+    ) -> None:
+        """Bind the span; nothing is emitted until ``__enter__``."""
+        self._bus = bus
+        self.name = name
+        self.sim_time = sim_time
+        self._attrs = dict(attrs)
+        self.start_seq: Optional[int] = None
+
+    def __enter__(self) -> "Span":
+        """Emit the ``span_start`` record."""
+        event = self._bus.emit(
+            KIND_SPAN_START, self.name, sim_time=self.sim_time,
+            attrs=self._attrs,
+        )
+        if event is not None:
+            self.start_seq = event.seq
+            self._attrs = {"span": event.seq}
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        """Emit the ``span_end`` record (noting an in-flight exception)."""
+        if exc_type is not None:
+            self._attrs["exception"] = exc_type.__name__
+        self._bus.emit(
+            KIND_SPAN_END, self.name, sim_time=self.sim_time,
+            attrs=self._attrs,
+        )
+
+    def note(self, **attrs: object) -> None:
+        """Add attrs to be carried on the ``span_end`` record.
+
+        ``sim_time=`` is special-cased: it moves the end record's
+        logical timestamp (spans often close later in simulated time
+        than they opened).
+        """
+        end_time = attrs.pop("sim_time", None)
+        if end_time is not None:
+            self.sim_time = float(end_time)  # type: ignore[arg-type]
+        self._attrs.update(attrs)
+
+
+def span(
+    name: str,
+    sim_time: Optional[float] = None,
+    bus: Optional[EventBus] = None,
+    **attrs: object,
+):
+    """A context-manager span, or the shared no-op when unobserved."""
+    target = bus if bus is not None else BUS
+    if not target.enabled:
+        return NOOP_SPAN
+    return Span(target, name, sim_time, attrs)
+
+
+def emit_counters(
+    name: str,
+    counters: Mapping[str, object],
+    sim_time: Optional[float] = None,
+    bus: Optional[EventBus] = None,
+) -> None:
+    """Emit one counter-delta record (a no-op when unobserved).
+
+    ``counters`` maps counter key to an *increment* since the last
+    emission for ``name`` — deltas, not cumulative values, so
+    consumers (and the sweep feed's per-cell aggregation) can simply
+    sum records.
+    """
+    target = bus if bus is not None else BUS
+    if not target.enabled:
+        return
+    target.emit(KIND_COUNTERS, name, sim_time=sim_time, attrs=dict(counters))
+
+
+def emit_marker(
+    name: str,
+    sim_time: Optional[float] = None,
+    bus: Optional[EventBus] = None,
+    **attrs: object,
+) -> None:
+    """Emit one lifecycle marker (phase/epoch boundary; no-op unobserved)."""
+    target = bus if bus is not None else BUS
+    if not target.enabled:
+        return
+    target.emit(KIND_MARKER, name, sim_time=sim_time, attrs=attrs)
+
+
+def aggregate_counters(events) -> dict:
+    """Sum captured counter records into ``{"<name>.<key>": total}``.
+
+    Only ``counters`` records contribute, and only their numeric attrs
+    (instrumentation may decorate records with labels); since every
+    emission is a delta, plain summation is exact.
+    """
+    totals: dict = {}
+    for event in events:
+        if event.kind != KIND_COUNTERS:
+            continue
+        for key, value in event.attrs.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            slot = f"{event.name}.{key}"
+            totals[slot] = totals.get(slot, 0) + int(value)
+    return totals

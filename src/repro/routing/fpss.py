@@ -59,6 +59,8 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError, RoutingError
+from ..obs.events import BUS
+from ..obs.trace import emit_counters, span
 from ..sim.messages import Message, NodeId
 from ..sim.node import ProtocolNode
 from .graph import Cost
@@ -254,6 +256,11 @@ class FPSSNode(ProtocolNode):
         self.receipts: Dict[Tuple[NodeId, NodeId], Dict[NodeId, float]] = {}
         #: (origin, dest) -> volume delivered here as destination.
         self.delivered: Dict[Tuple[NodeId, NodeId], float] = {}
+        #: Kernel-stats snapshot at the last telemetry emission, so the
+        #: ``kernel`` counter records carry deltas (ingest work between
+        #: relaxation boundaries is attributed to the boundary that
+        #: flushed it).
+        self._kernel_emitted: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # deviation seams
@@ -286,6 +293,7 @@ class FPSSNode(ProtocolNode):
         self.comp = FPSSComputation(
             self.node_id, self.neighbors, self.declared_cost()
         )
+        self._kernel_emitted = {}
         self.phase = "phase1"
         self.broadcast(
             KIND_COST_DECL, node=self.node_id, cost=self.comp.own_cost
@@ -334,13 +342,21 @@ class FPSSNode(ProtocolNode):
         """
         assert self.comp is not None
         self.sim.metrics.record_computation(self.node_id)
-        routes_changed = self.comp.recompute_routes()
-        avoid_changed = self.comp.recompute_avoidance()
-        self.comp.derive_pricing()
-        if routes_changed or force_announce:
-            self.announce_routes()
-        if avoid_changed or force_announce:
-            self.announce_prices()
+        with span(
+            "kernel.recompute",
+            sim_time=self.now,
+            owner=str(self.node_id),
+            phase=self.phase,
+        ):
+            routes_changed = self.comp.recompute_routes()
+            avoid_changed = self.comp.recompute_avoidance()
+            self.comp.derive_pricing()
+            if routes_changed or force_announce:
+                self.announce_routes()
+            if avoid_changed or force_announce:
+                self.announce_prices()
+        if BUS.enabled:
+            self._emit_kernel_counters()
 
     def _recompute_and_announce_incremental(self) -> None:
         """Relax the dirty entries once; broadcast each changed kind.
@@ -357,6 +373,29 @@ class FPSSNode(ProtocolNode):
             self.announce_routes()
         if avoid_changed:
             self.announce_prices()
+        if BUS.enabled:
+            self._emit_kernel_counters()
+
+    def _emit_kernel_counters(self) -> None:
+        """Emit the kernel-stats delta accrued since the last emission.
+
+        The kernel itself is import-pure (``# purity: kernel``), so
+        telemetry reads its counters from this call site rather than
+        from inside the relaxations; snapshot differencing means row
+        ingestion between relaxation boundaries is still captured.
+        """
+        comp = self.comp
+        if comp is None:
+            return
+        current = comp.stats.as_dict()
+        delta = {
+            key: value - self._kernel_emitted.get(key, 0)
+            for key, value in current.items()
+            if value != self._kernel_emitted.get(key, 0)
+        }
+        self._kernel_emitted = current
+        if delta:
+            emit_counters("kernel", delta, sim_time=self.now)
 
     # ------------------------------------------------------------------
     # batched delivery
@@ -375,7 +414,13 @@ class FPSSNode(ProtocolNode):
             return
         self._batch_recompute_pending = False
         self.sim.metrics.record_computation(self.node_id)
-        self._recompute_and_announce_incremental()
+        if not BUS.enabled:
+            self._recompute_and_announce_incremental()
+            return
+        with span(
+            "kernel.flush", sim_time=self.now, owner=str(self.node_id)
+        ):
+            self._recompute_and_announce_incremental()
 
     def _next_route_announcement(self) -> Tuple:
         """Encode the next routing delta and advance the baseline.

@@ -26,6 +26,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from ..errors import ConvergenceError, SimulationError
+from ..obs.events import BUS
+from ..obs.trace import emit_counters, span
 from .events import DeliveryInbox, EventQueue
 from .messages import Message, NodeId
 from .metrics import MetricsRegistry
@@ -208,11 +210,25 @@ class Simulator:
             raise SimulationError("event queue went backwards in time")
         self._now = event.time
         self.metrics.events_processed += 1
+        if BUS.verbose:
+            # Per-event dispatch spans are opt-in even with a sink
+            # attached: one pair of records per event is debugging
+            # granularity, not feed granularity.
+            with span("sim.dispatch", sim_time=event.time, label=event.label):
+                event.callback()
+            return True
         event.callback()
         return True
 
     def run_until_quiescent(self, max_events: int = 1_000_000) -> int:
         """Dispatch events until none remain; returns events processed.
+
+        When a telemetry sink is attached, the drain is wrapped in a
+        ``sim.quiesce`` span and followed by one ``sim.metrics``
+        counter record holding the *delta* of the metrics summary over
+        this drain (a simulator quiesces several times per run — once
+        per phase — so deltas, not cumulative totals, are what sum
+        correctly per scenario).
 
         Raises
         ------
@@ -221,6 +237,21 @@ class Simulator:
             Bellman-Ford style protocol indicates a livelock bug or a
             deviation that prevents convergence.
         """
+        if not BUS.enabled:
+            return self._drain(max_events)
+        before = self.metrics.summary()
+        with span("sim.quiesce", sim_time=self._now) as quiesce:
+            processed = self._drain(max_events)
+            quiesce.note(events=processed, sim_time=self._now)
+        after = self.metrics.summary()
+        emit_counters(
+            "sim.metrics",
+            {key: after[key] - before.get(key, 0) for key in after},
+            sim_time=self._now,
+        )
+        return processed
+
+    def _drain(self, max_events: int) -> int:
         processed = 0
         while self.queue:
             if processed >= max_events:

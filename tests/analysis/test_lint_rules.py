@@ -224,6 +224,25 @@ def test_r3_allowlist_covers_runner_wall_clock():
     assert [f.rule for f, _reason in report.allowlisted] == ["wall-clock"]
 
 
+def test_r3_allowlist_covers_obs_sink_wall_clock():
+    # The JSONL sink boundary is the one observability module allowed to
+    # stamp wall time onto records.
+    src = "import time\nstamp = time.time()\n"
+    report = lint_source(src, "/x/repro/obs/events.py")
+    assert report.ok
+    assert [f.rule for f, _reason in report.allowlisted] == ["wall-clock"]
+
+
+def test_r3_obs_trace_and_feed_are_not_allowlisted():
+    # Near-miss: the rest of the observability layer must stay clock-free;
+    # only the sink boundary is quarantined.
+    src = "import time\nstamp = time.time()\n"
+    for path in ("/x/repro/obs/trace.py", "/x/repro/obs/feed.py"):
+        report = lint_source(src, path)
+        assert not report.ok
+        assert [f.rule for f in report.active] == ["wall-clock"]
+
+
 # ---------------------------------------------------------------------------
 # R4: float-eq
 # ---------------------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Telemetry is invisible to canonical outputs.
+
+The observability layer's core contract: a sweep run with a live
+telemetry feed writes byte-identical canonical artifacts to one run
+without it, serially and pooled, error cells included — and the serial
+and pooled feeds are record-equivalent (same per-cell records; only
+inter-cell order and wall stamps may differ).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    SweepRunner,
+    canonical_results,
+    expand_grid,
+    write_artifacts,
+)
+from repro.obs import SweepFeed, feed_path, feed_status, read_feed
+
+#: Artifacts that must not differ by a single byte.
+BYTE_STABLE = ("results.csv", "summary.csv", "sweep.json")
+
+
+def _grid():
+    # 6 cells; the (pareto, cost_low=0.0) one fails at build time, so
+    # error cells ride through the feed and the equivalence check.
+    return expand_grid(
+        base={"size": 6},
+        axes={
+            "cost_dist": ["uniform", "pareto"],
+            "cost_low": [0.0, 1.0],
+        },
+    ) + expand_grid(
+        base={"size": 6, "probe": "convergence"}, axes={"seed": [0, 1]}
+    )
+
+
+def _run(directory, telemetry, workers):
+    directory = str(directory)
+    runner = SweepRunner(_grid(), workers=workers)
+    if telemetry:
+        with SweepFeed(directory) as feed:
+            raw = runner.run(store_dir=directory, feed=feed, feed_name="grid")
+    else:
+        raw = runner.run(store_dir=directory)
+    results = canonical_results(raw)
+    write_artifacts(results, None, directory, name="grid", group_by=("probe",))
+    return results
+
+
+def _read(directory, name):
+    with open(os.path.join(str(directory), name), "rb") as handle:
+        return handle.read()
+
+
+def _cells_normalized(directory):
+    lines = []
+    with open(os.path.join(str(directory), "cells.jsonl")) as handle:
+        for line in handle:
+            record = json.loads(line)
+            record["wall_time"] = 0.0
+            lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def _cell_records(events):
+    """Per-cell completion records keyed by content key, stamps evicted."""
+    cells = {}
+    for event in events:
+        if event.kind in ("cell_finish", "cell_error"):
+            attrs = dict(event.attrs)
+            attrs.pop("wall_time", None)
+            cells[attrs["key"]] = (
+                event.kind,
+                event.name,
+                tuple(sorted((k, _freeze(v)) for k, v in attrs.items())),
+            )
+    return cells
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    dirs = {}
+    for label, telemetry, workers in (
+        ("off_serial", False, 1),
+        ("on_serial", True, 1),
+        ("off_pooled", False, 2),
+        ("on_pooled", True, 2),
+    ):
+        directory = tmp_path_factory.mktemp(label)
+        _run(directory, telemetry, workers)
+        dirs[label] = directory
+    return dirs
+
+
+class TestArtifactByteEquivalence:
+    @pytest.mark.parametrize("artifact", BYTE_STABLE)
+    def test_byte_identical_across_all_modes(self, runs, artifact):
+        baseline = _read(runs["off_serial"], artifact)
+        for label in ("on_serial", "off_pooled", "on_pooled"):
+            assert _read(runs[label], artifact) == baseline, (
+                f"{artifact} differs between off_serial and {label}"
+            )
+
+    def test_cells_identical_modulo_wall_time(self, runs):
+        baseline = _cells_normalized(runs["off_serial"])
+        for label in ("on_serial", "off_pooled", "on_pooled"):
+            assert _cells_normalized(runs[label]) == baseline
+
+    def test_feed_only_written_when_requested(self, runs):
+        assert not os.path.exists(feed_path(str(runs["off_serial"])))
+        assert not os.path.exists(feed_path(str(runs["off_pooled"])))
+        assert os.path.exists(feed_path(str(runs["on_serial"])))
+
+
+class TestFeedEquivalence:
+    def test_serial_and_pooled_feeds_record_equivalent(self, runs):
+        serial = _cell_records(read_feed(feed_path(str(runs["on_serial"]))))
+        pooled = _cell_records(read_feed(feed_path(str(runs["on_pooled"]))))
+        assert serial == pooled
+        assert len(serial) == len(_grid())
+
+    def test_feed_captures_the_error_cell(self, runs):
+        events = read_feed(feed_path(str(runs["on_serial"])))
+        errors = [e for e in events if e.kind == "cell_error"]
+        assert len(errors) == 1
+        assert errors[0].attrs["error_class"] == "GraphError"
+        assert errors[0].attrs["probe"] == "payments"
+
+    def test_convergence_cells_carry_kernel_counters(self, runs):
+        events = read_feed(feed_path(str(runs["on_serial"])))
+        finished = [e for e in events if e.kind == "cell_finish"]
+        conv = [e for e in finished if e.attrs["probe"] == "convergence"]
+        assert conv
+        for event in conv:
+            counters = event.attrs["counters"]
+            assert counters.get("kernel.rows_ingested", 0) > 0
+            assert counters.get("sim.metrics.events_processed", 0) > 0
+
+    def test_status_agrees_with_results(self, runs):
+        status = feed_status(read_feed(feed_path(str(runs["on_pooled"]))))
+        assert status.total == len(_grid())
+        assert status.finished == len(_grid()) - 1
+        assert status.errors == 1
+        assert status.complete
+        assert status.error_classes == {"GraphError": 1}

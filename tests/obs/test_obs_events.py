@@ -1,0 +1,155 @@
+"""Tests for the telemetry event bus and its sinks."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import (
+    BUS,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TelemetryEvent,
+    read_feed,
+)
+
+
+class TestEventBus:
+    def test_disabled_emit_returns_none(self):
+        bus = EventBus()
+        assert not bus.enabled
+        assert bus.emit("marker", "x") is None
+
+    def test_attach_enables_detach_disables(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        assert bus.enabled
+        bus.detach(sink)
+        assert not bus.enabled
+
+    def test_events_fan_out_to_all_sinks(self):
+        bus = EventBus()
+        first, second = MemorySink(), MemorySink()
+        bus.attach(first)
+        bus.attach(second)
+        bus.emit("marker", "x", sim_time=1.0, attrs={"a": 1})
+        assert len(first.events) == len(second.events) == 1
+        assert first.events[0] is second.events[0]
+
+    def test_sequence_numbers_monotonic(self):
+        bus = EventBus()
+        sink = MemorySink()
+        bus.attach(sink)
+        for _ in range(3):
+            bus.emit("marker", "x")
+        assert [e.seq for e in sink.events] == [1, 2, 3]
+
+    def test_capture_restores_state(self):
+        bus = EventBus()
+        with bus.capture() as sink:
+            bus.emit("marker", "inside")
+        assert not bus.enabled
+        assert [e.name for e in sink.events] == ["inside"]
+        assert bus.emit("marker", "after") is None
+
+    def test_nested_captures_compose(self):
+        bus = EventBus()
+        with bus.capture() as outer:
+            bus.emit("marker", "one")
+            with bus.capture() as inner:
+                bus.emit("marker", "two")
+            bus.emit("marker", "three")
+        assert [e.name for e in outer.events] == ["one", "two", "three"]
+        assert [e.name for e in inner.events] == ["two"]
+
+    def test_default_bus_starts_disabled(self):
+        assert not BUS.enabled
+        assert not BUS.verbose
+
+
+class TestMemorySink:
+    def test_ring_evicts_oldest(self):
+        bus = EventBus()
+        sink = MemorySink(maxlen=2)
+        bus.attach(sink)
+        for name in ("a", "b", "c"):
+            bus.emit("marker", name)
+        assert [e.name for e in sink.events] == ["b", "c"]
+        assert sink.dropped == 1
+
+    def test_null_sink_swallows(self):
+        bus = EventBus()
+        bus.attach(NullSink())
+        event = bus.emit("marker", "x")
+        assert event is not None and event.seq == 1
+
+
+class TestEventJson:
+    def test_round_trip(self):
+        event = TelemetryEvent(
+            kind="counters", name="kernel", seq=7, sim_time=2.5,
+            attrs={"rows": 3},
+        )
+        clone = TelemetryEvent.from_json_obj(
+            json.loads(json.dumps(event.to_json_obj()))
+        )
+        assert clone == event
+
+    def test_wall_time_omitted_unless_stamped(self):
+        event = TelemetryEvent(kind="marker", name="x", seq=1)
+        assert "wall_time" not in event.to_json_obj()
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(TelemetryError):
+            TelemetryEvent.from_json_obj({"kind": "marker"})
+
+
+class TestJsonlSink:
+    def _emit(self, directory, names, stamp_wall=True):
+        bus = EventBus()
+        sink = JsonlSink(os.path.join(directory, "t.jsonl"), stamp_wall=stamp_wall)
+        bus.attach(sink)
+        for name in names:
+            bus.emit("marker", name)
+        sink.close()
+        return sink.path
+
+    def test_write_and_read_back(self, tmp_path):
+        path = self._emit(str(tmp_path), ["a", "b"])
+        events = read_feed(path)
+        assert [e.name for e in events] == ["a", "b"]
+        assert all(e.wall_time is not None for e in events)
+
+    def test_stamp_wall_false_keeps_records_clockless(self, tmp_path):
+        path = self._emit(str(tmp_path), ["a"], stamp_wall=False)
+        assert read_feed(path)[0].wall_time is None
+
+    def test_missing_feed_is_empty(self, tmp_path):
+        assert read_feed(str(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_tail_dropped_on_read(self, tmp_path):
+        path = self._emit(str(tmp_path), ["a", "b"])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "marker", "na')
+        events = read_feed(path)
+        assert [e.name for e in events] == ["a", "b"]
+
+    def test_torn_tail_truncated_before_append(self, tmp_path):
+        path = self._emit(str(tmp_path), ["a"])
+        with open(path, "a") as handle:
+            handle.write('{"torn')
+        self._emit(str(tmp_path), ["b"])
+        assert [e.name for e in read_feed(path)] == ["a", "b"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = self._emit(str(tmp_path), ["a", "b"])
+        lines = open(path).read().splitlines()
+        lines[0] = '{"broken'
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(TelemetryError):
+            read_feed(path)

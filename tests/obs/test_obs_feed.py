@@ -1,0 +1,182 @@
+"""Tests for the sweep telemetry feed: writer, status, follower."""
+
+import pytest
+
+from repro.experiments import ScenarioSpec
+from repro.experiments.runner import ScenarioResult
+from repro.obs import (
+    FeedFollower,
+    SweepFeed,
+    feed_path,
+    feed_status,
+    read_feed,
+    render_event,
+    render_status,
+)
+
+
+def _spec(seed=0, **over):
+    return ScenarioSpec(size=6, seed=seed, **over)
+
+
+def _result(spec, error=None, wall_time=0.25):
+    return ScenarioResult(
+        spec=spec,
+        scenario_id=spec.scenario_id(),
+        nodes=6,
+        edges=9,
+        flows=4,
+        total_volume=4.0,
+        wall_time=wall_time,
+        values={} if error else {"overpayment_ratio": 1.5},
+        error=error,
+    )
+
+
+def _write_feed(directory, stamp_wall=True):
+    ok_spec, bad_spec = _spec(0), _spec(1)
+    with SweepFeed(str(directory), stamp_wall=stamp_wall) as feed:
+        feed.sweep_start(name="grid", total=3, pending=2, reused=1, workers=2)
+        feed.cell_reused(_result(_spec(2)))
+        feed.cell_start(ok_spec)
+        feed.cell_start(bad_spec)
+        feed.cell_result(_result(ok_spec), {"kernel.rows_ingested": 7})
+        feed.cell_result(
+            _result(bad_spec, error="GraphError: zero anchor"),
+            {"kernel.rows_ingested": 3},
+        )
+        feed.sweep_finish(completed=3, failures=1)
+    return feed_path(str(directory))
+
+
+class TestFeedPath:
+    def test_directory_resolves_to_feed_file(self, tmp_path):
+        assert feed_path(str(tmp_path)).endswith("telemetry.jsonl")
+
+    def test_file_passes_through(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        assert feed_path(path) == path
+
+
+class TestSweepFeed:
+    def test_full_run_vocabulary(self, tmp_path):
+        events = read_feed(_write_feed(tmp_path))
+        assert [e.kind for e in events] == [
+            "sweep_start",
+            "cell_reused",
+            "cell_start",
+            "cell_start",
+            "cell_finish",
+            "cell_error",
+            "sweep_finish",
+        ]
+
+    def test_error_record_carries_class_and_message(self, tmp_path):
+        events = read_feed(_write_feed(tmp_path))
+        error = next(e for e in events if e.kind == "cell_error")
+        assert error.attrs["error_class"] == "GraphError"
+        assert error.attrs["error"] == "GraphError: zero anchor"
+        assert error.attrs["counters"] == {"kernel.rows_ingested": 3}
+
+    def test_sweep_finish_keeps_the_sweep_name(self, tmp_path):
+        events = read_feed(_write_feed(tmp_path))
+        assert events[-1].kind == "sweep_finish"
+        assert events[-1].name == "grid"
+
+    def test_finish_record_carries_key_probe_counters(self, tmp_path):
+        events = read_feed(_write_feed(tmp_path))
+        finish = next(e for e in events if e.kind == "cell_finish")
+        assert finish.attrs["key"] == _spec(0).content_key()
+        assert finish.attrs["probe"] == "payments"
+        assert finish.attrs["wall_time"] == 0.25
+        assert finish.attrs["counters"] == {"kernel.rows_ingested": 7}
+
+
+class TestFeedStatus:
+    def test_complete_run(self, tmp_path):
+        status = feed_status(read_feed(_write_feed(tmp_path)))
+        assert status.name == "grid"
+        assert (status.total, status.reused) == (3, 1)
+        assert (status.started, status.finished, status.errors) == (2, 1, 1)
+        assert status.completed == 3
+        assert status.remaining == 0
+        assert status.in_flight == 0
+        assert status.complete
+        assert status.error_classes == {"GraphError": 1}
+        assert status.probe_errors == {"payments": 1}
+        assert status.failed_cells == [(_spec(1).content_key(), "GraphError")]
+        assert status.counters == {"kernel.rows_ingested": 10}
+        assert status.scenario_time == pytest.approx(0.5)
+
+    def test_truncated_prefix_reports_correct_counts(self, tmp_path):
+        path = _write_feed(tmp_path)
+        lines = open(path).read().splitlines()
+        # Cut after the first completion record, mid-way through the
+        # next one (a kill mid-append).
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:5]) + "\n" + lines[5][:20])
+        status = feed_status(read_feed(path))
+        assert (status.started, status.finished, status.errors) == (2, 1, 0)
+        assert status.reused == 1
+        assert status.in_flight == 1
+        assert status.remaining == 1
+        assert not status.complete
+
+    def test_rate_and_eta_from_record_stamps(self, tmp_path):
+        path = _write_feed(tmp_path)
+        events = read_feed(path)
+        # Re-stamp deterministically: 1 second per record.
+        for index, event in enumerate(events):
+            event.wall_time = 100.0 + index
+        status = feed_status(events)
+        assert status.elapsed == pytest.approx(6.0)
+        assert status.rate == pytest.approx(2 / 6.0)
+        assert status.eta == pytest.approx(0.0)  # nothing remaining
+        assert status.to_json_obj()["rate"] == status.rate
+
+    def test_unstamped_feed_has_no_rate(self, tmp_path):
+        status = feed_status(read_feed(_write_feed(tmp_path, stamp_wall=False)))
+        assert status.elapsed == 0.0
+        assert status.rate == 0.0
+        assert status.eta is None
+
+    def test_empty_feed(self):
+        status = feed_status([])
+        assert status.total == 0 and status.completed == 0
+        assert not status.complete
+
+
+class TestRendering:
+    def test_render_status_mentions_counts_and_errors(self, tmp_path):
+        status = feed_status(read_feed(_write_feed(tmp_path)))
+        text = render_status(status)
+        assert "3/3 cells done" in text
+        assert "GraphError x1" in text
+        assert f"[GraphError] {_spec(1).content_key()}" in text
+        assert "kernel.rows_ingested" in text
+
+    def test_render_event_lines(self, tmp_path):
+        events = read_feed(_write_feed(tmp_path))
+        lines = [render_event(e) for e in events]
+        assert any("cell_error" in line and "GraphError" in line for line in lines)
+        assert all(line for line in lines)
+
+
+class TestFeedFollower:
+    def test_poll_yields_only_fresh_records(self, tmp_path):
+        follower = FeedFollower(feed_path(str(tmp_path)))
+        assert follower.poll() == []  # file may not exist yet
+        path = _write_feed(tmp_path)
+        first = follower.poll()
+        assert len(first) == 7
+        assert follower.poll() == []
+        with open(path, "a") as handle:
+            handle.write('{"kind": "marker", "name": "x", "seq": 99, '
+                         '"sim_time": null, "attrs": {}}\n')
+        assert [e.name for e in follower.poll()] == ["x"]
+
+    def test_follow_bounded_by_max_polls(self, tmp_path):
+        _write_feed(tmp_path)
+        follower = FeedFollower(feed_path(str(tmp_path)))
+        events = list(follower.follow(poll_interval=0.0, max_polls=2))
+        assert len(events) == 7

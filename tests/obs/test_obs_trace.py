@@ -1,0 +1,101 @@
+"""Tests for tracing spans and counter emission."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    KIND_COUNTERS,
+    KIND_MARKER,
+    KIND_SPAN_END,
+    KIND_SPAN_START,
+    NOOP_SPAN,
+    EventBus,
+    MemorySink,
+    aggregate_counters,
+    emit_counters,
+    emit_marker,
+    span,
+)
+
+
+def _captured(bus):
+    sink = MemorySink()
+    bus.attach(sink)
+    return sink
+
+
+class TestSpan:
+    def test_disabled_returns_shared_noop(self):
+        bus = EventBus()
+        first = span("x", bus=bus)
+        second = span("y", bus=bus, anything=1)
+        assert first is NOOP_SPAN and second is NOOP_SPAN
+        with first:
+            first.note(ignored=True)
+
+    def test_start_end_pairing(self):
+        bus = EventBus()
+        sink = _captured(bus)
+        with span("work", sim_time=1.0, bus=bus, label="L"):
+            pass
+        start, end = sink.events
+        assert (start.kind, end.kind) == (KIND_SPAN_START, KIND_SPAN_END)
+        assert start.name == end.name == "work"
+        assert start.attrs == {"label": "L"}
+        assert end.attrs["span"] == start.seq
+
+    def test_note_rides_on_end_record(self):
+        bus = EventBus()
+        sink = _captured(bus)
+        with span("work", sim_time=0.0, bus=bus) as live:
+            live.note(events=12, sim_time=4.5)
+        end = sink.events[-1]
+        assert end.attrs["events"] == 12
+        assert end.sim_time == 4.5
+
+    def test_exception_noted_and_propagates(self):
+        bus = EventBus()
+        sink = _captured(bus)
+        with pytest.raises(ReproError):
+            with span("work", bus=bus):
+                raise ReproError("boom")
+        assert sink.events[-1].attrs["exception"] == "ReproError"
+
+    def test_counters_and_markers(self):
+        bus = EventBus()
+        sink = _captured(bus)
+        emit_counters("kernel", {"rows": 3}, sim_time=1.0, bus=bus)
+        emit_marker("protocol.phase", bus=bus, phase="phase2")
+        counters, marker = sink.events
+        assert counters.kind == KIND_COUNTERS
+        assert counters.attrs == {"rows": 3}
+        assert marker.kind == KIND_MARKER
+        assert marker.attrs == {"phase": "phase2"}
+
+    def test_disabled_counter_emission_is_noop(self):
+        emit_counters("kernel", {"rows": 3}, bus=EventBus())
+        emit_marker("x", bus=EventBus())
+
+
+class TestAggregateCounters:
+    def test_sums_deltas_per_name_and_key(self):
+        bus = EventBus()
+        sink = _captured(bus)
+        emit_counters("kernel", {"rows": 2, "rescans": 1}, bus=bus)
+        emit_counters("kernel", {"rows": 3}, bus=bus)
+        emit_counters("sim.metrics", {"rows": 5}, bus=bus)
+        assert aggregate_counters(sink.events) == {
+            "kernel.rows": 5,
+            "kernel.rescans": 1,
+            "sim.metrics.rows": 5,
+        }
+
+    def test_ignores_non_counter_records_and_labels(self):
+        bus = EventBus()
+        sink = _captured(bus)
+        with span("work", bus=bus):
+            emit_counters(
+                "kernel", {"rows": 2, "owner": "A", "flag": True}, bus=bus
+            )
+        totals = aggregate_counters(sink.events)
+        assert totals == {"kernel.rows": 2}

@@ -215,6 +215,140 @@ class TestSweepCommand:
         assert not (tmp_path / "o").exists()
 
 
+class TestTelemetryCLI:
+    def _sweep(self, tmp_path, *extra):
+        import json
+
+        spec = tmp_path / "sweep.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "obs-test",
+                    "base": {"size": 6},
+                    "axes": {"seed": [0, 1]},
+                }
+            )
+        )
+        out = tmp_path / "artifacts"
+        code = main(
+            ["sweep", "--spec", str(spec), "--out", str(out), *extra]
+        )
+        return code, out
+
+    def test_telemetry_flag_writes_feed(self, capsys, tmp_path):
+        code, out = self._sweep(tmp_path, "--telemetry")
+        assert code == 0
+        assert (out / "telemetry.jsonl").exists()
+        # Canonical artifacts unaffected.
+        assert (out / "results.csv").exists()
+        capsys.readouterr()
+
+    def test_no_feed_without_flag(self, capsys, tmp_path):
+        code, out = self._sweep(tmp_path)
+        assert code == 0
+        assert not (out / "telemetry.jsonl").exists()
+        capsys.readouterr()
+
+    def test_progress_lines_on_stderr(self, capsys, tmp_path):
+        code, _ = self._sweep(tmp_path, "--progress")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[1/2] ok" in err and "[2/2] ok" in err
+
+    def test_no_progress_by_default(self, capsys, tmp_path):
+        code, _ = self._sweep(tmp_path)
+        assert code == 0
+        assert "[1/2]" not in capsys.readouterr().err
+
+    def test_failed_cell_line_has_class_and_key(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "bad.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "base": {
+                        "size": 6,
+                        "cost_dist": "pareto",
+                        "cost_low": 0.0,
+                    },
+                    "axes": {"seed": [0]},
+                }
+            )
+        )
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec),
+                    "--out",
+                    str(tmp_path / "o"),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "failed cell [GraphError]" in out
+        assert "(probe=payments)" in out
+
+    def test_status_command(self, capsys, tmp_path):
+        import json
+
+        _, out = self._sweep(tmp_path, "--telemetry")
+        capsys.readouterr()
+        assert main(["status", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "obs-test" in text
+        assert "2/2 cells done" in text
+        assert main(["status", str(out), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 2
+        assert payload["finished"] == 2
+        assert payload["complete"] is True
+
+    def test_tail_command(self, capsys, tmp_path):
+        import json
+
+        _, out = self._sweep(tmp_path, "--telemetry")
+        capsys.readouterr()
+        assert main(["tail", str(out)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert any("sweep_start" in line for line in lines)
+        assert any("sweep_finish" in line for line in lines)
+        assert main(["tail", str(out), "--format", "json"]) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert records[0]["kind"] == "sweep_start"
+        assert records[-1]["kind"] == "sweep_finish"
+
+    def test_tail_follow_bounded(self, capsys, tmp_path):
+        _, out = self._sweep(tmp_path, "--telemetry")
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "tail",
+                    str(out),
+                    "--follow",
+                    "--interval",
+                    "0",
+                    "--max-polls",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "sweep_finish" in capsys.readouterr().out
+
+    def test_missing_feed_errors(self, capsys, tmp_path):
+        assert main(["status", str(tmp_path)]) == 2
+        assert "no telemetry feed" in capsys.readouterr().err
+        assert main(["tail", str(tmp_path)]) == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+
 class TestShardMergeCLI:
     """End-to-end orchestration through the CLI: shard, resume, merge."""
 
