@@ -1,0 +1,110 @@
+"""E12 — Reconvergence under churn: incremental repair vs rebuild.
+
+The dynamic-topology engine's economic premise: repairing a converged
+network after a topology event must cost *less* than reconstructing it
+from scratch, or the recomputation protocol the paper's faithfulness
+claims assume would be pointless.  These benchmarks measure the
+reconvergence message cost and wall time of seeded churn schedules on
+sparse AS-like graphs, with the epoch-equivalence oracle asserting
+after every epoch that the repaired tables are bit-identical to a
+fresh fixed point — the regression gate on both correctness and cost.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.routing.dynamic import run_dynamic_fpss
+from repro.sim.churn import EVENT_KINDS, random_churn_schedule
+from repro.workloads import random_biconnected_graph, uniform_all_pairs
+
+#: Default-tier cell, and the nightly slow-tier extension.
+SIZE, EPOCHS = 32, 3
+SLOW_SIZE, SLOW_EPOCHS = 64, 4
+
+#: Acceptance bound for the default-tier reconvergence run (seconds)
+#: on the development machine; CI widens via REPRO_BENCH_TIME_SCALE.
+BOUND_32 = 10.0 * float(os.environ.get("REPRO_BENCH_TIME_SCALE", "1"))
+
+
+def sparse_graph(size, seed=5):
+    """AS-like sparse biconnected graph (constant expected extra degree)."""
+    rng = random.Random(seed * 100 + size)
+    return random_biconnected_graph(
+        size, rng, extra_edge_prob=4.0 / (size - 1)
+    )
+
+
+def run_churn_cell(size, epochs, seed=5):
+    """One oracle-verified churn run; returns its measured row."""
+    graph = sparse_graph(size, seed=seed)
+    schedule = random_churn_schedule(
+        graph,
+        random.Random(size),
+        epochs=epochs,
+        events_per_epoch=2,
+        kinds=EVENT_KINDS,
+        require="connected",
+    )
+    started = time.perf_counter()
+    run = run_dynamic_fpss(
+        graph, schedule, traffic=lambda g: uniform_all_pairs(g)
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "size": size,
+        "epochs": len(run.epochs),
+        "events": sum(len(r.events) for r in run.epochs),
+        "seconds": elapsed,
+        "initial_messages": run.initial_messages,
+        "reconvergence_messages": sum(
+            r.reconvergence_messages for r in run.epochs
+        ),
+        "amplification": run.message_amplification,
+        "availability": run.availability,
+    }
+
+
+def print_row(row, title):
+    print()
+    print(
+        render_table(
+            ["n", "epochs", "events", "seconds", "initial msgs",
+             "reconv msgs", "amplification", "availability"],
+            [[row["size"], row["epochs"], row["events"],
+              round(row["seconds"], 3), row["initial_messages"],
+              row["reconvergence_messages"],
+              round(row["amplification"], 3), row["availability"]]],
+            title=title,
+        )
+    )
+
+
+def test_bench_churn_reconvergence(benchmark):
+    """32-node, 3-epoch churn cell: oracle-verified, repair beats
+    rebuild, and the wall-clock acceptance bound holds."""
+    row = benchmark.pedantic(
+        lambda: run_churn_cell(SIZE, EPOCHS), rounds=1, iterations=1
+    )
+    print_row(row, "E12: reconvergence under churn (default tier)")
+    assert row["epochs"] == EPOCHS and row["events"] > 0
+    # Connected-viable schedules keep every flow routable.
+    assert row["availability"] == 1.0
+    # The reconvergence-cost gate: repairing after all epochs must stay
+    # cheaper than rebuilding from scratch once per epoch (average
+    # per-epoch amplification < 1), and within the latency bound.
+    assert row["amplification"] < row["epochs"]
+    assert row["seconds"] < BOUND_32
+
+
+@pytest.mark.slow
+def test_bench_churn_reconvergence_64():
+    """Nightly slow-tier cell: 64 nodes, 4 epochs, oracle on."""
+    row = run_churn_cell(SLOW_SIZE, SLOW_EPOCHS)
+    print_row(row, "E12: reconvergence under churn (slow tier)")
+    assert row["epochs"] == SLOW_EPOCHS
+    assert row["availability"] == 1.0
+    assert row["amplification"] < row["epochs"]

@@ -33,7 +33,9 @@ def test_bench_sweep_payments_throughput(benchmark):
     """The stock payments block must clear tens of scenarios per second."""
     # protocol_seeds=0 drops the 16/64-node convergence block: this
     # benchmark gates the cheap engine-bound payments probe only.
-    sweep = default_sweep(seeds=3, protocol_seeds=0, checked_seeds=0)
+    sweep = default_sweep(
+        seeds=3, protocol_seeds=0, checked_seeds=0, churn_seeds=0
+    )
     results = once(benchmark, lambda: SweepRunner(sweep, workers=1).run())
 
     assert len(results) == 24
@@ -167,7 +169,9 @@ def test_bench_shard_merge_overhead(benchmark, tmp_path):
     """Orchestration must be free: sharding a grid 4 ways and merging
     the artifacts adds only file I/O on top of the scenario work, and
     the merged artifacts are byte-identical to the serial run's."""
-    sweep = default_sweep(seeds=2, protocol_seeds=0, checked_seeds=0)
+    sweep = default_sweep(
+        seeds=2, protocol_seeds=0, checked_seeds=0, churn_seeds=0
+    )
     specs = sweep.scenarios
 
     started = time.perf_counter()

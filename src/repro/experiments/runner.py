@@ -249,11 +249,75 @@ def _faithfulness_probe(
     return verdict.summary()
 
 
+def _churn_probe(
+    spec: ScenarioSpec, graph, traffic
+) -> Dict[str, float]:
+    """Dynamic-topology probe: churn the graph, verify every epoch.
+
+    Draws a seeded :func:`~repro.sim.churn.random_churn_schedule`
+    (independent of the topology/traffic/delay draws), runs the
+    :class:`~repro.routing.dynamic.DynamicTopologyEngine` with the
+    scenario's traffic re-routed after every reconvergence epoch, and
+    reports reconvergence cost and service quality.  The engine's
+    epoch-equivalence oracle stays on, so every cell also *asserts*
+    post-epoch tables equal a fresh fixed point.
+    """
+    import random as _random
+
+    from ..routing.dynamic import run_dynamic_fpss
+    from ..sim.churn import random_churn_schedule
+
+    kinds = ("cost", "link-down", "link-up")
+    if spec.churn_membership:
+        kinds = kinds + ("leave", "join")
+    schedule = random_churn_schedule(
+        graph,
+        _random.Random(spec.seed + 3),  # independent of draws +0/+1/+2
+        epochs=spec.churn_epochs,
+        events_per_epoch=spec.churn_events,
+        kinds=kinds,
+        cost_range=(spec.cost_low, spec.cost_high),
+        require="connected",
+    )
+    run = run_dynamic_fpss(
+        graph,
+        schedule,
+        traffic=dict(traffic),
+        link_delays=spec.link_delays(),
+    )
+    return {
+        "churn_epochs_run": float(len(run.epochs)),
+        "churn_events_applied": float(
+            sum(len(report.events) for report in run.epochs)
+        ),
+        "initial_messages": float(run.initial_messages),
+        "reconvergence_events": float(
+            sum(report.reconvergence_events for report in run.epochs)
+        ),
+        "reconvergence_messages": float(
+            sum(report.reconvergence_messages for report in run.epochs)
+        ),
+        "reconvergence_time": float(
+            sum(report.reconvergence_time for report in run.epochs)
+        ),
+        "message_amplification": run.message_amplification,
+        "availability": run.availability,
+        "routed_flows": float(
+            sum(report.routed_flows for report in run.epochs)
+        ),
+        "unroutable_flows": float(
+            sum(report.unroutable_flows for report in run.epochs)
+        ),
+        "churn_payments": sum(report.payments_total for report in run.epochs),
+    }
+
+
 _PROBES = {
     "payments": _payments_probe,
     "convergence": _convergence_probe,
     "detection": _detection_probe,
     "faithfulness": _faithfulness_probe,
+    "churn": _churn_probe,
 }
 
 

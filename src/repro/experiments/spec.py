@@ -46,10 +46,18 @@ TOPOLOGY_FAMILIES = ("figure1", "ring", "wheel", "complete", "random")
 #: Traffic models a spec may name.
 TRAFFIC_MODELS = ("uniform", "random-pairs", "hotspot", "gravity")
 #: Probes: which measurement one scenario takes.
-PROBES = ("payments", "convergence", "detection", "faithfulness")
+PROBES = ("payments", "convergence", "detection", "faithfulness", "churn")
 
 #: Minimum node count per family (mirrors the generators' own checks).
 _MIN_SIZE = {"figure1": 0, "ring": 3, "wheel": 4, "complete": 3, "random": 3}
+
+#: Default values of the churn-probe schema extension; fields at these
+#: values are omitted from the canonical serialisation (key stability).
+_CHURN_DEFAULTS = {
+    "churn_epochs": 2,
+    "churn_events": 1,
+    "churn_membership": False,
+}
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,13 @@ class ScenarioSpec:
     #: Faithfulness probe: catalogue subset to verify (None = a small
     #: default pair; the full catalogue is far too slow per scenario).
     faithfulness_deviations: Optional[Tuple[str, ...]] = None
+    #: Churn probe: reconvergence epochs and seeded events per epoch.
+    #: These fields are omitted from the canonical serialisation at
+    #: their defaults, so pre-churn content keys are unchanged.
+    churn_epochs: int = 2
+    churn_events: int = 1
+    #: Include membership events (leave/join) in the drawn schedules.
+    churn_membership: bool = False
 
     # ------------------------------------------------------------------
     # validation
@@ -152,6 +167,10 @@ class ScenarioSpec:
             raise ExperimentError("link_delay_spread must be non-negative")
         if self.deviant_index < 0:
             raise ExperimentError("deviant_index must be non-negative")
+        if self.churn_epochs < 1:
+            raise ExperimentError("churn_epochs must be positive")
+        if self.churn_events < 1:
+            raise ExperimentError("churn_events must be positive")
         return self
 
     def _check_field_types(self) -> None:
@@ -162,6 +181,8 @@ class ScenarioSpec:
             "seed",
             "flow_count",
             "deviant_index",
+            "churn_epochs",
+            "churn_events",
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool):
@@ -202,6 +223,11 @@ class ScenarioSpec:
         if self.deviation is not None and not isinstance(self.deviation, str):
             raise ExperimentError(
                 f"deviation must be a string, got {self.deviation!r}"
+            )
+        if not isinstance(self.churn_membership, bool):
+            raise ExperimentError(
+                f"churn_membership must be a boolean, "
+                f"got {self.churn_membership!r}"
             )
         if self.faithfulness_deviations is not None and (
             not isinstance(self.faithfulness_deviations, tuple)
@@ -259,6 +285,10 @@ class ScenarioSpec:
             parts.append(self.volume_dist)
         if self.deviation is not None:
             parts.append(f"{self.deviation}@{self.deviant_index}")
+        if self.probe == "churn":
+            parts.append(f"x{self.churn_epochs}.{self.churn_events}")
+            if self.churn_membership:
+                parts.append("membership")
         return ":".join(parts)
 
     def build_graph(self) -> ASGraph:
@@ -349,12 +379,21 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready dict (tuples become lists)."""
+        """A JSON-ready dict (tuples become lists).
+
+        Churn fields are omitted at their defaults: the serialisation
+        (and hence every content key) of a pre-churn spec is unchanged
+        by the schema extension, so stored artifacts keep resuming and
+        merging across versions.
+        """
         raw = asdict(self)
         if raw["faithfulness_deviations"] is not None:
             raw["faithfulness_deviations"] = list(
                 raw["faithfulness_deviations"]
             )
+        for name in ("churn_epochs", "churn_events", "churn_membership"):
+            if raw[name] == _CHURN_DEFAULTS[name]:
+                del raw[name]
         return raw
 
     @classmethod
@@ -504,6 +543,8 @@ def default_sweep(
     protocol_sizes: Sequence[int] = (16, 64),
     checked_seeds: int = 1,
     checked_sizes: Sequence[int] = (16, 64),
+    churn_seeds: int = 2,
+    churn_sizes: Sequence[int] = (12, 16),
 ) -> SweepSpec:
     """The stock grid behind ``python -m repro sweep``.
 
@@ -521,7 +562,12 @@ def default_sweep(
     manipulation per cell, light random-pairs traffic) at every
     ``checked_sizes`` rung and faithfulness cells at the smallest rung
     only (the Proposition-1 verifier runs several complete mechanism
-    runs per cell); ``checked_seeds=0`` drops the block.  Blocks only
+    runs per cell); ``checked_seeds=0`` drops the block.  The *churn*
+    block runs the dynamic-topology probe (seeded churn schedules,
+    epoch-equivalence-verified reconvergence, traffic between epochs)
+    on random biconnected graphs at ``churn_sizes`` with
+    ``churn_seeds`` seeds — half the cells membership-free, half with
+    leave/join events; ``churn_seeds=0`` drops the block.  Blocks only
     ever *append* scenarios, so the content keys of existing cells are
     unchanged by the knobs; cells are keyed by probe as well as
     topology/size/traffic so no two blocks share a summary cell.
@@ -532,6 +578,8 @@ def default_sweep(
         raise ExperimentError("protocol_seeds must be non-negative")
     if checked_seeds < 0:
         raise ExperimentError("checked_seeds must be non-negative")
+    if churn_seeds < 0:
+        raise ExperimentError("churn_seeds must be non-negative")
     scenarios = expand_grid(
         base={"probe": "payments"},
         axes={
@@ -581,6 +629,23 @@ def default_sweep(
                 },
             )
         )
+    if churn_seeds and churn_sizes:
+        for membership in (False, True):
+            scenarios.extend(
+                expand_grid(
+                    base={
+                        "probe": "churn",
+                        "topology": "random",
+                        "churn_epochs": 3,
+                        "churn_events": 2,
+                        "churn_membership": membership,
+                    },
+                    axes={
+                        "size": list(churn_sizes),
+                        "seed": list(range(churn_seeds)),
+                    },
+                )
+            )
     return SweepSpec(
         name="default",
         scenarios=tuple(scenarios),

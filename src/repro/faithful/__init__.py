@@ -38,6 +38,12 @@ from .manipulations import (
     faithful_deviant_factory,
     plain_deviant_factory,
 )
+from .epochs import (
+    CHECKED_EVENT_KINDS,
+    CheckedChurnRun,
+    CheckedEpoch,
+    run_checked_churn,
+)
 from .mirror import PrincipalMirror
 from .node import (
     BANK_ID,
@@ -62,8 +68,12 @@ from .protocol import (
 __all__ = [
     "BANK_ID",
     "BankNode",
+    "CHECKED_EVENT_KINDS",
     "ChargeUnderstateMixin",
+    "CheckedChurnRun",
     "CheckedConstruction",
+    "CheckedEpoch",
+    "run_checked_churn",
     "CheckpointDecision",
     "collect_construction_flags",
     "run_checked_construction",

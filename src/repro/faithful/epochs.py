@@ -1,0 +1,326 @@
+"""Checked (faithful) construction across reconvergence epochs.
+
+Reproduces: Section 4 of Shneidman & Parkes (PODC'04), extended to the
+recomputation setting the paper's faithfulness claims assume: when the
+network changes, the construction phases re-run and every checker
+mirror must *re-anchor* on the new topology before replaying.
+
+Epoch semantics
+---------------
+:func:`run_checked_churn` drives a fully mirrored network (every node a
+:class:`~repro.faithful.node.FaithfulRoutingNode` checking all of its
+neighbours) through an initial construction plus one reconvergence
+epoch per entry of a :class:`~repro.sim.churn.ChurnSchedule`.  Each
+epoch applies its events at network quiescence, then re-runs both
+construction phases from scratch — the paper's recomputation protocol,
+where DATA1 re-floods and phase 2 restarts on the post-event graph.
+
+Mirror re-anchoring is the load-bearing invariant: with shared
+checking, :meth:`~repro.routing.kernel.MirrorKernelPool.new_epoch` must
+be called before every phase-2 (re)start so no restarted mirror ever
+attaches to a consumed op log.  Skipping the bump (``epoch_bump=False``,
+kept as a regression seam) is *detected, never silent*: a stale shared
+kernel's seed no longer matches the checkers' freshly derived one, so
+:meth:`~repro.routing.kernel.MirrorKernelPool.acquire` refuses to share
+(counting ``seed_mismatches``) and every mirror falls back to its
+private per-neighbour replay — digests stay correct, the pool stats
+scream.
+
+Detection flags carry the epoch they fired in: each
+:class:`CheckedEpoch` holds exactly the flags its own quiescence
+checkpoint produced (mirrors reset their flag lists when they re-anchor
+at the epoch boundary), so a deviation injected in epoch *k* surfaces
+in epoch *k*'s report, not smeared across the run.
+
+Membership churn (``leave`` / ``join``) is out of scope here — the
+checker relation "every neighbour checks the node" is rebuilt per
+epoch, but the bank/identity plumbing assumes a fixed principal set;
+use :mod:`repro.routing.dynamic` for membership churn on the plain
+mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConvergenceError, SimulationError
+from ..obs.trace import emit_counters, emit_marker
+from ..routing.dynamic import verify_epoch_equivalence
+from ..routing.convergence import topology_from_graph
+from ..routing.graph import ASGraph, NodeId
+from ..routing.kernel import KernelStats, MirrorKernelPool
+from ..sim.churn import ChurnEvent, ChurnSchedule, apply_churn_epoch
+from ..sim.simulator import Simulator
+from .audit import Flag
+from .node import FaithfulRoutingNode, encode_flag
+from .protocol import FaithfulNodeFactory, TrafficMatrix
+
+#: Event kinds the faithful epoch runner accepts (membership-preserving).
+CHECKED_EVENT_KINDS: Tuple[str, ...] = ("cost", "link-down", "link-up")
+
+
+@dataclass
+class CheckedEpoch:
+    """One construction pass (epoch 0 = initial, then one per batch).
+
+    ``flags`` are the wire-encoded mirror flags raised *within this
+    epoch's* checkpoint — the epoch a flag fired in is the epoch of the
+    report holding it.
+    """
+
+    epoch: int
+    events: Tuple[ChurnEvent, ...]
+    graph: ASGraph
+    phase1_events: int
+    phase2_events: int
+    flags: List[Tuple] = field(default_factory=list)
+    #: Execution-phase results (zeros unless traffic was supplied).
+    routed_flows: int = 0
+    unroutable_flows: int = 0
+    payments_total: float = 0.0
+
+
+@dataclass
+class CheckedChurnRun:
+    """A checked network driven through reconvergence epochs."""
+
+    simulator: Simulator
+    nodes: Dict[NodeId, FaithfulRoutingNode]
+    graph: ASGraph
+    pool: Optional[MirrorKernelPool]
+    initial: CheckedEpoch
+    epochs: List[CheckedEpoch] = field(default_factory=list)
+
+    @property
+    def all_flags(self) -> List[Tuple[int, Tuple]]:
+        """Every flag of the run as ``(epoch, encoded_flag)``."""
+        out = [(0, f) for f in self.initial.flags]
+        for report in self.epochs:
+            out.extend((report.epoch, f) for f in report.flags)
+        return out
+
+    def kernel_stats(self) -> KernelStats:
+        """Aggregated shared-replay counters (zeroed without sharing)."""
+        if self.pool is None:
+            return KernelStats()
+        return self.pool.collected_stats()
+
+    @property
+    def seed_mismatches(self) -> int:
+        """Sharing refusals — nonzero when an epoch bump was missed."""
+        return self.kernel_stats().seed_mismatches
+
+
+def _resolve_delay(link_delays, a: NodeId, b: NodeId) -> float:
+    if callable(link_delays):
+        return float(link_delays(a, b))
+    if isinstance(link_delays, dict):
+        return float(link_delays.get(frozenset((a, b)), 1.0))
+    return float(link_delays)
+
+
+def run_checked_churn(
+    graph: ASGraph,
+    schedule: ChurnSchedule,
+    traffic: Optional[TrafficMatrix] = None,
+    shared_checking: bool = True,
+    epoch_bump: bool = True,
+    link_delays=1.0,
+    batch_delivery: bool = True,
+    max_events: int = 8_000_000,
+    node_factory: Optional[FaithfulNodeFactory] = None,
+    verify: bool = True,
+    on_epoch_start: Optional[
+        Callable[[int, Dict[NodeId, FaithfulRoutingNode]], None]
+    ] = None,
+) -> CheckedChurnRun:
+    """Drive a fully mirrored network through reconvergence epochs.
+
+    Every graph along the schedule (including the start) must be
+    biconnected — the checking relation needs it.  With ``verify`` the
+    runner asserts, after every epoch, that each node's DATA1/DATA2/
+    DATA3* digests are bit-identical to a fresh
+    :func:`~repro.routing.kernel.kernel_fixed_point` run on the
+    post-event graph and that every live mirror agrees with its
+    principal.  ``epoch_bump=False`` deliberately skips the
+    :meth:`~repro.routing.kernel.MirrorKernelPool.new_epoch` call on
+    reconvergence (regression seam; see module docstring).  Optional
+    ``traffic`` is routed after every epoch (including the initial
+    construction), accruing per-epoch VCG payments on the reports.
+
+    ``on_epoch_start(epoch, nodes)`` fires before each reconvergence
+    epoch's events are applied — the injection seam for deviations that
+    must start in a *later* epoch (a node turning rational mid-run),
+    which is how the tests pin per-epoch detection.
+    """
+    for events in schedule.epochs:
+        for event in events:
+            if event.kind not in CHECKED_EVENT_KINDS:
+                raise SimulationError(
+                    f"checked churn supports kinds {CHECKED_EVENT_KINDS}, "
+                    f"got {event.kind!r}; membership churn runs on the "
+                    f"plain mechanism (repro.routing.dynamic)"
+                )
+    graph.require_biconnected()
+    simulator = Simulator(
+        topology_from_graph(graph, delay=link_delays),
+        trace_enabled=False,
+        batch_delivery=batch_delivery,
+    )
+    pool = MirrorKernelPool() if shared_checking else None
+    factory = node_factory or (
+        lambda node_id, cost, signing: FaithfulRoutingNode(node_id, cost, signing)
+    )
+    nodes: Dict[NodeId, FaithfulRoutingNode] = {}
+    for node_id in graph.nodes:
+        node = factory(node_id, graph.cost(node_id), None)
+        node.mirror_pool = pool
+        nodes[node_id] = node
+        simulator.add_node(node)
+    node_ids = tuple(sorted(nodes, key=repr))
+    flows = sorted(dict(traffic or {}).items(), key=repr)
+
+    def construct(epoch: int, events: Tuple[ChurnEvent, ...], current: ASGraph) -> CheckedEpoch:
+        for node_id in node_ids:
+            simulator.schedule_local(
+                node_id, 0.0, nodes[node_id].start_phase1, label="phase1"
+            )
+        phase1_events = simulator.run_until_quiescent(max_events=max_events)
+        for node_id in node_ids:
+            node = nodes[node_id]
+            live = set(current.neighbors(node_id))
+            # Re-anchor the checking relation on the new topology:
+            # mirrors of ex-neighbours are dropped (their flags were
+            # already collected at the previous epoch's checkpoint).
+            for principal in tuple(node.mirrors):
+                if principal not in live:
+                    del node.mirrors[principal]
+            node.prepare_checking(
+                {
+                    neighbor: current.neighbors(neighbor)
+                    for neighbor in current.neighbors(node_id)
+                }
+            )
+        if pool is not None and (epoch == 0 or epoch_bump):
+            pool.new_epoch()
+            emit_marker("mirror.epoch", sim_time=simulator.now, epoch=epoch)
+        for node_id in node_ids:
+            simulator.schedule_local(
+                node_id, 0.0, nodes[node_id].start_phase2, label="phase2"
+            )
+        phase2_events = simulator.run_until_quiescent(max_events=max_events)
+
+        flags: List[Flag] = []
+        for node_id in node_ids:
+            node = nodes[node_id]
+            for _principal, mirror in sorted(
+                node.mirrors.items(), key=lambda kv: repr(kv[0])
+            ):
+                if mirror.comp is None:
+                    continue
+                flags.extend(mirror.checkpoint_flags())
+        flags.sort(key=Flag.sort_key)
+
+        report = CheckedEpoch(
+            epoch=epoch,
+            events=tuple(events),
+            graph=current,
+            phase1_events=phase1_events,
+            phase2_events=phase2_events,
+            flags=[encode_flag(f) for f in flags],
+        )
+        if flows:
+            _route_epoch(report)
+        if verify and not report.flags:
+            verify_epoch_equivalence(current, nodes)
+            _verify_mirror_agreement(nodes)
+        if epoch > 0:
+            emit_counters(
+                "churn",
+                {
+                    "checked_epochs": 1,
+                    "checked_flags": len(report.flags),
+                    "reconvergence_events": phase1_events + phase2_events,
+                },
+            )
+        return report
+
+    def _route_epoch(report: CheckedEpoch) -> None:
+        before = sum(nodes[n].data4.total for n in node_ids)
+        for node_id in node_ids:
+            nodes[node_id].start_execution()
+        for (source, destination), volume in flows:
+            if volume <= 0 or source == destination:
+                continue
+            node = nodes[source]
+            assert node.comp is not None
+            if node.comp.routing.entry(destination) is None:
+                report.unroutable_flows += 1
+                continue
+            simulator.schedule_local(
+                source,
+                0.0,
+                lambda n=node, d=destination, v=volume: n.originate_flow(d, v),
+                label="originate",
+            )
+            report.routed_flows += 1
+        simulator.run_until_quiescent(max_events=max_events)
+        report.payments_total = (
+            sum(nodes[n].data4.total for n in node_ids) - before
+        )
+
+    initial = construct(0, (), graph)
+    run = CheckedChurnRun(
+        simulator=simulator,
+        nodes=nodes,
+        graph=graph,
+        pool=pool,
+        initial=initial,
+    )
+    current = graph
+    for index, events in enumerate(schedule.epochs, start=1):
+        if on_epoch_start is not None:
+            on_epoch_start(index, nodes)
+        current = apply_churn_epoch(current, events)
+        current.require_biconnected()
+        topology = simulator.topology
+        for event in events:
+            if event.kind == "cost":
+                nodes[event.node].true_cost = float(event.cost)  # type: ignore[index,arg-type]
+            elif event.kind == "link-down":
+                a, b = event.link  # type: ignore[misc]
+                topology.remove_link(a, b)
+            else:  # link-up
+                a, b = event.link  # type: ignore[misc]
+                topology.add_link(a, b, delay=_resolve_delay(link_delays, a, b))
+        run.graph = current
+        run.epochs.append(construct(index, events, current))
+    return run
+
+
+def _verify_mirror_agreement(nodes: Dict[NodeId, FaithfulRoutingNode]) -> None:
+    """Every live mirror's replayed digests equal its principal's own."""
+    for node_id in sorted(nodes, key=repr):
+        node = nodes[node_id]
+        for principal, mirror in node.mirrors.items():
+            if mirror.comp is None:
+                continue
+            principal_comp = nodes[principal].comp
+            assert principal_comp is not None
+            if (
+                mirror.routing_digest() != principal_comp.routing_digest()
+                or mirror.pricing_digest() != principal_comp.pricing_digest()
+            ):
+                raise ConvergenceError(
+                    f"mirror of {principal!r} at {node_id!r} disagrees with "
+                    f"the principal's own tables after reconvergence"
+                )
+
+
+__all__ = [
+    "CHECKED_EVENT_KINDS",
+    "CheckedChurnRun",
+    "CheckedEpoch",
+    "run_checked_churn",
+]

@@ -333,6 +333,16 @@ def render_status(status: FeedStatus, top_counters: int = 8) -> str:
             lines.append(
                 f"  ... and {len(status.failed_cells) - len(shown)} more"
             )
+    churn_epochs = status.counters.get("churn.epochs", 0) + status.counters.get(
+        "churn.checked_epochs", 0
+    )
+    if churn_epochs:
+        lines.append(
+            f"churn: {churn_epochs} reconvergence epoch(s), "
+            f"{status.counters.get('churn.events', 0)} events, "
+            f"{status.counters.get('churn.reconvergence_messages', 0)} "
+            f"reconvergence messages"
+        )
     if status.counters:
         ranked = sorted(
             status.counters.items(), key=lambda kv: (-kv[1], kv[0])

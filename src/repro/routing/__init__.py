@@ -45,6 +45,13 @@ from .formal import (
     suggested_specification,
     suggested_update_round,
 )
+from .dynamic import (
+    ChurnRunResult,
+    DynamicTopologyEngine,
+    EpochReport,
+    run_dynamic_fpss,
+    verify_epoch_equivalence,
+)
 from .engine import RoutingEngine, engine_for
 from .graph import ASGraph, PathCost, figure1_graph
 from .lcp import (
@@ -82,7 +89,12 @@ __all__ = [
     "fpss_state_machine",
     "suggested_specification",
     "suggested_update_round",
+    "ChurnRunResult",
     "ConvergenceStats",
+    "DynamicTopologyEngine",
+    "EpochReport",
+    "run_dynamic_fpss",
+    "verify_epoch_equivalence",
     "FPSSComputation",
     "FPSSNode",
     "FullRecomputeFPSSNode",

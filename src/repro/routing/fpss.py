@@ -499,6 +499,78 @@ class FPSSNode(ProtocolNode):
         """Called after storing a price update (pre-recompute)."""
 
     # ------------------------------------------------------------------
+    # dynamic topology (reconvergence epochs)
+    # ------------------------------------------------------------------
+
+    def react_to_topology_change(self) -> None:
+        """Settle and announce after an out-of-band topology delta.
+
+        The dynamic engine mutates the computation directly at network
+        quiescence (detach/attach/DATA1 changes); this kick then runs
+        the same incremental settle-and-broadcast step a received
+        message would, so withdrawal storms propagate through the
+        ordinary delta machinery.
+        """
+        if self.comp is None or self.phase != "phase2":
+            return
+        self.sim.metrics.record_computation(self.node_id)
+        self._recompute_and_announce_incremental()
+
+    def resend_full_tables(self, neighbor: NodeId) -> None:
+        """Unicast current full vectors across a new or restored link.
+
+        Delta broadcasts assume the receiver holds the previously
+        announced vector; a fresh link starts from nothing, so both
+        endpoints exchange their complete tables once.  Rows are built
+        straight from the tables without consuming the changed-key
+        sets, leaving the regular delta streams to other neighbours
+        untouched.
+        """
+        assert self.comp is not None
+        routing = self.comp.routing
+        route_rows = tuple(
+            (dest, entry.cost, entry.path)
+            for dest in routing.destinations
+            if (entry := routing.entry(dest)) is not None
+        )
+        avoid_rows = encode_avoid_vector(self.comp.avoid)
+        self.multicast(
+            (neighbor,),
+            KIND_RT_UPDATE,
+            size_hint=delta_size(route_rows),
+            vector=route_rows,
+        )
+        self.multicast(
+            (neighbor,),
+            KIND_PRICE_UPDATE,
+            size_hint=delta_size(avoid_rows),
+            vector=avoid_rows,
+        )
+
+    def join_network(self, known_costs: Mapping[NodeId, Cost]) -> None:
+        """Bootstrap a node joining mid-run, DATA1 seeded out of band.
+
+        The compressed equivalent of flooding phase 1 and then starting
+        phase 2 on the current graph: build the computation over the
+        live neighbour set, note every known declaration, and run the
+        initial full relaxation.  The first announcements — the full
+        tables as a delta against nothing — reach the new neighbours
+        through the normal broadcast path.
+        """
+        self.comp = FPSSComputation(
+            self.node_id, self.neighbors, self.declared_cost()
+        )
+        self._kernel_emitted = {}
+        for node, cost in sorted(known_costs.items(), key=lambda kv: _sort_key(kv[0])):
+            self.comp.note_cost_declaration(node, cost)
+        self.phase = "phase2"
+        self._batch_recompute_pending = False
+        self._announced_routes = {}
+        self._announced_avoid = {}
+        self.comp.reset_phase2()
+        self.recompute_and_announce(force_announce=True)
+
+    # ------------------------------------------------------------------
     # execution phase (mechanism usage)
     # ------------------------------------------------------------------
 

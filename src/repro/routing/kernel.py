@@ -343,11 +343,94 @@ class ReplayKernel:
                     self._avoid_rescan.add((dest, avoided))
         # Rows for routed destinations that dropped out of the universe
         # are still re-derived by the full derive_pricing; match it.
-        self._dirty_pricing.update(self.routing.destinations)
+        # Marking them dirty also lets the incremental rescan withdraw
+        # entries stranded by topology events (inert on static runs,
+        # where the universe covers every routed destination).
+        for dest in self.routing.destinations:
+            if dest not in self._dest_refs:
+                self._dirty_routes[dest] = None
+            self._dirty_pricing.add(dest)
+        self._avoid_rescan.update(self.avoid)
 
     def known_nodes(self) -> Tuple[NodeId, ...]:
         """Every node with a DATA1 entry, repr-sorted."""
         return tuple(sorted(self.costs.as_dict(), key=repr))
+
+    # ------------------------------------------------------------------
+    # topology deltas (dynamic networks)
+    # ------------------------------------------------------------------
+    #
+    # These mutators model rare out-of-band events — a link failing or
+    # being restored, a node leaving or changing its declared cost —
+    # applied synchronously at network quiescence by the dynamic
+    # topology engine.  Each one conservatively marks every derived
+    # entry dirty: topology events are orders of magnitude rarer than
+    # vector updates, so the equivalence argument stays the full
+    # rescan's and no new incremental invariant is introduced.
+
+    def detach_neighbor(self, neighbor: NodeId) -> None:
+        """Remove a failed or departed link's peer from this kernel.
+
+        Drops the neighbour's stored vectors (releasing their universe
+        references) and its base-case candidacy; the next settle
+        withdraws every entry the neighbour was supporting.
+        """
+        if neighbor not in self._neighbor_set:
+            raise ProtocolError(
+                f"{self.owner!r} cannot detach non-neighbour {neighbor!r}"
+            )
+        self.neighbors = tuple(n for n in self.neighbors if n != neighbor)
+        self._neighbor_set = frozenset(self.neighbors)
+        routes = self.neighbor_routes.pop(neighbor, None)
+        if routes:
+            for dest in routes:
+                if dest != self.owner:
+                    self._universe_discard(dest)
+        self.neighbor_avoid.pop(neighbor, None)
+        # The base-case reference held for the neighbour itself.
+        self._universe_discard(neighbor)
+        self._mark_all_dirty()
+
+    def attach_neighbor(self, neighbor: NodeId) -> None:
+        """Add a restored or newly created link's peer to this kernel.
+
+        The peer starts with no stored vectors; the protocol layer is
+        responsible for the one-off full-table exchange that re-seeds
+        the delta streams across the new link.
+        """
+        if neighbor == self.owner or neighbor in self._neighbor_set:
+            raise ProtocolError(
+                f"{self.owner!r} cannot attach {neighbor!r} as a new neighbour"
+            )
+        self.neighbors = tuple(sorted(self.neighbors + (neighbor,), key=repr))
+        self._neighbor_set = frozenset(self.neighbors)
+        self._universe_add(neighbor)
+        self._mark_all_dirty()
+
+    def retract_cost_declaration(self, node: NodeId) -> bool:
+        """Forget a departed node's DATA1 entry; True if it was known.
+
+        Avoidance state keyed on the departed node is withdrawn
+        directly: a fresh computation on the post-event graph never
+        forms ``(dest, node)`` keys for a node it has no declaration
+        for, and the relaxations skip unknown avoided ids.
+        """
+        if node == self.owner:
+            raise ProtocolError(f"{self.owner!r} cannot retract its own cost")
+        if not self.costs.retract(node):
+            return False
+        for key in [k for k in self.avoid if k[1] == node]:
+            self._drop_avoid_entry(key)
+        for key in [k for k in self._avoid_state if k[1] == node]:
+            del self._avoid_state[key]
+        if self.neighbor_routes or self.neighbor_avoid or self.routing.destinations:
+            self._mark_all_dirty()
+        return True
+
+    def change_own_cost(self, cost: Cost) -> bool:
+        """Adopt a new declared transit cost for the owner itself."""
+        self.own_cost = float(cost)
+        return self.note_cost_declaration(self.owner, cost)
 
     # ------------------------------------------------------------------
     # phase 2: routing and pricing
@@ -379,6 +462,16 @@ class ReplayKernel:
         count = self._dest_refs.get(dest, 0)
         if count <= 1:
             self._dest_refs.pop(dest, None)
+            if count == 1:
+                # The destination left the universe (its last offer was
+                # withdrawn): schedule its avoidance keys so retained
+                # entries are withdrawn by the incremental rescan.  The
+                # offer history covers every key a *wire* withdrawal
+                # can strand; base-case-only keys are released through
+                # detach_neighbor, which marks everything dirty anyway.
+                for avoided in self._avoid_keys_by_dest.get(dest, ()):
+                    self._avoid_rescan.add((dest, avoided))
+                self._dirty_pricing.add(dest)
         else:
             self._dest_refs[dest] = count - 1
 
@@ -414,25 +507,35 @@ class ReplayKernel:
         Reads the changed-key set in O(|changes|) and consumes it.
         Principals with an unmodified broadcast hook and checker
         mirrors both encode from here, which is what keeps actual and
-        predicted broadcast streams bit-identical.
+        predicted broadcast streams bit-identical.  A changed key whose
+        entry was deleted (a destination withdrawn by a topology event)
+        becomes the withdrawal row ``(dest, None, ())``; on a static
+        graph deletions never happen and no withdrawal is ever emitted.
         """
         routing = self.routing
         return tuple(
             (dest, entry.cost, entry.path)
-            for dest in sorted(self.consume_route_changes(), key=_sort_key)
             if (entry := routing.entry(dest)) is not None
+            else (dest, None, ())
+            for dest in sorted(self.consume_route_changes(), key=_sort_key)
         )
 
     def consume_avoid_delta(self) -> Tuple:
-        """The next suggested-specification avoidance delta broadcast."""
+        """The next suggested-specification avoidance delta broadcast.
+
+        Deleted avoidance entries become withdrawal rows
+        ``(dest, avoided, None, ())``, mirroring
+        :meth:`consume_route_delta`.
+        """
         avoid = self.avoid
         return tuple(
             (key[0], key[1], entry.cost, entry.path)
+            if (entry := avoid.get(key)) is not None
+            else (key[0], key[1], None, ())
             for key in sorted(
                 self.consume_avoid_changes(),
                 key=lambda k: (_sort_key(k[0]), _sort_key(k[1])),
             )
-            if (entry := avoid.get(key)) is not None
         )
 
     # --- neighbour vector ingestion -----------------------------------
@@ -730,6 +833,10 @@ class ReplayKernel:
         for vector in self.neighbor_routes.values():
             destinations.update(vector)
         destinations.update(self.neighbors)
+        # Destinations with an installed entry but no remaining offer
+        # (withdrawn by topology events) must be rescanned so the entry
+        # is deleted; on a static graph this union adds nothing.
+        destinations.update(self.routing.destinations)
         destinations.discard(self.owner)
         for destination in sorted(destinations, key=repr):
             if self._relax_route(destination):
@@ -753,11 +860,34 @@ class ReplayKernel:
         refs = self._dest_refs
         changed = False
         for destination, suppliers in dirty.items():
-            # Outside the universe the full rescan finds no candidates
-            # either; rejoining re-marks the destination dirty.
-            if destination in refs and self._relax_route(destination, suppliers):
+            if destination not in refs:
+                # Outside the universe the full rescan finds no
+                # candidates either: withdraw any retained entry;
+                # rejoining re-marks the destination dirty.
+                if self._drop_route_entry(destination):
+                    changed = True
+                continue
+            if self._relax_route(destination, suppliers):
                 changed = True
         return changed
+
+    def _drop_route_entry(self, destination: NodeId) -> bool:
+        """Withdraw a destination's DATA2 entry; True if one existed."""
+        self._route_state.pop(destination, None)
+        if self.routing.remove(destination):
+            self._route_changes.add(destination)
+            self._dirty_pricing.add(destination)
+            return True
+        return False
+
+    def _drop_avoid_entry(self, key: AvoidKey) -> bool:
+        """Withdraw one avoidance entry; True if one existed."""
+        self._avoid_state.pop(key, None)
+        if self.avoid.pop(key, None) is not None:
+            self._avoid_changes.add(key)
+            self._dirty_pricing.add(key[0])
+            return True
+        return False
 
     def _relax_route(
         self, destination: NodeId, suppliers: Optional[Set[NodeId]] = None
@@ -838,11 +968,20 @@ class ReplayKernel:
             best = (neighbor, total, len(opath), opath)
             keep = False
         if best is None:
+            # Only a full rescan can reach here with an entry installed
+            # (partial scans keep the reigning argmin as a bound), so a
+            # surviving entry genuinely has no candidate left anywhere:
+            # the destination became unreachable and is withdrawn, just
+            # as a fresh computation on the shrunken graph would never
+            # have derived it.  On a static graph this never fires —
+            # obedient neighbours never retract their offers.
             if state is not None:
-                # No candidate supports the (retained) entry any more;
-                # drop the argmin so future candidates force a rescan
-                # instead of losing against stale state.
                 del self._route_state[destination]
+            if cur is not None:
+                self.routing.remove(destination)
+                self._route_changes.add(destination)
+                self._dirty_pricing.add(destination)
+                return True
             return False
         if keep:
             return False
@@ -890,11 +1029,24 @@ class ReplayKernel:
             destinations.update(vector)
         destinations.update(self.neighbors)
         destinations.discard(self.owner)
+        # Entries whose destination left the universe, or keyed on a
+        # node without a DATA1 entry, have no counterpart in a fresh
+        # fixed point: withdraw them before relaxing (static runs never
+        # produce such keys).
+        stale = [
+            key
+            for key in self.avoid
+            if key[0] not in destinations or key[1] not in all_nodes
+        ]
+        for key in sorted(stale, key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))):
+            if self._drop_avoid_entry(key):
+                changed = True
         if not any(self.neighbor_avoid.values()):
             # Without avoidance inputs only the base case can supply a
             # candidate, so only directly-connected destinations matter
-            # (typical at a phase start).
-            destinations &= set(self.neighbors)
+            # (typical at a phase start) — plus destinations that still
+            # hold entries, which the rescan must be able to withdraw.
+            destinations &= set(self.neighbors) | {key[0] for key in self.avoid}
         for destination in sorted(destinations, key=repr):
             for avoided in sorted(all_nodes, key=repr):
                 if avoided in (self.owner, destination):
@@ -951,11 +1103,20 @@ class ReplayKernel:
             ):
                 destination, avoided = key
                 if destination not in refs:
-                    continue  # rejoining the universe re-marks the key
+                    # Outside the universe a fresh fixed point holds no
+                    # entry: withdraw any retained one (rejoining the
+                    # universe re-marks the key).
+                    if self._drop_avoid_entry(key):
+                        changed = True
+                    continue
                 if avoided == owner or avoided == destination:
                     continue
                 if not costs.knows(avoided):
-                    continue  # DATA1 changes mark everything dirty
+                    # No DATA1 entry for the avoided node (retracted by
+                    # a departure): the key cannot exist freshly.
+                    if self._drop_avoid_entry(key):
+                        changed = True
+                    continue
                 if self._relax_avoid(destination, avoided):
                     changed = True
         return changed
@@ -1005,11 +1166,16 @@ class ReplayKernel:
                 continue
             best = (neighbor, total, len(opath), opath)
         if best is None:
+            # No candidate anywhere supports this key: withdraw the
+            # entry (topology events only — static runs never retract
+            # offers, so this branch is inert there).
             if state is not None:
-                # The (retained) entry lost its last supporting
-                # candidate; drop the argmin so future candidates
-                # force a rescan instead of losing to stale state.
                 del self._avoid_state[key]
+            if cur is not None:
+                del self.avoid[key]
+                self._avoid_changes.add(key)
+                self._dirty_pricing.add(destination)
+                return True
             return False
         if state is not None:
             if _stripped_equal(best, state):
@@ -1053,6 +1219,12 @@ class ReplayKernel:
         for destination in self.routing.destinations:
             if self._derive_pricing_row(destination):
                 changed = True
+        # Rows whose destination lost its route (withdrawn by topology
+        # events) are cleared — a fresh computation never derives them.
+        routed = set(self.routing.destinations)
+        for destination in self.pricing.destinations:
+            if destination not in routed and self._clear_pricing_row(destination):
+                changed = True
         self._dirty_pricing = set()
         return changed
 
@@ -1073,10 +1245,21 @@ class ReplayKernel:
         changed = False
         for destination in sorted(dirty, key=_sort_key):
             if self.routing.entry(destination) is None:
-                continue  # a route arriving later re-marks the row
+                # No route (possibly withdrawn): clear any retained row;
+                # a route arriving later re-marks it.
+                if self._clear_pricing_row(destination):
+                    changed = True
+                continue
             if self._derive_pricing_row(destination):
                 changed = True
         return changed
+
+    def _clear_pricing_row(self, destination: NodeId) -> bool:
+        """Clear one DATA3* row; True if it held any cell."""
+        if self.pricing.row(destination):
+            self.pricing.clear_destination(destination)
+            return True
+        return False
 
     def _derive_pricing_row(self, destination: NodeId) -> bool:
         """Re-derive one destination's DATA3* row; True if it changed."""

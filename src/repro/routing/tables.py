@@ -91,6 +91,15 @@ class TransitCostTable:
         """True if a declaration for the node has been recorded."""
         return node in self._costs
 
+    def retract(self, node: NodeId) -> bool:
+        """Forget a declaration (node left the network); True if known.
+
+        Never exercised on the static paper protocol — DATA1 only grows
+        during a run — but required by the dynamic-topology engine so a
+        departed node's declaration does not linger in digests.
+        """
+        return self._costs.pop(node, None) is not None
+
     def as_dict(self) -> Dict[NodeId, Cost]:
         """Copy of the underlying mapping."""
         return dict(self._costs)
@@ -123,6 +132,15 @@ class RoutingTable:
             return False
         self._entries[destination] = entry
         return True
+
+    def remove(self, destination: NodeId) -> bool:
+        """Withdraw an entry; returns True if the table changed.
+
+        Obedient nodes on a static graph never withdraw (their tables
+        only grow); topology events — failed links, departed nodes —
+        are what make destinations genuinely unreachable.
+        """
+        return self._entries.pop(destination, None) is not None
 
     def cost(self, destination: NodeId) -> Cost:
         """Path cost to a destination (INFINITY if unknown)."""

@@ -69,6 +69,34 @@ class NetworkTopology:
         return link
 
     # ------------------------------------------------------------------
+    # mutation (dynamic topology events)
+    # ------------------------------------------------------------------
+    #
+    # The paper's mechanism run assumes a static network; the dynamic
+    # topology engine mutates the topology *between* reconvergence
+    # epochs, at network quiescence, never while messages are in
+    # flight.
+
+    def remove_link(self, a: NodeId, b: NodeId) -> Link:
+        """Disconnect a link (a failure event); returns the old link."""
+        key = frozenset((a, b))
+        link = self._links.pop(key, None)
+        if link is None:
+            raise SimulationError(f"no link between {a!r} and {b!r}")
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+        return link
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Unregister a node and every link incident to it."""
+        if node_id not in self._nodes:
+            raise SimulationError(f"unknown node {node_id!r}")
+        for neighbor in tuple(self._adjacency[node_id]):
+            self.remove_link(node_id, neighbor)
+        del self._adjacency[node_id]
+        self._nodes.discard(node_id)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
 

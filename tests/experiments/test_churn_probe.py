@@ -1,0 +1,137 @@
+"""The churn probe: spec schema, grid placement, and determinism.
+
+The dynamic-topology subsystem joins the experiment harness as a
+probe; these tests pin the spec extension (validation, scenario ids,
+content-key stability for pre-churn artifacts), the default sweep's
+churn block, and the probe's byte-determinism and telemetry counters.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ScenarioSpec, default_sweep
+from repro.experiments.runner import run_scenario, run_scenario_traced
+
+
+def churn_spec(**overrides):
+    base = dict(
+        probe="churn",
+        topology="random",
+        size=8,
+        seed=2,
+        churn_epochs=2,
+        churn_events=1,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecSchema:
+    def test_churn_spec_is_valid(self):
+        churn_spec().validate()
+        churn_spec(churn_membership=True).validate()
+
+    def test_epoch_and_event_floors(self):
+        with pytest.raises(ExperimentError):
+            churn_spec(churn_epochs=0).validate()
+        with pytest.raises(ExperimentError):
+            churn_spec(churn_events=0).validate()
+
+    def test_field_types_are_checked(self):
+        with pytest.raises(ExperimentError):
+            churn_spec(churn_epochs="three").validate()
+        with pytest.raises(ExperimentError):
+            churn_spec(churn_membership="yes").validate()
+
+    def test_scenario_id_carries_the_churn_axes(self):
+        plain = churn_spec(churn_epochs=3, churn_events=2)
+        member = churn_spec(
+            churn_epochs=3, churn_events=2, churn_membership=True
+        )
+        assert "churn" in plain.scenario_id()
+        assert "x3.2" in plain.scenario_id()
+        assert "membership" not in plain.scenario_id()
+        assert "membership" in member.scenario_id()
+        assert plain.scenario_id() != member.scenario_id()
+
+
+class TestContentKeyStability:
+    """The schema extension must not move any pre-churn cell: default
+    churn fields are omitted from the serialized form, so content keys
+    (and hence resume/merge identity) are unchanged."""
+
+    def test_defaults_are_omitted_from_to_dict(self):
+        document = ScenarioSpec(probe="payments", size=6).to_dict()
+        assert "churn_epochs" not in document
+        assert "churn_events" not in document
+        assert "churn_membership" not in document
+
+    def test_non_defaults_round_trip(self):
+        spec = churn_spec(churn_epochs=4, churn_membership=True)
+        document = spec.to_dict()
+        assert document["churn_epochs"] == 4
+        assert document["churn_membership"] is True
+        assert ScenarioSpec.from_dict(document) == spec
+
+    def test_pre_churn_documents_still_parse(self):
+        document = ScenarioSpec(probe="payments", size=6).to_dict()
+        for key in list(document):
+            assert not key.startswith("churn_")
+        parsed = ScenarioSpec.from_dict(document)
+        assert parsed.churn_epochs == 2 and parsed.churn_events == 1
+
+    def test_content_key_unchanged_by_default_churn_fields(self):
+        old_style = ScenarioSpec(probe="payments", size=6, seed=1)
+        explicit = ScenarioSpec(
+            probe="payments",
+            size=6,
+            seed=1,
+            churn_epochs=2,
+            churn_events=1,
+            churn_membership=False,
+        )
+        assert old_style.content_key() == explicit.content_key()
+
+
+class TestDefaultSweep:
+    def test_grid_gains_a_churn_block(self):
+        cells = default_sweep().scenarios
+        churn = [c for c in cells if c.probe == "churn"]
+        assert len(churn) == 8
+        assert {c.churn_membership for c in churn} == {True, False}
+        assert {c.size for c in churn} == {12, 16}
+        assert all(c.churn_epochs == 3 and c.churn_events == 2 for c in churn)
+
+    def test_churn_block_is_optional(self):
+        cells = default_sweep(churn_seeds=0).scenarios
+        assert not any(c.probe == "churn" for c in cells)
+        with pytest.raises(ExperimentError):
+            default_sweep(churn_seeds=-1)
+
+
+class TestProbeRuns:
+    def test_probe_reports_reconvergence_metrics(self):
+        result = run_scenario(churn_spec())
+        assert result.error is None
+        values = result.values
+        assert values["churn_epochs_run"] == 2
+        assert values["initial_messages"] > 0
+        assert values["reconvergence_messages"] >= 0
+        assert 0 <= values["availability"] <= 1
+        assert values["message_amplification"] >= 0
+
+    def test_membership_probe_runs(self):
+        result = run_scenario(churn_spec(churn_membership=True, seed=5))
+        assert result.error is None
+        assert result.values["churn_events_applied"] >= 1
+
+    def test_probe_is_deterministic(self):
+        one = run_scenario(churn_spec(seed=7))
+        two = run_scenario(churn_spec(seed=7))
+        assert one.comparable() == two.comparable()
+
+    def test_probe_emits_churn_counters(self):
+        _result, counters = run_scenario_traced(churn_spec())
+        assert counters.get("churn.epochs") == 2
+        assert counters.get("churn.events", 0) >= 1
+        assert counters.get("churn.reconvergence_messages", 0) >= 0

@@ -216,9 +216,13 @@ class TestParseSweep:
         ]
 
     def test_default_sweep_checked_block_appends_only(self):
-        """Existing cells keep their content keys when blocks grow."""
-        base = default_sweep(checked_seeds=0)
+        """Existing cells keep their content keys when blocks grow:
+        each optional block appends strictly after the previous ones."""
+        base = default_sweep(checked_seeds=0, churn_seeds=0)
+        with_checked = default_sweep(churn_seeds=0)
         grown = default_sweep()
         base_keys = [s.content_key() for s in base.scenarios]
+        checked_keys = [s.content_key() for s in with_checked.scenarios]
         grown_keys = [s.content_key() for s in grown.scenarios]
-        assert grown_keys[: len(base_keys)] == base_keys
+        assert checked_keys[: len(base_keys)] == base_keys
+        assert grown_keys[: len(checked_keys)] == checked_keys

@@ -25,8 +25,9 @@ BYTE_STABLE = ("results.csv", "summary.csv", "sweep.json")
 
 
 def _grid():
-    # 6 cells; the (pareto, cost_low=0.0) one fails at build time, so
-    # error cells ride through the feed and the equivalence check.
+    # 7 cells; the (pareto, cost_low=0.0) one fails at build time, so
+    # error cells ride through the feed and the equivalence check.  The
+    # churn cell pins the dynamic-topology probe's telemetry contract.
     return expand_grid(
         base={"size": 6},
         axes={
@@ -35,6 +36,9 @@ def _grid():
         },
     ) + expand_grid(
         base={"size": 6, "probe": "convergence"}, axes={"seed": [0, 1]}
+    ) + expand_grid(
+        base={"size": 6, "probe": "churn", "churn_epochs": 2},
+        axes={"seed": [0]},
     )
 
 
@@ -145,6 +149,16 @@ class TestFeedEquivalence:
             counters = event.attrs["counters"]
             assert counters.get("kernel.rows_ingested", 0) > 0
             assert counters.get("sim.metrics.events_processed", 0) > 0
+
+    def test_churn_cell_carries_epoch_counters(self, runs):
+        events = read_feed(feed_path(str(runs["on_serial"])))
+        finished = [e for e in events if e.kind == "cell_finish"]
+        churn = [e for e in finished if e.attrs["probe"] == "churn"]
+        assert len(churn) == 1
+        counters = churn[0].attrs["counters"]
+        assert counters.get("churn.epochs") == 2
+        assert counters.get("churn.events", 0) >= 1
+        assert counters.get("churn.reconvergence_events", 0) > 0
 
     def test_status_agrees_with_results(self, runs):
         status = feed_status(read_feed(feed_path(str(runs["on_pooled"]))))

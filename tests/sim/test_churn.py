@@ -1,0 +1,205 @@
+"""Churn event vocabulary, graph evolution, and seeded schedules.
+
+The dynamic-topology subsystem starts here: events must be validated
+at construction, graph evolution must be pure and order-deterministic,
+and the seeded generator must keep every intermediate graph viable so
+reconvergence is always well-defined.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.routing import ASGraph, figure1_graph
+from repro.sim.churn import (
+    EVENT_KINDS,
+    ChurnEvent,
+    ChurnSchedule,
+    apply_churn_epoch,
+    apply_churn_event,
+    evolved_graphs,
+    random_churn_schedule,
+)
+from repro.workloads import random_biconnected_graph
+
+
+class TestEventValidation:
+    def test_vocabulary_is_closed(self):
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind="reboot", node="A")
+
+    def test_cost_event_requires_node_and_cost(self):
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind="cost", node="A")
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind="cost", cost=2.0)
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind="cost", node="A", cost=-1.0)
+
+    @pytest.mark.parametrize("kind", ["link-down", "link-up"])
+    def test_link_events_require_a_proper_pair(self, kind):
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind=kind)
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind=kind, link=("A", "A"))
+
+    def test_join_links_must_contain_the_joiner(self):
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind="join", node="Z", cost=1.0, links=(("A", "B"),))
+        with pytest.raises(SimulationError):
+            ChurnEvent(kind="join", node="Z", cost=1.0, links=())
+
+    def test_describe_is_deterministic(self):
+        down = ChurnEvent(kind="link-down", link=("B", "A"))
+        # The label sorts the endpoints, so orientation cannot leak.
+        assert down.describe() == "link-down:'A'-'B'"
+        assert ChurnEvent(kind="cost", node="C", cost=2.5).describe() == (
+            "cost:'C'=2.5"
+        )
+
+
+class TestGraphEvolution:
+    def test_cost_change_preserves_edges(self):
+        graph = figure1_graph()
+        evolved = apply_churn_event(
+            graph, ChurnEvent(kind="cost", node="C", cost=9.0)
+        )
+        assert evolved.cost("C") == 9.0
+        assert evolved.edges == graph.edges
+        assert graph.cost("C") != 9.0  # pure: the input graph is untouched
+
+    def test_link_down_then_up_round_trips_edge_set(self):
+        graph = figure1_graph()
+        edge = graph.edges[0]
+        down = apply_churn_event(graph, ChurnEvent(kind="link-down", link=edge))
+        assert not down.has_edge(*edge)
+        up = apply_churn_event(down, ChurnEvent(kind="link-up", link=edge))
+        assert up.has_edge(*edge)
+        assert sorted(map(frozenset, up.edges)) == sorted(
+            map(frozenset, graph.edges)
+        )
+
+    def test_leave_drops_node_and_incident_links(self):
+        graph = figure1_graph()
+        evolved = apply_churn_event(graph, ChurnEvent(kind="leave", node="C"))
+        assert "C" not in evolved
+        assert all("C" not in pair for pair in evolved.edges)
+
+    def test_join_adds_node_with_links(self):
+        graph = figure1_graph()
+        event = ChurnEvent(
+            kind="join", node="N", cost=3.0, links=(("N", "A"), ("N", "C"))
+        )
+        evolved = apply_churn_event(graph, event)
+        assert evolved.cost("N") == 3.0
+        assert evolved.has_edge("N", "A") and evolved.has_edge("N", "C")
+
+    def test_events_validate_against_the_graph(self):
+        graph = figure1_graph()
+        cases = [
+            ChurnEvent(kind="cost", node="nope", cost=1.0),
+            ChurnEvent(kind="leave", node="nope"),
+            ChurnEvent(kind="link-down", link=("A", "nope")),
+            ChurnEvent(kind="link-up", link=graph.edges[0]),  # already up
+            ChurnEvent(kind="join", node="A", cost=1.0, links=(("A", "B"),)),
+        ]
+        for event in cases:
+            with pytest.raises(SimulationError):
+                apply_churn_event(graph, event)
+
+    def test_epoch_folds_left_to_right(self):
+        graph = figure1_graph()
+        edge = graph.edges[0]
+        events = [
+            ChurnEvent(kind="link-down", link=edge),
+            ChurnEvent(kind="link-up", link=edge),
+            ChurnEvent(kind="cost", node="A", cost=5.0),
+        ]
+        evolved = apply_churn_epoch(graph, events)
+        assert evolved.has_edge(*edge) and evolved.cost("A") == 5.0
+        # Reordering makes the fold invalid: up before down must raise.
+        with pytest.raises(SimulationError):
+            apply_churn_epoch(graph, events[::-1])
+
+    def test_evolved_graphs_one_per_epoch(self):
+        graph = figure1_graph()
+        schedule = ChurnSchedule(
+            epochs=(
+                (ChurnEvent(kind="cost", node="A", cost=4.0),),
+                (ChurnEvent(kind="cost", node="B", cost=6.0),),
+            )
+        )
+        snapshots = evolved_graphs(graph, schedule)
+        assert len(snapshots) == len(schedule) == 2
+        assert snapshots[0].cost("A") == 4.0 and snapshots[0].cost("B") != 6.0
+        assert snapshots[1].cost("A") == 4.0 and snapshots[1].cost("B") == 6.0
+
+
+class TestRandomSchedules:
+    def test_same_seed_same_schedule(self):
+        graph = random_biconnected_graph(12, random.Random(5))
+        draws = [
+            random_churn_schedule(
+                graph,
+                random.Random(42),
+                epochs=3,
+                events_per_epoch=2,
+                kinds=EVENT_KINDS,
+            )
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_unknown_kind_rejected(self):
+        graph = figure1_graph()
+        with pytest.raises(SimulationError):
+            random_churn_schedule(graph, random.Random(0), kinds=("meteor",))
+
+    @pytest.mark.parametrize("require", ["connected", "biconnected"])
+    def test_every_epoch_graph_stays_viable(self, require):
+        graph = random_biconnected_graph(10, random.Random(9))
+        schedule = random_churn_schedule(
+            graph,
+            random.Random(1),
+            epochs=4,
+            events_per_epoch=2,
+            kinds=EVENT_KINDS,
+            require=require,
+        )
+        check = (
+            ASGraph.is_connected
+            if require == "connected"
+            else ASGraph.is_biconnected
+        )
+        for snapshot in evolved_graphs(graph, schedule):
+            assert check(snapshot)
+
+    def test_membership_kinds_actually_drawn(self):
+        graph = random_biconnected_graph(8, random.Random(2))
+        schedule = random_churn_schedule(
+            graph,
+            random.Random(3),
+            epochs=6,
+            events_per_epoch=2,
+            kinds=("leave", "join"),
+        )
+        kinds = {e.kind for events in schedule.epochs for e in events}
+        assert kinds == {"leave", "join"}
+
+    def test_small_graphs_shrink_instead_of_failing(self):
+        # A triangle cannot lose a link and stay biconnected; the
+        # generator must yield empty epochs rather than raise.
+        graph = ASGraph(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        schedule = random_churn_schedule(
+            graph,
+            random.Random(0),
+            epochs=2,
+            events_per_epoch=1,
+            kinds=("link-down",),
+            require="biconnected",
+        )
+        assert schedule.event_count == 0
