@@ -278,6 +278,7 @@ def _churn_probe(
         kinds=kinds,
         cost_range=(spec.cost_low, spec.cost_high),
         require="connected",
+        seed=spec.seed + 3,
     )
     run = run_dynamic_fpss(
         graph,

@@ -96,6 +96,10 @@ class FaithfulRoutingNode(FPSSNode):
         #: neighbours (this node as their first hop).
         self.observed_originations: Dict[Tuple[NodeId, NodeId], float] = {}
         self.execution_flags: List[Flag] = []
+        #: Checker copies accumulated during the current delivery batch,
+        #: coalesced into one multicast per batch at the flush boundary.
+        self._pending_copies: List[Tuple[str, NodeId, Tuple]] = []
+        self._pending_copy_size = 0
 
     # ------------------------------------------------------------------
     # checker setup
@@ -223,8 +227,21 @@ class FaithfulRoutingNode(FPSSNode):
             self.sim.metrics.record_computation(self.node_id, as_checker=True)
 
     def flush_batch(self) -> None:
-        """Batch boundary: replay every mirror with pending copies,
-        then run the own (principal-role) recomputation."""
+        """Batch boundary: send the coalesced checker-copy bundle,
+        replay every mirror with pending copies, then run the own
+        (principal-role) recomputation.
+
+        The bundle goes out first: on the FIFO link it must precede the
+        broadcasts the same batch triggers (sent by the super call), so
+        receivers always ingest a principal's claimed inputs before
+        observing the broadcast derived from them.
+        """
+        if self._pending_copies:
+            copies = tuple(self._pending_copies)
+            self._pending_copies.clear()
+            size = self._pending_copy_size
+            self._pending_copy_size = 0
+            self._send_copy_bundle(copies, size)
         for principal in self.neighbors:
             mirror = self.mirrors.get(principal)
             if mirror is not None and mirror.comp is not None:
@@ -265,13 +282,25 @@ class FaithfulRoutingNode(FPSSNode):
         size_hint = self.__dict__.pop("_copy_size_hint", None)
         if size_hint is None:
             size_hint = delta_size(vector) + 2
+        entry = (orig_kind, orig_src, vector)
+        if self._in_batch:
+            self._pending_copies.append(entry)
+            self._pending_copy_size += size_hint
+            return
+        self._send_copy_bundle((entry,), size_hint)
+
+    def _send_copy_bundle(
+        self, copies: Tuple[Tuple[str, NodeId, Tuple], ...], size_hint: int
+    ) -> None:
+        """Multicast one checker-copy message carrying ``copies`` entries."""
+        self.sim.metrics.record_uncoalesced_copies(
+            len(copies) * len(self.neighbors)
+        )
         self.multicast(
             self.neighbors,
             KIND_CHECKER_COPY,
             size_hint=size_hint,
-            orig_kind=orig_kind,
-            orig_src=orig_src,
-            vector=vector,
+            copies=copies,
         )
 
     # --- checker duty: replay copies -----------------------------------
@@ -289,18 +318,14 @@ class FaithfulRoutingNode(FPSSNode):
         if mirror is None or mirror.comp is None:
             return
         if self._in_batch:
-            mirror.apply_copy(
-                message.payload["orig_kind"],
-                message.payload["orig_src"],
-                message.payload["vector"],
-                defer=True,
-            )
+            for orig_kind, orig_src, vector in message.payload["copies"]:
+                mirror.apply_copy(orig_kind, orig_src, vector, defer=True)
             return
-        if mirror.apply_copy(
-            message.payload["orig_kind"],
-            message.payload["orig_src"],
-            message.payload["vector"],
-        ):
+        ran = False
+        for orig_kind, orig_src, vector in message.payload["copies"]:
+            if mirror.apply_copy(orig_kind, orig_src, vector):
+                ran = True
+        if ran:
             self.sim.metrics.record_computation(self.node_id, as_checker=True)
 
     # ------------------------------------------------------------------

@@ -285,7 +285,12 @@ def feed_status(events: Sequence[TelemetryEvent]) -> FeedStatus:
                     ) + int(value)  # type: ignore[arg-type]
         elif event.kind == KIND_SWEEP_FINISH:
             status.complete = True
-    if stamps:
+    # Rate and ETA need at least two wall stamps a positive interval
+    # apart: a just-started feed (one record) or one killed within the
+    # stamp resolution has no measurable elapsed time, and dividing by
+    # it would report a nonsense rate.  Such feeds keep rate == 0.0 and
+    # eta is None, which renders as "n/a".
+    if len(stamps) >= 2:
         status.elapsed = max(stamps) - min(stamps)
     done = status.finished + status.errors
     if done and status.elapsed > 0:
@@ -312,6 +317,11 @@ def render_status(status: FeedStatus, top_counters: int = 8) -> str:
         )
         if status.eta is not None and not status.complete:
             lines.append(f"eta:   ~{status.eta:.0f}s for {status.remaining} cells")
+    elif not status.complete:
+        # Just started or killed instantly: no measurable interval yet.
+        lines.append("rate:  n/a (fewer than two timestamped records)")
+        if status.remaining:
+            lines.append(f"eta:   n/a for {status.remaining} cells")
     if status.error_classes:
         parts = ", ".join(
             f"{name} x{count}"

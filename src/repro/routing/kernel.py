@@ -18,6 +18,20 @@ three very different clients:
   which iterates synchronous rounds of the same state machine with no
   simulator at all and cross-checks the distributed fixed point.
 
+Columnar hot path
+-----------------
+The ingest → fused relaxation → changed-key-set hot path runs over flat
+parallel lists indexed by dense int ids: node ids and
+``(destination, avoided)`` keys are interned once per kernel, replay
+state lives in id-indexed columns, and every canonical drain sorts ids
+by a precomputed id→rank permutation instead of re-deriving ``repr``
+sort keys per call (rank order equals ``_sort_key`` order by
+construction — see the :class:`ReplayKernel` docstring and
+``docs/determinism.md``).  The previous dict-keyed implementation is
+retained verbatim as
+:class:`~repro.routing.kernel_dict.DictReplayKernel`, the equivalence
+oracle the columnar kernel is property-tested bit-identical against.
+
 Shared checker replay
 ---------------------
 A principal's broadcast reaches all of its k checkers identically, so k
@@ -215,7 +229,7 @@ class KernelSnapshot:
 
 
 class ReplayKernel:
-    """Pure FPSS mechanism state for one node (or one replay of one).
+    """Pure FPSS mechanism state for one node, over columnar storage.
 
     A message-driven state machine: :meth:`apply_route_delta` /
     :meth:`apply_avoid_delta` ingest wire rows (fusing the monotone
@@ -227,6 +241,36 @@ class ReplayKernel:
     tidiness: checker mirrors replay a principal's kernel on copies of
     its messages, and replay only works because the kernel is a pure
     function of (identity, neighbour set, op sequence).
+
+    Columnar layout
+    ---------------
+    Every node id and every ``(destination, avoided)`` key is interned
+    once per kernel into a contiguous int id (:meth:`_intern_node`,
+    :meth:`_intern_avoid`); the hot-path state lives in flat parallel
+    lists indexed by those ids:
+
+    * ``_ref_col[did]`` — destination-universe reference counts;
+    * ``_route_state_col[did]`` / ``_avoid_state_col[aid]`` — the
+      reigning argmin per key (stripped candidates);
+    * ``_avoid_dest[aid]`` / ``_avoid_avoided[aid]`` /
+      ``_avoid_keys[aid]`` — key-id decomposition columns;
+    * per-neighbour offer stores keyed on int ids
+      (``_route_offers[n][did]``, ``_avoid_offers[n][aid]``).
+
+    Dirty/changed bookkeeping is sets of int ids, and every canonical
+    drain sorts ids by the precomputed ``_node_rank`` permutation
+    instead of re-deriving ``repr`` sort keys per call.  Ranks are
+    maintained by ordered insertion at interning time, so rank order
+    equals ``_sort_key`` order over all interned ids at every drain —
+    the equivalence argument for replacing repr-sort on the hot path
+    (see ``docs/determinism.md``).  Interning tables survive
+    :meth:`reset_phase2` (they are pure key-to-id maps); all replay
+    state columns are rebuilt.
+
+    The pre-columnar dict-keyed implementation is retained verbatim as
+    :class:`~repro.routing.kernel_dict.DictReplayKernel` and
+    property-tested bit-identical to this class
+    (``tests/routing/test_columnar_kernel.py``).
 
     Parameters
     ----------
@@ -253,65 +297,154 @@ class ReplayKernel:
         self.routing = RoutingTable(owner)  # DATA2
         self.pricing = PricingTable(owner)  # DATA3*
         self.avoid: AvoidVector = {}
-        #: Last routing/avoid vector received from each neighbour.
-        self.neighbor_routes: Dict[NodeId, RouteVector] = {}
-        self.neighbor_avoid: Dict[NodeId, AvoidVector] = {}
+        #: Last offers received from each neighbour, keyed on dense ids
+        #: (``did`` for routing rows, ``aid`` for avoidance rows).
+        self._route_offers: Dict[NodeId, Dict[int, Tuple]] = {}
+        self._avoid_offers: Dict[NodeId, Dict[int, Tuple]] = {}
         self.computation_count = 0
         self.stats = KernelStats()
+
+        # Interning tables: node -> did, (destination, avoided) -> aid,
+        # plus the id -> key / id -> rank decomposition columns.  These
+        # are pure key-to-id maps, independent of replay state, so they
+        # survive reset_phase2 (ids stay stable across phase restarts).
+        self._node_ids: Dict[NodeId, int] = {}
+        self._node_keys: List[NodeId] = []
+        #: did -> position of the node in ``_sort_key`` order over all
+        #: interned nodes; maintained by ordered insertion so sorting
+        #: ids by rank is identical to sorting nodes by ``_sort_key``.
+        self._node_rank: List[int] = []
+        self._rank_ids: List[int] = []  # ids in rank order
+        self._rank_sort_keys: List[str] = []  # their sort keys, ascending
+        self._avoid_ids: Dict[AvoidKey, int] = {}
+        self._avoid_keys: List[AvoidKey] = []
+        self._avoid_dest: List[int] = []  # aid -> destination did
+        self._avoid_avoided: List[int] = []  # aid -> avoided did
+
+        # did/aid-indexed state columns; grown by interning, rebuilt by
+        # _reset_incremental_state.
+        self._ref_col: List[int] = []
+        self._route_state_col: List[Optional[Tuple]] = []
+        self._avoid_state_col: List[Optional[Tuple]] = []
+
+        self._owner_id = self._intern_node(owner)
+        for neighbor in self.neighbors:
+            self._intern_node(neighbor)
         self._reset_incremental_state()
 
+    # ------------------------------------------------------------------
+    # key interning
+    # ------------------------------------------------------------------
+
+    def _intern_node(self, node: NodeId) -> int:
+        """The dense id of ``node``, interning it on first sight.
+
+        New ids are inserted into the rank permutation at their
+        ``_sort_key`` position (binary search over the sorted key
+        column), shifting the ranks of all ids ordering after them —
+        O(n) per *new* node, amortised away because the node universe
+        of a run is small and recurs across every broadcast.
+        """
+        nid = self._node_ids.get(node)
+        if nid is not None:
+            return nid
+        nid = len(self._node_keys)
+        self._node_ids[node] = nid
+        self._node_keys.append(node)
+        sort_key = _sort_key(node)
+        sort_keys = self._rank_sort_keys
+        lo = 0
+        hi = len(sort_keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sort_keys[mid] < sort_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        sort_keys.insert(lo, sort_key)
+        rank_ids = self._rank_ids
+        rank_ids.insert(lo, nid)
+        rank_col = self._node_rank
+        rank_col.append(lo)
+        for shifted in rank_ids[lo + 1 :]:
+            rank_col[shifted] += 1
+        self._ref_col.append(0)
+        self._route_state_col.append(None)
+        return nid
+
+    def _intern_avoid(self, key: AvoidKey) -> int:
+        """The dense id of an avoidance key, interning it on first sight."""
+        aid = self._avoid_ids.get(key)
+        if aid is None:
+            aid = len(self._avoid_keys)
+            self._avoid_ids[key] = aid
+            self._avoid_keys.append(key)
+            self._avoid_dest.append(self._intern_node(key[0]))
+            self._avoid_avoided.append(self._intern_node(key[1]))
+            self._avoid_state_col.append(None)
+        return aid
+
     def _reset_incremental_state(self) -> None:
-        """(Re)initialise the delta-recomputation bookkeeping."""
+        """(Re)initialise the delta-recomputation bookkeeping.
+
+        The interning tables persist (ids are stable for the kernel's
+        lifetime); every replay-state column and dirty/changed set is
+        rebuilt at its current interned size.
+        """
         #: Reference counts for the destination universe: +1 per
         #: neighbour vector currently announcing the destination, +1 if
         #: it is a neighbour (the base case of the relaxation).  A
         #: destination is relaxed only while its count is positive —
         #: the same universe the full rescans derive on every call.
-        self._dest_refs: Dict[NodeId, int] = {
-            n: 1 for n in self.neighbors if n != self.owner
-        }
-        #: Routing dirty map: destination -> the set of neighbours
+        self._ref_col = [0] * len(self._node_keys)
+        owner_id = self._owner_id
+        node_ids = self._node_ids
+        for neighbor in self.neighbors:
+            nid = node_ids[neighbor]
+            if nid != owner_id:
+                self._ref_col[nid] = 1
+        #: Routing dirty map: destination did -> the set of neighbours
         #: whose input changed since the last relaxation, or ``None``
         #: for "rescan every candidate" (universe (re)entry, DATA1
         #: change).
-        self._dirty_routes: Dict[NodeId, Optional[Set[NodeId]]] = {}
-        #: Avoidance keys whose reigning argmin was invalidated and
+        self._dirty_routes: Dict[int, Optional[Set[NodeId]]] = {}
+        #: Avoidance key ids whose reigning argmin was invalidated and
         #: that need a full candidate rescan.  Improvements never land
         #: here — they are adopted directly during ingestion (the
         #: common, monotone case), with :attr:`_avoid_changed`
         #: accumulating whether any entry moved since the last
         #: recompute call.
-        self._avoid_rescan: Set[AvoidKey] = set()
+        self._avoid_rescan: Set[int] = set()
         self._avoid_changed = False
-        self._dirty_pricing: Set[NodeId] = set()
-        #: Destinations that (re)entered the universe and whose
+        self._dirty_pricing: Set[int] = set()
+        #: Destination dids that (re)entered the universe and whose
         #: avoidance keys still need a rescan sweep.  Expanded lazily
         #: at the next recompute — and only over the keys that ever
         #: stored an offer — instead of eagerly marking n keys.
-        self._avoid_dest_pending: Set[NodeId] = set()
-        #: Per destination, the avoided ids that ever had a stored
-        #: offer (grow-only, conservative).  The re-entry sweep scans
-        #: exactly these keys: a key with no offer history and no base
-        #: case (non-neighbour destination) is a no-op in
+        self._avoid_dest_pending: Set[int] = set()
+        #: Per destination did, the aids that ever had a stored offer
+        #: (grow-only, conservative).  The re-entry sweep scans exactly
+        #: these keys: a key with no offer history and no base case
+        #: (non-neighbour destination) is a no-op in
         #: :meth:`_relax_avoid`, so skipping it matches the full
         #: rescan; neighbour destinations keep the all-keys sweep for
         #: the base case.  Keys with replay state but no offer history
         #: cannot exist for non-neighbour destinations (the base case
         #: is their only supplier-free candidate source).
-        self._avoid_keys_by_dest: Dict[NodeId, Set[NodeId]] = {}
-        #: Keys whose DATA2/avoidance entries changed since the last
+        self._avoid_keys_by_dest: Dict[int, Set[int]] = {}
+        #: Ids whose DATA2/avoidance entries changed since the last
         #: announcement was encoded — the O(|changes|) source for delta
         #: broadcasts of the unmodified (suggested) specification.
-        self._route_changes: Set[NodeId] = set()
-        self._avoid_changes: Set[AvoidKey] = set()
+        self._route_changes: Set[int] = set()
+        self._avoid_changes: Set[int] = set()
         #: Last relaxation result per key: ``(supplier, stripped key)``
         #: where the supplier is the neighbour whose candidate won (or
         #: ``_BASE`` for the directly-connected base case) and the
         #: stripped key orders candidates without materialising them.
         #: Tracking the argmin makes a relaxation O(|changed inputs|)
         #: unless the winning input itself worsened.
-        self._route_state: Dict[NodeId, Tuple] = {}
-        self._avoid_state: Dict[AvoidKey, Tuple] = {}
+        self._route_state_col = [None] * len(self._node_keys)
+        self._avoid_state_col = [None] * len(self._avoid_keys)
 
     # ------------------------------------------------------------------
     # phase 1: transit cost dissemination
@@ -327,30 +460,43 @@ class ReplayKernel:
         """
         changed = self.costs.declare(node, cost)
         if changed and (
-            self.neighbor_routes or self.neighbor_avoid or self.routing.destinations
+            self._route_offers or self._avoid_offers or self.routing.destinations
         ):
             self._mark_all_dirty()
         return changed
 
     def _mark_all_dirty(self) -> None:
         """Schedule a full re-relaxation through the incremental path."""
-        known = [n for n in self.costs.as_dict() if n != self.owner]
-        for dest in self._dest_refs:
-            self._dirty_routes[dest] = None
-            self._dirty_pricing.add(dest)
+        owner = self.owner
+        known = [n for n in self.costs.as_dict() if n != owner]
+        dirty = self._dirty_routes
+        pricing = self._dirty_pricing
+        rescan = self._avoid_rescan
+        keys = self._node_keys
+        intern_avoid = self._intern_avoid
+        universe = [did for did, count in enumerate(self._ref_col) if count > 0]
+        for did in universe:
+            dest = keys[did]
+            dirty[did] = None
+            pricing.add(did)
             for avoided in known:
                 if avoided != dest:
-                    self._avoid_rescan.add((dest, avoided))
+                    rescan.add(intern_avoid((dest, avoided)))
         # Rows for routed destinations that dropped out of the universe
         # are still re-derived by the full derive_pricing; match it.
         # Marking them dirty also lets the incremental rescan withdraw
         # entries stranded by topology events (inert on static runs,
         # where the universe covers every routed destination).
+        ref_col = self._ref_col
+        intern = self._intern_node
         for dest in self.routing.destinations:
-            if dest not in self._dest_refs:
-                self._dirty_routes[dest] = None
-            self._dirty_pricing.add(dest)
-        self._avoid_rescan.update(self.avoid)
+            did = intern(dest)
+            if ref_col[did] == 0:
+                dirty[did] = None
+            pricing.add(did)
+        avoid_ids = self._avoid_ids
+        for key in self.avoid:
+            rescan.add(avoid_ids[key])
 
     def known_nodes(self) -> Tuple[NodeId, ...]:
         """Every node with a DATA1 entry, repr-sorted."""
@@ -381,14 +527,15 @@ class ReplayKernel:
             )
         self.neighbors = tuple(n for n in self.neighbors if n != neighbor)
         self._neighbor_set = frozenset(self.neighbors)
-        routes = self.neighbor_routes.pop(neighbor, None)
+        routes = self._route_offers.pop(neighbor, None)
+        owner_id = self._owner_id
         if routes:
-            for dest in routes:
-                if dest != self.owner:
-                    self._universe_discard(dest)
-        self.neighbor_avoid.pop(neighbor, None)
+            for did in routes:
+                if did != owner_id:
+                    self._universe_discard(did)
+        self._avoid_offers.pop(neighbor, None)
         # The base-case reference held for the neighbour itself.
-        self._universe_discard(neighbor)
+        self._universe_discard(self._node_ids[neighbor])
         self._mark_all_dirty()
 
     def attach_neighbor(self, neighbor: NodeId) -> None:
@@ -404,7 +551,7 @@ class ReplayKernel:
             )
         self.neighbors = tuple(sorted(self.neighbors + (neighbor,), key=repr))
         self._neighbor_set = frozenset(self.neighbors)
-        self._universe_add(neighbor)
+        self._universe_add(self._intern_node(neighbor))
         self._mark_all_dirty()
 
     def retract_cost_declaration(self, node: NodeId) -> bool:
@@ -419,11 +566,19 @@ class ReplayKernel:
             raise ProtocolError(f"{self.owner!r} cannot retract its own cost")
         if not self.costs.retract(node):
             return False
-        for key in [k for k in self.avoid if k[1] == node]:
-            self._drop_avoid_entry(key)
-        for key in [k for k in self._avoid_state if k[1] == node]:
-            del self._avoid_state[key]
-        if self.neighbor_routes or self.neighbor_avoid or self.routing.destinations:
+        vid = self._node_ids.get(node)
+        if vid is not None:
+            avoid = self.avoid
+            akeys = self._avoid_keys
+            state_col = self._avoid_state_col
+            for aid, avoided_id in enumerate(self._avoid_avoided):
+                if avoided_id != vid:
+                    continue
+                if akeys[aid] in avoid:
+                    self._drop_avoid_entry(aid)
+                else:
+                    state_col[aid] = None
+        if self._route_offers or self._avoid_offers or self.routing.destinations:
             self._mark_all_dirty()
         return True
 
@@ -441,27 +596,28 @@ class ReplayKernel:
         self.routing = RoutingTable(self.owner)
         self.pricing = PricingTable(self.owner)
         self.avoid = {}
-        self.neighbor_routes = {}
-        self.neighbor_avoid = {}
+        self._route_offers = {}
+        self._avoid_offers = {}
         self._reset_incremental_state()
 
     # --- destination-universe reference counting ----------------------
 
-    def _universe_add(self, dest: NodeId) -> None:
-        count = self._dest_refs.get(dest, 0)
-        self._dest_refs[dest] = count + 1
+    def _universe_add(self, did: int) -> None:
+        count = self._ref_col[did]
+        self._ref_col[did] = count + 1
         if count == 0:
             # The destination just (re)entered the universe: avoidance
             # inputs stored for it while it was outside become
             # relaxable, exactly as the full rescan would now see them.
-            self._dirty_routes[dest] = None
-            self._dirty_pricing.add(dest)
-            self._avoid_dest_pending.add(dest)
+            self._dirty_routes[did] = None
+            self._dirty_pricing.add(did)
+            self._avoid_dest_pending.add(did)
 
-    def _universe_discard(self, dest: NodeId) -> None:
-        count = self._dest_refs.get(dest, 0)
+    def _universe_discard(self, did: int) -> None:
+        col = self._ref_col
+        count = col[did]
         if count <= 1:
-            self._dest_refs.pop(dest, None)
+            col[did] = 0
             if count == 1:
                 # The destination left the universe (its last offer was
                 # withdrawn): schedule its avoidance keys so retained
@@ -469,13 +625,14 @@ class ReplayKernel:
                 # offer history covers every key a *wire* withdrawal
                 # can strand; base-case-only keys are released through
                 # detach_neighbor, which marks everything dirty anyway.
-                for avoided in self._avoid_keys_by_dest.get(dest, ()):
-                    self._avoid_rescan.add((dest, avoided))
-                self._dirty_pricing.add(dest)
+                history = self._avoid_keys_by_dest.get(did)
+                if history:
+                    self._avoid_rescan.update(history)
+                self._dirty_pricing.add(did)
         else:
-            self._dest_refs[dest] = count - 1
+            col[did] = count - 1
 
-    def _note_offer(self, dest: NodeId, avoided: NodeId) -> None:
+    def _note_offer(self, aid: int) -> None:
         """Record offer history for one key (grow-only, sweep input).
 
         Every site that stores a previously absent offer must call
@@ -483,42 +640,56 @@ class ReplayKernel:
         all keys a full rescan could act on.
         """
         offered = self._avoid_keys_by_dest
-        keys = offered.get(dest)
+        did = self._avoid_dest[aid]
+        keys = offered.get(did)
         if keys is None:
-            offered[dest] = {avoided}
+            offered[did] = {aid}
         else:
-            keys.add(avoided)
+            keys.add(aid)
 
     def consume_route_changes(self) -> Set[NodeId]:
         """Destinations whose DATA2 entry changed since last consumed."""
         changes = self._route_changes
         self._route_changes = set()
-        return changes
+        keys = self._node_keys
+        # lint: allow[unordered-iter] set-to-set id decode; iteration order cannot escape the returned set
+        return {keys[did] for did in changes}
 
     def consume_avoid_changes(self) -> Set[AvoidKey]:
         """Avoidance keys whose entry changed since last consumed."""
         changes = self._avoid_changes
         self._avoid_changes = set()
-        return changes
+        keys = self._avoid_keys
+        # lint: allow[unordered-iter] set-to-set id decode; iteration order cannot escape the returned set
+        return {keys[aid] for aid in changes}
 
     def consume_route_delta(self) -> Tuple:
         """The next suggested-specification routing delta broadcast.
 
-        Reads the changed-key set in O(|changes|) and consumes it.
-        Principals with an unmodified broadcast hook and checker
-        mirrors both encode from here, which is what keeps actual and
-        predicted broadcast streams bit-identical.  A changed key whose
-        entry was deleted (a destination withdrawn by a topology event)
-        becomes the withdrawal row ``(dest, None, ())``; on a static
-        graph deletions never happen and no withdrawal is ever emitted.
+        Reads the changed-key set in O(|changes|) and consumes it,
+        draining ids in rank order (== ``_sort_key`` order; see the
+        class docstring).  Principals with an unmodified broadcast hook
+        and checker mirrors both encode from here, which is what keeps
+        actual and predicted broadcast streams bit-identical.  A
+        changed key whose entry was deleted (a destination withdrawn by
+        a topology event) becomes the withdrawal row
+        ``(dest, None, ())``; on a static graph deletions never happen
+        and no withdrawal is ever emitted.
         """
+        changes = self._route_changes
+        self._route_changes = set()
         routing = self.routing
-        return tuple(
-            (dest, entry.cost, entry.path)
-            if (entry := routing.entry(dest)) is not None
-            else (dest, None, ())
-            for dest in sorted(self.consume_route_changes(), key=_sort_key)
-        )
+        keys = self._node_keys
+        rank = self._node_rank
+        rows = []
+        for did in sorted(changes, key=rank.__getitem__):
+            dest = keys[did]
+            entry = routing.entry(dest)
+            if entry is not None:
+                rows.append((dest, entry.cost, entry.path))
+            else:
+                rows.append((dest, None, ()))
+        return tuple(rows)
 
     def consume_avoid_delta(self) -> Tuple:
         """The next suggested-specification avoidance delta broadcast.
@@ -527,16 +698,24 @@ class ReplayKernel:
         ``(dest, avoided, None, ())``, mirroring
         :meth:`consume_route_delta`.
         """
+        changes = self._avoid_changes
+        self._avoid_changes = set()
         avoid = self.avoid
-        return tuple(
-            (key[0], key[1], entry.cost, entry.path)
-            if (entry := avoid.get(key)) is not None
-            else (key[0], key[1], None, ())
-            for key in sorted(
-                self.consume_avoid_changes(),
-                key=lambda k: (_sort_key(k[0]), _sort_key(k[1])),
-            )
-        )
+        akeys = self._avoid_keys
+        rank = self._node_rank
+        dest_col = self._avoid_dest
+        avoided_col = self._avoid_avoided
+        rows = []
+        for aid in sorted(
+            changes, key=lambda a: (rank[dest_col[a]], rank[avoided_col[a]])
+        ):
+            key = akeys[aid]
+            entry = avoid.get(key)
+            if entry is not None:
+                rows.append((key[0], key[1], entry.cost, entry.path))
+            else:
+                rows.append((key[0], key[1], None, ()))
+        return tuple(rows)
 
     # --- neighbour vector ingestion -----------------------------------
     #
@@ -561,29 +740,34 @@ class ReplayKernel:
         raw = {
             dest: (dest, entry.cost, entry.path) for dest, entry in vector.items()
         }
-        stored = self.neighbor_routes.get(neighbor)
+        stored = self._route_offers.get(neighbor)
         if stored is None:
-            stored = self.neighbor_routes[neighbor] = {}
-        owner = self.owner
+            stored = self._route_offers[neighbor] = {}
+        owner_id = self._owner_id
         dirty = self._dirty_routes
-        for dest in sorted(stored.keys() | raw.keys(), key=_sort_key):
+        keys = self._node_keys
+        intern = self._intern_node
+        union = {keys[did] for did in stored}
+        union.update(raw)
+        for dest in sorted(union, key=_sort_key):
+            did = intern(dest)
             offer = raw.get(dest)
-            if stored.get(dest) == offer:
+            if stored.get(did) == offer:
                 continue
             if offer is None:
-                del stored[dest]
-                if dest != owner:
-                    self._universe_discard(dest)
+                del stored[did]
+                if did != owner_id:
+                    self._universe_discard(did)
             else:
-                if dest != owner and dest not in stored:
-                    self._universe_add(dest)
-                stored[dest] = offer
-            if dest != owner:
-                suppliers = dirty.get(dest)
+                if did != owner_id and did not in stored:
+                    self._universe_add(did)
+                stored[did] = offer
+            if did != owner_id:
+                suppliers = dirty.get(did)
                 if suppliers is not None:
                     suppliers.add(neighbor)
-                elif dest not in dirty:
-                    dirty[dest] = {neighbor}
+                elif did not in dirty:
+                    dirty[did] = {neighbor}
                 # an existing None sentinel already demands a full rescan
 
     def apply_route_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
@@ -597,29 +781,34 @@ class ReplayKernel:
             raise ProtocolError(
                 f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
             )
-        stored = self.neighbor_routes.get(neighbor)
+        stored = self._route_offers.get(neighbor)
         if stored is None:
-            stored = self.neighbor_routes[neighbor] = {}
-        owner = self.owner
+            stored = self._route_offers[neighbor] = {}
+        owner_id = self._owner_id
         dirty = self._dirty_routes
+        node_ids_get = self._node_ids.get
+        intern = self._intern_node
         self.stats.rows_ingested += len(rows)
         for row in rows:
             dest = row[0]
+            did = node_ids_get(dest)
+            if did is None:
+                did = intern(dest)
             if row[1] is None:  # withdrawal
-                if dest in stored:
-                    del stored[dest]
-                    if dest != owner:
-                        self._universe_discard(dest)
+                if did in stored:
+                    del stored[did]
+                    if did != owner_id:
+                        self._universe_discard(did)
             else:
-                if dest != owner and dest not in stored:
-                    self._universe_add(dest)
-                stored[dest] = row  # rows are shared across receivers
-            if dest != owner:
-                suppliers = dirty.get(dest)
+                if did != owner_id and did not in stored:
+                    self._universe_add(did)
+                stored[did] = row  # rows are shared across receivers
+            if did != owner_id:
+                suppliers = dirty.get(did)
                 if suppliers is not None:
                     suppliers.add(neighbor)
-                elif dest not in dirty:
-                    dirty[dest] = {neighbor}
+                elif did not in dirty:
+                    dirty[did] = {neighbor}
 
     def apply_avoid_update(self, neighbor: NodeId, vector: AvoidVector) -> None:
         """Store a neighbour's *full* avoidance vector (dict form).
@@ -636,24 +825,31 @@ class ReplayKernel:
             key: (key[0], key[1], entry.cost, entry.path)
             for key, entry in vector.items()
         }
-        stored = self.neighbor_avoid.get(neighbor)
+        stored = self._avoid_offers.get(neighbor)
         if stored is None:
-            stored = self.neighbor_avoid[neighbor] = {}
+            stored = self._avoid_offers[neighbor] = {}
         rescan = self._avoid_rescan
+        pricing = self._dirty_pricing
+        akeys = self._avoid_keys
+        dest_col = self._avoid_dest
+        intern_avoid = self._intern_avoid
+        union = {akeys[aid] for aid in stored}
+        union.update(raw)
         for key in sorted(
-            stored.keys() | raw.keys(), key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))
+            union, key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))
         ):
+            aid = intern_avoid(key)
             offer = raw.get(key)
-            if stored.get(key) == offer:
+            if stored.get(aid) == offer:
                 continue
             if offer is None:
-                del stored[key]
+                del stored[aid]
             else:
-                if key not in stored:
-                    self._note_offer(key[0], key[1])
-                stored[key] = offer
-            rescan.add(key)
-            self._dirty_pricing.add(key[0])
+                if aid not in stored:
+                    self._note_offer(aid)
+                stored[aid] = offer
+            rescan.add(aid)
+            pricing.add(dest_col[aid])
 
     def apply_avoid_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
         """Ingest a wire delta, fusing the monotone relaxation step.
@@ -667,20 +863,23 @@ class ReplayKernel:
         majority under broadcast fan-in — cost one comparison.
         Pricing rows are marked dirty only when a row can join, leave,
         or move the argmin tie, since DATA3* tags depend on exactly
-        that set.  Every per-row invariant (neighbour cost, table
-        references, the offer counter) is hoisted out of the loop.
+        that set.  Every per-row invariant (neighbour cost, column
+        references, the offer counter) is hoisted out of the loop; per
+        row the key resolves to one interned ``aid`` and all state
+        lives in list columns indexed by it.
         """
         if neighbor not in self.neighbors:
             raise ProtocolError(
                 f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
             )
-        stored = self.neighbor_avoid.get(neighbor)
+        stored = self._avoid_offers.get(neighbor)
         if stored is None:
-            stored = self.neighbor_avoid[neighbor] = {}
+            stored = self._avoid_offers[neighbor] = {}
         ncost = self.costs.get(neighbor)
         owner = self.owner
-        refs = self._dest_refs
-        state = self._avoid_state
+        ref_col = self._ref_col
+        state_col = self._avoid_state_col
+        dest_col = self._avoid_dest
         rescan_add = self._avoid_rescan.add
         pricing_add = self._dirty_pricing.add
         changes_add = self._avoid_changes.add
@@ -688,50 +887,57 @@ class ReplayKernel:
         knows = self.costs.knows
         avoid = self.avoid
         stored_get = stored.get
-        state_get = state.get
+        avoid_ids_get = self._avoid_ids.get
+        intern_avoid = self._intern_avoid
         avoid_changed = self._avoid_changed
         self.stats.rows_ingested += len(rows)
         if ncost is None:
             # Unusable offers (neighbour cost unknown), exactly as in a
             # full scan: store rows for later rescans, nothing to relax.
             for row in rows:
-                dest, avoided, cost, path = row
-                key = (dest, avoided)
-                old = stored_get(key)
-                if cost is None:
+                key = (row[0], row[1])
+                aid = avoid_ids_get(key)
+                if aid is None:
+                    aid = intern_avoid(key)
+                old = stored_get(aid)
+                if row[2] is None:
                     if old is not None:
-                        del stored[key]
+                        del stored[aid]
                     continue
-                stored[key] = row
+                stored[aid] = row
                 if old is None:
-                    note_offer(dest, avoided)
+                    note_offer(aid)
             return
         for row in rows:
             dest, avoided, cost, path = row
             key = (dest, avoided)
-            old = stored_get(key)
+            aid = avoid_ids_get(key)
+            if aid is None:
+                aid = intern_avoid(key)
+            old = stored_get(aid)
             if cost is None:  # withdrawal
                 if old is None:
                     continue
-                del stored[key]
-                st = state_get(key)
+                del stored[aid]
+                st = state_col[aid]
                 if st is not None:
                     if st[0] == neighbor:
-                        rescan_add(key)
-                        pricing_add(dest)
+                        rescan_add(aid)
+                        pricing_add(dest_col[aid])
                     elif ncost + old[2] <= st[1]:
-                        pricing_add(dest)  # an argmin tie may shrink
+                        pricing_add(dest_col[aid])  # an argmin tie may shrink
                 continue
-            stored[key] = row  # rows are shared across receivers
+            stored[aid] = row  # rows are shared across receivers
             if old is None:
-                note_offer(dest, avoided)
-            if dest not in refs:
+                note_offer(aid)
+            did = dest_col[aid]
+            if not ref_col[did]:
                 # Entries freeze outside the destination universe (the
                 # full rescan skips them too); re-entry rescans.
-                pricing_add(dest)
+                pricing_add(did)
                 continue
             total = ncost + cost
-            st = state_get(key)
+            st = state_col[aid]
             if st is None:
                 # First valid candidate for this key (any earlier offer
                 # would have been relaxed into a state entry).
@@ -742,19 +948,19 @@ class ReplayKernel:
                     and owner not in path
                     and avoided not in path
                 ):
-                    state[key] = (neighbor, total, len(path), path)
+                    state_col[aid] = (neighbor, total, len(path), path)
                     avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-                    changes_add(key)
+                    changes_add(aid)
                     avoid_changed = True
-                    pricing_add(dest)
+                    pricing_add(did)
                 continue
             st_cost = st[1]
             if st[0] == neighbor:
                 # The reigning supplier re-announced: improved offers
                 # stay adopted, worsened or invalid ones force a rescan.
                 if owner in path or avoided in path:
-                    rescan_add(key)
-                    pricing_add(dest)
+                    rescan_add(aid)
+                    pricing_add(did)
                     continue
                 hops = len(path)
                 if total < st_cost or (
@@ -764,44 +970,44 @@ class ReplayKernel:
                         or (hops == st[2] and _lex_key(path) < _lex_key(st[3]))
                     )
                 ):
-                    state[key] = (neighbor, total, hops, path)
+                    state_col[aid] = (neighbor, total, hops, path)
                     avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-                    changes_add(key)
+                    changes_add(aid)
                     avoid_changed = True
-                    pricing_add(dest)
+                    pricing_add(did)
                 elif total == st_cost and hops == st[2] and path == st[3]:
-                    pricing_add(dest)  # value-identical re-announce
+                    pricing_add(did)  # value-identical re-announce
                 else:
-                    rescan_add(key)
-                    pricing_add(dest)
+                    rescan_add(aid)
+                    pricing_add(did)
                 continue
             if total > st_cost:
                 # Dominated row — the hot path.  It still displaces the
                 # neighbour's previous offer, which may have been tied
                 # with the argmin.
                 if old is not None and ncost + old[2] <= st_cost:
-                    pricing_add(dest)
+                    pricing_add(did)
                 continue
             if owner in path or avoided in path:
                 if old is not None and ncost + old[2] <= st_cost:
-                    pricing_add(dest)
+                    pricing_add(did)
                 continue
             if total == st_cost:
                 hops = len(path)
                 if hops < st[2] or (
                     hops == st[2] and _lex_key(path) < _lex_key(st[3])
                 ):
-                    state[key] = (neighbor, total, hops, path)
+                    state_col[aid] = (neighbor, total, hops, path)
                     avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-                    changes_add(key)
+                    changes_add(aid)
                     avoid_changed = True
-                pricing_add(dest)  # joins or reshapes the tie either way
+                pricing_add(did)  # joins or reshapes the tie either way
                 continue
-            state[key] = (neighbor, total, len(path), path)
+            state_col[aid] = (neighbor, total, len(path), path)
             avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
-            changes_add(key)
+            changes_add(aid)
             avoid_changed = True
-            pricing_add(dest)
+            pricing_add(did)
         self._avoid_changed = avoid_changed
 
     # --- routing relaxation -------------------------------------------
@@ -829,17 +1035,23 @@ class ReplayKernel:
         """
         self.computation_count += 1
         changed = False
-        destinations: Set[NodeId] = set()
-        for vector in self.neighbor_routes.values():
-            destinations.update(vector)
-        destinations.update(self.neighbors)
+        dids: Set[int] = set()
+        for vector in self._route_offers.values():
+            dids.update(vector)
+        node_ids = self._node_ids
+        for neighbor in self.neighbors:
+            dids.add(node_ids[neighbor])
         # Destinations with an installed entry but no remaining offer
         # (withdrawn by topology events) must be rescanned so the entry
         # is deleted; on a static graph this union adds nothing.
-        destinations.update(self.routing.destinations)
-        destinations.discard(self.owner)
-        for destination in sorted(destinations, key=repr):
-            if self._relax_route(destination):
+        intern = self._intern_node
+        for dest in self.routing.destinations:
+            dids.add(intern(dest))
+        dids.discard(self._owner_id)
+        keys = self._node_keys
+        rank = self._node_rank
+        for did in sorted(dids, key=rank.__getitem__):
+            if self._relax_route(keys[did], None, did):
                 changed = True
         self._dirty_routes = {}
         return changed
@@ -857,40 +1069,44 @@ class ReplayKernel:
         if not dirty:
             return False
         self._dirty_routes = {}
-        refs = self._dest_refs
+        ref_col = self._ref_col
+        keys = self._node_keys
         changed = False
-        for destination, suppliers in dirty.items():
-            if destination not in refs:
+        for did, suppliers in dirty.items():
+            if not ref_col[did]:
                 # Outside the universe the full rescan finds no
                 # candidates either: withdraw any retained entry;
                 # rejoining re-marks the destination dirty.
-                if self._drop_route_entry(destination):
+                if self._drop_route_entry(did):
                     changed = True
                 continue
-            if self._relax_route(destination, suppliers):
+            if self._relax_route(keys[did], suppliers, did):
                 changed = True
         return changed
 
-    def _drop_route_entry(self, destination: NodeId) -> bool:
+    def _drop_route_entry(self, did: int) -> bool:
         """Withdraw a destination's DATA2 entry; True if one existed."""
-        self._route_state.pop(destination, None)
-        if self.routing.remove(destination):
-            self._route_changes.add(destination)
-            self._dirty_pricing.add(destination)
+        self._route_state_col[did] = None
+        if self.routing.remove(self._node_keys[did]):
+            self._route_changes.add(did)
+            self._dirty_pricing.add(did)
             return True
         return False
 
-    def _drop_avoid_entry(self, key: AvoidKey) -> bool:
+    def _drop_avoid_entry(self, aid: int) -> bool:
         """Withdraw one avoidance entry; True if one existed."""
-        self._avoid_state.pop(key, None)
-        if self.avoid.pop(key, None) is not None:
-            self._avoid_changes.add(key)
-            self._dirty_pricing.add(key[0])
+        self._avoid_state_col[aid] = None
+        if self.avoid.pop(self._avoid_keys[aid], None) is not None:
+            self._avoid_changes.add(aid)
+            self._dirty_pricing.add(self._avoid_dest[aid])
             return True
         return False
 
     def _relax_route(
-        self, destination: NodeId, suppliers: Optional[Set[NodeId]] = None
+        self,
+        destination: NodeId,
+        suppliers: Optional[Set[NodeId]] = None,
+        did: Optional[int] = None,
     ) -> bool:
         """Relax one destination; True if its DATA2 entry changed.
 
@@ -898,10 +1114,14 @@ class ReplayKernel:
         changed (``None`` rescans everything): if the previous winner
         is not among them it still bounds the minimum, and if it is but
         improved, it still wins against the unchanged rest — only a
-        worsened winner forces the full rescan.
+        worsened winner forces the full rescan.  ``did`` is the
+        destination's interned id when the caller already holds it.
         """
         owner = self.owner
-        state = self._route_state.get(destination)
+        if did is None:
+            did = self._intern_node(destination)
+        state_col = self._route_state_col
+        state = state_col[did]
         cur = self.routing.entry(destination)
         full = suppliers is None
         self.stats.route_relaxations += 1
@@ -915,7 +1135,8 @@ class ReplayKernel:
         if not full and state is not None:
             sup = state[0]
             if sup is not _BASE and sup in suppliers:
-                offer = self.neighbor_routes.get(sup, {}).get(destination)
+                vec = self._route_offers.get(sup)
+                offer = vec.get(did) if vec else None
                 cand = None
                 if offer is not None:
                     cost = self.costs.get(sup)
@@ -932,7 +1153,7 @@ class ReplayKernel:
         if full:
             self.stats.route_rescans += 1
         costs_get = self.costs.get
-        routes_get = self.neighbor_routes.get
+        routes_get = self._route_offers.get
         # lint: allow[unordered-iter] argmin over the strict total order (cost, hops, lex key) is iteration-order independent
         for neighbor in (self.neighbors if full else suppliers):
             if neighbor == destination:
@@ -944,7 +1165,7 @@ class ReplayKernel:
             if best is not None and neighbor == best[0]:
                 continue
             vec = routes_get(neighbor)
-            offer = vec.get(destination) if vec else None
+            offer = vec.get(did) if vec else None
             if offer is None:
                 continue
             ncost = costs_get(neighbor)
@@ -976,18 +1197,18 @@ class ReplayKernel:
             # have derived it.  On a static graph this never fires —
             # obedient neighbours never retract their offers.
             if state is not None:
-                del self._route_state[destination]
+                state_col[did] = None
             if cur is not None:
                 self.routing.remove(destination)
-                self._route_changes.add(destination)
-                self._dirty_pricing.add(destination)
+                self._route_changes.add(did)
+                self._dirty_pricing.add(did)
                 return True
             return False
         if keep:
             return False
         if state is not None:
             if _stripped_equal(best, state):
-                self._route_state[destination] = best
+                state_col[did] = best
                 return False
         elif cur is not None and (
             best[1] == cur.cost
@@ -995,17 +1216,17 @@ class ReplayKernel:
             and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
         ):
             # The rescan re-derived the previously unsupported entry.
-            self._route_state[destination] = best
+            state_col[did] = best
             return False
-        self._route_state[destination] = best
+        state_col[did] = best
         sup, total, _hops, opath = best
         if sup is _BASE:
             entry = RouteEntry(cost=0.0, path=(owner, destination))
         else:
             entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
         self.routing.update(destination, entry)
-        self._route_changes.add(destination)
-        self._dirty_pricing.add(destination)
+        self._route_changes.add(did)
+        self._dirty_pricing.add(did)
         return True
 
     # --- avoidance relaxation -----------------------------------------
@@ -1024,24 +1245,35 @@ class ReplayKernel:
         changed = self._avoid_changed
         self._avoid_changed = False
         all_nodes = set(self.known_nodes())
-        destinations: Set[NodeId] = set()
-        for vector in self.neighbor_routes.values():
-            destinations.update(vector)
-        destinations.update(self.neighbors)
-        destinations.discard(self.owner)
+        dids: Set[int] = set()
+        for vector in self._route_offers.values():
+            dids.update(vector)
+        node_ids = self._node_ids
+        for neighbor in self.neighbors:
+            dids.add(node_ids[neighbor])
+        dids.discard(self._owner_id)
+        keys = self._node_keys
+        # lint: allow[unordered-iter] set-to-set id decode; iteration order cannot escape the built set
+        destinations = {keys[did] for did in dids}
         # Entries whose destination left the universe, or keyed on a
         # node without a DATA1 entry, have no counterpart in a fresh
         # fixed point: withdraw them before relaxing (static runs never
         # produce such keys).
+        avoid_ids = self._avoid_ids
         stale = [
-            key
+            avoid_ids[key]
             for key in self.avoid
             if key[0] not in destinations or key[1] not in all_nodes
         ]
-        for key in sorted(stale, key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))):
-            if self._drop_avoid_entry(key):
+        rank = self._node_rank
+        dest_col = self._avoid_dest
+        avoided_col = self._avoid_avoided
+        for aid in sorted(
+            stale, key=lambda a: (rank[dest_col[a]], rank[avoided_col[a]])
+        ):
+            if self._drop_avoid_entry(aid):
                 changed = True
-        if not any(self.neighbor_avoid.values()):
+        if not any(self._avoid_offers.values()):
             # Without avoidance inputs only the base case can supply a
             # candidate, so only directly-connected destinations matter
             # (typical at a phase start) — plus destinations that still
@@ -1072,69 +1304,90 @@ class ReplayKernel:
         pending = self._avoid_dest_pending
         if pending:
             self._avoid_dest_pending = set()
-            refs = self._dest_refs
+            ref_col = self._ref_col
             offered = self._avoid_keys_by_dest
-            neighbor_set = self._neighbor_set
+            node_ids = self._node_ids
+            neighbor_ids = {node_ids[n] for n in self.neighbors}
             owner = self.owner
-            for dest in sorted(pending, key=_sort_key):
-                if dest not in refs:
+            owner_id = self._owner_id
+            keys = self._node_keys
+            rank = self._node_rank
+            avoided_col = self._avoid_avoided
+            intern_avoid = self._intern_avoid
+            for did in sorted(pending, key=rank.__getitem__):
+                if not ref_col[did]:
                     continue  # left the universe again; re-entry re-pends
-                if dest in neighbor_set:
+                if did in neighbor_ids:
                     # The base case supplies a candidate for every
                     # avoided id, so neighbour destinations sweep the
                     # whole key row.
+                    dest = keys[did]
                     for avoided in self.costs.as_dict():
                         if avoided != owner and avoided != dest:
-                            rescan.add((dest, avoided))
+                            rescan.add(intern_avoid((dest, avoided)))
                     continue
                 # Non-neighbour destination: only keys that ever stored
                 # an offer can yield or invalidate anything; the rest
                 # are no-ops in the full rescan too.
-                for avoided in offered.get(dest, ()):
-                    if avoided != owner and avoided != dest:
-                        rescan.add((dest, avoided))
+                for aid in offered.get(did, ()):
+                    vid = avoided_col[aid]
+                    if vid != owner_id and vid != did:
+                        rescan.add(aid)
         if rescan:
             self._avoid_rescan = set()
-            refs = self._dest_refs
-            costs = self.costs
-            owner = self.owner
-            for key in sorted(
-                rescan, key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))
+            ref_col = self._ref_col
+            knows = self.costs.knows
+            owner_id = self._owner_id
+            rank = self._node_rank
+            dest_col = self._avoid_dest
+            avoided_col = self._avoid_avoided
+            akeys = self._avoid_keys
+            for aid in sorted(
+                rescan, key=lambda a: (rank[dest_col[a]], rank[avoided_col[a]])
             ):
-                destination, avoided = key
-                if destination not in refs:
+                did = dest_col[aid]
+                if not ref_col[did]:
                     # Outside the universe a fresh fixed point holds no
                     # entry: withdraw any retained one (rejoining the
                     # universe re-marks the key).
-                    if self._drop_avoid_entry(key):
+                    if self._drop_avoid_entry(aid):
                         changed = True
                     continue
-                if avoided == owner or avoided == destination:
+                vid = avoided_col[aid]
+                if vid == owner_id or vid == did:
                     continue
-                if not costs.knows(avoided):
+                key = akeys[aid]
+                if not knows(key[1]):
                     # No DATA1 entry for the avoided node (retracted by
                     # a departure): the key cannot exist freshly.
-                    if self._drop_avoid_entry(key):
+                    if self._drop_avoid_entry(aid):
                         changed = True
                     continue
-                if self._relax_avoid(destination, avoided):
+                if self._relax_avoid(key[0], key[1], aid):
                     changed = True
         return changed
 
-    def _relax_avoid(self, destination: NodeId, avoided: NodeId) -> bool:
+    def _relax_avoid(
+        self, destination: NodeId, avoided: NodeId, aid: Optional[int] = None
+    ) -> bool:
         """Fully rescan one avoidance key; True if its entry changed.
 
         Same stripped-candidate scan as :meth:`_relax_route`, with the
         avoided node excluded both as a neighbour and inside paths.
+        ``aid`` is the key's interned id when the caller already holds
+        it.
         """
         owner = self.owner
-        key = (destination, avoided)
-        state = self._avoid_state.get(key)
+        if aid is None:
+            aid = self._intern_avoid((destination, avoided))
+        key = self._avoid_keys[aid]
+        state_col = self._avoid_state_col
+        state = state_col[aid]
         cur = self.avoid.get(key)
         best = None
         self.stats.avoid_rescans += 1
         costs_get = self.costs.get
-        avoid_get = self.neighbor_avoid.get
+        offers_get = self._avoid_offers.get
         for neighbor in self.neighbors:
             if neighbor == avoided:
                 continue
@@ -1142,8 +1395,8 @@ class ReplayKernel:
                 if best is None or _stripped_beats_base(destination, best):
                     best = (_BASE, 0.0, 1, (destination,))
                 continue
-            vec = avoid_get(neighbor)
-            offer = vec.get(key) if vec else None
+            vec = offers_get(neighbor)
+            offer = vec.get(aid) if vec else None
             if offer is None:
                 continue
             ncost = costs_get(neighbor)
@@ -1170,16 +1423,16 @@ class ReplayKernel:
             # entry (topology events only — static runs never retract
             # offers, so this branch is inert there).
             if state is not None:
-                del self._avoid_state[key]
+                state_col[aid] = None
             if cur is not None:
                 del self.avoid[key]
-                self._avoid_changes.add(key)
-                self._dirty_pricing.add(destination)
+                self._avoid_changes.add(aid)
+                self._dirty_pricing.add(self._avoid_dest[aid])
                 return True
             return False
         if state is not None:
             if _stripped_equal(best, state):
-                self._avoid_state[key] = best
+                state_col[aid] = best
                 return False
         elif cur is not None and (
             best[1] == cur.cost
@@ -1187,17 +1440,17 @@ class ReplayKernel:
             and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
         ):
             # The rescan re-derived the previously unsupported entry.
-            self._avoid_state[key] = best
+            state_col[aid] = best
             return False
-        self._avoid_state[key] = best
+        state_col[aid] = best
         sup, total, _hops, opath = best
         if sup is _BASE:
             entry = RouteEntry(cost=0.0, path=(owner, destination))
         else:
             entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
         self.avoid[key] = entry
-        self._avoid_changes.add(key)
-        self._dirty_pricing.add(destination)
+        self._avoid_changes.add(aid)
+        self._dirty_pricing.add(self._avoid_dest[aid])
         return True
 
     # --- pricing derivation -------------------------------------------
@@ -1243,7 +1496,10 @@ class ReplayKernel:
             return False
         self._dirty_pricing = set()
         changed = False
-        for destination in sorted(dirty, key=_sort_key):
+        keys = self._node_keys
+        rank = self._node_rank
+        for did in sorted(dirty, key=rank.__getitem__):
+            destination = keys[did]
             if self.routing.entry(destination) is None:
                 # No route (possibly withdrawn): clear any retained row;
                 # a route arriving later re-marks it.
@@ -1287,19 +1543,22 @@ class ReplayKernel:
     def _supplier_tag(self, destination: NodeId, avoided: NodeId) -> FrozenSet[NodeId]:
         """Argmin suppliers of one avoidance entry (union on ties)."""
         owner = self.owner
-        key = (destination, avoided)
+        aid = self._avoid_ids.get((destination, avoided))
         best = None  # (cost, hops, path)
         tag: List[NodeId] = []
         costs_get = self.costs.get
-        avoid_get = self.neighbor_avoid.get
+        offers_get = self._avoid_offers.get
         for neighbor in self.neighbors:
             if neighbor == avoided:
                 continue
             if neighbor == destination:
                 cand = (0.0, 1, (destination,))
             else:
-                vec = avoid_get(neighbor)
-                offer = vec.get(key) if vec else None
+                if aid is None:
+                    # Never interned: no neighbour ever offered it.
+                    continue
+                vec = offers_get(neighbor)
+                offer = vec.get(aid) if vec else None
                 if offer is None:
                     continue
                 ncost = costs_get(neighbor)
@@ -1615,7 +1874,11 @@ class MirrorKernelPool:
 # ----------------------------------------------------------------------
 
 
-def kernel_fixed_point(graph, max_rounds: int = 100_000) -> Dict[NodeId, ReplayKernel]:
+
+
+def kernel_fixed_point(
+    graph, max_rounds: int = 100_000, kernel_cls: Optional[type] = None
+) -> Dict[NodeId, "ReplayKernel"]:
     """Run the FPSS relaxation to its fixed point with no simulator.
 
     The third kernel client: one :class:`ReplayKernel` per vertex,
@@ -1627,15 +1890,22 @@ def kernel_fixed_point(graph, max_rounds: int = 100_000) -> Dict[NodeId, ReplayK
     asynchronous protocol execution on the same graph, which is what
     :func:`~repro.routing.convergence.verify_against_kernel` exploits.
 
+    ``kernel_cls`` substitutes a drop-in kernel implementation (the
+    columnar/dict equivalence suite drives both
+    :class:`ReplayKernel` and
+    :class:`~repro.routing.kernel_dict.DictReplayKernel` through the
+    same rounds); the default is :class:`ReplayKernel`.
+
     Raises
     ------
     ConvergenceError
         If ``max_rounds`` synchronous rounds do not reach quiescence
         (impossible for a static graph unless the kernel is buggy).
     """
+    cls = ReplayKernel if kernel_cls is None else kernel_cls
     order = sorted(graph.nodes, key=repr)
     kernels = {
-        node: ReplayKernel(node, graph.neighbors(node), graph.cost(node))
+        node: cls(node, graph.neighbors(node), graph.cost(node))
         for node in order
     }
     for kernel in kernels.values():

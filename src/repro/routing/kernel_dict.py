@@ -1,0 +1,1227 @@
+"""The retained dict-keyed FPSS replay kernel: the columnar oracle.
+
+Reproduces: the iterative FPSS calculation of Shneidman & Parkes,
+"Specification Faithfulness in Networks with Rational Nodes" (PODC'04),
+Section 4 -- the same state machine as
+:class:`~repro.routing.kernel.ReplayKernel`, retained in its original
+per-key dict form when the hot path moved to flat id-indexed columns.
+
+:class:`DictReplayKernel` is the *reference semantics* of the columnar
+kernel: every observable -- wire delta rows, changed-key sets, table
+digests, withdrawal behaviour -- is property-tested bit-identical
+against this oracle across withdrawal streams, churn epochs, deviant op
+logs, and hash seeds (``tests/routing/test_columnar_kernel.py``).  The
+oracle runs only in tests and parity sweeps, never on the protocol hot
+path, and shares the candidate-ordering helpers (``_sort_key``,
+``_lex_key``, the stripped-candidate comparators) with the columnar
+kernel so the two implementations cannot drift on tie-breaking.
+"""
+
+from __future__ import annotations
+
+# purity: kernel
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ProtocolError
+from ..sim.crypto import stable_hash
+from ..sim.messages import NodeId
+from .graph import Cost
+from .kernel import (
+    _BASE,
+    AvoidKey,
+    AvoidVector,
+    KernelSnapshot,
+    KernelStats,
+    RouteVector,
+    _lex_key,
+    _sort_key,
+    _stripped_beats_base,
+    _stripped_equal,
+    _stripped_worse,
+)
+from .tables import PricingTable, RouteEntry, RoutingTable, TransitCostTable
+
+class DictReplayKernel:
+    """Pure FPSS mechanism state for one node (or one replay of one).
+
+    A message-driven state machine: :meth:`apply_route_delta` /
+    :meth:`apply_avoid_delta` ingest wire rows (fusing the monotone
+    avoidance relaxation into ingestion), the ``recompute_*`` methods
+    settle the dirty keys, :meth:`consume_route_delta` /
+    :meth:`consume_avoid_delta` read the changed-key sets off as the
+    next suggested-specification broadcasts, and the digest methods
+    hash the tables for bank comparison.  Determinism matters beyond
+    tidiness: checker mirrors replay a principal's kernel on copies of
+    its messages, and replay only works because the kernel is a pure
+    function of (identity, neighbour set, op sequence).
+
+    Parameters
+    ----------
+    owner:
+        The node whose computation this is.
+    neighbors:
+        The owner's neighbour set (semi-private connectivity
+        information; common knowledge between link endpoints).
+    own_cost:
+        The transit cost the owner *declares* (truthful for obedient
+        nodes; a lie is an information-revelation deviation).
+    """
+
+    def __init__(
+        self, owner: NodeId, neighbors: Sequence[NodeId], own_cost: Cost
+    ) -> None:
+        self.owner = owner
+        self.neighbors: Tuple[NodeId, ...] = tuple(sorted(neighbors, key=repr))
+        self._neighbor_set: FrozenSet[NodeId] = frozenset(self.neighbors)
+        self.own_cost = float(own_cost)
+
+        self.costs = TransitCostTable()  # DATA1
+        self.costs.declare(owner, own_cost)
+        self.routing = RoutingTable(owner)  # DATA2
+        self.pricing = PricingTable(owner)  # DATA3*
+        self.avoid: AvoidVector = {}
+        #: Last routing/avoid vector received from each neighbour.
+        self.neighbor_routes: Dict[NodeId, RouteVector] = {}
+        self.neighbor_avoid: Dict[NodeId, AvoidVector] = {}
+        self.computation_count = 0
+        self.stats = KernelStats()
+        self._reset_incremental_state()
+
+    def _reset_incremental_state(self) -> None:
+        """(Re)initialise the delta-recomputation bookkeeping."""
+        #: Reference counts for the destination universe: +1 per
+        #: neighbour vector currently announcing the destination, +1 if
+        #: it is a neighbour (the base case of the relaxation).  A
+        #: destination is relaxed only while its count is positive —
+        #: the same universe the full rescans derive on every call.
+        self._dest_refs: Dict[NodeId, int] = {
+            n: 1 for n in self.neighbors if n != self.owner
+        }
+        #: Routing dirty map: destination -> the set of neighbours
+        #: whose input changed since the last relaxation, or ``None``
+        #: for "rescan every candidate" (universe (re)entry, DATA1
+        #: change).
+        self._dirty_routes: Dict[NodeId, Optional[Set[NodeId]]] = {}
+        #: Avoidance keys whose reigning argmin was invalidated and
+        #: that need a full candidate rescan.  Improvements never land
+        #: here — they are adopted directly during ingestion (the
+        #: common, monotone case), with :attr:`_avoid_changed`
+        #: accumulating whether any entry moved since the last
+        #: recompute call.
+        self._avoid_rescan: Set[AvoidKey] = set()
+        self._avoid_changed = False
+        self._dirty_pricing: Set[NodeId] = set()
+        #: Destinations that (re)entered the universe and whose
+        #: avoidance keys still need a rescan sweep.  Expanded lazily
+        #: at the next recompute — and only over the keys that ever
+        #: stored an offer — instead of eagerly marking n keys.
+        self._avoid_dest_pending: Set[NodeId] = set()
+        #: Per destination, the avoided ids that ever had a stored
+        #: offer (grow-only, conservative).  The re-entry sweep scans
+        #: exactly these keys: a key with no offer history and no base
+        #: case (non-neighbour destination) is a no-op in
+        #: :meth:`_relax_avoid`, so skipping it matches the full
+        #: rescan; neighbour destinations keep the all-keys sweep for
+        #: the base case.  Keys with replay state but no offer history
+        #: cannot exist for non-neighbour destinations (the base case
+        #: is their only supplier-free candidate source).
+        self._avoid_keys_by_dest: Dict[NodeId, Set[NodeId]] = {}
+        #: Keys whose DATA2/avoidance entries changed since the last
+        #: announcement was encoded — the O(|changes|) source for delta
+        #: broadcasts of the unmodified (suggested) specification.
+        self._route_changes: Set[NodeId] = set()
+        self._avoid_changes: Set[AvoidKey] = set()
+        #: Last relaxation result per key: ``(supplier, stripped key)``
+        #: where the supplier is the neighbour whose candidate won (or
+        #: ``_BASE`` for the directly-connected base case) and the
+        #: stripped key orders candidates without materialising them.
+        #: Tracking the argmin makes a relaxation O(|changed inputs|)
+        #: unless the winning input itself worsened.
+        self._route_state: Dict[NodeId, Tuple] = {}
+        self._avoid_state: Dict[AvoidKey, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # phase 1: transit cost dissemination
+    # ------------------------------------------------------------------
+
+    def note_cost_declaration(self, node: NodeId, cost: Cost) -> bool:
+        """Record a flooded declaration; True if DATA1 changed.
+
+        DATA1 is frozen before phase 2 in any honest run; if it does
+        change while phase-2 state exists, every derived entry is
+        conservatively marked dirty so the incremental relaxations stay
+        equivalent to the full rescans.
+        """
+        changed = self.costs.declare(node, cost)
+        if changed and (
+            self.neighbor_routes or self.neighbor_avoid or self.routing.destinations
+        ):
+            self._mark_all_dirty()
+        return changed
+
+    def _mark_all_dirty(self) -> None:
+        """Schedule a full re-relaxation through the incremental path."""
+        known = [n for n in self.costs.as_dict() if n != self.owner]
+        for dest in self._dest_refs:
+            self._dirty_routes[dest] = None
+            self._dirty_pricing.add(dest)
+            for avoided in known:
+                if avoided != dest:
+                    self._avoid_rescan.add((dest, avoided))
+        # Rows for routed destinations that dropped out of the universe
+        # are still re-derived by the full derive_pricing; match it.
+        # Marking them dirty also lets the incremental rescan withdraw
+        # entries stranded by topology events (inert on static runs,
+        # where the universe covers every routed destination).
+        for dest in self.routing.destinations:
+            if dest not in self._dest_refs:
+                self._dirty_routes[dest] = None
+            self._dirty_pricing.add(dest)
+        self._avoid_rescan.update(self.avoid)
+
+    def known_nodes(self) -> Tuple[NodeId, ...]:
+        """Every node with a DATA1 entry, repr-sorted."""
+        return tuple(sorted(self.costs.as_dict(), key=repr))
+
+    # ------------------------------------------------------------------
+    # topology deltas (dynamic networks)
+    # ------------------------------------------------------------------
+    #
+    # These mutators model rare out-of-band events — a link failing or
+    # being restored, a node leaving or changing its declared cost —
+    # applied synchronously at network quiescence by the dynamic
+    # topology engine.  Each one conservatively marks every derived
+    # entry dirty: topology events are orders of magnitude rarer than
+    # vector updates, so the equivalence argument stays the full
+    # rescan's and no new incremental invariant is introduced.
+
+    def detach_neighbor(self, neighbor: NodeId) -> None:
+        """Remove a failed or departed link's peer from this kernel.
+
+        Drops the neighbour's stored vectors (releasing their universe
+        references) and its base-case candidacy; the next settle
+        withdraws every entry the neighbour was supporting.
+        """
+        if neighbor not in self._neighbor_set:
+            raise ProtocolError(
+                f"{self.owner!r} cannot detach non-neighbour {neighbor!r}"
+            )
+        self.neighbors = tuple(n for n in self.neighbors if n != neighbor)
+        self._neighbor_set = frozenset(self.neighbors)
+        routes = self.neighbor_routes.pop(neighbor, None)
+        if routes:
+            for dest in routes:
+                if dest != self.owner:
+                    self._universe_discard(dest)
+        self.neighbor_avoid.pop(neighbor, None)
+        # The base-case reference held for the neighbour itself.
+        self._universe_discard(neighbor)
+        self._mark_all_dirty()
+
+    def attach_neighbor(self, neighbor: NodeId) -> None:
+        """Add a restored or newly created link's peer to this kernel.
+
+        The peer starts with no stored vectors; the protocol layer is
+        responsible for the one-off full-table exchange that re-seeds
+        the delta streams across the new link.
+        """
+        if neighbor == self.owner or neighbor in self._neighbor_set:
+            raise ProtocolError(
+                f"{self.owner!r} cannot attach {neighbor!r} as a new neighbour"
+            )
+        self.neighbors = tuple(sorted(self.neighbors + (neighbor,), key=repr))
+        self._neighbor_set = frozenset(self.neighbors)
+        self._universe_add(neighbor)
+        self._mark_all_dirty()
+
+    def retract_cost_declaration(self, node: NodeId) -> bool:
+        """Forget a departed node's DATA1 entry; True if it was known.
+
+        Avoidance state keyed on the departed node is withdrawn
+        directly: a fresh computation on the post-event graph never
+        forms ``(dest, node)`` keys for a node it has no declaration
+        for, and the relaxations skip unknown avoided ids.
+        """
+        if node == self.owner:
+            raise ProtocolError(f"{self.owner!r} cannot retract its own cost")
+        if not self.costs.retract(node):
+            return False
+        for key in [k for k in self.avoid if k[1] == node]:
+            self._drop_avoid_entry(key)
+        for key in [k for k in self._avoid_state if k[1] == node]:
+            del self._avoid_state[key]
+        if self.neighbor_routes or self.neighbor_avoid or self.routing.destinations:
+            self._mark_all_dirty()
+        return True
+
+    def change_own_cost(self, cost: Cost) -> bool:
+        """Adopt a new declared transit cost for the owner itself."""
+        self.own_cost = float(cost)
+        return self.note_cost_declaration(self.owner, cost)
+
+    # ------------------------------------------------------------------
+    # phase 2: routing and pricing
+    # ------------------------------------------------------------------
+
+    def reset_phase2(self) -> None:
+        """Clear DATA2/DATA3* state for a phase restart."""
+        self.routing = RoutingTable(self.owner)
+        self.pricing = PricingTable(self.owner)
+        self.avoid = {}
+        self.neighbor_routes = {}
+        self.neighbor_avoid = {}
+        self._reset_incremental_state()
+
+    # --- destination-universe reference counting ----------------------
+
+    def _universe_add(self, dest: NodeId) -> None:
+        count = self._dest_refs.get(dest, 0)
+        self._dest_refs[dest] = count + 1
+        if count == 0:
+            # The destination just (re)entered the universe: avoidance
+            # inputs stored for it while it was outside become
+            # relaxable, exactly as the full rescan would now see them.
+            self._dirty_routes[dest] = None
+            self._dirty_pricing.add(dest)
+            self._avoid_dest_pending.add(dest)
+
+    def _universe_discard(self, dest: NodeId) -> None:
+        count = self._dest_refs.get(dest, 0)
+        if count <= 1:
+            self._dest_refs.pop(dest, None)
+            if count == 1:
+                # The destination left the universe (its last offer was
+                # withdrawn): schedule its avoidance keys so retained
+                # entries are withdrawn by the incremental rescan.  The
+                # offer history covers every key a *wire* withdrawal
+                # can strand; base-case-only keys are released through
+                # detach_neighbor, which marks everything dirty anyway.
+                for avoided in self._avoid_keys_by_dest.get(dest, ()):
+                    self._avoid_rescan.add((dest, avoided))
+                self._dirty_pricing.add(dest)
+        else:
+            self._dest_refs[dest] = count - 1
+
+    def _note_offer(self, dest: NodeId, avoided: NodeId) -> None:
+        """Record offer history for one key (grow-only, sweep input).
+
+        Every site that stores a previously absent offer must call
+        this: the re-entry rescan sweep trusts the history to cover
+        all keys a full rescan could act on.
+        """
+        offered = self._avoid_keys_by_dest
+        keys = offered.get(dest)
+        if keys is None:
+            offered[dest] = {avoided}
+        else:
+            keys.add(avoided)
+
+    def consume_route_changes(self) -> Set[NodeId]:
+        """Destinations whose DATA2 entry changed since last consumed."""
+        changes = self._route_changes
+        self._route_changes = set()
+        return changes
+
+    def consume_avoid_changes(self) -> Set[AvoidKey]:
+        """Avoidance keys whose entry changed since last consumed."""
+        changes = self._avoid_changes
+        self._avoid_changes = set()
+        return changes
+
+    def consume_route_delta(self) -> Tuple:
+        """The next suggested-specification routing delta broadcast.
+
+        Reads the changed-key set in O(|changes|) and consumes it.
+        Principals with an unmodified broadcast hook and checker
+        mirrors both encode from here, which is what keeps actual and
+        predicted broadcast streams bit-identical.  A changed key whose
+        entry was deleted (a destination withdrawn by a topology event)
+        becomes the withdrawal row ``(dest, None, ())``; on a static
+        graph deletions never happen and no withdrawal is ever emitted.
+        """
+        routing = self.routing
+        return tuple(
+            (dest, entry.cost, entry.path)
+            if (entry := routing.entry(dest)) is not None
+            else (dest, None, ())
+            for dest in sorted(self.consume_route_changes(), key=_sort_key)
+        )
+
+    def consume_avoid_delta(self) -> Tuple:
+        """The next suggested-specification avoidance delta broadcast.
+
+        Deleted avoidance entries become withdrawal rows
+        ``(dest, avoided, None, ())``, mirroring
+        :meth:`consume_route_delta`.
+        """
+        avoid = self.avoid
+        return tuple(
+            (key[0], key[1], entry.cost, entry.path)
+            if (entry := avoid.get(key)) is not None
+            else (key[0], key[1], None, ())
+            for key in sorted(
+                self.consume_avoid_changes(),
+                key=lambda k: (_sort_key(k[0]), _sort_key(k[1])),
+            )
+        )
+
+    # --- neighbour vector ingestion -----------------------------------
+    #
+    # Offers are stored *raw* as ``(cost, path)`` tuples straight off
+    # the wire: with broadcast fan-out every announcement is ingested
+    # by every neighbour, so per-row materialisation (entry objects,
+    # sort keys) would dominate the hot path.  Entries are only
+    # materialised for adopted winners.
+
+    def apply_route_update(self, neighbor: NodeId, vector: RouteVector) -> None:
+        """Store a neighbour's *full* routing vector (dict form).
+
+        Diffs against the previously stored vector and marks only the
+        destinations whose rows changed as dirty.  The protocol's wire
+        path uses :meth:`apply_route_delta`; this entry point serves
+        replay tests and any caller holding a whole table.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
+            )
+        raw = {
+            dest: (dest, entry.cost, entry.path) for dest, entry in vector.items()
+        }
+        stored = self.neighbor_routes.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_routes[neighbor] = {}
+        owner = self.owner
+        dirty = self._dirty_routes
+        for dest in sorted(stored.keys() | raw.keys(), key=_sort_key):
+            offer = raw.get(dest)
+            if stored.get(dest) == offer:
+                continue
+            if offer is None:
+                del stored[dest]
+                if dest != owner:
+                    self._universe_discard(dest)
+            else:
+                if dest != owner and dest not in stored:
+                    self._universe_add(dest)
+                stored[dest] = offer
+            if dest != owner:
+                suppliers = dirty.get(dest)
+                if suppliers is not None:
+                    suppliers.add(neighbor)
+                elif dest not in dirty:
+                    dirty[dest] = {neighbor}
+                # an existing None sentinel already demands a full rescan
+
+    def apply_route_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
+        """Ingest a wire delta produced by ``encode_route_delta``.
+
+        Upserts ``(dest, cost, path)`` rows, removes withdrawal rows
+        (``cost is None``), and marks each touched destination dirty
+        with this neighbour as the changed supplier.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a route update from non-neighbour {neighbor!r}"
+            )
+        stored = self.neighbor_routes.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_routes[neighbor] = {}
+        owner = self.owner
+        dirty = self._dirty_routes
+        self.stats.rows_ingested += len(rows)
+        for row in rows:
+            dest = row[0]
+            if row[1] is None:  # withdrawal
+                if dest in stored:
+                    del stored[dest]
+                    if dest != owner:
+                        self._universe_discard(dest)
+            else:
+                if dest != owner and dest not in stored:
+                    self._universe_add(dest)
+                stored[dest] = row  # rows are shared across receivers
+            if dest != owner:
+                suppliers = dirty.get(dest)
+                if suppliers is not None:
+                    suppliers.add(neighbor)
+                elif dest not in dirty:
+                    dirty[dest] = {neighbor}
+
+    def apply_avoid_update(self, neighbor: NodeId, vector: AvoidVector) -> None:
+        """Store a neighbour's *full* avoidance vector (dict form).
+
+        Marks changed ``(destination, avoided)`` keys dirty, and their
+        destinations' pricing rows with them: even a value-preserving
+        tie change can alter a DATA3* identity tag.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
+            )
+        raw = {
+            key: (key[0], key[1], entry.cost, entry.path)
+            for key, entry in vector.items()
+        }
+        stored = self.neighbor_avoid.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_avoid[neighbor] = {}
+        rescan = self._avoid_rescan
+        for key in sorted(
+            stored.keys() | raw.keys(), key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))
+        ):
+            offer = raw.get(key)
+            if stored.get(key) == offer:
+                continue
+            if offer is None:
+                del stored[key]
+            else:
+                if key not in stored:
+                    self._note_offer(key[0], key[1])
+                stored[key] = offer
+            rescan.add(key)
+            self._dirty_pricing.add(key[0])
+
+    def apply_avoid_delta(self, neighbor: NodeId, rows: Sequence[Tuple]) -> None:
+        """Ingest a wire delta, fusing the monotone relaxation step.
+
+        Every ``(dest, avoided, cost, path)`` row is stored as a raw
+        offer; rows that *improve* on the reigning argmin are adopted
+        immediately (a running min over the batch — confluent, so the
+        batch-boundary result equals a batch-end relaxation), rows that
+        worsen or withdraw the reigning argmin schedule a full rescan
+        of the key, and strictly dominated rows — the overwhelming
+        majority under broadcast fan-in — cost one comparison.
+        Pricing rows are marked dirty only when a row can join, leave,
+        or move the argmin tie, since DATA3* tags depend on exactly
+        that set.  Every per-row invariant (neighbour cost, table
+        references, the offer counter) is hoisted out of the loop.
+        """
+        if neighbor not in self.neighbors:
+            raise ProtocolError(
+                f"{self.owner!r} got a price update from non-neighbour {neighbor!r}"
+            )
+        stored = self.neighbor_avoid.get(neighbor)
+        if stored is None:
+            stored = self.neighbor_avoid[neighbor] = {}
+        ncost = self.costs.get(neighbor)
+        owner = self.owner
+        refs = self._dest_refs
+        state = self._avoid_state
+        rescan_add = self._avoid_rescan.add
+        pricing_add = self._dirty_pricing.add
+        changes_add = self._avoid_changes.add
+        note_offer = self._note_offer
+        knows = self.costs.knows
+        avoid = self.avoid
+        stored_get = stored.get
+        state_get = state.get
+        avoid_changed = self._avoid_changed
+        self.stats.rows_ingested += len(rows)
+        if ncost is None:
+            # Unusable offers (neighbour cost unknown), exactly as in a
+            # full scan: store rows for later rescans, nothing to relax.
+            for row in rows:
+                dest, avoided, cost, path = row
+                key = (dest, avoided)
+                old = stored_get(key)
+                if cost is None:
+                    if old is not None:
+                        del stored[key]
+                    continue
+                stored[key] = row
+                if old is None:
+                    note_offer(dest, avoided)
+            return
+        for row in rows:
+            dest, avoided, cost, path = row
+            key = (dest, avoided)
+            old = stored_get(key)
+            if cost is None:  # withdrawal
+                if old is None:
+                    continue
+                del stored[key]
+                st = state_get(key)
+                if st is not None:
+                    if st[0] == neighbor:
+                        rescan_add(key)
+                        pricing_add(dest)
+                    elif ncost + old[2] <= st[1]:
+                        pricing_add(dest)  # an argmin tie may shrink
+                continue
+            stored[key] = row  # rows are shared across receivers
+            if old is None:
+                note_offer(dest, avoided)
+            if dest not in refs:
+                # Entries freeze outside the destination universe (the
+                # full rescan skips them too); re-entry rescans.
+                pricing_add(dest)
+                continue
+            total = ncost + cost
+            st = state_get(key)
+            if st is None:
+                # First valid candidate for this key (any earlier offer
+                # would have been relaxed into a state entry).
+                if (
+                    avoided != owner
+                    and avoided != dest
+                    and knows(avoided)
+                    and owner not in path
+                    and avoided not in path
+                ):
+                    state[key] = (neighbor, total, len(path), path)
+                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+                    changes_add(key)
+                    avoid_changed = True
+                    pricing_add(dest)
+                continue
+            st_cost = st[1]
+            if st[0] == neighbor:
+                # The reigning supplier re-announced: improved offers
+                # stay adopted, worsened or invalid ones force a rescan.
+                if owner in path or avoided in path:
+                    rescan_add(key)
+                    pricing_add(dest)
+                    continue
+                hops = len(path)
+                if total < st_cost or (
+                    total == st_cost
+                    and (
+                        hops < st[2]
+                        or (hops == st[2] and _lex_key(path) < _lex_key(st[3]))
+                    )
+                ):
+                    state[key] = (neighbor, total, hops, path)
+                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+                    changes_add(key)
+                    avoid_changed = True
+                    pricing_add(dest)
+                elif total == st_cost and hops == st[2] and path == st[3]:
+                    pricing_add(dest)  # value-identical re-announce
+                else:
+                    rescan_add(key)
+                    pricing_add(dest)
+                continue
+            if total > st_cost:
+                # Dominated row — the hot path.  It still displaces the
+                # neighbour's previous offer, which may have been tied
+                # with the argmin.
+                if old is not None and ncost + old[2] <= st_cost:
+                    pricing_add(dest)
+                continue
+            if owner in path or avoided in path:
+                if old is not None and ncost + old[2] <= st_cost:
+                    pricing_add(dest)
+                continue
+            if total == st_cost:
+                hops = len(path)
+                if hops < st[2] or (
+                    hops == st[2] and _lex_key(path) < _lex_key(st[3])
+                ):
+                    state[key] = (neighbor, total, hops, path)
+                    avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+                    changes_add(key)
+                    avoid_changed = True
+                pricing_add(dest)  # joins or reshapes the tie either way
+                continue
+            state[key] = (neighbor, total, len(path), path)
+            avoid[key] = RouteEntry(cost=total, path=(owner,) + tuple(path))
+            changes_add(key)
+            avoid_changed = True
+            pricing_add(dest)
+        self._avoid_changed = avoid_changed
+
+    # --- routing relaxation -------------------------------------------
+    #
+    # Candidates are compared through *stripped* keys ``(cost, hops,
+    # lex)``: the actual candidate sort key is ``(cost, hops + 1,
+    # (repr(owner),) + lex)`` with the owner prefix shared by every
+    # candidate of a node, so dropping it is a monotone transformation
+    # that preserves the argmin and every tie.  Cost is compared first
+    # and the lexicographic component is built only on full ties, so
+    # the common case never touches repr.  The per-key relaxation state
+    # ``(supplier, cost, hops, path)`` remembers the reigning argmin:
+    # as long as the winner's own input did not worsen, a relaxation
+    # only scans the suppliers whose input changed.
+
+    def recompute_routes(self) -> bool:
+        """Re-derive DATA2 by rescanning every destination; True if changed.
+
+        The relaxation is the path-vector Bellman-Ford of the
+        Griffin-Wilfong model with the deterministic (cost, hops,
+        lexicographic) tie-break shared with the centralized oracle.
+        This full rescan is the reference the incremental variant is
+        property-tested against; the hot path uses
+        :meth:`recompute_routes_incremental`.
+        """
+        self.computation_count += 1
+        changed = False
+        destinations: Set[NodeId] = set()
+        for vector in self.neighbor_routes.values():
+            destinations.update(vector)
+        destinations.update(self.neighbors)
+        # Destinations with an installed entry but no remaining offer
+        # (withdrawn by topology events) must be rescanned so the entry
+        # is deleted; on a static graph this union adds nothing.
+        destinations.update(self.routing.destinations)
+        destinations.discard(self.owner)
+        for destination in sorted(destinations, key=repr):
+            if self._relax_route(destination):
+                changed = True
+        self._dirty_routes = {}
+        return changed
+
+    def recompute_routes_incremental(self) -> bool:
+        """Relax only the dirty destinations; True if DATA2 changed.
+
+        Observably identical to :meth:`recompute_routes` because a
+        destination's candidate set depends only on its own rows in the
+        neighbour vectors (diffed on ingestion) and on DATA1 (frozen in
+        phase 2, conservatively handled otherwise).
+        """
+        self.computation_count += 1
+        dirty = self._dirty_routes
+        if not dirty:
+            return False
+        self._dirty_routes = {}
+        refs = self._dest_refs
+        changed = False
+        for destination, suppliers in dirty.items():
+            if destination not in refs:
+                # Outside the universe the full rescan finds no
+                # candidates either: withdraw any retained entry;
+                # rejoining re-marks the destination dirty.
+                if self._drop_route_entry(destination):
+                    changed = True
+                continue
+            if self._relax_route(destination, suppliers):
+                changed = True
+        return changed
+
+    def _drop_route_entry(self, destination: NodeId) -> bool:
+        """Withdraw a destination's DATA2 entry; True if one existed."""
+        self._route_state.pop(destination, None)
+        if self.routing.remove(destination):
+            self._route_changes.add(destination)
+            self._dirty_pricing.add(destination)
+            return True
+        return False
+
+    def _drop_avoid_entry(self, key: AvoidKey) -> bool:
+        """Withdraw one avoidance entry; True if one existed."""
+        self._avoid_state.pop(key, None)
+        if self.avoid.pop(key, None) is not None:
+            self._avoid_changes.add(key)
+            self._dirty_pricing.add(key[0])
+            return True
+        return False
+
+    def _relax_route(
+        self, destination: NodeId, suppliers: Optional[Set[NodeId]] = None
+    ) -> bool:
+        """Relax one destination; True if its DATA2 entry changed.
+
+        ``suppliers`` limits the scan to the neighbours whose input
+        changed (``None`` rescans everything): if the previous winner
+        is not among them it still bounds the minimum, and if it is but
+        improved, it still wins against the unchanged rest — only a
+        worsened winner forces the full rescan.
+        """
+        owner = self.owner
+        state = self._route_state.get(destination)
+        cur = self.routing.entry(destination)
+        full = suppliers is None
+        self.stats.route_relaxations += 1
+        if cur is not None and state is None:
+            # The entry lost its supporting candidate in an earlier
+            # no-candidate rescan; only a full rescan may touch it.
+            full = True
+        # best: (supplier, cost, hops, offer path) stripped candidate.
+        best = None
+        keep = False
+        if not full and state is not None:
+            sup = state[0]
+            if sup is not _BASE and sup in suppliers:
+                offer = self.neighbor_routes.get(sup, {}).get(destination)
+                cand = None
+                if offer is not None:
+                    cost = self.costs.get(sup)
+                    opath = offer[2]
+                    if cost is not None and owner not in opath:
+                        cand = (sup, cost + offer[1], len(opath), opath)
+                if cand is None or _stripped_worse(cand, state):
+                    full = True  # the reigning input worsened: rescan
+                else:
+                    best = cand
+            else:
+                best = state
+                keep = True
+        if full:
+            self.stats.route_rescans += 1
+        costs_get = self.costs.get
+        routes_get = self.neighbor_routes.get
+        # lint: allow[unordered-iter] argmin over the strict total order (cost, hops, lex key) is iteration-order independent
+        for neighbor in (self.neighbors if full else suppliers):
+            if neighbor == destination:
+                if state is None or full:
+                    if best is None or _stripped_beats_base(destination, best):
+                        best = (_BASE, 0.0, 1, (destination,))
+                        keep = False
+                continue
+            if best is not None and neighbor == best[0]:
+                continue
+            vec = routes_get(neighbor)
+            offer = vec.get(destination) if vec else None
+            if offer is None:
+                continue
+            ncost = costs_get(neighbor)
+            if ncost is None:
+                continue
+            total = ncost + offer[1]
+            opath = offer[2]
+            if best is not None:
+                bcost = best[1]
+                if total > bcost:
+                    continue
+                hops = len(opath)
+                if total == bcost:
+                    bhops = best[2]
+                    if hops > bhops:
+                        continue
+                    if hops == bhops and _lex_key(opath) >= _lex_key(best[3]):
+                        continue
+            if owner in opath:
+                continue
+            best = (neighbor, total, len(opath), opath)
+            keep = False
+        if best is None:
+            # Only a full rescan can reach here with an entry installed
+            # (partial scans keep the reigning argmin as a bound), so a
+            # surviving entry genuinely has no candidate left anywhere:
+            # the destination became unreachable and is withdrawn, just
+            # as a fresh computation on the shrunken graph would never
+            # have derived it.  On a static graph this never fires —
+            # obedient neighbours never retract their offers.
+            if state is not None:
+                del self._route_state[destination]
+            if cur is not None:
+                self.routing.remove(destination)
+                self._route_changes.add(destination)
+                self._dirty_pricing.add(destination)
+                return True
+            return False
+        if keep:
+            return False
+        if state is not None:
+            if _stripped_equal(best, state):
+                self._route_state[destination] = best
+                return False
+        elif cur is not None and (
+            best[1] == cur.cost
+            and best[2] == len(cur.path) - 1
+            and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
+        ):
+            # The rescan re-derived the previously unsupported entry.
+            self._route_state[destination] = best
+            return False
+        self._route_state[destination] = best
+        sup, total, _hops, opath = best
+        if sup is _BASE:
+            entry = RouteEntry(cost=0.0, path=(owner, destination))
+        else:
+            entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
+        self.routing.update(destination, entry)
+        self._route_changes.add(destination)
+        self._dirty_pricing.add(destination)
+        return True
+
+    # --- avoidance relaxation -----------------------------------------
+
+    def recompute_avoidance(self) -> bool:
+        """Re-derive the avoidance table by full rescan; True if changed.
+
+        Reference counterpart of
+        :meth:`recompute_avoidance_incremental`, retained for phase
+        starts and the equivalence property tests.  The returned flag
+        also covers entries already moved by the fused ingestion since
+        the previous recompute call, so "did anything change since the
+        last recomputation" keeps its meaning in every mode.
+        """
+        self.computation_count += 1
+        changed = self._avoid_changed
+        self._avoid_changed = False
+        all_nodes = set(self.known_nodes())
+        destinations: Set[NodeId] = set()
+        for vector in self.neighbor_routes.values():
+            destinations.update(vector)
+        destinations.update(self.neighbors)
+        destinations.discard(self.owner)
+        # Entries whose destination left the universe, or keyed on a
+        # node without a DATA1 entry, have no counterpart in a fresh
+        # fixed point: withdraw them before relaxing (static runs never
+        # produce such keys).
+        stale = [
+            key
+            for key in self.avoid
+            if key[0] not in destinations or key[1] not in all_nodes
+        ]
+        for key in sorted(stale, key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))):
+            if self._drop_avoid_entry(key):
+                changed = True
+        if not any(self.neighbor_avoid.values()):
+            # Without avoidance inputs only the base case can supply a
+            # candidate, so only directly-connected destinations matter
+            # (typical at a phase start) — plus destinations that still
+            # hold entries, which the rescan must be able to withdraw.
+            destinations &= set(self.neighbors) | {key[0] for key in self.avoid}
+        for destination in sorted(destinations, key=repr):
+            for avoided in sorted(all_nodes, key=repr):
+                if avoided in (self.owner, destination):
+                    continue
+                if self._relax_avoid(destination, avoided):
+                    changed = True
+        self._avoid_rescan = set()
+        self._avoid_dest_pending = set()
+        return changed
+
+    def recompute_avoidance_incremental(self) -> bool:
+        """Settle the avoidance table; True if it changed.
+
+        Improvements were already adopted during ingestion (the
+        :attr:`_avoid_changed` flag); what remains is rescanning the
+        keys whose reigning argmin was invalidated — worsened,
+        withdrawn, or whose destination (re)entered the universe.
+        """
+        self.computation_count += 1
+        changed = self._avoid_changed
+        self._avoid_changed = False
+        rescan = self._avoid_rescan
+        pending = self._avoid_dest_pending
+        if pending:
+            self._avoid_dest_pending = set()
+            refs = self._dest_refs
+            offered = self._avoid_keys_by_dest
+            neighbor_set = self._neighbor_set
+            owner = self.owner
+            for dest in sorted(pending, key=_sort_key):
+                if dest not in refs:
+                    continue  # left the universe again; re-entry re-pends
+                if dest in neighbor_set:
+                    # The base case supplies a candidate for every
+                    # avoided id, so neighbour destinations sweep the
+                    # whole key row.
+                    for avoided in self.costs.as_dict():
+                        if avoided != owner and avoided != dest:
+                            rescan.add((dest, avoided))
+                    continue
+                # Non-neighbour destination: only keys that ever stored
+                # an offer can yield or invalidate anything; the rest
+                # are no-ops in the full rescan too.
+                for avoided in offered.get(dest, ()):
+                    if avoided != owner and avoided != dest:
+                        rescan.add((dest, avoided))
+        if rescan:
+            self._avoid_rescan = set()
+            refs = self._dest_refs
+            costs = self.costs
+            owner = self.owner
+            for key in sorted(
+                rescan, key=lambda k: (_sort_key(k[0]), _sort_key(k[1]))
+            ):
+                destination, avoided = key
+                if destination not in refs:
+                    # Outside the universe a fresh fixed point holds no
+                    # entry: withdraw any retained one (rejoining the
+                    # universe re-marks the key).
+                    if self._drop_avoid_entry(key):
+                        changed = True
+                    continue
+                if avoided == owner or avoided == destination:
+                    continue
+                if not costs.knows(avoided):
+                    # No DATA1 entry for the avoided node (retracted by
+                    # a departure): the key cannot exist freshly.
+                    if self._drop_avoid_entry(key):
+                        changed = True
+                    continue
+                if self._relax_avoid(destination, avoided):
+                    changed = True
+        return changed
+
+    def _relax_avoid(self, destination: NodeId, avoided: NodeId) -> bool:
+        """Fully rescan one avoidance key; True if its entry changed.
+
+        Same stripped-candidate scan as :meth:`_relax_route`, with the
+        avoided node excluded both as a neighbour and inside paths.
+        """
+        owner = self.owner
+        key = (destination, avoided)
+        state = self._avoid_state.get(key)
+        cur = self.avoid.get(key)
+        best = None
+        self.stats.avoid_rescans += 1
+        costs_get = self.costs.get
+        avoid_get = self.neighbor_avoid.get
+        for neighbor in self.neighbors:
+            if neighbor == avoided:
+                continue
+            if neighbor == destination:
+                if best is None or _stripped_beats_base(destination, best):
+                    best = (_BASE, 0.0, 1, (destination,))
+                continue
+            vec = avoid_get(neighbor)
+            offer = vec.get(key) if vec else None
+            if offer is None:
+                continue
+            ncost = costs_get(neighbor)
+            if ncost is None:
+                continue
+            total = ncost + offer[2]
+            opath = offer[3]
+            if best is not None:
+                bcost = best[1]
+                if total > bcost:
+                    continue
+                hops = len(opath)
+                if total == bcost:
+                    bhops = best[2]
+                    if hops > bhops:
+                        continue
+                    if hops == bhops and _lex_key(opath) >= _lex_key(best[3]):
+                        continue
+            if owner in opath or avoided in opath:
+                continue
+            best = (neighbor, total, len(opath), opath)
+        if best is None:
+            # No candidate anywhere supports this key: withdraw the
+            # entry (topology events only — static runs never retract
+            # offers, so this branch is inert there).
+            if state is not None:
+                del self._avoid_state[key]
+            if cur is not None:
+                del self.avoid[key]
+                self._avoid_changes.add(key)
+                self._dirty_pricing.add(destination)
+                return True
+            return False
+        if state is not None:
+            if _stripped_equal(best, state):
+                self._avoid_state[key] = best
+                return False
+        elif cur is not None and (
+            best[1] == cur.cost
+            and best[2] == len(cur.path) - 1
+            and _lex_key(tuple(best[3])) == _lex_key(cur.path[1:])
+        ):
+            # The rescan re-derived the previously unsupported entry.
+            self._avoid_state[key] = best
+            return False
+        self._avoid_state[key] = best
+        sup, total, _hops, opath = best
+        if sup is _BASE:
+            entry = RouteEntry(cost=0.0, path=(owner, destination))
+        else:
+            entry = RouteEntry(cost=total, path=(owner,) + tuple(opath))
+        self.avoid[key] = entry
+        self._avoid_changes.add(key)
+        self._dirty_pricing.add(destination)
+        return True
+
+    # --- pricing derivation -------------------------------------------
+
+    def derive_pricing(self) -> bool:
+        """Recompute DATA3* from DATA2 and the avoidance table.
+
+        For every destination ``j`` with a route, and every transit
+        node ``k`` interior to that route, install
+
+            price = c_k + d^{-k}(owner, j) - d(owner, j)
+
+        with the identity tag set to the argmin suppliers of the
+        avoidance entry.  Returns True if any cell changed.  Full-table
+        reference counterpart of :meth:`derive_pricing_incremental`.
+        """
+        self.computation_count += 1
+        changed = False
+        for destination in self.routing.destinations:
+            if self._derive_pricing_row(destination):
+                changed = True
+        # Rows whose destination lost its route (withdrawn by topology
+        # events) are cleared — a fresh computation never derives them.
+        routed = set(self.routing.destinations)
+        for destination in self.pricing.destinations:
+            if destination not in routed and self._clear_pricing_row(destination):
+                changed = True
+        self._dirty_pricing = set()
+        return changed
+
+    def derive_pricing_incremental(self) -> bool:
+        """Re-derive only the dirty pricing rows; True if changed.
+
+        A row depends on its destination's DATA2 entry, the avoidance
+        entries along that path, and the supplier tags (which read the
+        avoidance *inputs* directly — a tie union can change a tag
+        without changing any avoidance entry, which is why vector
+        ingestion marks rows dirty by input key, not by entry change).
+        """
+        self.computation_count += 1
+        dirty = self._dirty_pricing
+        if not dirty:
+            return False
+        self._dirty_pricing = set()
+        changed = False
+        for destination in sorted(dirty, key=_sort_key):
+            if self.routing.entry(destination) is None:
+                # No route (possibly withdrawn): clear any retained row;
+                # a route arriving later re-marks it.
+                if self._clear_pricing_row(destination):
+                    changed = True
+                continue
+            if self._derive_pricing_row(destination):
+                changed = True
+        return changed
+
+    def _clear_pricing_row(self, destination: NodeId) -> bool:
+        """Clear one DATA3* row; True if it held any cell."""
+        if self.pricing.row(destination):
+            self.pricing.clear_destination(destination)
+            return True
+        return False
+
+    def _derive_pricing_row(self, destination: NodeId) -> bool:
+        """Re-derive one destination's DATA3* row; True if it changed."""
+        entry = self.routing.entry(destination)
+        assert entry is not None
+        desired: Dict[NodeId, Tuple[Cost, FrozenSet[NodeId]]] = {}
+        for transit in entry.path[1:-1]:
+            avoid_entry = self.avoid.get((destination, transit))
+            if avoid_entry is None or not self.costs.knows(transit):
+                continue
+            price = self.costs.cost(transit) + avoid_entry.cost - entry.cost
+            tag = self._supplier_tag(destination, transit)
+            desired[transit] = (price, tag)
+        current_row = self.pricing.row(destination)
+        current_view = {
+            transit: (cell.price, cell.tag) for transit, cell in current_row.items()
+        }
+        if current_view == desired:
+            return False
+        self.pricing.clear_destination(destination)
+        for transit, (price, tag) in desired.items():
+            self.pricing.set_price(destination, transit, price, tag)
+        return True
+
+    def _supplier_tag(self, destination: NodeId, avoided: NodeId) -> FrozenSet[NodeId]:
+        """Argmin suppliers of one avoidance entry (union on ties)."""
+        owner = self.owner
+        key = (destination, avoided)
+        best = None  # (cost, hops, path)
+        tag: List[NodeId] = []
+        costs_get = self.costs.get
+        avoid_get = self.neighbor_avoid.get
+        for neighbor in self.neighbors:
+            if neighbor == avoided:
+                continue
+            if neighbor == destination:
+                cand = (0.0, 1, (destination,))
+            else:
+                vec = avoid_get(neighbor)
+                offer = vec.get(key) if vec else None
+                if offer is None:
+                    continue
+                ncost = costs_get(neighbor)
+                if ncost is None:
+                    continue
+                opath = offer[3]
+                if owner in opath or avoided in opath:
+                    continue
+                cand = (ncost + offer[2], len(opath), opath)
+            if best is None:
+                best = cand
+                tag = [neighbor]
+                continue
+            if cand[0] != best[0]:
+                if cand[0] < best[0]:
+                    best = cand
+                    tag = [neighbor]
+                continue
+            if cand[1] != best[1]:
+                if cand[1] < best[1]:
+                    best = cand
+                    tag = [neighbor]
+                continue
+            if cand[2] is best[2]:
+                tag.append(neighbor)
+                continue
+            lex_c, lex_b = _lex_key(cand[2]), _lex_key(best[2])
+            if lex_c < lex_b:
+                best = cand
+                tag = [neighbor]
+            elif lex_c == lex_b:
+                tag.append(neighbor)
+        return frozenset(tag)
+
+    # ------------------------------------------------------------------
+    # digests for bank comparison, snapshots
+    # ------------------------------------------------------------------
+
+    def routing_digest(self) -> str:
+        """Hash of DATA2 (BANK1 material)."""
+        return self.routing.stable_digest()
+
+    def pricing_digest(self) -> str:
+        """Hash of DATA3* including tags (BANK2 material)."""
+        return self.pricing.stable_digest()
+
+    def cost_digest(self) -> str:
+        """Hash of DATA1 (first-construction-phase checkpoint)."""
+        return self.costs.stable_digest()
+
+    def full_digest(self) -> str:
+        """Combined digest over all construction state."""
+        return stable_hash(
+            (self.cost_digest(), self.routing_digest(), self.pricing_digest())
+        )
+
+    def settle(self) -> Tuple[Optional[Tuple], Optional[Tuple]]:
+        """Run one incremental settle step; returns the emitted deltas.
+
+        Relaxes routes, settles the avoidance table, re-derives dirty
+        pricing rows, and consumes the changed-key sets into the
+        suggested-specification broadcast deltas — ``(route_delta,
+        avoid_delta)``, each ``None`` when that table did not change.
+        This ordering *is* the replay-exactness contract: principals,
+        shared kernels, forked mirrors, and the synchronous oracle all
+        settle through this one implementation, which is what keeps
+        their broadcast streams bit-identical; callers only differ in
+        what they do with the deltas (announce, record, queue, post,
+        or discard).
+        """
+        route_delta = (
+            self.consume_route_delta()
+            if self.recompute_routes_incremental()
+            else None
+        )
+        avoid_delta = (
+            self.consume_avoid_delta()
+            if self.recompute_avoidance_incremental()
+            else None
+        )
+        self.derive_pricing_incremental()
+        return route_delta, avoid_delta
+
+    def snapshot(self) -> KernelSnapshot:
+        """Digest-level checkpoint of the current construction state.
+
+        The bank-comparable view of the kernel at this instant; cheap
+        (no table copies), immutable, and sufficient to compare two
+        replays for observational equality.
+        """
+        return KernelSnapshot(
+            owner=self.owner,
+            cost_digest=self.cost_digest(),
+            routing_digest=self.routing_digest(),
+            pricing_digest=self.pricing_digest(),
+            computation_count=self.computation_count,
+        )

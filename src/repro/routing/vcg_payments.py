@@ -129,18 +129,37 @@ def all_pairs_payments(
 ) -> Dict[Tuple[NodeId, NodeId], RoutePayments]:
     """Route payments for every ordered pair (requires biconnectivity).
 
-    Costs one Dijkstra run per source plus one per distinct transit
-    node of that source's tree — not one search per (pair, transit).
+    Batched per source: one full Dijkstra tree gives every route, and
+    one :meth:`RoutingEngine.source_detour_labels` repair sweep gives
+    every ``LCP_{-k}`` cost the payment rule needs — the below-``k``
+    group of each transit node is re-relaxed from its frozen boundary
+    instead of re-running Dijkstra per (source, transit).
     """
     graph.require_biconnected()
     engine = engine_for(graph)
     result: Dict[Tuple[NodeId, NodeId], RoutePayments] = {}
-    for source in graph.nodes:
-        for destination in graph.nodes:
-            if source != destination:
-                result[(source, destination)] = _route_payments(
-                    engine, source, destination
-                )
+    nodes = graph.nodes
+    node_cost = {node: graph.cost(node) for node in nodes}
+    for source in nodes:
+        base = engine.tree(source)
+        detours = engine.source_detour_labels(source)
+        for destination in nodes:
+            if destination == source:
+                continue
+            route = base[destination]
+            route_cost = route.cost
+            payments = {
+                transit: node_cost[transit]
+                + detours[transit][destination]
+                - route_cost
+                for transit in route.transit_nodes
+            }
+            result[(source, destination)] = RoutePayments(
+                source=source,
+                destination=destination,
+                route=route,
+                payments=payments,
+            )
     return result
 
 

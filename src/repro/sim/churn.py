@@ -200,6 +200,11 @@ def _viable(graph: ASGraph, require: Optional[str]) -> bool:
     return True
 
 
+#: Rejection-sampling budget per event slot in
+#: :func:`random_churn_schedule`.
+_DRAW_ATTEMPTS = 32
+
+
 def random_churn_schedule(
     graph: ASGraph,
     rng,
@@ -209,29 +214,46 @@ def random_churn_schedule(
     cost_range: Tuple[float, float] = (1.0, 10.0),
     require: Optional[str] = "connected",
     join_prefix: str = "hx",
+    on_exhaustion: str = "raise",
+    seed: Optional[int] = None,
 ) -> ChurnSchedule:
     """Draw a deterministic schedule keeping every epoch graph viable.
 
     ``rng`` is a seeded ``random.Random``; all sampling happens over
     repr-sorted views, so the schedule depends only on the seed and the
     graph, never on hash order.  Each drawn event is validated against
-    the evolving graph with bounded rejection sampling: kinds that
-    cannot keep the graph viable here (the last safe link, the last
-    spare node) are skipped rather than fatal, so small graphs yield
-    smaller epochs instead of errors.
+    the evolving graph with bounded rejection sampling.
+
+    When an event slot exhausts its sampling budget — no requested kind
+    can keep the graph viable here (the last safe link, the last spare
+    node) — the default ``on_exhaustion="raise"`` raises a
+    :class:`SimulationError` naming the seed, the event kinds tried,
+    and the violated viability constraint, so an impossible
+    constraint set fails loudly instead of silently under-delivering
+    events.  ``on_exhaustion="skip"`` restores the lenient behaviour:
+    the slot is dropped and small graphs yield smaller epochs.
+    ``seed`` is only used to label the error (the ``rng`` object does
+    not expose the seed it was built from).
     """
     for kind in kinds:
         if kind not in EVENT_KINDS:
             raise SimulationError(f"unknown churn event kind {kind!r}")
+    if on_exhaustion not in ("raise", "skip"):
+        raise SimulationError(
+            f"unknown on_exhaustion policy {on_exhaustion!r}; "
+            "expected 'raise' or 'skip'"
+        )
     current = graph
     joined = 0
     epoch_specs = []
-    for _ in range(epochs):
+    for epoch in range(epochs):
         events = []
         for _ in range(events_per_epoch):
             event = None
-            for _attempt in range(32):
+            tried = set()
+            for _attempt in range(_DRAW_ATTEMPTS):
                 kind = kinds[rng.randrange(len(kinds))]
+                tried.add(kind)
                 candidate = _draw_event(
                     current, rng, kind, cost_range, f"{join_prefix}{joined}"
                 )
@@ -244,7 +266,19 @@ def random_churn_schedule(
                 current = evolved
                 break
             if event is None:
-                continue
+                if on_exhaustion == "skip":
+                    continue
+                seed_label = "unknown" if seed is None else repr(seed)
+                raise SimulationError(
+                    f"churn schedule draw exhausted "
+                    f"{_DRAW_ATTEMPTS} attempts in epoch {epoch} "
+                    f"(seed {seed_label}): no event of kind "
+                    f"{sorted(tried)} keeps the "
+                    f"{len(current)}-node graph "
+                    f"{require or 'non-trivial'}; relax the kinds or "
+                    "the viability constraint, or pass "
+                    "on_exhaustion='skip' to drop the slot"
+                )
             if event.kind == "join":
                 joined += 1
             events.append(event)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping
+from typing import Dict, Hashable, Mapping, Optional
 
 NodeId = Hashable
 
@@ -41,6 +41,14 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._per_node: Dict[NodeId, NodeMetrics] = defaultdict(NodeMetrics)
         self.events_processed: int = 0
+        self._by_kind: Dict[str, int] = defaultdict(int)
+        #: Messages the pre-coalescing checker-copy path would have
+        #: sent: one per forwarded copy per checker.  The coalesced
+        #: implementation bundles a whole delivery batch's copies into
+        #: one multicast, so the actual checker-copy message count must
+        #: stay strictly below this on any batched run — the per-batch
+        #: accounting gate of the checked-tier benchmarks.
+        self.uncoalesced_copy_sends: int = 0
 
     def node(self, node_id: NodeId) -> NodeMetrics:
         """The (auto-created) counters for one node."""
@@ -55,11 +63,26 @@ class MetricsRegistry:
     # recording helpers
     # ------------------------------------------------------------------
 
-    def record_send(self, node_id: NodeId, payload_units: int = 1) -> None:
+    def record_send(
+        self,
+        node_id: NodeId,
+        payload_units: int = 1,
+        kind: Optional[str] = None,
+    ) -> None:
         """Count one outgoing message."""
         metrics = self._per_node[node_id]
         metrics.messages_sent += 1
         metrics.payload_units_sent += payload_units
+        if kind is not None:
+            self._by_kind[kind] += 1
+
+    def record_uncoalesced_copies(self, count: int) -> None:
+        """Count messages the per-copy checker path would have sent."""
+        self.uncoalesced_copy_sends += count
+
+    def messages_of_kind(self, kind: str) -> int:
+        """Messages sent with this wire kind across all nodes."""
+        return self._by_kind[kind]
 
     def record_receive(self, node_id: NodeId) -> None:
         """Count one delivered message."""
@@ -105,4 +128,5 @@ class MetricsRegistry:
             "total_computations": self.total_computations,
             "total_checker_computations": self.total_checker_computations,
             "events_processed": self.events_processed,
+            "uncoalesced_copy_sends": self.uncoalesced_copy_sends,
         }

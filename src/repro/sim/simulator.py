@@ -136,7 +136,9 @@ class Simulator:
         self._check_reachable(message.src, message.dst)
         if message.dst not in self._nodes:
             raise SimulationError(f"message to unknown node {message.dst!r}")
-        self.metrics.record_send(message.src, payload_units=message.size)
+        self.metrics.record_send(
+            message.src, payload_units=message.size, kind=message.kind
+        )
         self.trace.record(self._now, TraceKind.SEND, message.src, message)
         delay = self._link_delay(message.src, message.dst)
         arrival = self._now + delay

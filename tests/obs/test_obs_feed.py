@@ -140,6 +140,35 @@ class TestFeedStatus:
         assert status.rate == 0.0
         assert status.eta is None
 
+    def test_single_record_feed_reports_na_not_nonsense(self, tmp_path):
+        # Regression: a feed with exactly one record (a run killed the
+        # instant it started) has one wall stamp — no interval to
+        # derive a rate from.  Status must stay rate-less and render
+        # "n/a" instead of dividing by a zero elapsed time.
+        with SweepFeed(str(tmp_path)) as feed:
+            feed.sweep_start(name="grid", total=4, pending=4, reused=0,
+                             workers=1)
+        events = read_feed(feed_path(str(tmp_path)))
+        assert len(events) == 1
+        status = feed_status(events)
+        assert status.elapsed == 0.0
+        assert status.rate == 0.0
+        assert status.eta is None
+        text = render_status(status)
+        assert "rate:  n/a" in text
+        assert "eta:   n/a for 4 cells" in text
+
+    def test_identical_stamps_do_not_divide_by_zero(self, tmp_path):
+        # Two completions inside the stamp resolution: elapsed is zero,
+        # so the rate must stay unknown rather than infinite.
+        events = read_feed(_write_feed(tmp_path))
+        for event in events:
+            event.wall_time = 100.0
+        status = feed_status(events)
+        assert status.elapsed == 0.0
+        assert status.rate == 0.0
+        assert status.eta is None
+
     def test_empty_feed(self):
         status = feed_status([])
         assert status.total == 0 and status.completed == 0

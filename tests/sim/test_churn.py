@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.routing import ASGraph, figure1_graph
 from repro.sim.churn import (
     EVENT_KINDS,
@@ -187,9 +187,9 @@ class TestRandomSchedules:
         kinds = {e.kind for events in schedule.epochs for e in events}
         assert kinds == {"leave", "join"}
 
-    def test_small_graphs_shrink_instead_of_failing(self):
-        # A triangle cannot lose a link and stay biconnected; the
-        # generator must yield empty epochs rather than raise.
+    def test_small_graphs_shrink_under_skip_policy(self):
+        # A triangle cannot lose a link and stay biconnected; under the
+        # lenient policy the generator yields empty epochs.
         graph = ASGraph(
             {"a": 1.0, "b": 1.0, "c": 1.0},
             [("a", "b"), ("b", "c"), ("a", "c")],
@@ -201,5 +201,50 @@ class TestRandomSchedules:
             events_per_epoch=1,
             kinds=("link-down",),
             require="biconnected",
+            on_exhaustion="skip",
         )
         assert schedule.event_count == 0
+
+    def test_exhaustion_raises_repro_error_naming_the_draw(self):
+        # The same impossible constraint set must fail loudly by
+        # default, with a diagnosable error: seed, kinds, constraint.
+        graph = ASGraph(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        with pytest.raises(ReproError) as excinfo:
+            random_churn_schedule(
+                graph,
+                random.Random(7),
+                epochs=1,
+                events_per_epoch=1,
+                kinds=("link-down",),
+                require="biconnected",
+                seed=7,
+            )
+        message = str(excinfo.value)
+        assert "seed 7" in message
+        assert "link-down" in message
+        assert "biconnected" in message
+
+    def test_exhaustion_error_without_seed_says_unknown(self):
+        graph = ASGraph(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        with pytest.raises(SimulationError, match="seed unknown"):
+            random_churn_schedule(
+                graph,
+                random.Random(0),
+                epochs=1,
+                events_per_epoch=1,
+                kinds=("link-down",),
+                require="biconnected",
+            )
+
+    def test_unknown_exhaustion_policy_is_rejected(self):
+        graph = ASGraph({"a": 1.0, "b": 1.0}, [("a", "b")])
+        with pytest.raises(SimulationError, match="on_exhaustion"):
+            random_churn_schedule(
+                graph, random.Random(0), on_exhaustion="ignore"
+            )
