@@ -34,7 +34,8 @@ def test_bench_sweep_payments_throughput(benchmark):
     # protocol_seeds=0 drops the 16/64-node convergence block: this
     # benchmark gates the cheap engine-bound payments probe only.
     sweep = default_sweep(
-        seeds=3, protocol_seeds=0, checked_seeds=0, churn_seeds=0
+        seeds=3, protocol_seeds=0, checked_seeds=0, churn_seeds=0,
+        settlement_seeds=0,
     )
     results = once(benchmark, lambda: SweepRunner(sweep, workers=1).run())
 
@@ -170,7 +171,8 @@ def test_bench_shard_merge_overhead(benchmark, tmp_path):
     the artifacts adds only file I/O on top of the scenario work, and
     the merged artifacts are byte-identical to the serial run's."""
     sweep = default_sweep(
-        seeds=2, protocol_seeds=0, checked_seeds=0, churn_seeds=0
+        seeds=2, protocol_seeds=0, checked_seeds=0, churn_seeds=0,
+        settlement_seeds=0,
     )
     specs = sweep.scenarios
 

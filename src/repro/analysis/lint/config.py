@@ -35,6 +35,8 @@ CANONICAL_PATH_MODULES: FrozenSet[str] = frozenset(
         "routing/fpss.py",
         "routing/tables.py",
         "faithful/mirror.py",
+        "faithful/bank.py",
+        "faithful/settlement.py",
         "sim/events.py",
         "experiments/artifacts.py",
     }

@@ -564,8 +564,8 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=raw,
         epilog=(
             "Expands a declarative scenario grid and runs its probe per "
-            "cell\n(payments, convergence, detection, faithfulness), "
-            "serially or over a\nmultiprocessing pool, then writes "
+            "cell\n(payments, convergence, detection, faithfulness, churn, "
+            "settlement),\nserially or over a\nmultiprocessing pool, then writes "
             "results.csv / summary.csv /\nsweep.json / cells.jsonl "
             "artifacts.\n\n"
             "--shard I/N runs the I-th of N deterministic shards of the "
@@ -692,8 +692,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Reduces a telemetry feed — live, finished, or truncated by "
             "a kill —\nto a progress report: cells done / in flight / "
             "remaining, completion\nrate and ETA (from the wall stamps "
-            "in the records), error classes,\nerrors by probe, and the "
-            "top merged counters.\n\n"
+            "in the records), error classes,\nerrors by probe, churn and "
+            "settlement roll-ups (flows settled, net\ntransfers, forced "
+            "settlements, deposit draws), and the top merged\ncounters.\n\n"
             "examples:\n"
             "  python -m repro status sweep-artifacts\n"
             "  python -m repro status sweep-artifacts --format json"

@@ -313,12 +313,60 @@ def _churn_probe(
     }
 
 
+def _settlement_probe(
+    spec: ScenarioSpec, graph, traffic
+) -> Dict[str, float]:
+    """Batched-bank probe: settle synthesized reports, net, audit.
+
+    Builds honest execution reports straight from the scenario's VCG
+    route bundle (no packet simulation), runs the columnar settle with
+    epoch netting, checks the per-flow and batch transfer lists net to
+    bit-identical money positions, and dry-runs forced settlement
+    (honest reports -> no shortfall, no deposit draw).  The headline
+    metric is ``netting_ratio``: per-flow transfer records per batch
+    payout row.
+    """
+    from ..faithful.bank import BankNode
+    from ..faithful.settlement import (
+        net_positions,
+        synthesize_execution_reports,
+    )
+
+    reports = synthesize_execution_reports(graph, traffic, repeats=1)
+    bank = BankNode()
+    bank.reports["execution"] = reports
+    node_ids = tuple(sorted(graph.nodes, key=repr))
+    declared = {n: graph.cost(n) for n in node_ids}
+    result = bank.settle_netted(node_ids, declared)
+    per_flow = net_positions(result.per_flow_transfers, nodes=node_ids)
+    netted = net_positions(result.transfers, nodes=node_ids)
+    drift = max(
+        abs(per_flow[n] - netted[n]) for n in node_ids
+    )
+    forced = bank.run_forced_settlement(result.ledger, at_time=0.0)
+    payouts = result.net_payouts
+    return {
+        "flows_settled": float(result.flows_settled),
+        "flow_groups": float(result.flow_groups),
+        "transfer_records": float(result.transfer_records),
+        "net_transfers": float(len(result.transfers)),
+        "net_payouts": float(payouts),
+        "netting_ratio": (
+            result.transfer_records / payouts if payouts else 1.0
+        ),
+        "net_position_drift": drift,
+        "forced_settlements": float(len(forced)),
+        "settlement_flags": float(len(result.flags)),
+    }
+
+
 _PROBES = {
     "payments": _payments_probe,
     "convergence": _convergence_probe,
     "detection": _detection_probe,
     "faithfulness": _faithfulness_probe,
     "churn": _churn_probe,
+    "settlement": _settlement_probe,
 }
 
 

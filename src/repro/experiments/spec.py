@@ -46,7 +46,14 @@ TOPOLOGY_FAMILIES = ("figure1", "ring", "wheel", "complete", "random")
 #: Traffic models a spec may name.
 TRAFFIC_MODELS = ("uniform", "random-pairs", "hotspot", "gravity")
 #: Probes: which measurement one scenario takes.
-PROBES = ("payments", "convergence", "detection", "faithfulness", "churn")
+PROBES = (
+    "payments",
+    "convergence",
+    "detection",
+    "faithfulness",
+    "churn",
+    "settlement",
+)
 
 #: Minimum node count per family (mirrors the generators' own checks).
 _MIN_SIZE = {"figure1": 0, "ring": 3, "wheel": 4, "complete": 3, "random": 3}
@@ -545,6 +552,8 @@ def default_sweep(
     checked_sizes: Sequence[int] = (16, 64),
     churn_seeds: int = 2,
     churn_sizes: Sequence[int] = (12, 16),
+    settlement_seeds: int = 1,
+    settlement_sizes: Sequence[int] = (16, 64),
 ) -> SweepSpec:
     """The stock grid behind ``python -m repro sweep``.
 
@@ -567,10 +576,15 @@ def default_sweep(
     epoch-equivalence-verified reconvergence, traffic between epochs)
     on random biconnected graphs at ``churn_sizes`` with
     ``churn_seeds`` seeds — half the cells membership-free, half with
-    leave/join events; ``churn_seeds=0`` drops the block.  Blocks only
-    ever *append* scenarios, so the content keys of existing cells are
-    unchanged by the knobs; cells are keyed by probe as well as
-    topology/size/traffic so no two blocks share a summary cell.
+    leave/join events; ``churn_seeds=0`` drops the block.  The
+    *settlement* block runs the batched-bank probe (synthesized honest
+    execution reports, columnar settle, epoch netting, forced
+    settlement dry-run) at ``settlement_sizes`` with
+    ``settlement_seeds`` seeds; ``settlement_seeds=0`` drops the
+    block.  Blocks only ever *append* scenarios, so the content keys
+    of existing cells are unchanged by the knobs; cells are keyed by
+    probe as well as topology/size/traffic so no two blocks share a
+    summary cell.
     """
     if seeds < 1:
         raise ExperimentError("seeds must be positive")
@@ -580,6 +594,8 @@ def default_sweep(
         raise ExperimentError("checked_seeds must be non-negative")
     if churn_seeds < 0:
         raise ExperimentError("churn_seeds must be non-negative")
+    if settlement_seeds < 0:
+        raise ExperimentError("settlement_seeds must be non-negative")
     scenarios = expand_grid(
         base={"probe": "payments"},
         axes={
@@ -646,6 +662,16 @@ def default_sweep(
                     },
                 )
             )
+    if settlement_seeds and settlement_sizes:
+        scenarios.extend(
+            expand_grid(
+                base={"probe": "settlement", "topology": "random"},
+                axes={
+                    "size": list(settlement_sizes),
+                    "seed": list(range(settlement_seeds)),
+                },
+            )
+        )
     return SweepSpec(
         name="default",
         scenarios=tuple(scenarios),

@@ -29,19 +29,106 @@ receipts non-repudiable, so a node that actually forwarded can always
 prove it, and a claim of forwarding without the matching receipt is
 disbelieved.  The simulator's reliable links make receiver logs ground
 truth, so this models exactly the ack-backed scheme.
+
+Settlement engines
+------------------
+Two engines reconcile the execution reports:
+
+* :meth:`BankNode.settle_per_flow` — the reference: walk every
+  observed origination one at a time, re-tracing its certified path.
+  Retained as the property-tested oracle.
+* :meth:`BankNode._settle_impl` (behind :meth:`BankNode.settle` and
+  :meth:`BankNode.settle_netted`) — the columnar engine: receipts are
+  ingested once into flat tables keyed by interned ``(origin,
+  destination)`` flow ids, observations land in parallel arrays and
+  are *grouped* by (flow, certified path), so the path walk, the
+  carried mask, and the off-path reimbursement scan run once per group
+  instead of once per observation row.
+
+Both engines append every monetary effect to a per-node contribution
+list and materialise records with :func:`math.fsum`, which is exactly
+rounded: two engines producing the same *multiset* of contributions
+produce bit-identical records regardless of accumulation order.  That
+is the equivalence contract ``tests/faithful/test_settlement_
+equivalence.py`` enforces across the manipulation catalogue.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ProtocolError
-from ..obs.trace import span
+from ..obs.trace import emit_counters, span
 from ..sim.crypto import SigningAuthority
 from ..sim.messages import Message, NodeId
 from ..sim.node import ProtocolNode
 from .audit import CheckpointDecision, Flag, FlagKind, SettlementRecord
 from .node import BANK_ID, KIND_BANK_REQUEST, decode_flag
+from .settlement import BatchTransfer, NettingLedger, forced_settlement
+
+
+class _SettlementTally:
+    """Exact (order-independent) accumulation of settlement money.
+
+    Every monetary effect is appended as one contribution;
+    :meth:`BankNode._finalize_settlement` reduces each per-node list
+    with :func:`math.fsum`.  fsum is exactly rounded over its input
+    multiset, so any two settlement engines that generate the same
+    multiset of contributions per node and field produce bit-identical
+    :class:`~repro.faithful.audit.SettlementRecord` values — the
+    mechanism behind the per-flow/columnar equivalence tests.
+    """
+
+    __slots__ = ("received", "charged", "penalties", "expected")
+
+    def __init__(self, node_ids: Sequence[NodeId]) -> None:
+        self.received: Dict[NodeId, List[float]] = {n: [] for n in node_ids}
+        self.charged: Dict[NodeId, List[float]] = {n: [] for n in node_ids}
+        self.penalties: Dict[NodeId, List[float]] = {n: [] for n in node_ids}
+        #: Per-origin enforced charge contributions (DATA4 comparison).
+        self.expected: Dict[NodeId, List[float]] = {n: [] for n in node_ids}
+
+
+@dataclass
+class SettlementStats:
+    """Work counters of one settlement pass (telemetry and gates)."""
+
+    #: Observation rows reconciled (one per observed origination).
+    flows_settled: int = 0
+    #: Distinct (flow id, certified path) groups the rows collapsed to.
+    flow_groups: int = 0
+    #: Individual origin-to-transit payment rows the per-flow scheme
+    #: would execute — the denominator of the netting compression gate.
+    transfer_records: int = 0
+    #: The per-flow transfer list (payer, payee, amount), collected
+    #: only when the caller nets (``collect_transfers=True``).
+    transfers: Optional[List[Tuple[NodeId, NodeId, float]]] = None
+
+
+@dataclass
+class NettedSettlement:
+    """Everything :meth:`BankNode.settle_netted` produced."""
+
+    records: Dict[NodeId, SettlementRecord]
+    flags: List[Flag]
+    #: One lump-sum transfer per net debtor for this epoch.
+    transfers: List[BatchTransfer]
+    #: The ledger holding the signed obligation trace (audit input).
+    ledger: NettingLedger
+    flows_settled: int = 0
+    flow_groups: int = 0
+    transfer_records: int = 0
+    #: The un-netted per-flow transfer list the obligations came from.
+    per_flow_transfers: List[Tuple[NodeId, NodeId, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def net_payouts(self) -> int:
+        """Total payout rows across the epoch's batch transfers."""
+        return sum(len(transfer.payouts) for transfer in self.transfers)
 
 
 class BankNode(ProtocolNode):
@@ -54,6 +141,9 @@ class BankNode(ProtocolNode):
         self.signing = signing
         #: stage -> node -> report payload.
         self.reports: Dict[str, Dict[NodeId, Mapping[str, Any]]] = {}
+        #: Settlement deposits (Concent-style escrow backing forced
+        #: payment when an audited debtor stops paying).
+        self.deposits: Dict[NodeId, float] = {}
 
     # ------------------------------------------------------------------
     # request/collect
@@ -84,6 +174,20 @@ class BankNode(ProtocolNode):
         if stage not in self.reports:
             raise ProtocolError(f"no reports collected for stage {stage!r}")
         return self.reports[stage]
+
+    # ------------------------------------------------------------------
+    # deposits
+    # ------------------------------------------------------------------
+
+    def fund_deposit(self, node_id: NodeId, amount: float) -> None:
+        """Credit a node's settlement deposit."""
+        if amount < 0:
+            raise ProtocolError(f"deposit amount must be >= 0, got {amount}")
+        self.deposits[node_id] = self.deposits.get(node_id, 0.0) + amount
+
+    def deposit_balance(self, node_id: NodeId) -> float:
+        """A node's current deposit balance (0 when never funded)."""
+        return self.deposits.get(node_id, 0.0)
 
     # ------------------------------------------------------------------
     # checkpoint decisions
@@ -222,8 +326,9 @@ class BankNode(ProtocolNode):
     ) -> Tuple[Dict[NodeId, SettlementRecord], List[Flag]]:
         """Reconcile execution reports into enforced transfers.
 
-        Returns per-node settlement records (received / charged /
-        penalties) and the flags raised during reconciliation.
+        Runs the columnar engine; returns per-node settlement records
+        (received / charged / penalties) and the flags raised during
+        reconciliation, bit-identical to :meth:`settle_per_flow`.
         """
         # The bank can settle without ever being attached to a
         # simulator (unit-level reconciliation); sim-time is optional.
@@ -231,23 +336,139 @@ class BankNode(ProtocolNode):
         with span(
             "bank.settle", sim_time=sim_time, nodes=len(node_ids)
         ) as settle_span:
-            records, flags = self._settle_impl(
+            records, flags, stats = self._settle_impl(
                 node_ids, declared_costs, epsilon, tolerance
             )
             settle_span.note(flags=len(flags))
+            emit_counters(
+                "bank",
+                {
+                    "settles": 1,
+                    "flows_settled": stats.flows_settled,
+                    "flow_groups": stats.flow_groups,
+                    "transfer_records": stats.transfer_records,
+                    "settlement_flags": len(flags),
+                },
+                sim_time=sim_time,
+            )
         return records, flags
 
-    def _settle_impl(
+    def settle_netted(
         self,
         node_ids: Sequence[NodeId],
         declared_costs: Mapping[NodeId, float],
-        epsilon: float,
-        tolerance: float,
+        ledger: Optional[NettingLedger] = None,
+        closure_time: float = 0.0,
+        epsilon: float = 0.01,
+        tolerance: float = 1e-9,
+    ) -> NettedSettlement:
+        """Settle, then net the epoch's transfers into batch payments.
+
+        Runs the same columnar reconciliation as :meth:`settle` (so
+        records and flags are identical), records every individual
+        per-flow transfer as an obligation on ``ledger`` (a fresh
+        ledger when None) accepted at ``closure_time``, and closes the
+        epoch: one net :class:`~repro.faithful.settlement.
+        BatchTransfer` per debtor whose ``closure_time`` covers every
+        obligation accepted before it.  Net money positions of the
+        batch transfers are bit-identical to the per-flow transfer
+        list's (see :func:`~repro.faithful.settlement.net_positions`).
+        """
+        sim_time = self.now if self._sim is not None else None
+        with span(
+            "bank.net", sim_time=sim_time, nodes=len(node_ids)
+        ) as net_span:
+            records, flags, stats = self._settle_impl(
+                node_ids,
+                declared_costs,
+                epsilon,
+                tolerance,
+                collect_transfers=True,
+            )
+            if ledger is None:
+                ledger = NettingLedger()
+            assert stats.transfers is not None
+            for payer, payee, amount in stats.transfers:
+                if payer != payee:
+                    ledger.record(payer, payee, amount, accepted_at=closure_time)
+            transfers = ledger.close_epoch(closure_time)
+            payouts = sum(len(transfer.payouts) for transfer in transfers)
+            net_span.note(transfers=len(transfers), payouts=payouts)
+            emit_counters(
+                "bank",
+                {
+                    "nets": 1,
+                    "flows_settled": stats.flows_settled,
+                    "flow_groups": stats.flow_groups,
+                    "transfer_records": stats.transfer_records,
+                    "net_transfers": len(transfers),
+                    "net_payouts": payouts,
+                    "settlement_flags": len(flags),
+                },
+                sim_time=sim_time,
+            )
+        return NettedSettlement(
+            records=records,
+            flags=flags,
+            transfers=transfers,
+            ledger=ledger,
+            flows_settled=stats.flows_settled,
+            flow_groups=stats.flow_groups,
+            transfer_records=stats.transfer_records,
+            per_flow_transfers=stats.transfers,
+        )
+
+    def run_forced_settlement(
+        self,
+        ledger: NettingLedger,
+        at_time: float,
+        epsilon: float = 0.01,
+        tolerance: float = 1e-9,
+    ):
+        """Draw audited shortfalls from the defaulting debtors' deposits.
+
+        Delegates to :func:`~repro.faithful.settlement.
+        forced_settlement` against this bank's deposit accounts and
+        emits the ``bank.forced_settlements`` / ``bank.deposit_draws``
+        telemetry counters.
+        """
+        sim_time = self.now if self._sim is not None else None
+        with span(
+            "bank.forced", sim_time=sim_time
+        ) as forced_span:
+            outcomes = forced_settlement(
+                ledger,
+                self.deposits,
+                epsilon=epsilon,
+                at_time=at_time,
+                tolerance=tolerance,
+            )
+            draws = sum(1 for outcome in outcomes if outcome.drawn > 0)
+            forced_span.note(forced=len(outcomes), draws=draws)
+            if outcomes:
+                emit_counters(
+                    "bank",
+                    {"forced_settlements": len(outcomes), "deposit_draws": draws},
+                    sim_time=sim_time,
+                )
+        return outcomes
+
+    # --- per-flow reference engine (the oracle) ------------------------
+
+    def settle_per_flow(
+        self,
+        node_ids: Sequence[NodeId],
+        declared_costs: Mapping[NodeId, float],
+        epsilon: float = 0.01,
+        tolerance: float = 1e-9,
     ) -> Tuple[Dict[NodeId, SettlementRecord], List[Flag]]:
+        """Reference settlement: walk one observation row at a time.
+
+        The pre-columnar implementation, kept as the oracle the
+        equivalence property tests compare :meth:`settle` against.
+        """
         reports = self._stage_reports("execution")
-        records: Dict[NodeId, SettlementRecord] = {
-            n: SettlementRecord() for n in node_ids
-        }
+        tally = _SettlementTally(node_ids)
         flags: List[Flag] = []
 
         receipts: Dict[NodeId, Dict[Tuple[NodeId, NodeId], Dict[NodeId, float]]] = {}
@@ -264,12 +485,9 @@ class BankNode(ProtocolNode):
             for encoded in reports.get(node_id, {}).get("flags", ()):
                 flag = decode_flag(encoded)
                 flags.append(flag)
-                records[flag.principal].penalties += epsilon
+                tally.penalties[flag.principal].append(epsilon)
 
         # Reconcile each observed origination (first-hop checker data).
-        expected_charges: Dict[NodeId, Dict[NodeId, float]] = {
-            n: {} for n in node_ids
-        }
         for checker_id in sorted(node_ids, key=repr):
             for origin, destination, volume, path, charges in reports.get(
                 checker_id, {}
@@ -278,7 +496,7 @@ class BankNode(ProtocolNode):
                 charge_map = dict(charges)
                 flow = (origin, destination)
                 culprit = self._walk_flow(
-                    flow, volume, path, receipts, records, flags, epsilon
+                    flow, volume, path, receipts, node_ids, tally, flags, epsilon
                 )
                 # The origin owes the charges for segments that were
                 # actually carried; a misrouting origin is charged the
@@ -289,49 +507,29 @@ class BankNode(ProtocolNode):
                     carried = receipts.get(successor, {}).get(flow, {}).get(transit, 0.0)
                     if carried > 0:
                         amount = charge_map.get(transit, 0.0)
-                        records[transit].received += amount
-                        expected_charges[origin][transit] = (
-                            expected_charges[origin].get(transit, 0.0) + amount
-                        )
+                        tally.received[transit].append(amount)
+                        tally.expected[origin].append(amount)
                         carried_charges += amount
                 if culprit == origin:
-                    full = sum(charge_map.values())
+                    full = math.fsum(charge_map.values())
                     shortfall = max(0.0, full - carried_charges)
-                    records[origin].charged += carried_charges + shortfall
-                    records[origin].penalties += epsilon
+                    tally.charged[origin].append(carried_charges + shortfall)
+                    tally.penalties[origin].append(epsilon)
                     self._reimburse_off_path(
-                        flow, path, receipts, records, declared_costs,
+                        flow, path, receipts, tally, declared_costs,
                         node_ids, funded_by=culprit,
                     )
                 else:
-                    records[origin].charged += carried_charges
+                    tally.charged[origin].append(carried_charges)
                     if culprit is not None:
                         self._reimburse_off_path(
-                            flow, path, receipts, records, declared_costs,
+                            flow, path, receipts, tally, declared_costs,
                             node_ids, funded_by=culprit,
                         )
 
-        # Compare reported DATA4 totals against enforced charges.
-        for node_id in sorted(node_ids, key=repr):
-            reported = dict(reports.get(node_id, {}).get("reported_payments", ()))
-            reported_total = sum(reported.values())
-            expected_total = sum(expected_charges[node_id].values())
-            record = records[node_id]
-            record.reported_total = reported_total
-            record.expected_total = expected_total
-            if reported_total < expected_total - tolerance:
-                shortfall = expected_total - reported_total
-                record.penalties += shortfall + epsilon
-                flags.append(
-                    Flag.make(
-                        FlagKind.PAYMENT_UNDERREPORT,
-                        checker=None,
-                        principal=node_id,
-                        phase="execution",
-                        shortfall=shortfall,
-                    )
-                )
-        return records, flags
+        return self._finalize_settlement(
+            node_ids, reports, tally, flags, epsilon, tolerance
+        )
 
     def _walk_flow(
         self,
@@ -339,7 +537,8 @@ class BankNode(ProtocolNode):
         volume: float,
         path: Tuple[NodeId, ...],
         receipts: Mapping[NodeId, Mapping],
-        records: Dict[NodeId, SettlementRecord],
+        node_ids: Sequence[NodeId],
+        tally: _SettlementTally,
         flags: List[Flag],
         epsilon: float,
     ) -> Optional[NodeId]:
@@ -354,14 +553,14 @@ class BankNode(ProtocolNode):
             if received <= 0:
                 misrouted = any(
                     receipts.get(other, {}).get(flow, {}).get(previous, 0.0) > 0
-                    for other in records
+                    for other in node_ids
                     if other != node
                 )
                 kind = FlagKind.MISROUTE if misrouted else FlagKind.PACKET_DROP
                 # The culprit's payment is already denied (it is not in
                 # the carried set); the epsilon puts it strictly below
                 # the faithful outcome.
-                records[previous].penalties += epsilon
+                tally.penalties[previous].append(epsilon)
                 flags.append(
                     Flag.make(
                         kind,
@@ -382,7 +581,7 @@ class BankNode(ProtocolNode):
         flow: Tuple[NodeId, NodeId],
         certified_path: Tuple[NodeId, ...],
         receipts: Mapping[NodeId, Mapping],
-        records: Dict[NodeId, SettlementRecord],
+        tally: _SettlementTally,
         declared_costs: Mapping[NodeId, float],
         node_ids: Sequence[NodeId],
         funded_by: NodeId,
@@ -401,8 +600,256 @@ class BankNode(ProtocolNode):
         for node_id in node_ids:
             if node_id in on_path or node_id == destination:
                 continue
-            volume_in = sum(receipts.get(node_id, {}).get(flow, {}).values())
+            volume_in = math.fsum(
+                receipts.get(node_id, {}).get(flow, {}).values()
+            )
             if volume_in > 0:
                 reimbursement = declared_costs.get(node_id, 0.0) * volume_in
-                records[node_id].received += reimbursement
-                records[funded_by].penalties += reimbursement
+                tally.received[node_id].append(reimbursement)
+                tally.penalties[funded_by].append(reimbursement)
+
+    # --- columnar engine ----------------------------------------------
+
+    def _settle_impl(
+        self,
+        node_ids: Sequence[NodeId],
+        declared_costs: Mapping[NodeId, float],
+        epsilon: float,
+        tolerance: float,
+        collect_transfers: bool = False,
+    ) -> Tuple[Dict[NodeId, SettlementRecord], List[Flag], SettlementStats]:
+        """Grouped single-pass reconciliation over interned flow ids.
+
+        Node ids and ``(origin, destination)`` flow keys are interned
+        to dense integers (the :mod:`repro.routing.kernel` trick);
+        receipts live in flat per-flow tables keyed by interned ids,
+        and observation rows are grouped by (flow id, certified path)
+        so the path walk, the carried-segment mask, and the off-path
+        reimbursement scan are computed once per group and replayed
+        per row.  Contribution multisets — and therefore the
+        materialised records and the flag multiset — are identical to
+        :meth:`settle_per_flow`'s.
+        """
+        reports = self._stage_reports("execution")
+        tally = _SettlementTally(node_ids)
+        flags: List[Flag] = []
+        transfers: Optional[List[Tuple[NodeId, NodeId, float]]] = (
+            [] if collect_transfers else None
+        )
+
+        # -- intern node ids: repr-sorted settlement set first, then
+        #    any foreign id (senders/hops outside the set) on demand --
+        rank: Dict[NodeId, int] = {}
+        names: List[NodeId] = []
+        for node_id in sorted(node_ids, key=repr):
+            if node_id not in rank:
+                rank[node_id] = len(names)
+                names.append(node_id)
+
+        def intern(node_id: NodeId) -> int:
+            nid = rank.get(node_id)
+            if nid is None:
+                nid = len(names)
+                rank[node_id] = nid
+                names.append(node_id)
+            return nid
+
+        # -- ingest receipts into flat per-flow tables:
+        #    fid -> receiver nid -> sender nid -> volume --
+        flow_rank: Dict[Tuple[NodeId, NodeId], int] = {}
+        flow_receipts: List[Dict[int, Dict[int, float]]] = []
+
+        def intern_flow(flow: Tuple[NodeId, NodeId]) -> int:
+            fid = flow_rank.get(flow)
+            if fid is None:
+                fid = len(flow_receipts)
+                flow_rank[flow] = fid
+                flow_receipts.append({})
+            return fid
+
+        for node_id in node_ids:
+            nid = intern(node_id)
+            for origin, destination, sender, volume in reports.get(
+                node_id, {}
+            ).get("receipts", ()):
+                fid = intern_flow((origin, destination))
+                flow_receipts[fid].setdefault(nid, {})[intern(sender)] = volume
+
+        # Checker-reported misroute flags feed straight into penalties.
+        for node_id in node_ids:
+            for encoded in reports.get(node_id, {}).get("flags", ()):
+                flag = decode_flag(encoded)
+                flags.append(flag)
+                tally.penalties[flag.principal].append(epsilon)
+
+        # -- ingest observations into parallel arrays, grouped by
+        #    (flow id, interned certified path) in canonical order --
+        obs_volume: List[float] = []
+        obs_charges: List[Sequence[Tuple[NodeId, float]]] = []
+        groups: Dict[
+            Tuple[int, Tuple[int, ...]],
+            Tuple[NodeId, NodeId, Tuple[NodeId, ...], List[int]],
+        ] = {}
+        for checker_id in sorted(node_ids, key=repr):
+            for origin, destination, volume, path, charges in reports.get(
+                checker_id, {}
+            ).get("observations", ()):
+                path = tuple(path)
+                fid = intern_flow((origin, destination))
+                pkey = tuple(intern(hop) for hop in path)
+                row = len(obs_volume)
+                obs_volume.append(volume)
+                obs_charges.append(charges)
+                entry = groups.get((fid, pkey))
+                if entry is None:
+                    groups[(fid, pkey)] = (origin, destination, path, [row])
+                else:
+                    entry[3].append(row)
+
+        transfer_records = 0
+        for (fid, pkey), (origin, destination, path, rows) in groups.items():
+            receipts_f = flow_receipts[fid]
+
+            # Walk the certified path once per group: first hop whose
+            # receipts from its predecessor are missing is the break,
+            # and its predecessor the culprit.
+            culprit: Optional[NodeId] = None
+            culprit_kind = FlagKind.PACKET_DROP
+            previous = pkey[0]
+            for hop in pkey[1:]:
+                if receipts_f.get(hop, {}).get(previous, 0.0) <= 0:
+                    misrouted = any(
+                        receiver != hop and senders.get(previous, 0.0) > 0
+                        for receiver, senders in receipts_f.items()
+                    )
+                    culprit = names[previous]
+                    culprit_kind = (
+                        FlagKind.MISROUTE if misrouted else FlagKind.PACKET_DROP
+                    )
+                    break
+                previous = hop
+
+            # Carried-segment mask, with the per-node contribution
+            # lists resolved once per group.
+            carried: List[Tuple[NodeId, List[float]]] = []
+            for index in range(1, len(pkey) - 1):
+                transit_nid = pkey[index]
+                if receipts_f.get(pkey[index + 1], {}).get(transit_nid, 0.0) > 0:
+                    carried.append(
+                        (path[index], tally.received[names[transit_nid]])
+                    )
+
+            expected_list = tally.expected[origin]
+            charged_list = tally.charged[origin]
+
+            # Off-path reimbursements: only actual carriers of this
+            # flow are scanned (the per-flow engine walks every node).
+            reimbursements: List[Tuple[NodeId, List[float], float]] = []
+            culprit_penalties: List[float] = []
+            if culprit is not None:
+                culprit_penalties = tally.penalties[culprit]
+                on_path = set(pkey)
+                destination_nid = intern(destination)
+                for receiver, senders in receipts_f.items():
+                    if receiver in on_path or receiver == destination_nid:
+                        continue
+                    volume_in = math.fsum(senders.values())
+                    if volume_in > 0:
+                        carrier = names[receiver]
+                        reimbursements.append(
+                            (
+                                carrier,
+                                tally.received[carrier],
+                                declared_costs.get(carrier, 0.0) * volume_in,
+                            )
+                        )
+
+            culprit_is_origin = culprit == origin
+            for row in rows:
+                charge_map = dict(obs_charges[row])
+                if culprit is not None:
+                    culprit_penalties.append(epsilon)
+                    flags.append(
+                        Flag.make(
+                            culprit_kind,
+                            checker=None,
+                            principal=culprit,
+                            phase="execution",
+                            origin=origin,
+                            destination=destination,
+                            volume=obs_volume[row],
+                        )
+                    )
+                carried_charges = 0.0
+                for transit, received_list in carried:
+                    amount = charge_map.get(transit, 0.0)
+                    received_list.append(amount)
+                    expected_list.append(amount)
+                    carried_charges += amount
+                    if transfers is not None:
+                        transfers.append((origin, transit, amount))
+                transfer_records += len(carried)
+                if culprit_is_origin:
+                    full = math.fsum(charge_map.values())
+                    shortfall = max(0.0, full - carried_charges)
+                    charged_list.append(carried_charges + shortfall)
+                    tally.penalties[origin].append(epsilon)
+                else:
+                    charged_list.append(carried_charges)
+                if culprit is not None:
+                    for carrier, received_list, amount in reimbursements:
+                        received_list.append(amount)
+                        culprit_penalties.append(amount)
+                        if transfers is not None:
+                            transfers.append((culprit, carrier, amount))
+
+        records, flags = self._finalize_settlement(
+            node_ids, reports, tally, flags, epsilon, tolerance
+        )
+        stats = SettlementStats(
+            flows_settled=len(obs_volume),
+            flow_groups=len(groups),
+            transfer_records=transfer_records,
+            transfers=transfers,
+        )
+        return records, flags, stats
+
+    # --- shared settlement tail ----------------------------------------
+
+    def _finalize_settlement(
+        self,
+        node_ids: Sequence[NodeId],
+        reports: Mapping[NodeId, Mapping[str, Any]],
+        tally: _SettlementTally,
+        flags: List[Flag],
+        epsilon: float,
+        tolerance: float,
+    ) -> Tuple[Dict[NodeId, SettlementRecord], List[Flag]]:
+        """Compare reported DATA4 totals, materialise, sort flags."""
+        records = {n: SettlementRecord() for n in node_ids}
+        for node_id in sorted(node_ids, key=repr):
+            reported = dict(reports.get(node_id, {}).get("reported_payments", ()))
+            reported_total = math.fsum(reported.values())
+            expected_total = math.fsum(tally.expected[node_id])
+            record = records[node_id]
+            record.reported_total = reported_total
+            record.expected_total = expected_total
+            if reported_total < expected_total - tolerance:
+                shortfall = expected_total - reported_total
+                tally.penalties[node_id].append(shortfall + epsilon)
+                flags.append(
+                    Flag.make(
+                        FlagKind.PAYMENT_UNDERREPORT,
+                        checker=None,
+                        principal=node_id,
+                        phase="execution",
+                        shortfall=shortfall,
+                    )
+                )
+        for node_id in node_ids:
+            record = records[node_id]
+            record.received = math.fsum(tally.received[node_id])
+            record.charged = math.fsum(tally.charged[node_id])
+            record.penalties = math.fsum(tally.penalties[node_id])
+        flags.sort(key=Flag.sort_key)
+        return records, flags

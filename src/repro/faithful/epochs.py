@@ -55,6 +55,7 @@ from ..sim.simulator import Simulator
 from .audit import Flag
 from .node import FaithfulRoutingNode, encode_flag
 from .protocol import FaithfulNodeFactory, TrafficMatrix
+from .settlement import NettingLedger
 
 #: Event kinds the faithful epoch runner accepts (membership-preserving).
 CHECKED_EVENT_KINDS: Tuple[str, ...] = ("cost", "link-down", "link-up")
@@ -79,6 +80,12 @@ class CheckedEpoch:
     routed_flows: int = 0
     unroutable_flows: int = 0
     payments_total: float = 0.0
+    #: Settlement netting results (zeros unless traffic was supplied):
+    #: the epoch's declared payment deltas netted into one batch
+    #: transfer per debtor vs. the per-flow transfer count.
+    net_transfers: int = 0
+    net_payouts: int = 0
+    per_flow_transfers: int = 0
 
 
 @dataclass
@@ -91,6 +98,10 @@ class CheckedChurnRun:
     pool: Optional[MirrorKernelPool]
     initial: CheckedEpoch
     epochs: List[CheckedEpoch] = field(default_factory=list)
+    #: The run's netting ledger: each epoch's declared DATA4 payment
+    #: deltas recorded as obligations and closed into batch transfers
+    #: (None when the run carried no traffic).
+    ledger: Optional[NettingLedger] = None
 
     @property
     def all_flags(self) -> List[Tuple[int, Tuple]]:
@@ -180,6 +191,12 @@ def run_checked_churn(
         simulator.add_node(node)
     node_ids = tuple(sorted(nodes, key=repr))
     flows = sorted(dict(traffic or {}).items(), key=repr)
+    ledger = NettingLedger() if flows else None
+    #: Last-seen declared payment totals per payer; the per-epoch
+    #: delta is what gets recorded as this epoch's obligations.
+    payment_snapshots: Dict[NodeId, Dict[NodeId, float]] = {
+        n: {} for n in node_ids
+    }
 
     def construct(epoch: int, events: Tuple[ChurnEvent, ...], current: ASGraph) -> CheckedEpoch:
         for node_id in node_ids:
@@ -255,7 +272,8 @@ def run_checked_churn(
                 continue
             node = nodes[source]
             assert node.comp is not None
-            if node.comp.routing.entry(destination) is None:
+            entry = node.comp.routing.entry(destination)
+            if entry is None:
                 report.unroutable_flows += 1
                 continue
             simulator.schedule_local(
@@ -265,9 +283,47 @@ def run_checked_churn(
                 label="originate",
             )
             report.routed_flows += 1
+            # One per-flow transfer per transit hop on the LCP — the
+            # payment count netting is measured against.
+            report.per_flow_transfers += max(0, len(entry.path) - 2)
         simulator.run_until_quiescent(max_events=max_events)
         report.payments_total = (
             sum(nodes[n].data4.total for n in node_ids) - before
+        )
+        _net_epoch(report)
+
+    def _net_epoch(report: CheckedEpoch) -> None:
+        """Net the epoch's declared payment deltas into batch transfers.
+
+        Obligations are the *declared* DATA4 increments (what each
+        payer owes its transit carriers for this epoch's flows);
+        catching under-declaration is the settlement audit's job, not
+        the netting layer's.
+        """
+        assert ledger is not None
+        closure_time = float(report.epoch)
+        for node_id in node_ids:
+            snapshot = payment_snapshots[node_id]
+            for payee, total in sorted(
+                nodes[node_id].report_payments().items(), key=repr
+            ):
+                delta = total - snapshot.get(payee, 0.0)
+                if delta > 0 and payee != node_id:
+                    ledger.record(
+                        node_id, payee, delta, accepted_at=closure_time
+                    )
+                snapshot[payee] = total
+        transfers = ledger.close_epoch(closure_time)
+        report.net_transfers = len(transfers)
+        report.net_payouts = sum(len(t.payouts) for t in transfers)
+        emit_counters(
+            "bank",
+            {
+                "nets": 1,
+                "net_transfers": report.net_transfers,
+                "net_payouts": report.net_payouts,
+                "transfer_records": report.per_flow_transfers,
+            },
         )
 
     initial = construct(0, (), graph)
@@ -277,6 +333,7 @@ def run_checked_churn(
         graph=graph,
         pool=pool,
         initial=initial,
+        ledger=ledger,
     )
     current = graph
     for index, events in enumerate(schedule.epochs, start=1):

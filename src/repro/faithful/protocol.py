@@ -142,6 +142,11 @@ class FaithfulFPSSProtocol:
         #: The run's shared-replay pool (None until :meth:`run`, or
         #: with ``shared_checking=False``); exposes dedup counters.
         self.mirror_pool: Optional[MirrorKernelPool] = None
+        #: The built network and bank (None until :meth:`run`); the
+        #: bank retains the collected stage reports, so callers can
+        #: re-settle them (e.g. per-flow vs. columnar equivalence).
+        self.nodes: Optional[Dict[NodeId, FaithfulRoutingNode]] = None
+        self.bank: Optional[BankNode] = None
 
     # ------------------------------------------------------------------
     # setup
@@ -182,6 +187,10 @@ class FaithfulFPSSProtocol:
     def run(self) -> RunResult:
         """Execute construction -> checkpoints -> execution -> settle."""
         simulator, nodes, bank = self._build()
+        # Expose the built network so callers (e.g. the settlement
+        # equivalence tests) can re-settle the collected reports.
+        self.nodes = nodes
+        self.bank = bank
         node_ids = tuple(sorted(nodes, key=repr))
         detection = DetectionReport()
         checker_map = self._checker_map()

@@ -353,6 +353,17 @@ def render_status(status: FeedStatus, top_counters: int = 8) -> str:
             f"{status.counters.get('churn.reconvergence_messages', 0)} "
             f"reconvergence messages"
         )
+    flows_settled = status.counters.get("bank.flows_settled", 0)
+    net_transfers = status.counters.get("bank.net_transfers", 0)
+    if flows_settled or net_transfers:
+        lines.append(
+            f"settlement: {flows_settled} flow(s) settled into "
+            f"{net_transfers} net transfer(s) "
+            f"({status.counters.get('bank.transfer_records', 0)} per-flow "
+            f"records), "
+            f"{status.counters.get('bank.forced_settlements', 0)} forced, "
+            f"{status.counters.get('bank.deposit_draws', 0)} deposit draw(s)"
+        )
     if status.counters:
         ranked = sorted(
             status.counters.items(), key=lambda kv: (-kv[1], kv[0])

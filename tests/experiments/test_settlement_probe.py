@@ -1,0 +1,79 @@
+"""The settlement probe: grid placement, metrics, and determinism.
+
+The batched bank joins the experiment harness as a probe: each cell
+synthesizes honest execution reports from the scenario's VCG route
+bundle, runs the columnar settle with epoch netting, cross-checks the
+net money positions of the per-flow and batch transfer lists, and
+dry-runs forced settlement.  These tests pin the default sweep's
+settlement block, the probe's metric vocabulary and invariants, its
+byte-determinism, and the ``bank.*`` telemetry counters feeding
+``repro status``.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ScenarioSpec, default_sweep
+from repro.experiments.runner import run_scenario, run_scenario_traced
+
+
+def settlement_spec(**overrides):
+    base = dict(probe="settlement", topology="random", size=10, seed=3)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestGridPlacement:
+    def test_default_sweep_settlement_block(self):
+        sweep = default_sweep()
+        cells = [s for s in sweep.scenarios if s.probe == "settlement"]
+        assert sorted(c.size for c in cells) == [16, 64]
+        assert all(c.topology == "random" for c in cells)
+        # The settlement block is the last one: appended after churn.
+        assert sweep.scenarios[-1].probe == "settlement"
+
+    def test_settlement_block_is_optional(self):
+        cells = default_sweep(settlement_seeds=0).scenarios
+        assert not any(c.probe == "settlement" for c in cells)
+        with pytest.raises(ExperimentError):
+            default_sweep(settlement_seeds=-1)
+
+    def test_spec_is_valid_and_labelled(self):
+        spec = settlement_spec().validate()
+        assert spec.scenario_id().endswith(":settlement")
+
+
+class TestProbeRuns:
+    def test_probe_reports_netting_metrics(self):
+        result = run_scenario(settlement_spec())
+        assert result.error is None
+        values = result.values
+        assert values["flows_settled"] > 0
+        assert values["flow_groups"] > 0
+        assert values["net_payouts"] > 0
+        # One batch transfer per net debtor, at most one per node.
+        assert values["net_transfers"] <= 10
+        assert values["netting_ratio"] >= 1.0
+        # Honest reports: exact positions, nothing flagged or forced.
+        assert values["net_position_drift"] == 0.0
+        assert values["settlement_flags"] == 0.0
+        assert values["forced_settlements"] == 0.0
+
+    def test_probe_is_deterministic(self):
+        one = run_scenario(settlement_spec(seed=9))
+        two = run_scenario(settlement_spec(seed=9))
+        assert one.comparable() == two.comparable()
+
+    def test_probe_emits_bank_counters(self):
+        result, counters = run_scenario_traced(settlement_spec())
+        assert result.error is None
+        assert counters.get("bank.nets") == 1
+        assert counters.get("bank.flows_settled") == int(
+            result.values["flows_settled"]
+        )
+        assert counters.get("bank.net_transfers") == int(
+            result.values["net_transfers"]
+        )
+        assert counters.get("bank.transfer_records") == int(
+            result.values["transfer_records"]
+        )

@@ -218,11 +218,16 @@ class TestParseSweep:
     def test_default_sweep_checked_block_appends_only(self):
         """Existing cells keep their content keys when blocks grow:
         each optional block appends strictly after the previous ones."""
-        base = default_sweep(checked_seeds=0, churn_seeds=0)
-        with_checked = default_sweep(churn_seeds=0)
+        base = default_sweep(
+            checked_seeds=0, churn_seeds=0, settlement_seeds=0
+        )
+        with_checked = default_sweep(churn_seeds=0, settlement_seeds=0)
+        with_churn = default_sweep(settlement_seeds=0)
         grown = default_sweep()
         base_keys = [s.content_key() for s in base.scenarios]
         checked_keys = [s.content_key() for s in with_checked.scenarios]
+        churn_keys = [s.content_key() for s in with_churn.scenarios]
         grown_keys = [s.content_key() for s in grown.scenarios]
         assert checked_keys[: len(base_keys)] == base_keys
-        assert grown_keys[: len(checked_keys)] == checked_keys
+        assert churn_keys[: len(checked_keys)] == checked_keys
+        assert grown_keys[: len(churn_keys)] == churn_keys

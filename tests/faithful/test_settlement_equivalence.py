@@ -1,0 +1,192 @@
+"""Per-flow vs. columnar vs. netted settlement equivalence.
+
+The columnar engine behind :meth:`BankNode.settle` and the epoch
+netting behind :meth:`BankNode.settle_netted` are pure performance
+reworks: both must produce *bit-identical* settlement records, flag
+lists, and per-node net money positions to the per-flow oracle
+(:meth:`BankNode.settle_per_flow`) on every input — honest traffic,
+every catalogued manipulation, and reports collected across churn
+epochs.  Both engines feed the same fsum-reduced contribution tally,
+so equality here is exact ``==``, never ``approx``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faithful import (
+    DEVIATION_CATALOGUE,
+    BankNode,
+    FaithfulFPSSProtocol,
+    faithful_deviant_factory,
+    net_positions,
+    settlement_audit,
+    synthesize_execution_reports,
+)
+from repro.faithful.epochs import run_checked_churn
+from repro.routing import figure1_graph
+from repro.sim.churn import ChurnEvent, ChurnSchedule
+from repro.workloads import random_biconnected_graph, uniform_all_pairs
+
+GRAPH = figure1_graph()
+TRAFFIC = uniform_all_pairs(GRAPH)
+TARGET = "C"  # the paper's Example 1 manipulator
+
+
+def assert_engines_equivalent(bank, node_ids, declared_costs, epsilon):
+    """All three settlement paths agree exactly on the same reports."""
+    per_flow_records, per_flow_flags = bank.settle_per_flow(
+        node_ids, declared_costs, epsilon=epsilon
+    )
+    columnar_records, columnar_flags = bank.settle(
+        node_ids, declared_costs, epsilon=epsilon
+    )
+    assert columnar_records == per_flow_records
+    assert columnar_flags == per_flow_flags
+
+    netted = bank.settle_netted(node_ids, declared_costs, epsilon=epsilon)
+    assert netted.records == per_flow_records
+    assert netted.flags == per_flow_flags
+
+    # Netting compresses the transfer list but must not move money:
+    # net positions of the batch transfers are bit-identical to the
+    # per-flow transfer list's (same pair-grouped fsum reduction).
+    per_flow_positions = net_positions(
+        netted.per_flow_transfers, nodes=node_ids
+    )
+    netted_positions = net_positions(netted.transfers, nodes=node_ids)
+    assert netted_positions == per_flow_positions
+
+    # After the epoch close, every pair's audited unpaid balance is
+    # exactly zero — the batch transfer discharged the whole epoch.
+    for transfer in netted.transfers:
+        for payee, _amount in transfer.payouts:
+            report = settlement_audit(
+                netted.ledger.trace,
+                netted.ledger.transfers,
+                transfer.debtor,
+                payee,
+                at_time=0.0,
+            )
+            assert report.unpaid == 0.0
+    return netted
+
+
+def resettle(protocol):
+    """Re-run settlement over the reports a protocol run collected."""
+    bank = protocol.bank
+    assert bank is not None and protocol.nodes is not None
+    if "execution" not in bank.reports:
+        return None  # run never reached settlement (no-progress outcome)
+    node_ids = tuple(sorted(protocol.nodes, key=repr))
+    declared = {
+        n: protocol.nodes[n].comp.costs.cost(n)
+        for n in node_ids
+        if protocol.nodes[n].comp is not None
+    }
+    return assert_engines_equivalent(
+        bank, node_ids, declared, protocol.epsilon
+    )
+
+
+class TestObedientEquivalence:
+    def test_figure1_obedient(self):
+        protocol = FaithfulFPSSProtocol(GRAPH, TRAFFIC)
+        protocol.run()
+        netted = resettle(protocol)
+        assert netted is not None
+        assert netted.flags == []
+        assert netted.flows_settled > 0
+        # Batch transfers: at most one per debtor principal.
+        assert len(netted.transfers) <= len(GRAPH.nodes)
+
+    def test_grouping_collapses_repeated_flows(self):
+        reports = synthesize_execution_reports(GRAPH, TRAFFIC, repeats=5)
+        bank = BankNode()
+        bank.reports["execution"] = reports
+        node_ids = tuple(sorted(GRAPH.nodes, key=repr))
+        declared = {n: GRAPH.cost(n) for n in node_ids}
+        netted = assert_engines_equivalent(bank, node_ids, declared, 0.01)
+        assert netted.flows_settled == 5 * netted.flow_groups
+
+
+@pytest.mark.parametrize("name", sorted(DEVIATION_CATALOGUE))
+class TestCatalogueEquivalence:
+    """Every catalogued manipulation settles identically on all paths."""
+
+    def test_deviant_run_equivalent(self, name):
+        protocol = FaithfulFPSSProtocol(
+            GRAPH,
+            TRAFFIC,
+            node_factory=faithful_deviant_factory(
+                DEVIATION_CATALOGUE[name], TARGET
+            ),
+        )
+        protocol.run()
+        resettle(protocol)  # None (no execution) is a valid outcome
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        size=st.integers(min_value=4, max_value=12),
+        repeats=st.integers(min_value=1, max_value=3),
+    )
+    def test_synthesized_reports_equivalent(self, seed, size, repeats):
+        rng = random.Random(seed)
+        graph = random_biconnected_graph(size, rng)
+        traffic = uniform_all_pairs(graph)
+        reports = synthesize_execution_reports(
+            graph, traffic, repeats=repeats
+        )
+        bank = BankNode()
+        bank.reports["execution"] = reports
+        node_ids = tuple(sorted(graph.nodes, key=repr))
+        declared = {n: graph.cost(n) for n in node_ids}
+        netted = assert_engines_equivalent(bank, node_ids, declared, 0.01)
+        assert netted.flags == []
+        assert netted.flows_settled == repeats * netted.flow_groups
+
+
+class TestChurnNetting:
+    def test_epochs_net_and_conserve(self):
+        schedule = ChurnSchedule(
+            epochs=(
+                (ChurnEvent(kind="cost", node="C", cost=3.0),),
+                (ChurnEvent(kind="link-up", link=("A", "C")),),
+            )
+        )
+        run = run_checked_churn(GRAPH, schedule, traffic=TRAFFIC)
+        assert run.ledger is not None
+        node_count = len(run.nodes)
+        epochs = [run.initial] + run.epochs
+        for report in epochs:
+            assert report.routed_flows > 0
+            # One batch transfer per net debtor, at most one per node.
+            assert report.net_transfers <= node_count
+            assert report.per_flow_transfers >= report.net_payouts
+        assert run.ledger.epochs_closed == len(epochs)
+        # The whole run conserves money: the obligation trace and the
+        # batch transfers net to bit-identical positions.
+        node_ids = tuple(sorted(run.nodes, key=repr))
+        trace_positions = net_positions(
+            [(o.debtor, o.creditor, o.amount) for o in run.ledger.trace],
+            nodes=node_ids,
+        )
+        transfer_positions = net_positions(
+            run.ledger.transfers, nodes=node_ids
+        )
+        assert transfer_positions == trace_positions
+
+    def test_no_traffic_no_ledger(self):
+        run = run_checked_churn(
+            GRAPH,
+            ChurnSchedule(
+                epochs=((ChurnEvent(kind="cost", node="C", cost=3.0),),)
+            ),
+        )
+        assert run.ledger is None
+        assert run.initial.net_transfers == 0

@@ -191,6 +191,61 @@ class TestRendering:
         assert all(line for line in lines)
 
 
+def _write_settlement_feed(directory):
+    """A feed whose cells carry the bank's settlement counters."""
+    specs = [_spec(seed, probe="settlement") for seed in (0, 1)]
+    with SweepFeed(str(directory)) as feed:
+        feed.sweep_start(name="grid", total=2, pending=2, reused=0, workers=1)
+        for index, spec in enumerate(specs):
+            feed.cell_start(spec)
+            feed.cell_result(
+                _result(spec),
+                {
+                    "bank.nets": 1,
+                    "bank.flows_settled": 240 + index,
+                    "bank.transfer_records": 156,
+                    "bank.net_transfers": 15,
+                    "bank.net_payouts": 47,
+                    "bank.forced_settlements": index,
+                    "bank.deposit_draws": index,
+                },
+            )
+        feed.sweep_finish(completed=2, failures=0)
+    return feed_path(str(directory))
+
+
+class TestSettlementStatus:
+    def test_settlement_line_sums_bank_counters(self, tmp_path):
+        status = feed_status(read_feed(_write_settlement_feed(tmp_path)))
+        assert status.counters["bank.flows_settled"] == 481
+        assert status.counters["bank.net_transfers"] == 30
+        text = render_status(status)
+        assert (
+            "settlement: 481 flow(s) settled into 30 net transfer(s) "
+            "(312 per-flow records), 1 forced, 1 deposit draw(s)" in text
+        )
+
+    def test_no_settlement_line_without_bank_counters(self, tmp_path):
+        status = feed_status(read_feed(_write_feed(tmp_path)))
+        assert "settlement:" not in render_status(status)
+
+    def test_truncated_feed_keeps_partial_settlement_totals(self, tmp_path):
+        path = _write_settlement_feed(tmp_path)
+        lines = open(path).read().splitlines()
+        # Kill mid-append during the second cell's finish record: the
+        # status must reduce the intact prefix (one finished cell) and
+        # still render its settlement roll-up.
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:4]) + "\n" + lines[4][:25])
+        status = feed_status(read_feed(path))
+        assert (status.started, status.finished) == (2, 1)
+        assert status.in_flight == 1
+        assert not status.complete
+        assert status.counters["bank.flows_settled"] == 240
+        text = render_status(status)
+        assert "settlement: 240 flow(s) settled into 15 net transfer(s)" in text
+
+
 class TestFeedFollower:
     def test_poll_yields_only_fresh_records(self, tmp_path):
         follower = FeedFollower(feed_path(str(tmp_path)))
